@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared constants and helpers for the table/figure harness binaries.
+ *
+ * Every binary regenerates one artifact of the paper's evaluation
+ * (Section V). All binaries share the ExperimentRunner result cache
+ * ($MITHRA_CACHE, default .mithra-cache.tsv), so running them back to
+ * back computes the expensive grid only once. MITHRA_SCALE (default 1)
+ * shrinks dataset counts/sizes for smoke runs.
+ */
+
+#ifndef MITHRA_BENCH_COMMON_HH
+#define MITHRA_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace mithra::bench
+{
+
+/** Quality-loss levels the paper sweeps (percent). */
+inline const std::vector<double> qualityLevels = {2.5, 5.0, 7.5, 10.0};
+
+/** The headline operating point: 5% loss, 95% confidence, 90% rate. */
+inline core::QualitySpec
+headlineSpec(double qualityLossPct = 5.0)
+{
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = qualityLossPct;
+    spec.confidence = 0.95;
+    spec.successRate = 0.90;
+    return spec;
+}
+
+/** The three quality-controlled designs of Figures 6-8. */
+inline const std::vector<core::Design> mainDesigns = {
+    core::Design::Oracle, core::Design::Table, core::Design::Neural};
+
+} // namespace mithra::bench
+
+#endif // MITHRA_BENCH_COMMON_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 6: whole-application benefits versus the desired quality-loss
+ * level, with 95% confidence / 90% success-rate guarantees.
+ *
+ *  (a) geometric-mean speedup over the precise baseline,
+ *  (b) geometric-mean energy reduction,
+ *  (c) mean accelerator invocation rate,
+ * for the oracle, the table-based design and the neural design at
+ * quality-loss levels {2.5, 5, 7.5, 10}%.
+ *
+ * Shape to match (paper, 5% loss): table ~2.5x speedup / ~2.6x energy,
+ * neural similar speedup with more energy gain, oracle ~26%/36% above
+ * the table design; invocation rates table ~64%, neural ~73%, oracle
+ * highest; all rates rise as the quality requirement loosens.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+
+    core::printBanner("Figure 6: speedup / energy reduction / invocation "
+                      "rate vs quality loss (95% conf, 90% success)");
+
+    core::TablePrinter table({"quality loss", "design", "geomean speedup",
+                              "geomean energy gain", "mean invocation",
+                              "datasets in contract"});
+
+    for (double quality : bench::qualityLevels) {
+        const auto spec = bench::headlineSpec(quality);
+        for (core::Design design : bench::mainDesigns) {
+            std::vector<double> speedups, energies, rates;
+            std::size_t successes = 0, trials = 0;
+            for (const auto &name : axbench::benchmarkNames()) {
+                const auto record = runner.run(name, spec, design);
+                speedups.push_back(record.eval.speedup);
+                energies.push_back(record.eval.energyReduction);
+                rates.push_back(record.eval.invocationRate);
+                successes += record.eval.successes;
+                trials += record.eval.trials;
+            }
+            table.addRow({core::fmtPct(quality),
+                          core::designName(design),
+                          core::fmtRatio(stats::geomean(speedups)),
+                          core::fmtRatio(stats::geomean(energies)),
+                          core::fmtPct(100.0 * stats::mean(rates)),
+                          std::to_string(successes) + "/"
+                              + std::to_string(trials)});
+        }
+    }
+    table.print();
+
+    std::printf("\nPaper @5%%: oracle 3.19x/3.53x, table 2.5x/2.6x, "
+                "neural ~2.5x/+13%% energy; rates 93%%/64%%/73%%.\n");
+    return 0;
+}

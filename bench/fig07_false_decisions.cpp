@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 7: false positives and false negatives of the table-based and
+ * neural designs against the oracle, across quality-loss levels.
+ *
+ * A false positive runs an invocation precisely that the oracle would
+ * have accelerated (costs benefit); a false negative accelerates an
+ * invocation the oracle would have filtered (costs quality). Shape to
+ * match: false positives dominate false negatives for both designs —
+ * the classifiers are conservative — with (paper @5%) table 22% FP /
+ * 5% FN and neural 18% FP / 9% FN.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+
+    core::printBanner("Figure 7: false decisions versus the oracle");
+
+    core::TablePrinter mean({"quality loss", "design",
+                             "false positives", "false negatives"});
+    for (double quality : bench::qualityLevels) {
+        const auto spec = bench::headlineSpec(quality);
+        for (core::Design design :
+             {core::Design::Table, core::Design::Neural}) {
+            std::vector<double> fps, fns;
+            for (const auto &name : axbench::benchmarkNames()) {
+                const auto record = runner.run(name, spec, design);
+                fps.push_back(record.eval.falsePositiveRate);
+                fns.push_back(record.eval.falseNegativeRate);
+            }
+            mean.addRow({core::fmtPct(quality),
+                         core::designName(design),
+                         core::fmtPct(100.0 * stats::mean(fps)),
+                         core::fmtPct(100.0 * stats::mean(fns))});
+        }
+    }
+    mean.print();
+
+    std::printf("\nPer-benchmark at 5%% quality loss:\n\n");
+    core::TablePrinter per({"benchmark", "table FP", "table FN",
+                            "neural FP", "neural FN"});
+    const auto spec = bench::headlineSpec();
+    for (const auto &name : axbench::benchmarkNames()) {
+        const auto tbl = runner.run(name, spec, core::Design::Table);
+        const auto net = runner.run(name, spec, core::Design::Neural);
+        per.addRow({name,
+                    core::fmtPct(100.0 * tbl.eval.falsePositiveRate),
+                    core::fmtPct(100.0 * tbl.eval.falseNegativeRate),
+                    core::fmtPct(100.0 * net.eval.falsePositiveRate),
+                    core::fmtPct(100.0 * net.eval.falseNegativeRate)});
+    }
+    per.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8: per-benchmark speedup, energy reduction and accelerator
+ * invocation rate for the oracle, table-based and neural designs
+ * across quality-loss levels (95% confidence, 90% success rate).
+ *
+ * Shape to match: most benchmarks track the oracle closely with both
+ * designs; on jmeint and jpeg (wide accelerator input vectors, hence
+ * heavy hash aliasing) the neural design clearly beats the table
+ * design on invocation rate, while jmeint's neural gains are muted by
+ * the cost of its own neurons.
+ *
+ * Pass --no-online to ablate the table design's online updates.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+
+using namespace mithra;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    const bool noOnline = argc > 1
+        && std::strcmp(argv[1], "--no-online") == 0;
+
+    core::ExperimentRunner runner;
+
+    core::printBanner(std::string("Figure 8: per-benchmark results")
+                      + (noOnline ? " (ablation: online updates off)"
+                                  : ""));
+
+    for (const auto &name : axbench::benchmarkNames()) {
+        std::printf("%s\n", name.c_str());
+        core::TablePrinter table({"quality loss", "design", "speedup",
+                                  "energy gain", "invocation rate",
+                                  "quality met"});
+        for (double quality : bench::qualityLevels) {
+            const auto spec = bench::headlineSpec(quality);
+            for (core::Design design : bench::mainDesigns) {
+                core::RunOptions options;
+                if (design == core::Design::Table && noOnline)
+                    options.onlineUpdates = false;
+                const auto record = runner.run(name, spec, design,
+                                               options);
+                table.addRow(
+                    {core::fmtPct(quality), core::designName(design),
+                     core::fmtRatio(record.eval.speedup),
+                     core::fmtRatio(record.eval.energyReduction),
+                     core::fmtPct(100.0 * record.eval.invocationRate),
+                     std::to_string(record.eval.successes) + "/"
+                         + std::to_string(record.eval.trials)});
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

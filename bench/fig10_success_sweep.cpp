@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10: energy-delay-product improvement versus the desired
+ * success rate at 95% confidence and 5% quality loss.
+ *
+ * Raising the success rate demands a tighter threshold, which filters
+ * more invocations and shrinks the benefit: statistical guarantees
+ * have a price. Shape to match: EDP improvement decreases
+ * monotonically (roughly) as the success-rate requirement grows.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+
+    core::printBanner("Figure 10: EDP improvement vs success rate "
+                      "(5% quality loss, 95% confidence)");
+
+    const double successRates[] = {0.50, 0.60, 0.70, 0.80, 0.90, 0.95};
+
+    core::TablePrinter table({"success rate", "oracle EDP gain",
+                              "table EDP gain", "neural EDP gain",
+                              "mean invocation (oracle)"});
+    for (double successRate : successRates) {
+        auto spec = bench::headlineSpec();
+        spec.successRate = successRate;
+
+        std::vector<double> oracleEdp, tableEdp, neuralEdp, rates;
+        for (const auto &name : axbench::benchmarkNames()) {
+            const auto oracle =
+                runner.run(name, spec, core::Design::Oracle);
+            const auto tbl = runner.run(name, spec, core::Design::Table);
+            const auto net =
+                runner.run(name, spec, core::Design::Neural);
+            oracleEdp.push_back(oracle.eval.edpImprovement);
+            tableEdp.push_back(tbl.eval.edpImprovement);
+            neuralEdp.push_back(net.eval.edpImprovement);
+            rates.push_back(oracle.eval.invocationRate);
+        }
+        table.addRow({core::fmtPct(100.0 * successRate, 0),
+                      core::fmtRatio(stats::geomean(oracleEdp)),
+                      core::fmtRatio(stats::geomean(tableEdp)),
+                      core::fmtRatio(stats::geomean(neuralEdp)),
+                      core::fmtPct(100.0 * stats::mean(rates))});
+    }
+    table.print();
+
+    std::printf("\nHigher statistical guarantees come at a higher "
+                "price (paper §V-B.1).\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 11: Pareto analysis of the table-based design at 5% quality
+ * loss — number of parallel tables x per-table size against the mean
+ * accelerator invocation rate.
+ *
+ * Shape to match: tiny tables alias destructively and lose benefit;
+ * capacity beyond ~4 KB total stops paying; more tables at the same
+ * per-table size help (distinct hash functions); 8 tables x 0.5 KB is
+ * the (paper's) Pareto-optimal default.
+ *
+ * Pass --bits to run the quantizer-width ablation instead (the other
+ * design choice DESIGN.md calls out).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+void
+runGeometrySweep(core::ExperimentRunner &runner)
+{
+    core::printBanner("Figure 11: Pareto analysis of the table-based "
+                      "design (5% quality loss)");
+
+    const std::size_t tableCounts[] = {1, 2, 4, 8};
+    const std::size_t tableBytes[] = {128, 512, 2048, 4096};
+    const auto spec = bench::headlineSpec();
+
+    core::TablePrinter table({"configuration", "total size",
+                              "mean invocation rate",
+                              "mean quality met"});
+    for (std::size_t count : tableCounts) {
+        for (std::size_t bytes : tableBytes) {
+            core::RunOptions options;
+            options.geometry.numTables = count;
+            options.geometry.tableBytes = bytes;
+            options.skipCalibration = true;
+
+            std::vector<double> rates;
+            std::size_t successes = 0, trials = 0;
+            for (const auto &name : axbench::benchmarkNames()) {
+                const auto record = runner.run(
+                    name, spec, core::Design::Table, options);
+                rates.push_back(record.eval.invocationRate);
+                successes += record.eval.successes;
+                trials += record.eval.trials;
+            }
+
+            char label[64];
+            std::snprintf(label, sizeof(label), "%zuT x %.3f KB", count,
+                          static_cast<double>(bytes) / 1024.0);
+            table.addRow({label,
+                          core::fmtKb(static_cast<double>(count * bytes),
+                                      3),
+                          core::fmtPct(100.0 * stats::mean(rates)),
+                          std::to_string(successes) + "/"
+                              + std::to_string(trials)});
+        }
+    }
+    table.print();
+    std::printf("\nThe paper's Pareto-optimal configuration is 8T x "
+                "0.5 KB (4 KB total, uncompressed).\n");
+}
+
+void
+runBitsAblation(core::ExperimentRunner &runner)
+{
+    core::printBanner("Ablation: table-classifier quantizer width "
+                      "(5% quality loss, 8T x 0.5 KB)");
+
+    const auto spec = bench::headlineSpec();
+    core::TablePrinter table({"benchmark", "bits", "invocation rate",
+                              "FP", "FN", "quality met"});
+    for (const auto &name : axbench::benchmarkNames()) {
+        for (unsigned bits = 1; bits <= 8; ++bits) {
+            // Skip configurations whose pattern space is degenerate
+            // for very wide inputs (cost control).
+            const auto facts = runner.workloadFacts(name);
+            (void)facts;
+            core::RunOptions options;
+            options.quantizerBits = bits;
+            options.skipCalibration = true;
+            const auto record = runner.run(name, spec,
+                                           core::Design::Table, options);
+            table.addRow(
+                {name, std::to_string(bits),
+                 core::fmtPct(100.0 * record.eval.invocationRate),
+                 core::fmtPct(100.0 * record.eval.falsePositiveRate),
+                 core::fmtPct(100.0 * record.eval.falseNegativeRate),
+                 std::to_string(record.eval.successes) + "/"
+                     + std::to_string(record.eval.trials)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+
+    if (argc > 1 && std::strcmp(argv[1], "--bits") == 0)
+        runBitsAblation(runner);
+    else
+        runGeometrySweep(runner);
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the mechanisms on MITHRA's
+ * critical path: MISR hashing, multi-table decisions, neural-classifier
+ * forward passes, BDI line compression and Clopper-Pearson bounds.
+ *
+ * These measure *host* performance of the models (useful when scaling
+ * the experiment harness), not modeled hardware latency — the modeled
+ * costs live in sim/ and npu/cost_model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "compress/bdi.hh"
+#include "hw/decision_table.hh"
+#include "hw/misr.hh"
+#include "hw/quantizer.hh"
+#include "npu/mlp.hh"
+#include "npu/trainer.hh"
+#include "stats/clopper_pearson.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+randomCodes(std::size_t n, Rng &rng)
+{
+    std::vector<std::uint8_t> codes(n);
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.nextBelow(256));
+    return codes;
+}
+
+void
+BM_MisrHash(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto codes = randomCodes(
+        static_cast<std::size_t>(state.range(0)), rng);
+    hw::Misr misr(hw::misrConfigPool()[3], 12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(misr.hash(codes));
+}
+BENCHMARK(BM_MisrHash)->Arg(2)->Arg(9)->Arg(18)->Arg(64);
+
+void
+BM_EnsembleDecide(benchmark::State &state)
+{
+    Rng rng(2);
+    hw::TableGeometry geometry;
+    hw::TableEnsemble ensemble(geometry, {0, 1, 2, 3, 4, 5, 6, 7});
+    std::vector<hw::TrainingTuple> tuples;
+    for (int i = 0; i < 4096; ++i)
+        tuples.push_back({randomCodes(9, rng), rng.bernoulli(0.1)});
+    ensemble.train(tuples);
+
+    const auto probe = randomCodes(9, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ensemble.decidePrecise(probe));
+}
+BENCHMARK(BM_EnsembleDecide);
+
+void
+BM_MlpForward(benchmark::State &state)
+{
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    npu::Mlp mlp({18, hidden, 2});
+    npu::initWeights(mlp, 7);
+    Vec input(18);
+    Rng rng(3);
+    for (auto &v : input)
+        v = static_cast<float>(rng.uniform());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mlp.forward(input));
+}
+BENCHMARK(BM_MlpForward)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_BdiCompressLine(benchmark::State &state)
+{
+    Rng rng(4);
+    std::array<std::uint8_t, compress::lineBytes> line{};
+    // A compressible line: small deltas around a base.
+    for (std::size_t i = 0; i < line.size(); ++i)
+        line[i] = static_cast<std::uint8_t>(100 + rng.nextBelow(8));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compress::compressLine(line));
+}
+BENCHMARK(BM_BdiCompressLine);
+
+void
+BM_ClopperPearsonLower(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stats::clopperPearsonLower(235, 250, 0.95));
+    }
+}
+BENCHMARK(BM_ClopperPearsonLower);
+
+void
+BM_GreedyEnsembleTraining(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<hw::TrainingTuple> tuples;
+    for (int i = 0; i < 20000; ++i)
+        tuples.push_back({randomCodes(6, rng), rng.bernoulli(0.1)});
+    hw::TableGeometry geometry;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::trainGreedyEnsemble(geometry, tuples));
+    }
+}
+BENCHMARK(BM_GreedyEnsembleTraining)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table I: benchmarks, their domains, quality metrics, NPU topologies,
+ * and the final application error when the accelerator is always
+ * invoked (no quality control).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+
+using namespace mithra;
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+
+    core::printBanner("Table I: benchmarks and error with full "
+                      "approximation");
+
+    core::TablePrinter table({"benchmark", "domain", "metric",
+                              "NPU topology", "invocations/dataset",
+                              "error (full approx)",
+                              "paper"});
+    const char *paperError[] = {"6.03%", "7.22%", "7.50%", "17.69%",
+                                "7.00%", "9.96%"};
+    std::size_t row = 0;
+    for (const auto &name : axbench::benchmarkNames()) {
+        const auto facts = runner.workloadFacts(name);
+        table.addRow({name, facts.domain, facts.metricName,
+                      facts.npuTopology,
+                      std::to_string(facts.invocationsPerDataset),
+                      core::fmtPct(facts.fullApproxLossMean, 2),
+                      paperError[row++]});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table II: size of the table-based design after BDI compression and
+ * the selected neural classifier topology/size, at the headline 5%
+ * quality-loss contract.
+ *
+ * Shape to match: sparse tables (blackscholes, fft, inversek2j,
+ * jmeint) compress well below the 4 KB uncompressed budget; dense
+ * tables (jpeg, sobel) barely benefit.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+
+using namespace mithra;
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+    const auto spec = bench::headlineSpec();
+
+    core::printBanner("Table II: compressed classifier sizes (5% quality "
+                      "loss)");
+
+    core::TablePrinter table({"benchmark", "table size (BDI)",
+                              "paper table", "neural topology",
+                              "neural size", "paper neural"});
+    const char *paperTable[] = {"0.25 KB", "0.25 KB", "0.29 KB",
+                                "0.25 KB", "3.70 KB", "3.30 KB"};
+    const char *paperNeural[] = {"0.57 KB", "0.10 KB", "0.10 KB",
+                                 "1.47 KB", "0.79 KB", "0.22 KB"};
+    std::size_t row = 0;
+    for (const auto &name : axbench::benchmarkNames()) {
+        const auto tableRec =
+            runner.run(name, spec, core::Design::Table);
+        const auto neuralRec =
+            runner.run(name, spec, core::Design::Neural);
+        table.addRow({name, core::fmtKb(tableRec.compressedBytes),
+                      paperTable[row], neuralRec.topology,
+                      core::fmtKb(neuralRec.compressedBytes),
+                      paperNeural[row]});
+        ++row;
+    }
+    table.print();
+    std::printf("\nUncompressed table design: 8 tables x 0.5 KB = 4 KB "
+                "(Pareto optimal, see fig11).\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Section V-B text result: software-only classifiers are a net
+ * slowdown — the motivation for MITHRA's hardware classifiers.
+ *
+ * We model running each classifier's computation on the core instead
+ * of in dedicated hardware: the table design computes eight MISR
+ * hashes and table probes in software per invocation; the neural
+ * design evaluates its MLP with scalar multiply-adds and libm
+ * sigmoids. Shape to match: average execution time inflates by ~2.9x
+ * (table) and ~9.6x (neural) relative to the hardware-classifier
+ * system.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "npu/mlp.hh"
+#include "sim/core_model.hh"
+#include "sim/system_sim.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+/** Core cycles to compute the table classifier's decision in software. */
+double
+softwareTableCycles(const sim::CoreModel &core, std::size_t inputs,
+                    std::size_t numTables)
+{
+    sim::OpCounts ops;
+    // Quantize each element: subtract, multiply, clamp, round.
+    ops.addSub += inputs * 2;
+    ops.mul += inputs;
+    ops.compare += inputs * 2;
+    // Per table: a MISR step per element (rotate, parity, xor ~ 4 ALU
+    // ops) plus the table load and bit extract.
+    ops.addSub += numTables * inputs * 4;
+    ops.memory += numTables;
+    ops.compare += numTables;
+    return core.cycles(ops);
+}
+
+/** Core cycles to evaluate the neural classifier in software. */
+double
+softwareNeuralCycles(const sim::CoreModel &core, const npu::Topology &topo)
+{
+    sim::OpCounts ops;
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const std::size_t macs = topo[l] * (topo[l - 1] + 1);
+        ops.mul += macs;
+        ops.addSub += macs;
+        ops.transcendental += topo[l]; // sigmoid via expf
+        ops.memory += macs;            // weight loads
+    }
+    return core.cycles(ops);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    core::ExperimentRunner runner;
+    const auto spec = bench::headlineSpec();
+
+    core::printBanner("Software classifiers (paper 'necessity of "
+                      "hardware' result, 5% quality loss)");
+
+    core::TablePrinter table({"benchmark", "design",
+                              "speedup (hw classifier)",
+                              "speedup (sw classifier)",
+                              "sw vs hw slowdown"});
+
+    std::vector<double> tableSlowdowns, neuralSlowdowns;
+    for (const auto &name : axbench::benchmarkNames()) {
+        const auto &workload = runner.workload(name);
+        const sim::CoreModel core(workload.coreParams);
+        const sim::SystemSimulator system(core, workload.systemParams);
+        const auto baseline = system.baseline(workload.profile);
+
+        for (core::Design design :
+             {core::Design::Table, core::Design::Neural}) {
+            const auto record = runner.run(name, spec, design);
+            const auto invocations = static_cast<double>(
+                workload.profile.invocationsPerDataset);
+            const auto numAccel = static_cast<std::size_t>(
+                record.eval.invocationRate * invocations + 0.5);
+            const std::size_t numPrecise =
+                workload.profile.invocationsPerDataset - numAccel;
+
+            // Software classifier: its computation serializes on the
+            // core ahead of every invocation, both paths.
+            sim::ClassifierCost swCost;
+            double cycles = 0.0;
+            if (design == core::Design::Table) {
+                cycles = softwareTableCycles(
+                    core, workload.benchmark->npuTopology().front(), 8);
+            } else {
+                npu::Topology topo = {
+                    workload.benchmark->npuTopology().front(), 8, 2};
+                cycles = softwareNeuralCycles(core, topo);
+            }
+            swCost.extraCyclesAccel = cycles;
+            swCost.extraCyclesPrecise = cycles;
+            swCost.energyPjPerInvocation = core.energyPj(cycles);
+
+            const auto swTotals = system.run(workload.profile, swCost,
+                                             numAccel, numPrecise);
+            const double hwSpeedup = record.eval.speedup;
+            const double swSpeedup = sim::speedup(baseline, swTotals);
+            const double slowdown = hwSpeedup / swSpeedup;
+            (design == core::Design::Table ? tableSlowdowns
+                                           : neuralSlowdowns)
+                .push_back(slowdown);
+
+            table.addRow({name, core::designName(design),
+                          core::fmtRatio(hwSpeedup),
+                          core::fmtRatio(swSpeedup),
+                          core::fmtRatio(slowdown)});
+        }
+    }
+    table.print();
+
+    std::printf("\nMean sw-vs-hw slowdown: table %.1fx, neural %.1fx "
+                "(paper: 2.9x and 9.6x vs runtime).\n",
+                stats::mean(tableSlowdowns),
+                stats::mean(neuralSlowdowns));
+    std::printf("A co-designed hardware-software solution is necessary "
+                "for quality control.\n");
+    return 0;
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Extensibility example: bringing your own safe-to-approximate
+ * function to MITHRA.
+ *
+ * Implements a minimal axbench::Benchmark for a user kernel — the
+ * polar conversion (x, y) -> (r, theta) — and runs the whole MITHRA
+ * flow on it: NPU training, statistical threshold tuning, classifier
+ * training and validation on unseen datasets. This is the template to
+ * follow for onboarding new workloads.
+ *
+ * Usage: custom_function [datasets]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "core/runtime.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+/** The workload's datasets: a batch of (x, y) points. */
+struct PolarDataset final : axbench::Dataset
+{
+    std::vector<float> xs, ys;
+};
+
+/** Polar conversion as an AxBench-style benchmark. */
+class PolarBenchmark final : public axbench::Benchmark
+{
+  public:
+    static constexpr std::size_t pointsPerDataset = 2048;
+
+    std::string name() const override { return "polar"; }
+    std::string domain() const override { return "Geometry"; }
+    axbench::QualityMetric metric() const override
+    {
+        return axbench::QualityMetric::AvgRelativeError;
+    }
+    npu::Topology npuTopology() const override { return {2, 8, 2}; }
+    npu::TrainerOptions npuTrainerOptions() const override
+    {
+        npu::TrainerOptions options;
+        options.epochs = 120;
+        options.learningRate = 0.4f;
+        return options;
+    }
+    unsigned tableQuantizerBits() const override { return 4; }
+
+    std::unique_ptr<axbench::Dataset> makeDataset(
+        std::uint64_t seed) const override
+    {
+        Rng rng(seed);
+        auto dataset = std::make_unique<PolarDataset>();
+        // Points cluster in an annulus sector that varies per dataset.
+        const double radius = rng.uniform(0.5, 2.0);
+        const double sector = rng.uniform(0.3, 1.2);
+        for (std::size_t i = 0; i < pointsPerDataset; ++i) {
+            const double r = radius * (0.8 + 0.4 * rng.uniform());
+            const double a = sector * rng.uniform() + 0.1;
+            dataset->xs.push_back(
+                static_cast<float>(r * std::cos(a)));
+            dataset->ys.push_back(
+                static_cast<float>(r * std::sin(a)));
+        }
+        return dataset;
+    }
+
+    axbench::InvocationTrace trace(
+        const axbench::Dataset &dataset) const override
+    {
+        const auto &ds = dynamic_cast<const PolarDataset &>(dataset);
+        axbench::InvocationTrace trace(2, 2);
+        for (std::size_t i = 0; i < ds.xs.size(); ++i) {
+            const float r = std::hypot(ds.xs[i], ds.ys[i]);
+            const float theta = std::atan2(ds.ys[i], ds.xs[i]);
+            trace.append({ds.xs[i], ds.ys[i]}, {r, theta});
+        }
+        return trace;
+    }
+
+    axbench::FinalOutput recompose(
+        const axbench::Dataset &, const axbench::InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override
+    {
+        axbench::FinalOutput out;
+        for (std::size_t i = 0; i < trace.count(); ++i) {
+            const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                            : trace.preciseOutput(i);
+            out.elements.push_back(chosen[0]);
+            out.elements.push_back(chosen[1]);
+        }
+        return out;
+    }
+
+    axbench::BenchmarkCosts measureCosts() const override
+    {
+        // hypot + atan2 dominate: ~2 transcendental + a few ALU ops.
+        axbench::BenchmarkCosts costs;
+        costs.targetOpsPerInvocation.transcendental = 2;
+        costs.targetOpsPerInvocation.mul = 2;
+        costs.targetOpsPerInvocation.addSub = 2;
+        costs.targetOpsPerInvocation.memory = 4;
+        costs.otherOpsPerDataset.memory = 4 * pointsPerDataset;
+        costs.otherOpsPerDataset.addSub = 2 * pointsPerDataset;
+        return costs;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t datasets = argc > 1
+        ? static_cast<std::size_t>(std::atoi(argv[1]))
+        : 40;
+
+    // The pipeline works with any Benchmark implementation; here we
+    // drive the pieces directly since "polar" is not in the registry.
+    const core::Pipeline pipeline({.compileDatasetCount = datasets});
+    PolarBenchmark bench;
+
+    // 1. Compile by hand (the registry-based Pipeline::compile is for
+    //    built-in workloads): datasets, traces, NPU, threshold problem.
+    core::CompiledWorkload workload;
+    workload.benchmark = std::make_unique<PolarBenchmark>();
+    VecBatch trainIn, trainOut;
+    for (std::size_t d = 0; d < datasets; ++d) {
+        auto dataset = bench.makeDataset(1000 + d);
+        auto trace = std::make_unique<axbench::InvocationTrace>(
+            bench.trace(*dataset));
+        for (std::size_t i = 0; i < trace->count(); i += 7) {
+            trainIn.push_back(trace->inputVec(i));
+            const auto out = trace->preciseOutput(i);
+            trainOut.emplace_back(out.begin(), out.end());
+        }
+        workload.compileDatasets.push_back(std::move(dataset));
+        workload.compileTraces.push_back(std::move(trace));
+    }
+    workload.npuTrainMse = workload.accel.trainToMimic(
+        bench.npuTopology(), trainIn, trainOut,
+        bench.npuTrainerOptions());
+
+    workload.problem.benchmark = workload.benchmark.get();
+    for (std::size_t d = 0; d < datasets; ++d) {
+        workload.compileTraces[d]->attachApproximations(workload.accel);
+        workload.problem.entries.push_back(
+            core::ThresholdProblem::makeEntry(
+                *workload.benchmark, *workload.compileDatasets[d],
+                *workload.compileTraces[d]));
+    }
+
+    const auto costs = bench.measureCosts();
+    const sim::CoreModel core;
+    const npu::NpuCostModel npuCost;
+    workload.costs = costs;
+    workload.profile.preciseCycles =
+        core.cycles(costs.targetOpsPerInvocation) + 8.0;
+    workload.profile.preciseEnergyPj =
+        core.energyPj(workload.profile.preciseCycles);
+    workload.profile.accelCycles = static_cast<double>(
+        npuCost.invocationCycles(workload.accel.network()));
+    workload.profile.accelEnergyPj =
+        npuCost.invocationEnergyPj(workload.accel.network());
+    workload.profile.invocationsPerDataset =
+        workload.compileTraces.front()->count();
+    workload.profile.otherCyclesPerDataset =
+        core.cycles(costs.otherOpsPerDataset);
+    workload.profile.otherEnergyPjPerDataset =
+        core.energyPj(workload.profile.otherCyclesPerDataset);
+
+    // 2. Tune the knob and train the classifiers.
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = datasets >= 60 ? 0.90 : 0.75;
+    const auto package = pipeline.tune(workload, spec);
+
+    std::printf("custom workload    : %s (%s)\n", bench.name().c_str(),
+                bench.domain().c_str());
+    std::printf("NPU train MSE      : %.5f\n", workload.npuTrainMse);
+    std::printf("tuned threshold    : %.5f (bound %.3f)\n",
+                package.threshold.threshold,
+                package.threshold.successLowerBound);
+
+    // 3. Validate on unseen datasets.
+    std::vector<core::ValidationEntry> entries;
+    core::ValidationSet validation;
+    for (std::size_t d = 0; d < datasets; ++d) {
+        core::ValidationEntry entry;
+        entry.dataset = bench.makeDataset(90000 + d);
+        entry.trace = std::make_unique<axbench::InvocationTrace>(
+            bench.trace(*entry.dataset));
+        entry.trace->attachApproximations(workload.accel);
+        entry.preciseFinal =
+            bench.preciseOutput(*entry.dataset, *entry.trace);
+        validation.entries.push_back(std::move(entry));
+    }
+
+    const core::Evaluator evaluator(workload, spec,
+                                    package.threshold.threshold);
+    core::TablePrinter table({"design", "quality loss", "in contract",
+                              "invocation rate", "speedup"});
+    auto addRow = [&](const core::DesignEvaluation &eval) {
+        table.addRow({eval.kind, core::fmtPct(eval.meanQualityLoss),
+                      std::to_string(eval.successes) + "/"
+                          + std::to_string(eval.trials),
+                      core::fmtPct(100.0 * eval.invocationRate),
+                      core::fmtRatio(eval.speedup)});
+    };
+    addRow(evaluator.evaluateFullApprox(validation));
+    addRow(evaluator.evaluateOracle(validation));
+    addRow(evaluator.evaluate(*package.table, validation));
+    addRow(evaluator.evaluate(*package.neural, validation));
+    std::printf("\n");
+    table.print();
+    return 0;
+}

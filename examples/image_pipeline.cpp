@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Domain example: a MITHRA-controlled edge-detection pipeline.
+ *
+ * Runs the sobel workload end to end: generates a procedural scene,
+ * compiles MITHRA (NPU + quality knob + table classifier) for a 5%
+ * image-diff contract, then processes unseen images and writes the
+ * precise and approximate edge maps as PGM files for inspection.
+ *
+ * Usage: image_pipeline [datasets] [output-prefix]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "axbench/image.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "core/runtime.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+void
+writePgm(const std::string &path, const std::vector<float> &pixels,
+         std::size_t edge)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n" << edge << " " << edge << "\n255\n";
+    for (float p : pixels) {
+        out.put(static_cast<char>(
+            std::clamp(static_cast<int>(p + 0.5f), 0, 255)));
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t datasets = argc > 1
+        ? static_cast<std::size_t>(std::atoi(argv[1]))
+        : 40;
+    const std::string prefix = argc > 2 ? argv[2] : "sobel";
+
+    // Compile MITHRA for the sobel workload.
+    core::PipelineOptions options;
+    options.compileDatasetCount = datasets;
+    core::Pipeline pipeline(options);
+    const auto workload = pipeline.compile("sobel");
+
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = datasets >= 60 ? 0.90 : 0.75;
+    const auto package = pipeline.tune(workload, spec);
+
+    // Process one unseen image with the table-based design.
+    const auto validation = core::makeValidationSet(workload, 1);
+    const auto &entry = validation.entries.front();
+    const auto &trace = *entry.trace;
+
+    package.table->beginDataset(trace);
+    std::vector<std::uint8_t> decisions(trace.count(), 0);
+    std::size_t accelerated = 0;
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const bool precise = !package.table->approximationEnabled()
+            || package.table->decidePrecise(trace.inputVec(i), i);
+        decisions[i] = precise ? 0 : 1;
+        accelerated += precise ? 0 : 1;
+    }
+
+    const auto preciseEdges = workload.benchmark->preciseOutput(
+        *entry.dataset, trace);
+    const auto mithraEdges = workload.benchmark->recompose(
+        *entry.dataset, trace, decisions);
+    const double loss = axbench::qualityLoss(
+        workload.benchmark->metric(), preciseEdges, mithraEdges);
+
+    const auto edge = static_cast<std::size_t>(
+        std::lround(std::sqrt(
+            static_cast<double>(preciseEdges.elements.size()))));
+    writePgm(prefix + "_precise.pgm", preciseEdges.elements, edge);
+    writePgm(prefix + "_mithra.pgm", mithraEdges.elements, edge);
+
+    std::printf("\nimage            : %zux%zu\n", edge, edge);
+    std::printf("invocations      : %zu (one per pixel)\n",
+                trace.count());
+    std::printf("accelerated      : %s\n",
+                core::fmtPct(100.0 * static_cast<double>(accelerated)
+                                 / static_cast<double>(trace.count()))
+                    .c_str());
+    std::printf("image diff       : %s (contract: <= %s)\n",
+                core::fmtPct(loss, 2).c_str(),
+                core::fmtPct(spec.maxQualityLossPct, 1).c_str());
+    std::printf("threshold (knob) : %.4f\n",
+                package.threshold.threshold);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Quickstart: compile MITHRA for one benchmark, tune the quality knob
+ * for a 5% quality-loss contract at 95% confidence / 90% success rate,
+ * and evaluate the oracle, table-based and neural designs on unseen
+ * datasets.
+ *
+ * Usage: quickstart [benchmark] [datasets]
+ *   benchmark  one of blackscholes fft inversek2j jmeint jpeg sobel
+ *              (default blackscholes)
+ *   datasets   compile/validation dataset count (default 60 for a
+ *              fast demo — the smallest count that can certify the
+ *              headline contract; the paper uses 250)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "core/runtime.hh"
+
+using namespace mithra;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "blackscholes";
+    const std::size_t datasets = argc > 2
+        ? static_cast<std::size_t>(std::atoi(argv[2]))
+        : 60;
+
+    // 1. Compile: generate representative datasets, train the NPU,
+    //    trace every accelerator invocation.
+    core::PipelineOptions options;
+    options.compileDatasetCount = datasets;
+    core::Pipeline pipeline(options);
+    const auto workload = pipeline.compile(benchmark);
+
+    std::printf("benchmark          : %s\n", benchmark.c_str());
+    std::printf("NPU topology       : %s (train MSE %.4g)\n",
+                npu::topologyName(workload.benchmark->npuTopology())
+                    .c_str(),
+                workload.npuTrainMse);
+    std::printf("full-approx loss   : %.2f%%\n",
+                workload.fullApproxLossMean);
+
+    // 2. Tune the knob: find the accelerator-error threshold that
+    //    meets the contract with statistical guarantees, then train
+    //    both hardware classifiers against it.
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = 0.90;
+    const auto package = pipeline.tune(workload, spec);
+
+    std::printf("threshold          : %.5f (success bound %.3f)\n",
+                package.threshold.threshold,
+                package.threshold.successLowerBound);
+    std::printf("table classifier   : %zu tables x %s, %s compressed\n",
+                package.table->hardware().geometry().numTables,
+                core::fmtBytes(static_cast<double>(
+                    package.table->hardware().geometry().tableBytes))
+                    .c_str(),
+                core::fmtBytes(static_cast<double>(
+                    package.table->compressedSizeBytes())).c_str());
+    std::printf("neural classifier  : %s (holdout acc %.3f)\n",
+                npu::topologyName(package.neural->topology()).c_str(),
+                package.neural->selectionAccuracy());
+
+    // 3. Validate on unseen datasets.
+    const auto validation = core::makeValidationSet(workload, datasets);
+    core::Evaluator evaluator(workload, spec,
+                              package.threshold.threshold);
+
+    core::TablePrinter table({"design", "quality loss", "success",
+                              "CP bound", "invocation rate", "speedup",
+                              "energy gain", "FP", "FN"});
+    auto addRow = [&](const core::DesignEvaluation &eval) {
+        table.addRow({eval.kind, core::fmtPct(eval.meanQualityLoss),
+                      std::to_string(eval.successes) + "/"
+                          + std::to_string(eval.trials),
+                      core::fmtPct(100.0 * eval.successLowerBound),
+                      core::fmtPct(100.0 * eval.invocationRate),
+                      core::fmtRatio(eval.speedup),
+                      core::fmtRatio(eval.energyReduction),
+                      core::fmtPct(100.0 * eval.falsePositiveRate),
+                      core::fmtPct(100.0 * eval.falseNegativeRate)});
+    };
+
+    addRow(evaluator.evaluateFullApprox(validation));
+    addRow(evaluator.evaluateOracle(validation));
+    addRow(evaluator.evaluate(*package.table, validation));
+    addRow(evaluator.evaluate(*package.neural, validation));
+    std::printf("\n");
+    table.print();
+    return 0;
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Runs every table/figure harness binary. Results are memoized in
+# $MITHRA_CACHE (default .mithra-cache.tsv), so re-runs are fast.
+set -x
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    "$b" || echo "BENCH FAILED: $b"
+done

@@ -1,0 +1,230 @@
+#include "axbench/blackscholes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+// Unqualified math calls resolve to std:: for plain floats and to the
+// tallying overloads (via ADL) for sim::Counted<float>.
+using std::exp;
+using std::log;
+using std::sqrt;
+
+/** One European option's parameters. */
+struct Option
+{
+    float spot;
+    float strike;
+    float rate;
+    float volatility;
+    float time;
+    float type; // 0 = call, 1 = put
+};
+
+struct BlackscholesDataset final : Dataset
+{
+    std::vector<Option> options;
+};
+
+/**
+ * Cumulative normal distribution (Abramowitz–Stegun polynomial), the
+ * same approximation the PARSEC kernel uses.
+ */
+template <typename T>
+T
+cndf(T x)
+{
+    bool negative = false;
+    if (x < T(0.0f)) {
+        x = -x;
+        negative = true;
+    }
+
+    const T expValue = exp(T(-0.5f) * x * x);
+    const T xNPrimeofX = expValue * T(0.39894228040143270286f);
+
+    const T k = T(1.0f) / (T(1.0f) + T(0.2316419f) * x);
+    const T k2 = k * k;
+    const T k3 = k2 * k;
+    const T k4 = k3 * k;
+    const T k5 = k4 * k;
+
+    T poly = k * T(0.319381530f)
+        + k2 * T(-0.356563782f)
+        + k3 * T(1.781477937f)
+        + k4 * T(-1.821255978f)
+        + k5 * T(1.330274429f);
+
+    T result = T(1.0f) - poly * xNPrimeofX;
+    if (negative)
+        result = T(1.0f) - result;
+    return result;
+}
+
+/** The safe-to-approximate target function: price one option. */
+template <typename T>
+T
+priceOption(T spot, T strike, T rate, T volatility, T time, T type)
+{
+    const T sqrtTime = sqrt(time);
+    const T logTerm = log(spot / strike);
+
+    const T powerTerm = T(0.5f) * volatility * volatility;
+    T d1 = (rate + powerTerm) * time + logTerm;
+    const T den = volatility * sqrtTime;
+    d1 = d1 / den;
+    const T d2 = d1 - den;
+
+    const T n1 = cndf(d1);
+    const T n2 = cndf(d2);
+
+    const T futureValue = strike * exp(-rate * time);
+    if (type < T(0.5f)) {
+        // Call option.
+        return spot * n1 - futureValue * n2;
+    }
+    // Put option via the complementary CNDF values.
+    return futureValue * (T(1.0f) - n2) - spot * (T(1.0f) - n1);
+}
+
+} // namespace
+
+std::size_t
+Blackscholes::optionsPerDataset()
+{
+    return scaledCount(4096, 256);
+}
+
+npu::TrainerOptions
+Blackscholes::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 900;
+    options.learningRate = 0.4f;
+    options.lrDecay = 0.9975f;
+    options.batchSize = 8;
+    options.seed = 0xb5;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+Blackscholes::makeDataset(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    auto dataset = std::make_unique<BlackscholesDataset>();
+    dataset->options.reserve(optionsPerDataset());
+
+    // Each dataset models one market snapshot: a modest set of option
+    // series (PARSEC's input files likewise repeat a small set of
+    // distinct option parameter lines) perturbed per quote. The
+    // regime (rate/volatility levels) shifts between datasets.
+    const double rateLevel = rng.uniform(0.02, 0.06);
+    const double volLevel = rng.uniform(0.15, 0.45);
+
+    const std::size_t series = 40 + rng.nextBelow(25);
+    std::vector<Option> templates;
+    templates.reserve(series);
+    for (std::size_t s = 0; s < series; ++s) {
+        Option opt;
+        opt.spot = static_cast<float>(rng.lognormal(4.6, 0.15));
+        opt.strike = static_cast<float>(
+            opt.spot * rng.uniform(0.85, 1.15));
+        opt.rate = static_cast<float>(
+            std::clamp(rateLevel + rng.normal(0.0, 0.008), 0.01, 0.08));
+        opt.volatility = static_cast<float>(
+            std::clamp(volLevel + rng.normal(0.0, 0.06), 0.12, 0.55));
+        opt.time = static_cast<float>(rng.uniform(0.4, 2.0));
+        opt.type = rng.bernoulli(0.4) ? 1.0f : 0.0f;
+        templates.push_back(opt);
+    }
+
+    for (std::size_t i = 0; i < optionsPerDataset(); ++i) {
+        Option opt = templates[rng.nextBelow(templates.size())];
+        // Tiny per-quote jitter: PARSEC's input files repeat a small
+        // set of distinct option lines nearly verbatim.
+        opt.spot *= static_cast<float>(1.0 + rng.normal(0.0, 0.002));
+        opt.volatility = static_cast<float>(std::clamp(
+            opt.volatility * (1.0 + rng.normal(0.0, 0.004)), 0.12,
+            0.55));
+        dataset->options.push_back(opt);
+    }
+    return dataset;
+}
+
+InvocationTrace
+Blackscholes::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const BlackscholesDataset &>(dataset);
+    InvocationTrace trace(6, 1);
+    for (const Option &opt : ds.options) {
+        const Vec input = {opt.spot, opt.strike, opt.rate,
+                           opt.volatility, opt.time, opt.type};
+        const float price = priceOption<float>(
+            opt.spot, opt.strike, opt.rate, opt.volatility, opt.time,
+            opt.type);
+        trace.append(input, {price});
+    }
+    return trace;
+}
+
+FinalOutput
+Blackscholes::recompose(const Dataset &, const InvocationTrace &trace,
+                        const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    FinalOutput out;
+    out.elements.reserve(trace.count());
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                        : trace.preciseOutput(i);
+        out.elements.push_back(chosen[0]);
+    }
+    return out;
+}
+
+BenchmarkCosts
+Blackscholes::measureCosts() const
+{
+    using sim::Counted;
+
+    const auto dataset = makeDataset(0x5eedc057);
+    const auto &ds = dynamic_cast<const BlackscholesDataset &>(*dataset);
+    const std::size_t sample = std::min<std::size_t>(128,
+                                                     ds.options.size());
+
+    BenchmarkCosts costs;
+    {
+        sim::ScopedOpCount scope;
+        for (std::size_t i = 0; i < sample; ++i) {
+            const Option &opt = ds.options[i];
+            volatile float sink = priceOption<Counted<float>>(
+                opt.spot, opt.strike, opt.rate, opt.volatility, opt.time,
+                opt.type).value();
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    // Non-target region: the driver loop loads each option's six
+    // fields, stores the price and advances the loop.
+    sim::OpCounts perOption;
+    perOption.memory = 7;
+    perOption.addSub = 2;
+    perOption.compare = 1;
+    costs.otherOpsPerDataset = perOption.scaled(
+        static_cast<double>(optionsPerDataset()));
+    return costs;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * blackscholes — financial analysis (PARSEC-style option pricing).
+ *
+ * The safe-to-approximate function prices one European option from six
+ * inputs (spot, strike, rate, volatility, time, type) with the
+ * Black–Scholes closed form; the NPU topology is 6->8->3->1 and the
+ * quality metric is average relative error over the option prices
+ * (paper Table I).
+ */
+
+#ifndef MITHRA_AXBENCH_BLACKSCHOLES_HH
+#define MITHRA_AXBENCH_BLACKSCHOLES_HH
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+class Blackscholes final : public Benchmark
+{
+  public:
+    std::string name() const override { return "blackscholes"; }
+    std::string domain() const override { return "Financial Analysis"; }
+    QualityMetric metric() const override
+    {
+        return QualityMetric::AvgRelativeError;
+    }
+    npu::Topology npuTopology() const override { return {6, 8, 3, 1}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 3; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Options per dataset (paper: 4096 data points). */
+    static std::size_t optionsPerDataset();
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_BLACKSCHOLES_HH

@@ -1,0 +1,247 @@
+#include "axbench/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+using std::cos;
+using std::sin;
+
+struct FftDataset final : Dataset
+{
+    /** Real input signal, transformSize() samples. */
+    std::vector<float> signal;
+};
+
+/**
+ * The safe-to-approximate target function: one twiddle factor.
+ * Angles are in [-pi, 0] for the forward transform.
+ */
+template <typename T>
+void
+twiddle(T angle, T &re, T &im)
+{
+    re = cos(angle);
+    im = sin(angle);
+}
+
+/** Bit-reversal permutation of the signal into the work buffers. */
+void
+bitReverseLoad(const std::vector<float> &signal, std::vector<float> &re,
+               std::vector<float> &im)
+{
+    const std::size_t n = signal.size();
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < n)
+        ++bits;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t rev = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            rev |= ((i >> b) & 1) << (bits - 1 - b);
+        re[rev] = signal[i];
+        im[rev] = 0.0f;
+    }
+}
+
+/**
+ * Iterative radix-2 FFT. Matching the AxBench extraction, the twiddle
+ * function is invoked for *every butterfly* (no memoization across the
+ * k loop — the extracted hot function recomputes sin/cos per call), so
+ * the provider runs (n/2) log2 n times in deterministic order.
+ */
+template <typename TwiddleProvider>
+void
+runFft(std::vector<float> &re, std::vector<float> &im,
+       TwiddleProvider &&provider)
+{
+    const std::size_t n = re.size();
+    for (std::size_t m = 2; m <= n; m <<= 1) {
+        const std::size_t half = m / 2;
+        for (std::size_t j = 0; j < half; ++j) {
+            const float angle = -2.0f
+                * static_cast<float>(std::numbers::pi)
+                * static_cast<float>(j) / static_cast<float>(m);
+            for (std::size_t k = j; k < n; k += m) {
+                float wr, wi;
+                provider(angle, wr, wi);
+                const std::size_t k2 = k + half;
+                const float tr = wr * re[k2] - wi * im[k2];
+                const float ti = wr * im[k2] + wi * re[k2];
+                re[k2] = re[k] - tr;
+                im[k2] = im[k] - ti;
+                re[k] += tr;
+                im[k] += ti;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+Fft::transformSize()
+{
+    // Keep a power of two; scale the exponent with MITHRA_SCALE.
+    std::size_t n = 2048;
+    double scale = experimentScale();
+    while (scale < 0.5 && n > 256) {
+        n /= 2;
+        scale *= 2.0;
+    }
+    return n;
+}
+
+npu::TrainerOptions
+Fft::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 1000;
+    options.learningRate = 0.8f;
+    options.lrDecay = 0.997f;
+    options.batchSize = 8;
+    options.seed = 0xff7;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+Fft::makeDataset(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    auto dataset = std::make_unique<FftDataset>();
+    const std::size_t n = transformSize();
+    dataset->signal.resize(n);
+
+    // A band-limited multi-tone signal with noise; tone count,
+    // frequencies and SNR vary per dataset.
+    const std::size_t tones = 1 + rng.nextBelow(6);
+    std::vector<double> freqs, amps, phases;
+    for (std::size_t t = 0; t < tones; ++t) {
+        freqs.push_back(rng.uniform(1.0, static_cast<double>(n) / 4.0));
+        amps.push_back(rng.uniform(0.2, 1.5));
+        phases.push_back(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    }
+    const double noise = rng.uniform(0.01, 0.2);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        for (std::size_t t = 0; t < tones; ++t) {
+            v += amps[t]
+                * std::sin(2.0 * std::numbers::pi * freqs[t]
+                               * static_cast<double>(i)
+                               / static_cast<double>(n)
+                           + phases[t]);
+        }
+        v += rng.normal(0.0, noise);
+        dataset->signal[i] = static_cast<float>(v);
+    }
+    return dataset;
+}
+
+InvocationTrace
+Fft::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const FftDataset &>(dataset);
+    const std::size_t n = ds.signal.size();
+    InvocationTrace trace(1, 2);
+
+    std::vector<float> re(n), im(n);
+    bitReverseLoad(ds.signal, re, im);
+    runFft(re, im, [&](float angle, float &wr, float &wi) {
+        twiddle<float>(angle, wr, wi);
+        trace.append({angle}, {wr, wi});
+    });
+    return trace;
+}
+
+FinalOutput
+Fft::recompose(const Dataset &dataset, const InvocationTrace &trace,
+               const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    const auto &ds = dynamic_cast<const FftDataset &>(dataset);
+    const std::size_t n = ds.signal.size();
+
+    std::vector<float> re(n), im(n);
+    bitReverseLoad(ds.signal, re, im);
+
+    std::size_t invocation = 0;
+    runFft(re, im, [&](float, float &wr, float &wi) {
+        MITHRA_ASSERT(invocation < trace.count(),
+                      "twiddle stream longer than trace");
+        const auto chosen = useAccel[invocation]
+            ? trace.approxOutput(invocation)
+            : trace.preciseOutput(invocation);
+        wr = chosen[0];
+        wi = chosen[1];
+        ++invocation;
+    });
+    MITHRA_ASSERT(invocation == trace.count(),
+                  "twiddle stream shorter than trace");
+
+    FinalOutput out;
+    out.elements.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.elements.push_back(re[i]);
+        out.elements.push_back(im[i]);
+    }
+    return out;
+}
+
+BenchmarkCosts
+Fft::measureCosts() const
+{
+    using sim::Counted;
+
+    BenchmarkCosts costs;
+    {
+        // The target function is tiny and input independent in cost.
+        sim::ScopedOpCount scope;
+        constexpr std::size_t sample = 64;
+        for (std::size_t i = 0; i < sample; ++i) {
+            const float angle = -3.14159f
+                * static_cast<float>(i) / static_cast<float>(sample);
+            Counted<float> re, im;
+            twiddle<Counted<float>>(Counted<float>(angle), re, im);
+            volatile float sink = re.value() + im.value();
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    // Non-target region: the butterflies themselves — the FFT performs
+    // (n/2) log2 n butterflies of 4 mul + 6 add + ~8 memory each (the
+    // twiddle itself is the target function, invoked per butterfly).
+    const std::size_t n = transformSize();
+    unsigned stages = 0;
+    while ((std::size_t{1} << stages) < n)
+        ++stages;
+    const double butterflies =
+        static_cast<double>(n / 2) * static_cast<double>(stages);
+
+    sim::OpCounts perButterfly;
+    perButterfly.mul = 4;
+    perButterfly.addSub = 6;
+    perButterfly.memory = 8;
+    perButterfly.compare = 1;
+    costs.otherOpsPerDataset = perButterfly.scaled(butterflies);
+
+    // Plus the bit-reversal load: one load/store pair per sample.
+    sim::OpCounts reversal;
+    reversal.memory = 2 * n;
+    reversal.addSub = 2 * n;
+    costs.otherOpsPerDataset += reversal;
+    return costs;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * fft — signal processing (radix-2 Cooley-Tukey fast Fourier
+ * transform).
+ *
+ * The safe-to-approximate function computes the twiddle factor
+ * (cos a, sin a) of a butterfly angle — 1 input, 2 outputs, NPU
+ * topology 1->4->4->2 (paper Table I). The surrounding application
+ * performs the full FFT of a 2048-sample signal with those twiddles;
+ * the quality metric is average relative error over the complex
+ * spectrum.
+ */
+
+#ifndef MITHRA_AXBENCH_FFT_HH
+#define MITHRA_AXBENCH_FFT_HH
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+class Fft final : public Benchmark
+{
+  public:
+    std::string name() const override { return "fft"; }
+    std::string domain() const override { return "Signal Processing"; }
+    QualityMetric metric() const override
+    {
+        return QualityMetric::AvgRelativeError;
+    }
+    npu::Topology npuTopology() const override { return {1, 4, 4, 2}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 8; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Transform length (paper: 2048 points; power of two). */
+    static std::size_t transformSize();
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_FFT_HH

@@ -1,0 +1,151 @@
+#include "axbench/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithra::axbench
+{
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : w(width), h(height), data(width * height, fill)
+{
+    MITHRA_ASSERT(width > 0 && height > 0, "degenerate image");
+}
+
+std::uint8_t
+Image::at(std::size_t x, std::size_t y) const
+{
+    MITHRA_ASSERT(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
+    return data[y * w + x];
+}
+
+void
+Image::set(std::size_t x, std::size_t y, std::uint8_t value)
+{
+    MITHRA_ASSERT(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
+    data[y * w + x] = value;
+}
+
+std::uint8_t
+Image::atClamped(long x, long y) const
+{
+    const long cx = std::clamp<long>(x, 0, static_cast<long>(w) - 1);
+    const long cy = std::clamp<long>(y, 0, static_cast<long>(h) - 1);
+    return data[static_cast<std::size_t>(cy) * w
+                + static_cast<std::size_t>(cx)];
+}
+
+namespace
+{
+
+std::uint8_t
+toPixel(double value)
+{
+    return static_cast<std::uint8_t>(std::clamp(value, 0.0, 255.0));
+}
+
+void
+paintGradient(Image &img, Rng &rng)
+{
+    const double base = rng.uniform(40.0, 200.0);
+    const double gx = rng.uniform(-1.2, 1.2);
+    const double gy = rng.uniform(-1.2, 1.2);
+    for (std::size_t y = 0; y < img.height(); ++y) {
+        for (std::size_t x = 0; x < img.width(); ++x) {
+            const double v = base + gx * static_cast<double>(x)
+                + gy * static_cast<double>(y);
+            img.set(x, y, toPixel(v));
+        }
+    }
+}
+
+void
+paintRectangle(Image &img, Rng &rng)
+{
+    const auto w = static_cast<long>(img.width());
+    const auto h = static_cast<long>(img.height());
+    const long x0 = static_cast<long>(rng.nextBelow(img.width()));
+    const long y0 = static_cast<long>(rng.nextBelow(img.height()));
+    const long rw = 2 + static_cast<long>(rng.nextBelow(img.width() / 2));
+    const long rh = 2 + static_cast<long>(rng.nextBelow(img.height() / 2));
+    const double shade = rng.uniform(0.0, 255.0);
+    for (long y = y0; y < std::min(h, y0 + rh); ++y)
+        for (long x = x0; x < std::min(w, x0 + rw); ++x)
+            img.set(static_cast<std::size_t>(x),
+                    static_cast<std::size_t>(y), toPixel(shade));
+}
+
+void
+paintDisk(Image &img, Rng &rng)
+{
+    const double cx = rng.uniform(0.0, static_cast<double>(img.width()));
+    const double cy = rng.uniform(0.0, static_cast<double>(img.height()));
+    const double r = rng.uniform(2.0,
+        static_cast<double>(std::min(img.width(), img.height())) / 3.0);
+    const double shade = rng.uniform(0.0, 255.0);
+    for (std::size_t y = 0; y < img.height(); ++y) {
+        for (std::size_t x = 0; x < img.width(); ++x) {
+            const double dx = static_cast<double>(x) - cx;
+            const double dy = static_cast<double>(y) - cy;
+            if (dx * dx + dy * dy <= r * r)
+                img.set(x, y, toPixel(shade));
+        }
+    }
+}
+
+void
+paintLine(Image &img, Rng &rng)
+{
+    double x = rng.uniform(0.0, static_cast<double>(img.width()));
+    double y = rng.uniform(0.0, static_cast<double>(img.height()));
+    const double angle = rng.uniform(0.0, 6.28318530717958647692);
+    const double dx = std::cos(angle);
+    const double dy = std::sin(angle);
+    const double shade = rng.uniform(0.0, 255.0);
+    const auto steps = static_cast<std::size_t>(
+        rng.uniform(8.0, static_cast<double>(img.width())));
+    for (std::size_t s = 0; s < steps; ++s) {
+        const long px = static_cast<long>(std::lround(x));
+        const long py = static_cast<long>(std::lround(y));
+        if (px >= 0 && py >= 0 && px < static_cast<long>(img.width())
+            && py < static_cast<long>(img.height())) {
+            img.set(static_cast<std::size_t>(px),
+                    static_cast<std::size_t>(py), toPixel(shade));
+        }
+        x += dx;
+        y += dy;
+    }
+}
+
+} // namespace
+
+Image
+generateScene(std::uint64_t seed, const SceneParams &params)
+{
+    Rng rng(seed ^ 0x696d616765ULL);
+    Image img(params.width, params.height);
+    paintGradient(img, rng);
+
+    const std::size_t shapes = params.minShapes
+        + rng.nextBelow(params.maxShapes - params.minShapes + 1);
+    for (std::size_t s = 0; s < shapes; ++s) {
+        switch (rng.nextBelow(3)) {
+          case 0: paintRectangle(img, rng); break;
+          case 1: paintDisk(img, rng); break;
+          default: paintLine(img, rng); break;
+        }
+    }
+
+    if (params.noiseStddev > 0.0) {
+        for (auto &px : img.pixels()) {
+            const double noisy = static_cast<double>(px)
+                + rng.normal(0.0, params.noiseStddev);
+            px = toPixel(noisy);
+        }
+    }
+    return img;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Grayscale image substrate for the jpeg and sobel benchmarks.
+ *
+ * The paper evaluates on 512x512 photos; this repository synthesizes
+ * procedural scenes (gradient backgrounds, rectangles, disks, line
+ * segments, Gaussian noise) so every dataset is generated from a seed.
+ * The default edge length is 64 so the 2x250-dataset pipeline stays
+ * tractable on one core; callers can scale it up.
+ */
+
+#ifndef MITHRA_AXBENCH_IMAGE_HH
+#define MITHRA_AXBENCH_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mithra::axbench
+{
+
+/** An 8-bit grayscale image. */
+class Image
+{
+  public:
+    Image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+    std::size_t width() const { return w; }
+    std::size_t height() const { return h; }
+
+    std::uint8_t at(std::size_t x, std::size_t y) const;
+    void set(std::size_t x, std::size_t y, std::uint8_t value);
+
+    /** Pixel with clamp-to-edge semantics for window kernels. */
+    std::uint8_t atClamped(long x, long y) const;
+
+    const std::vector<std::uint8_t> &pixels() const { return data; }
+    std::vector<std::uint8_t> &pixels() { return data; }
+
+  private:
+    std::size_t w, h;
+    std::vector<std::uint8_t> data;
+};
+
+/** Knobs for the procedural scene generator. */
+struct SceneParams
+{
+    std::size_t width = 64;
+    std::size_t height = 64;
+    std::size_t minShapes = 3;
+    std::size_t maxShapes = 9;
+    double noiseStddev = 6.0;
+};
+
+/** Generate a procedural scene deterministically from a seed. */
+Image generateScene(std::uint64_t seed, const SceneParams &params);
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_IMAGE_HH

@@ -1,0 +1,179 @@
+#include "axbench/inversek2j.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+using std::acos;
+using std::atan2;
+using std::cos;
+using std::sin;
+using std::sqrt;
+
+struct InverseK2JDataset final : Dataset
+{
+    /** Flat (x, y) target coordinates. */
+    std::vector<float> xs;
+    std::vector<float> ys;
+};
+
+/**
+ * The safe-to-approximate target function: closed-form inverse
+ * kinematics of the 2-joint planar arm (elbow-down solution).
+ */
+template <typename T>
+void
+inverseK2J(T x, T y, T &theta1, T &theta2)
+{
+    const T len1 = T(InverseK2J::l1);
+    const T len2 = T(InverseK2J::l2);
+
+    const T dist2 = x * x + y * y;
+    T cosTheta2 = (dist2 - len1 * len1 - len2 * len2)
+        / (T(2.0f) * len1 * len2);
+    // Clamp against numerical drift at the workspace boundary.
+    if (cosTheta2 > T(1.0f))
+        cosTheta2 = T(1.0f);
+    if (cosTheta2 < T(-1.0f))
+        cosTheta2 = T(-1.0f);
+
+    theta2 = acos(cosTheta2);
+    const T k1 = len1 + len2 * cos(theta2);
+    const T k2 = len2 * sin(theta2);
+    theta1 = atan2(y, x) - atan2(k2, k1);
+}
+
+} // namespace
+
+std::size_t
+InverseK2J::pointsPerDataset()
+{
+    return scaledCount(4096, 256);
+}
+
+void
+InverseK2J::forward(float theta1, float theta2, float &x, float &y)
+{
+    x = l1 * std::cos(theta1) + l2 * std::cos(theta1 + theta2);
+    y = l1 * std::sin(theta1) + l2 * std::sin(theta1 + theta2);
+}
+
+npu::TrainerOptions
+InverseK2J::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 900;
+    options.learningRate = 0.5f;
+    options.lrDecay = 0.997f;
+    options.batchSize = 8;
+    options.seed = 0x1f2;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+InverseK2J::makeDataset(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    auto dataset = std::make_unique<InverseK2JDataset>();
+    dataset->xs.reserve(pointsPerDataset());
+    dataset->ys.reserve(pointsPerDataset());
+
+    // Each dataset is one trajectory workload: targets cluster around
+    // a few waypoints (reachable by construction — sampled through
+    // forward kinematics), emulating recorded robot motion.
+    // Joint ranges stay inside the first-quadrant workspace, away
+    // from the atan2 branch cut (a discontinuity no smooth NPU can
+    // mimic and which real arm workloads avoid).
+    const std::size_t waypoints = 2 + rng.nextBelow(4);
+    std::vector<std::pair<double, double>> centers;
+    for (std::size_t w = 0; w < waypoints; ++w) {
+        centers.emplace_back(rng.uniform(0.2, 1.2),
+                             rng.uniform(0.5, 2.2));
+    }
+
+    for (std::size_t i = 0; i < pointsPerDataset(); ++i) {
+        const auto &center = centers[rng.nextBelow(centers.size())];
+        const float theta1 = static_cast<float>(std::clamp(
+            center.first + rng.normal(0.0, 0.2), 0.05, 1.45));
+        const float theta2 = static_cast<float>(std::clamp(
+            center.second + rng.normal(0.0, 0.4), 0.18, 2.8));
+        float x, y;
+        forward(theta1, theta2, x, y);
+        dataset->xs.push_back(x);
+        dataset->ys.push_back(y);
+    }
+    return dataset;
+}
+
+InvocationTrace
+InverseK2J::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const InverseK2JDataset &>(dataset);
+    InvocationTrace trace(2, 2);
+    for (std::size_t i = 0; i < ds.xs.size(); ++i) {
+        float theta1, theta2;
+        inverseK2J<float>(ds.xs[i], ds.ys[i], theta1, theta2);
+        trace.append({ds.xs[i], ds.ys[i]}, {theta1, theta2});
+    }
+    return trace;
+}
+
+FinalOutput
+InverseK2J::recompose(const Dataset &, const InvocationTrace &trace,
+                      const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    FinalOutput out;
+    out.elements.reserve(trace.count() * 2);
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                        : trace.preciseOutput(i);
+        out.elements.push_back(chosen[0]);
+        out.elements.push_back(chosen[1]);
+    }
+    return out;
+}
+
+BenchmarkCosts
+InverseK2J::measureCosts() const
+{
+    using sim::Counted;
+
+    const auto dataset = makeDataset(0x5eed1f2);
+    const auto &ds = dynamic_cast<const InverseK2JDataset &>(*dataset);
+    const std::size_t sample = std::min<std::size_t>(128, ds.xs.size());
+
+    BenchmarkCosts costs;
+    {
+        sim::ScopedOpCount scope;
+        for (std::size_t i = 0; i < sample; ++i) {
+            Counted<float> theta1, theta2;
+            inverseK2J<Counted<float>>(ds.xs[i], ds.ys[i], theta1, theta2);
+            volatile float sink = theta1.value() + theta2.value();
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    // Driver loop: load (x, y), store the two angles, loop bookkeeping.
+    sim::OpCounts perPoint;
+    perPoint.memory = 4;
+    perPoint.addSub = 2;
+    perPoint.compare = 1;
+    costs.otherOpsPerDataset =
+        perPoint.scaled(static_cast<double>(pointsPerDataset()));
+    return costs;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * inversek2j — robotics (inverse kinematics for a 2-joint arm).
+ *
+ * The safe-to-approximate function maps a target end-effector position
+ * (x, y) to the two joint angles (theta1, theta2) of a planar arm with
+ * unit-length links. NPU topology 2->8->2; quality metric is average
+ * relative error over the angles (paper Table I).
+ */
+
+#ifndef MITHRA_AXBENCH_INVERSEK2J_HH
+#define MITHRA_AXBENCH_INVERSEK2J_HH
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+class InverseK2J final : public Benchmark
+{
+  public:
+    /** Link lengths of the modeled arm. */
+    static constexpr float l1 = 0.5f;
+    static constexpr float l2 = 0.5f;
+
+    std::string name() const override { return "inversek2j"; }
+    std::string domain() const override { return "Robotics"; }
+    QualityMetric metric() const override
+    {
+        return QualityMetric::AvgRelativeError;
+    }
+    npu::Topology npuTopology() const override { return {2, 8, 2}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 5; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Coordinates per dataset (paper: 10000 (x, y) points). */
+    static std::size_t pointsPerDataset();
+
+    /** Forward kinematics, used by the generator and tests. */
+    static void forward(float theta1, float theta2, float &x, float &y);
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_INVERSEK2J_HH

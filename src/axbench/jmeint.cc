@@ -1,0 +1,516 @@
+#include "axbench/jmeint.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+using std::fabs;
+using std::sqrt;
+
+struct JmeintDataset final : Dataset
+{
+    /** Flat vertex data, 18 floats per pair. */
+    std::vector<float> vertices;
+
+    std::size_t pairs() const { return vertices.size() / 18; }
+};
+
+template <typename T>
+struct Vec3
+{
+    T x, y, z;
+};
+
+template <typename T>
+Vec3<T>
+cross(const Vec3<T> &a, const Vec3<T> &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+template <typename T>
+T
+dot(const Vec3<T> &a, const Vec3<T> &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+template <typename T>
+Vec3<T>
+sub(const Vec3<T> &a, const Vec3<T> &b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+constexpr float jmeintEpsilon = 1e-6f;
+
+/** Sort a projected interval so t0 <= t1. */
+template <typename T>
+void
+sortPair(T &t0, T &t1)
+{
+    if (t0 > t1) {
+        const T tmp = t0;
+        t0 = t1;
+        t1 = tmp;
+    }
+}
+
+/**
+ * Interval endpoints of a triangle along the intersection line
+ * (Moller's COMPUTE_INTERVALS). Returns false on the coplanar case.
+ */
+template <typename T>
+bool
+computeIntervals(T vp0, T vp1, T vp2, T d0, T d1, T d2, T d0d1, T d0d2,
+                 T &isect0, T &isect1)
+{
+    if (d0d1 > T(0.0f)) {
+        // d0, d1 on the same side, d2 on the other.
+        isect0 = vp2 + (vp0 - vp2) * d2 / (d2 - d0);
+        isect1 = vp2 + (vp1 - vp2) * d2 / (d2 - d1);
+    } else if (d0d2 > T(0.0f)) {
+        isect0 = vp1 + (vp0 - vp1) * d1 / (d1 - d0);
+        isect1 = vp1 + (vp2 - vp1) * d1 / (d1 - d2);
+    } else if (d1 * d2 > T(0.0f) || d0 != T(0.0f)) {
+        isect0 = vp0 + (vp1 - vp0) * d0 / (d0 - d1);
+        isect1 = vp0 + (vp2 - vp0) * d0 / (d0 - d2);
+    } else if (d1 != T(0.0f)) {
+        isect0 = vp1 + (vp0 - vp1) * d1 / (d1 - d0);
+        isect1 = vp1 + (vp2 - vp1) * d1 / (d1 - d2);
+    } else if (d2 != T(0.0f)) {
+        isect0 = vp2 + (vp0 - vp2) * d2 / (d2 - d0);
+        isect1 = vp2 + (vp1 - vp2) * d2 / (d2 - d1);
+    } else {
+        return false; // coplanar
+    }
+    sortPair(isect0, isect1);
+    return true;
+}
+
+/** 2D edge-against-edge test for the coplanar path. */
+template <typename T>
+bool
+edgeEdgeTest(T v0x, T v0y, T u0x, T u0y, T u1x, T u1y, T ax, T ay)
+{
+    const T bx = u0x - u1x;
+    const T by = u0y - u1y;
+    const T cx = v0x - u0x;
+    const T cy = v0y - u0y;
+    const T f = ay * bx - ax * by;
+    const T d = by * cx - bx * cy;
+    if ((f > T(0.0f) && d >= T(0.0f) && d <= f)
+        || (f < T(0.0f) && d <= T(0.0f) && d >= f)) {
+        const T e = ax * cy - ay * cx;
+        if (f > T(0.0f)) {
+            if (e >= T(0.0f) && e <= f)
+                return true;
+        } else {
+            if (e <= T(0.0f) && e >= f)
+                return true;
+        }
+    }
+    return false;
+}
+
+template <typename T>
+bool
+edgeAgainstTriEdges(T v0x, T v0y, T v1x, T v1y, T u0x, T u0y, T u1x,
+                    T u1y, T u2x, T u2y)
+{
+    const T ax = v1x - v0x;
+    const T ay = v1y - v0y;
+    return edgeEdgeTest(v0x, v0y, u0x, u0y, u1x, u1y, ax, ay)
+        || edgeEdgeTest(v0x, v0y, u1x, u1y, u2x, u2y, ax, ay)
+        || edgeEdgeTest(v0x, v0y, u2x, u2y, u0x, u0y, ax, ay);
+}
+
+template <typename T>
+bool
+pointInTri(T px, T py, T u0x, T u0y, T u1x, T u1y, T u2x, T u2y)
+{
+    T a = u1y - u0y;
+    T b = -(u1x - u0x);
+    T c = -a * u0x - b * u0y;
+    const T d0 = a * px + b * py + c;
+
+    a = u2y - u1y;
+    b = -(u2x - u1x);
+    c = -a * u1x - b * u1y;
+    const T d1 = a * px + b * py + c;
+
+    a = u0y - u2y;
+    b = -(u0x - u2x);
+    c = -a * u2x - b * u2y;
+    const T d2 = a * px + b * py + c;
+
+    return d0 * d1 > T(0.0f) && d0 * d2 > T(0.0f);
+}
+
+/** Coplanar fallback: project to the dominant plane and do 2D tests. */
+template <typename T>
+bool
+coplanarTriTri(const Vec3<T> &n, const Vec3<T> &v0, const Vec3<T> &v1,
+               const Vec3<T> &v2, const Vec3<T> &u0, const Vec3<T> &u1,
+               const Vec3<T> &u2)
+{
+    const T ax = fabs(n.x);
+    const T ay = fabs(n.y);
+    const T az = fabs(n.z);
+
+    // Indices of the two kept axes after dropping the dominant one.
+    auto pick = [&](const Vec3<T> &v, T &px, T &py) {
+        if (ax > ay && ax > az) {
+            px = v.y;
+            py = v.z;
+        } else if (ay > az) {
+            px = v.x;
+            py = v.z;
+        } else {
+            px = v.x;
+            py = v.y;
+        }
+    };
+
+    T v0x, v0y, v1x, v1y, v2x, v2y, u0x, u0y, u1x, u1y, u2x, u2y;
+    pick(v0, v0x, v0y);
+    pick(v1, v1x, v1y);
+    pick(v2, v2x, v2y);
+    pick(u0, u0x, u0y);
+    pick(u1, u1x, u1y);
+    pick(u2, u2x, u2y);
+
+    if (edgeAgainstTriEdges(v0x, v0y, v1x, v1y, u0x, u0y, u1x, u1y, u2x,
+                            u2y)
+        || edgeAgainstTriEdges(v1x, v1y, v2x, v2y, u0x, u0y, u1x, u1y,
+                               u2x, u2y)
+        || edgeAgainstTriEdges(v2x, v2y, v0x, v0y, u0x, u0y, u1x, u1y,
+                               u2x, u2y)) {
+        return true;
+    }
+
+    return pointInTri(v0x, v0y, u0x, u0y, u1x, u1y, u2x, u2y)
+        || pointInTri(u0x, u0y, v0x, v0y, v1x, v1y, v2x, v2y);
+}
+
+/**
+ * The safe-to-approximate target function: Moller's triangle-triangle
+ * intersection test over 18 packed coordinates.
+ */
+template <typename T>
+bool
+triTriIntersect(const T (&w)[18])
+{
+    const Vec3<T> v0{w[0], w[1], w[2]};
+    const Vec3<T> v1{w[3], w[4], w[5]};
+    const Vec3<T> v2{w[6], w[7], w[8]};
+    const Vec3<T> u0{w[9], w[10], w[11]};
+    const Vec3<T> u1{w[12], w[13], w[14]};
+    const Vec3<T> u2{w[15], w[16], w[17]};
+
+    // Plane of triangle V: n1 . x + d1 = 0.
+    const Vec3<T> e1 = sub(v1, v0);
+    const Vec3<T> e2 = sub(v2, v0);
+    const Vec3<T> n1 = cross(e1, e2);
+    const T d1 = -dot(n1, v0);
+
+    T du0 = dot(n1, u0) + d1;
+    T du1 = dot(n1, u1) + d1;
+    T du2 = dot(n1, u2) + d1;
+
+    if (fabs(du0) < T(jmeintEpsilon))
+        du0 = T(0.0f);
+    if (fabs(du1) < T(jmeintEpsilon))
+        du1 = T(0.0f);
+    if (fabs(du2) < T(jmeintEpsilon))
+        du2 = T(0.0f);
+
+    const T du0du1 = du0 * du1;
+    const T du0du2 = du0 * du2;
+    if (du0du1 > T(0.0f) && du0du2 > T(0.0f))
+        return false; // all of U strictly on one side
+
+    // Plane of triangle U.
+    const Vec3<T> f1 = sub(u1, u0);
+    const Vec3<T> f2 = sub(u2, u0);
+    const Vec3<T> n2 = cross(f1, f2);
+    const T d2 = -dot(n2, u0);
+
+    T dv0 = dot(n2, v0) + d2;
+    T dv1 = dot(n2, v1) + d2;
+    T dv2 = dot(n2, v2) + d2;
+
+    if (fabs(dv0) < T(jmeintEpsilon))
+        dv0 = T(0.0f);
+    if (fabs(dv1) < T(jmeintEpsilon))
+        dv1 = T(0.0f);
+    if (fabs(dv2) < T(jmeintEpsilon))
+        dv2 = T(0.0f);
+
+    const T dv0dv1 = dv0 * dv1;
+    const T dv0dv2 = dv0 * dv2;
+    if (dv0dv1 > T(0.0f) && dv0dv2 > T(0.0f))
+        return false;
+
+    // Direction of the intersection line; project on the dominant axis.
+    const Vec3<T> dir = cross(n1, n2);
+    const T absX = fabs(dir.x);
+    const T absY = fabs(dir.y);
+    const T absZ = fabs(dir.z);
+
+    T vp0, vp1, vp2, up0, up1, up2;
+    if (absX >= absY && absX >= absZ) {
+        vp0 = v0.x; vp1 = v1.x; vp2 = v2.x;
+        up0 = u0.x; up1 = u1.x; up2 = u2.x;
+    } else if (absY >= absZ) {
+        vp0 = v0.y; vp1 = v1.y; vp2 = v2.y;
+        up0 = u0.y; up1 = u1.y; up2 = u2.y;
+    } else {
+        vp0 = v0.z; vp1 = v1.z; vp2 = v2.z;
+        up0 = u0.z; up1 = u1.z; up2 = u2.z;
+    }
+
+    T isect1a, isect1b, isect2a, isect2b;
+    if (!computeIntervals(vp0, vp1, vp2, dv0, dv1, dv2, dv0dv1, dv0dv2,
+                          isect1a, isect1b)) {
+        return coplanarTriTri(n1, v0, v1, v2, u0, u1, u2);
+    }
+    if (!computeIntervals(up0, up1, up2, du0, du1, du2, du0du1, du0du2,
+                          isect2a, isect2b)) {
+        return coplanarTriTri(n1, v0, v1, v2, u0, u1, u2);
+    }
+
+    return !(isect1b < isect2a || isect2b < isect1a);
+}
+
+/**
+ * Straight-line variant of the intersection test used only for cost
+ * measurement. The AxBench extraction of the jMonkeyEngine routine is
+ * a fixed-input/fixed-output region without early exits (the NPU needs
+ * a deterministic region shape), so the precise region's cost is that
+ * of the full computation, not of the short-circuiting algorithm
+ * above. Divisions are guarded so the arithmetic is well defined on
+ * every input; the boolean result is not used.
+ */
+template <typename T>
+bool
+triTriIntersectExtracted(const T (&w)[18])
+{
+    const Vec3<T> v0{w[0], w[1], w[2]};
+    const Vec3<T> v1{w[3], w[4], w[5]};
+    const Vec3<T> v2{w[6], w[7], w[8]};
+    const Vec3<T> u0{w[9], w[10], w[11]};
+    const Vec3<T> u1{w[12], w[13], w[14]};
+    const Vec3<T> u2{w[15], w[16], w[17]};
+
+    // The jMonkeyEngine routine works on normalized plane normals
+    // (Vector3f.normalize() per plane) and re-derives edge vectors for
+    // every test; that redundant arithmetic is part of the extracted
+    // region and of its cost.
+    const Vec3<T> e1 = sub(v1, v0);
+    const Vec3<T> e2 = sub(v2, v0);
+    Vec3<T> n1 = cross(e1, e2);
+    const T n1len = sqrt(dot(n1, n1)) + T(1e-30f);
+    n1 = {n1.x / n1len, n1.y / n1len, n1.z / n1len};
+    const T d1 = -dot(n1, v0);
+    const T du0 = dot(n1, u0) + d1;
+    const T du1 = dot(n1, u1) + d1;
+    const T du2 = dot(n1, u2) + d1;
+
+    const Vec3<T> f1 = sub(u1, u0);
+    const Vec3<T> f2 = sub(u2, u0);
+    Vec3<T> n2 = cross(f1, f2);
+    const T n2len = sqrt(dot(n2, n2)) + T(1e-30f);
+    n2 = {n2.x / n2len, n2.y / n2len, n2.z / n2len};
+    const T d2 = -dot(n2, u0);
+    const T dv0 = dot(n2, v0) + d2;
+    const T dv1 = dot(n2, v1) + d2;
+    const T dv2 = dot(n2, v2) + d2;
+
+    const Vec3<T> dir = cross(n1, n2);
+    const T absX = fabs(dir.x);
+    const T absY = fabs(dir.y);
+    const T absZ = fabs(dir.z);
+    T vp0 = v0.x, vp1 = v1.x, vp2 = v2.x;
+    T up0 = u0.x, up1 = u1.x, up2 = u2.x;
+    if (absY > absX && absY >= absZ) {
+        vp0 = v0.y; vp1 = v1.y; vp2 = v2.y;
+        up0 = u0.y; up1 = u1.y; up2 = u2.y;
+    } else if (absZ > absX) {
+        vp0 = v0.z; vp1 = v1.z; vp2 = v2.z;
+        up0 = u0.z; up1 = u1.z; up2 = u2.z;
+    }
+
+    // Both interval computations run unconditionally with guarded
+    // denominators (the extracted region has no data-dependent skips).
+    auto guardedInterval = [](T p0, T p1, T p2, T d0, T d1, T d2, T &a,
+                              T &b) {
+        const T eps = T(1e-30f);
+        a = p2 + (p0 - p2) * d2 / (d2 - d0 + eps);
+        b = p2 + (p1 - p2) * d2 / (d2 - d1 + eps);
+        sortPair(a, b);
+    };
+    T i1a, i1b, i2a, i2b;
+    guardedInterval(vp0, vp1, vp2, dv0, dv1, dv2, i1a, i1b);
+    guardedInterval(up0, up1, up2, du0, du1, du2, i2a, i2b);
+
+    const bool sideU = du0 * du1 > T(0.0f) && du0 * du2 > T(0.0f);
+    const bool sideV = dv0 * dv1 > T(0.0f) && dv0 * dv2 > T(0.0f);
+    const bool overlap = !(i1b < i2a || i2b < i1a);
+    return !sideU && !sideV && overlap;
+}
+
+} // namespace
+
+std::size_t
+Jmeint::pairsPerDataset()
+{
+    return scaledCount(4096, 256);
+}
+
+bool
+Jmeint::trianglesIntersect(const float (&vertices)[18])
+{
+    return triTriIntersect<float>(vertices);
+}
+
+npu::TrainerOptions
+Jmeint::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 40;
+    options.learningRate = 0.15f;
+    options.batchSize = 32;
+    options.seed = 0x13e;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+Jmeint::makeDataset(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    auto dataset = std::make_unique<JmeintDataset>();
+    dataset->vertices.reserve(pairsPerDataset() * 18);
+
+    // Each dataset is one collision-detection frame: triangle sizes and
+    // pair separations vary per dataset so the intersecting fraction
+    // (and the hardness of borderline pairs) differs between datasets.
+    const double triScale = rng.uniform(0.25, 0.6);
+    const double separation = rng.uniform(0.1, 0.5);
+
+    for (std::size_t p = 0; p < pairsPerDataset(); ++p) {
+        float vertices[18];
+        // First triangle around a random center.
+        const double cx = rng.uniform(-1.0, 1.0);
+        const double cy = rng.uniform(-1.0, 1.0);
+        const double cz = rng.uniform(-1.0, 1.0);
+        for (int v = 0; v < 3; ++v) {
+            vertices[v * 3 + 0] = static_cast<float>(
+                cx + rng.normal(0.0, triScale));
+            vertices[v * 3 + 1] = static_cast<float>(
+                cy + rng.normal(0.0, triScale));
+            vertices[v * 3 + 2] = static_cast<float>(
+                cz + rng.normal(0.0, triScale));
+        }
+        // Second triangle near the first (distance controls overlap
+        // probability).
+        const double ox = cx + rng.normal(0.0, separation);
+        const double oy = cy + rng.normal(0.0, separation);
+        const double oz = cz + rng.normal(0.0, separation);
+        for (int v = 3; v < 6; ++v) {
+            vertices[v * 3 + 0] = static_cast<float>(
+                ox + rng.normal(0.0, triScale));
+            vertices[v * 3 + 1] = static_cast<float>(
+                oy + rng.normal(0.0, triScale));
+            vertices[v * 3 + 2] = static_cast<float>(
+                oz + rng.normal(0.0, triScale));
+        }
+        dataset->vertices.insert(dataset->vertices.end(), vertices,
+                                 vertices + 18);
+    }
+    return dataset;
+}
+
+InvocationTrace
+Jmeint::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const JmeintDataset &>(dataset);
+    InvocationTrace trace(18, 2);
+
+    Vec input(18);
+    for (std::size_t p = 0; p < ds.pairs(); ++p) {
+        float vertices[18];
+        for (int i = 0; i < 18; ++i) {
+            vertices[i] = ds.vertices[p * 18 + static_cast<std::size_t>(i)];
+            input[static_cast<std::size_t>(i)] = vertices[i];
+        }
+        const bool hit = triTriIntersect<float>(vertices);
+        // One-hot encoding: neuron 0 fires for "intersect".
+        trace.append(input, hit ? Vec{1.0f, 0.0f} : Vec{0.0f, 1.0f});
+    }
+    return trace;
+}
+
+FinalOutput
+Jmeint::recompose(const Dataset &, const InvocationTrace &trace,
+                  const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    FinalOutput out;
+    out.elements.reserve(trace.count());
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                        : trace.preciseOutput(i);
+        out.elements.push_back(chosen[0] > chosen[1] ? 1.0f : 0.0f);
+    }
+    return out;
+}
+
+BenchmarkCosts
+Jmeint::measureCosts() const
+{
+    using sim::Counted;
+
+    const auto dataset = makeDataset(0x5eed13e);
+    const auto &ds = dynamic_cast<const JmeintDataset &>(*dataset);
+    const std::size_t sample = std::min<std::size_t>(256, ds.pairs());
+
+    BenchmarkCosts costs;
+    {
+        sim::ScopedOpCount scope;
+        for (std::size_t p = 0; p < sample; ++p) {
+            Counted<float> vertices[18];
+            for (int i = 0; i < 18; ++i) {
+                vertices[i] = Counted<float>(
+                    ds.vertices[p * 18 + static_cast<std::size_t>(i)]);
+            }
+            sim::countMemoryOps(18);
+            volatile bool sink =
+                triTriIntersectExtracted<Counted<float>>(vertices);
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    sim::OpCounts perPair;
+    perPair.memory = 1; // store the decision
+    perPair.addSub = 2;
+    perPair.compare = 1;
+    costs.otherOpsPerDataset =
+        perPair.scaled(static_cast<double>(pairsPerDataset()));
+    return costs;
+}
+
+} // namespace mithra::axbench

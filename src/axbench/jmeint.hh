@@ -1,0 +1,46 @@
+/**
+ * @file
+ * jmeint — 3D gaming (triangle-triangle intersection detection).
+ *
+ * The safe-to-approximate function takes two 3D triangles (18 floats)
+ * and decides whether they intersect, via Moller's interval-overlap
+ * algorithm (the jMonkeyEngine routine AxBench extracts). The NPU
+ * topology is 18->32->8->2 with a one-hot decision output; the quality
+ * metric is miss rate (paper Table I).
+ */
+
+#ifndef MITHRA_AXBENCH_JMEINT_HH
+#define MITHRA_AXBENCH_JMEINT_HH
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+class Jmeint final : public Benchmark
+{
+  public:
+    std::string name() const override { return "jmeint"; }
+    std::string domain() const override { return "3D Gaming"; }
+    QualityMetric metric() const override { return QualityMetric::MissRate; }
+    npu::Topology npuTopology() const override { return {18, 32, 8, 2}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 1; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Triangle pairs per dataset (paper: 10000 pairs). */
+    static std::size_t pairsPerDataset();
+
+    /** Exact intersection test, exposed for unit tests. */
+    static bool trianglesIntersect(const float (&vertices)[18]);
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_JMEINT_HH

@@ -1,0 +1,218 @@
+#include "axbench/jpeg.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "axbench/jpeg_codec.hh"
+#include "common/logging.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+struct JpegDataset final : Dataset
+{
+    Image image{8, 8};
+
+    std::size_t blocksPerRow() const
+    {
+        return image.width() / jpeg::blockEdge;
+    }
+    std::size_t blockCount() const
+    {
+        return blocksPerRow() * (image.height() / jpeg::blockEdge);
+    }
+};
+
+/** Gather one 8x8 block of pixels as floats. */
+void
+gatherBlock(const Image &img, std::size_t blockIndex,
+            float (&pixels)[jpeg::blockSize])
+{
+    const std::size_t perRow = img.width() / jpeg::blockEdge;
+    const std::size_t bx = (blockIndex % perRow) * jpeg::blockEdge;
+    const std::size_t by = (blockIndex / perRow) * jpeg::blockEdge;
+    for (std::size_t y = 0; y < jpeg::blockEdge; ++y)
+        for (std::size_t x = 0; x < jpeg::blockEdge; ++x)
+            pixels[y * jpeg::blockEdge + x] =
+                static_cast<float>(img.at(bx + x, by + y));
+}
+
+} // namespace
+
+std::size_t
+Jpeg::imageEdge()
+{
+    const double scale = experimentScale();
+    const double edge = 128.0 * std::sqrt(scale);
+    // Round down to a multiple of the block edge, at least one block.
+    const auto rounded = static_cast<std::size_t>(edge)
+        / jpeg::blockEdge * jpeg::blockEdge;
+    return std::max<std::size_t>(jpeg::blockEdge * 2, rounded);
+}
+
+npu::TrainerOptions
+Jpeg::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 60;
+    options.learningRate = 0.1f;
+    options.batchSize = 32;
+    options.seed = 0x9e6;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+Jpeg::makeDataset(std::uint64_t seed) const
+{
+    auto dataset = std::make_unique<JpegDataset>();
+    SceneParams params;
+    params.width = imageEdge();
+    params.height = imageEdge();
+    dataset->image = generateScene(seed, params);
+    return dataset;
+}
+
+InvocationTrace
+Jpeg::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const JpegDataset &>(dataset);
+    const auto table = jpeg::quantTable(quality);
+    InvocationTrace trace(jpeg::blockSize, jpeg::blockSize);
+
+    Vec input(jpeg::blockSize);
+    Vec output(jpeg::blockSize);
+    for (std::size_t b = 0; b < ds.blockCount(); ++b) {
+        float pixels[jpeg::blockSize];
+        gatherBlock(ds.image, b, pixels);
+
+        float coeffs[jpeg::blockSize];
+        jpeg::blockDctQuantize<float>(pixels, table, coeffs);
+
+        for (std::size_t i = 0; i < jpeg::blockSize; ++i) {
+            input[i] = pixels[i];
+            output[i] = coeffs[i];
+        }
+        trace.append(input, output);
+    }
+    return trace;
+}
+
+namespace
+{
+
+/** Decode one variant of every block into a flat pixel buffer. */
+void
+decodeVariant(const InvocationTrace &trace, bool approx,
+              const std::array<int, jpeg::blockSize> &table,
+              std::vector<float> &pixels)
+{
+    pixels.resize(trace.count() * jpeg::blockSize);
+    for (std::size_t b = 0; b < trace.count(); ++b) {
+        const auto chosen = approx ? trace.approxOutput(b)
+                                   : trace.preciseOutput(b);
+        float coeffs[jpeg::blockSize];
+        for (std::size_t i = 0; i < jpeg::blockSize; ++i) {
+            // The entropy coder transmits integers; round whatever
+            // the accelerator produced, exactly as the encoder would.
+            coeffs[i] = std::nearbyint(chosen[i]);
+        }
+        float block[jpeg::blockSize];
+        jpeg::blockDequantizeIdct(coeffs, table, block);
+        std::copy(block, block + jpeg::blockSize,
+                  pixels.begin()
+                      + static_cast<std::ptrdiff_t>(b * jpeg::blockSize));
+    }
+}
+
+} // namespace
+
+FinalOutput
+Jpeg::recompose(const Dataset &dataset, const InvocationTrace &trace,
+                const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    const auto &ds = dynamic_cast<const JpegDataset &>(dataset);
+    const auto table = jpeg::quantTable(quality);
+    const std::size_t perRow = ds.blocksPerRow();
+
+    // Decode each variant at most once per trace (see DecodedBlocks).
+    if (decodeCache.size() > 600)
+        decodeCache.clear();
+    DecodedBlocks &cache = decodeCache[trace.id()];
+    if (cache.precisePixels.empty())
+        decodeVariant(trace, false, table, cache.precisePixels);
+    const bool wantsApprox =
+        std::any_of(useAccel.begin(), useAccel.end(),
+                    [](std::uint8_t u) { return u != 0; });
+    if (wantsApprox && !cache.hasApprox) {
+        decodeVariant(trace, true, table, cache.approxPixels);
+        cache.hasApprox = true;
+    }
+
+    FinalOutput out;
+    out.elements.assign(ds.image.width() * ds.image.height(), 0.0f);
+
+    for (std::size_t b = 0; b < trace.count(); ++b) {
+        const float *pixels = (useAccel[b] ? cache.approxPixels
+                                           : cache.precisePixels)
+                                  .data()
+            + b * jpeg::blockSize;
+        const std::size_t bx = (b % perRow) * jpeg::blockEdge;
+        const std::size_t by = (b / perRow) * jpeg::blockEdge;
+        for (std::size_t y = 0; y < jpeg::blockEdge; ++y) {
+            for (std::size_t x = 0; x < jpeg::blockEdge; ++x) {
+                out.elements[(by + y) * ds.image.width() + bx + x] =
+                    pixels[y * jpeg::blockEdge + x];
+            }
+        }
+    }
+    return out;
+}
+
+BenchmarkCosts
+Jpeg::measureCosts() const
+{
+    using sim::Counted;
+
+    const auto dataset = makeDataset(0x5eed9e6);
+    const auto &ds = dynamic_cast<const JpegDataset &>(*dataset);
+    const auto table = jpeg::quantTable(quality);
+    const std::size_t sample = std::min<std::size_t>(16, ds.blockCount());
+
+    BenchmarkCosts costs;
+    {
+        sim::ScopedOpCount scope;
+        for (std::size_t b = 0; b < sample; ++b) {
+            float raw[jpeg::blockSize];
+            gatherBlock(ds.image, b, raw);
+            Counted<float> pixels[jpeg::blockSize];
+            for (std::size_t i = 0; i < jpeg::blockSize; ++i)
+                pixels[i] = Counted<float>(raw[i]);
+            sim::countMemoryOps(jpeg::blockSize);
+
+            Counted<float> coeffs[jpeg::blockSize];
+            jpeg::blockDctQuantize<Counted<float>>(pixels, table, coeffs);
+            volatile float sink = coeffs[0].value();
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    // Non-target region per block: zig-zag scan, run-length scan and
+    // Huffman emission (~2 ops/coefficient), plus stream bookkeeping.
+    sim::OpCounts perBlock;
+    perBlock.memory = 2 * jpeg::blockSize;
+    perBlock.addSub = 2 * jpeg::blockSize;
+    perBlock.compare = jpeg::blockSize;
+    costs.otherOpsPerDataset = perBlock.scaled(
+        static_cast<double>(ds.blockCount()));
+    return costs;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * jpeg — compression (baseline JPEG encoding).
+ *
+ * The safe-to-approximate function is the per-block DCT +
+ * quantization: 64 pixels in, 64 quantized coefficients out, NPU
+ * topology 64->16->64 (paper Table I). The rest of the codec
+ * (zig-zag, Huffman entropy coding, the full decoder) is the precise
+ * non-target region. Quality metric: image diff between the image
+ * decoded from the precise encoding and the image decoded from the
+ * (partially) approximated encoding.
+ */
+
+#ifndef MITHRA_AXBENCH_JPEG_HH
+#define MITHRA_AXBENCH_JPEG_HH
+
+#include <unordered_map>
+
+#include "axbench/benchmark.hh"
+#include "axbench/image.hh"
+
+namespace mithra::axbench
+{
+
+class Jpeg final : public Benchmark
+{
+  public:
+    /** Encoder quality factor used throughout. */
+    static constexpr int quality = 75;
+
+    std::string name() const override { return "jpeg"; }
+    std::string domain() const override { return "Compression"; }
+    QualityMetric metric() const override
+    {
+        return QualityMetric::ImageDiff;
+    }
+    npu::Topology npuTopology() const override { return {64, 16, 64}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 1; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Image edge length (paper: 512; default here: 128, scalable). */
+    static std::size_t imageEdge();
+
+  private:
+    /**
+     * Inverse-DCT results per trace. The statistical optimizer calls
+     * recompose() dozens of times per trace while searching for the
+     * threshold; decoding each block's precise and approximate
+     * coefficients once makes those calls cheap selections.
+     */
+    struct DecodedBlocks
+    {
+        std::vector<float> precisePixels;
+        std::vector<float> approxPixels;
+        bool hasApprox = false;
+    };
+    mutable std::unordered_map<std::uint64_t, DecodedBlocks> decodeCache;
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_JPEG_HH

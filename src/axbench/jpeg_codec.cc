@@ -1,0 +1,346 @@
+#include "axbench/jpeg_codec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mithra::axbench::jpeg
+{
+
+const std::array<std::size_t, blockSize> &
+zigzagOrder()
+{
+    static const std::array<std::size_t, blockSize> order = {
+        0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+        12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+        35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+        58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    };
+    return order;
+}
+
+std::array<int, blockSize>
+quantTable(int quality)
+{
+    MITHRA_ASSERT(quality >= 1 && quality <= 100,
+                  "JPEG quality out of range: ", quality);
+    // ITU-T T.81 Annex K luminance table.
+    static const int base[blockSize] = {
+        16, 11, 10, 16, 24,  40,  51,  61,
+        12, 12, 14, 19, 26,  58,  60,  55,
+        14, 13, 16, 24, 40,  57,  69,  56,
+        14, 17, 22, 29, 51,  87,  80,  62,
+        18, 22, 37, 56, 68,  109, 103, 77,
+        24, 35, 55, 64, 81,  104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101,
+        72, 92, 95, 98, 112, 100, 103, 99,
+    };
+
+    // libjpeg-style quality scaling.
+    const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+    std::array<int, blockSize> table;
+    for (std::size_t i = 0; i < blockSize; ++i) {
+        const int value = (base[i] * scale + 50) / 100;
+        table[i] = std::clamp(value, 1, 255);
+    }
+    return table;
+}
+
+const float *
+dctCosTable()
+{
+    static const auto table = [] {
+        static float data[blockSize];
+        for (std::size_t x = 0; x < blockEdge; ++x) {
+            for (std::size_t u = 0; u < blockEdge; ++u) {
+                data[x * blockEdge + u] = static_cast<float>(std::cos(
+                    (2.0 * static_cast<double>(x) + 1.0)
+                    * static_cast<double>(u) * std::numbers::pi / 16.0));
+            }
+        }
+        return data;
+    }();
+    return table;
+}
+
+void
+blockDequantizeIdct(const float (&coeffs)[blockSize],
+                    const std::array<int, blockSize> &table,
+                    float (&pixels)[blockSize])
+{
+    const float *cosTab = dctCosTable();
+
+    float dequant[blockSize];
+    for (std::size_t i = 0; i < blockSize; ++i)
+        dequant[i] = coeffs[i] * static_cast<float>(table[i]);
+
+    for (std::size_t y = 0; y < blockEdge; ++y) {
+        for (std::size_t x = 0; x < blockEdge; ++x) {
+            double sum = 0.0;
+            for (std::size_t v = 0; v < blockEdge; ++v) {
+                for (std::size_t u = 0; u < blockEdge; ++u) {
+                    const double cu = (u == 0) ? 0.35355339059327373
+                                               : 0.5;
+                    const double cv = (v == 0) ? 0.35355339059327373
+                                               : 0.5;
+                    sum += cu * cv * dequant[v * blockEdge + u]
+                        * cosTab[x * blockEdge + u]
+                        * cosTab[y * blockEdge + v];
+                }
+            }
+            pixels[y * blockEdge + x] = static_cast<float>(
+                std::clamp(sum + 128.0, 0.0, 255.0));
+        }
+    }
+}
+
+void
+BitStream::writeBits(std::uint32_t value, unsigned count)
+{
+    MITHRA_ASSERT(count <= 24, "bit run too long: ", count);
+    for (unsigned i = count; i-- > 0;) {
+        const bool bit = (value >> i) & 1;
+        if (bitCount % 8 == 0)
+            data.push_back(0);
+        if (bit)
+            data.back() |= static_cast<std::uint8_t>(
+                1u << (7 - bitCount % 8));
+        ++bitCount;
+    }
+}
+
+BitReader::BitReader(const std::vector<std::uint8_t> &bytes)
+    : data(bytes)
+{
+}
+
+std::uint32_t
+BitReader::readBits(unsigned count)
+{
+    MITHRA_ASSERT(count <= 24, "bit run too long: ", count);
+    std::uint32_t value = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        MITHRA_ASSERT(pos / 8 < data.size(), "bit stream overrun");
+        const bool bit = (data[pos / 8] >> (7 - pos % 8)) & 1;
+        value = (value << 1) | (bit ? 1u : 0u);
+        ++pos;
+    }
+    return value;
+}
+
+bool
+BitReader::exhausted() const
+{
+    return pos / 8 >= data.size();
+}
+
+HuffmanTable::HuffmanTable(const std::array<std::uint8_t, 16> &bits,
+                           const std::vector<std::uint8_t> &vals)
+    : symbols(vals)
+{
+    // Canonical code assignment, shortest codes first.
+    std::uint16_t code = 0;
+    std::size_t index = 0;
+    for (unsigned length = 1; length <= 16; ++length) {
+        firstCode[length] = code;
+        firstIndex[length] = static_cast<std::uint16_t>(index);
+        countAt[length] = bits[length - 1];
+        for (unsigned i = 0; i < bits[length - 1]; ++i) {
+            MITHRA_ASSERT(index < vals.size(),
+                          "Huffman vals shorter than bits imply");
+            const std::uint8_t symbol = vals[index];
+            codes[symbol] = {code, static_cast<std::uint8_t>(length)};
+            present[symbol] = true;
+            ++code;
+            ++index;
+        }
+        code = static_cast<std::uint16_t>(code << 1);
+    }
+    MITHRA_ASSERT(index == vals.size(), "unused Huffman vals");
+}
+
+void
+HuffmanTable::encode(BitStream &out, std::uint8_t symbol) const
+{
+    MITHRA_ASSERT(present[symbol], "symbol has no Huffman code: ",
+                  static_cast<int>(symbol));
+    out.writeBits(codes[symbol].code, codes[symbol].length);
+}
+
+std::uint8_t
+HuffmanTable::decode(BitReader &in) const
+{
+    std::uint16_t code = 0;
+    for (unsigned length = 1; length <= 16; ++length) {
+        code = static_cast<std::uint16_t>(
+            (code << 1) | in.readBits(1));
+        if (countAt[length] > 0
+            && code < firstCode[length] + countAt[length]
+            && code >= firstCode[length]) {
+            const std::size_t index = firstIndex[length]
+                + static_cast<std::size_t>(code - firstCode[length]);
+            return symbols[index];
+        }
+    }
+    panic("invalid Huffman code in stream");
+}
+
+const HuffmanTable &
+HuffmanTable::standardDc()
+{
+    static const HuffmanTable table(
+        {0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+    return table;
+}
+
+const HuffmanTable &
+HuffmanTable::standardAc()
+{
+    static const HuffmanTable table(
+        {0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d},
+        {0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31,
+         0x41, 0x06, 0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32,
+         0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+         0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16,
+         0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a,
+         0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+         0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57,
+         0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+         0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+         0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94,
+         0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5,
+         0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+         0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+         0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8,
+         0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+         0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+         0xf9, 0xfa});
+    return table;
+}
+
+namespace
+{
+
+/** JPEG size category: bits needed for |v|. */
+unsigned
+category(int v)
+{
+    unsigned cat = 0;
+    unsigned magnitude = static_cast<unsigned>(v < 0 ? -v : v);
+    while (magnitude) {
+        magnitude >>= 1;
+        ++cat;
+    }
+    return cat;
+}
+
+/** Amplitude bits: negative values use the one's-complement form. */
+std::uint32_t
+amplitudeBits(int v, unsigned cat)
+{
+    if (v >= 0)
+        return static_cast<std::uint32_t>(v);
+    return static_cast<std::uint32_t>(v + (1 << cat) - 1);
+}
+
+/** Inverse of amplitudeBits. */
+int
+amplitudeValue(std::uint32_t bits, unsigned cat)
+{
+    if (cat == 0)
+        return 0;
+    const std::uint32_t half = 1u << (cat - 1);
+    if (bits >= half)
+        return static_cast<int>(bits);
+    return static_cast<int>(bits) - static_cast<int>((1u << cat) - 1);
+}
+
+} // namespace
+
+BitStream
+entropyEncode(const std::vector<std::array<int, blockSize>> &blocks)
+{
+    const auto &dcTable = HuffmanTable::standardDc();
+    const auto &acTable = HuffmanTable::standardAc();
+    const auto &zigzag = zigzagOrder();
+
+    BitStream out;
+    int prevDc = 0;
+    for (const auto &block : blocks) {
+        // DC difference.
+        const int dc = block[0];
+        const int diff = dc - prevDc;
+        prevDc = dc;
+        const unsigned dcCat = category(diff);
+        MITHRA_ASSERT(dcCat <= 11, "DC difference out of range: ", diff);
+        dcTable.encode(out, static_cast<std::uint8_t>(dcCat));
+        out.writeBits(amplitudeBits(diff, dcCat), dcCat);
+
+        // AC run-length coding in zig-zag order.
+        unsigned run = 0;
+        for (std::size_t scan = 1; scan < blockSize; ++scan) {
+            const int coeff = block[zigzag[scan]];
+            if (coeff == 0) {
+                ++run;
+                continue;
+            }
+            while (run > 15) {
+                acTable.encode(out, 0xf0); // ZRL: sixteen zeros
+                run -= 16;
+            }
+            const unsigned cat = category(coeff);
+            MITHRA_ASSERT(cat >= 1 && cat <= 10,
+                          "AC coefficient out of range: ", coeff);
+            const auto symbol = static_cast<std::uint8_t>(
+                (run << 4) | cat);
+            acTable.encode(out, symbol);
+            out.writeBits(amplitudeBits(coeff, cat), cat);
+            run = 0;
+        }
+        if (run > 0)
+            acTable.encode(out, 0x00); // EOB
+    }
+    return out;
+}
+
+std::vector<std::array<int, blockSize>>
+entropyDecode(const BitStream &stream, std::size_t blockCount)
+{
+    const auto &dcTable = HuffmanTable::standardDc();
+    const auto &acTable = HuffmanTable::standardAc();
+    const auto &zigzag = zigzagOrder();
+
+    BitReader in(stream.bytes());
+    std::vector<std::array<int, blockSize>> blocks(blockCount);
+    int prevDc = 0;
+
+    for (auto &block : blocks) {
+        block.fill(0);
+        const unsigned dcCat = dcTable.decode(in);
+        const int diff = amplitudeValue(in.readBits(dcCat), dcCat);
+        prevDc += diff;
+        block[0] = prevDc;
+
+        std::size_t scan = 1;
+        while (scan < blockSize) {
+            const std::uint8_t symbol = acTable.decode(in);
+            if (symbol == 0x00)
+                break; // EOB
+            if (symbol == 0xf0) {
+                scan += 16;
+                continue;
+            }
+            const unsigned run = symbol >> 4;
+            const unsigned cat = symbol & 0x0f;
+            scan += run;
+            MITHRA_ASSERT(scan < blockSize, "AC scan overrun");
+            block[zigzag[scan]] =
+                amplitudeValue(in.readBits(cat), cat);
+            ++scan;
+        }
+    }
+    return blocks;
+}
+
+} // namespace mithra::axbench::jpeg

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Baseline JPEG codec substrate for the jpeg benchmark.
+ *
+ * Implements the grayscale baseline pipeline from scratch:
+ * 8x8 forward DCT-II, quantization with the Annex-K luminance table
+ * (quality scaled), zig-zag ordering, DC-difference + AC run-length
+ * entropy coding with the standard baseline Huffman tables, and the
+ * full decode path (Huffman decode, dequantize, inverse DCT).
+ *
+ * The benchmark's safe-to-approximate target function is
+ * blockDctQuantize(): pixels of one block in, 64 quantized
+ * coefficients out — exactly the region AxBench offloads to the NPU
+ * (64 -> 16 -> 64). Everything else here is the precise non-target
+ * region of the application.
+ */
+
+#ifndef MITHRA_AXBENCH_JPEG_CODEC_HH
+#define MITHRA_AXBENCH_JPEG_CODEC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "axbench/image.hh"
+#include "common/logging.hh"
+#include "sim/opcount.hh"
+
+namespace mithra::axbench::jpeg
+{
+
+/** Block edge: JPEG operates on 8x8 blocks. */
+constexpr std::size_t blockEdge = 8;
+/** Coefficients per block. */
+constexpr std::size_t blockSize = blockEdge * blockEdge;
+
+/** Zig-zag scan order (index = scan position, value = block index). */
+const std::array<std::size_t, blockSize> &zigzagOrder();
+
+/** Annex-K luminance quantization table scaled to a quality factor. */
+std::array<int, blockSize> quantTable(int quality);
+
+/** The 8x8 DCT cosine basis, row-major: cos((2x+1) u pi / 16). */
+const float *dctCosTable();
+
+/** floor() indirection so blockDctQuantize works for Counted<T>. */
+inline float
+floorT(float x)
+{
+    return std::floor(x);
+}
+
+/** Tallying floor for the instrumented scalar (rounds cost ~1 add). */
+template <typename T>
+sim::Counted<T>
+floorT(sim::Counted<T> x)
+{
+    ++sim::opTally().addSub;
+    return sim::Counted<T>(std::floor(x.value()));
+}
+
+/**
+ * The safe-to-approximate target function: level-shift, 2-D DCT-II
+ * and quantization of one 8x8 block.
+ *
+ * @param pixels 64 pixel values in [0, 255] in row-major order
+ * @param table  the quantization table
+ * @param coeffs output: 64 quantized coefficients, row-major
+ */
+template <typename T>
+void
+blockDctQuantize(const T (&pixels)[blockSize],
+                 const std::array<int, blockSize> &table,
+                 T (&coeffs)[blockSize])
+{
+    // Basis tables are plain float; arithmetic flows through T so the
+    // instrumented scalar tallies every operation.
+    const float *cosTab = dctCosTable();
+
+    T shifted[blockSize];
+    for (std::size_t i = 0; i < blockSize; ++i)
+        shifted[i] = pixels[i] - T(128.0f);
+
+    // Row pass.
+    T rows[blockSize];
+    for (std::size_t y = 0; y < blockEdge; ++y) {
+        for (std::size_t u = 0; u < blockEdge; ++u) {
+            T sum = T(0.0f);
+            for (std::size_t x = 0; x < blockEdge; ++x)
+                sum += shifted[y * blockEdge + x]
+                    * T(cosTab[x * blockEdge + u]);
+            rows[y * blockEdge + u] = sum;
+        }
+    }
+
+    // Column pass plus normalization and quantization.
+    for (std::size_t v = 0; v < blockEdge; ++v) {
+        for (std::size_t u = 0; u < blockEdge; ++u) {
+            T sum = T(0.0f);
+            for (std::size_t y = 0; y < blockEdge; ++y)
+                sum += rows[y * blockEdge + u]
+                    * T(cosTab[y * blockEdge + v]);
+
+            const float cu = (u == 0) ? 0.35355339059327373f : 0.5f;
+            const float cv = (v == 0) ? 0.35355339059327373f : 0.5f;
+            T coeff = sum * T(cu * cv);
+
+            // Quantize: divide and round to nearest integer.
+            coeff = coeff / T(static_cast<float>(
+                table[v * blockEdge + u]));
+            // Round half away from zero without integer conversion so
+            // the instrumented type stays in play.
+            if (coeff >= T(0.0f))
+                coeff = floorT(coeff + T(0.5f));
+            else
+                coeff = -floorT(-coeff + T(0.5f));
+            coeffs[v * blockEdge + u] = coeff;
+        }
+    }
+}
+
+/** Dequantize + inverse DCT of one block back to pixels [0, 255]. */
+void blockDequantizeIdct(const float (&coeffs)[blockSize],
+                         const std::array<int, blockSize> &table,
+                         float (&pixels)[blockSize]);
+
+/** A writable/readable MSB-first bit stream. */
+class BitStream
+{
+  public:
+    void writeBits(std::uint32_t value, unsigned count);
+    std::size_t sizeBits() const { return bitCount; }
+    std::size_t sizeBytes() const { return (bitCount + 7) / 8; }
+    const std::vector<std::uint8_t> &bytes() const { return data; }
+
+  private:
+    std::vector<std::uint8_t> data;
+    std::size_t bitCount = 0;
+};
+
+/** Reader over a BitStream's bytes. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes);
+    /** Read `count` bits MSB first; asserts on overrun. */
+    std::uint32_t readBits(unsigned count);
+    bool exhausted() const;
+
+  private:
+    const std::vector<std::uint8_t> &data;
+    std::size_t pos = 0;
+};
+
+/** A canonical Huffman table (JPEG "bits"/"vals" representation). */
+class HuffmanTable
+{
+  public:
+    /**
+     * @param bits  bits[i] = number of codes of length i+1 (16 entries)
+     * @param vals  symbol values in code order
+     */
+    HuffmanTable(const std::array<std::uint8_t, 16> &bits,
+                 const std::vector<std::uint8_t> &vals);
+
+    /** Emit the code for a symbol. */
+    void encode(BitStream &out, std::uint8_t symbol) const;
+
+    /** Decode the next symbol from the reader. */
+    std::uint8_t decode(BitReader &in) const;
+
+    /** The standard baseline luminance DC table. */
+    static const HuffmanTable &standardDc();
+    /** The standard baseline luminance AC table. */
+    static const HuffmanTable &standardAc();
+
+  private:
+    struct Code
+    {
+        std::uint16_t code;
+        std::uint8_t length;
+    };
+    std::array<Code, 256> codes{};
+    std::array<bool, 256> present{};
+    /** length -> (first code, first index) for canonical decoding. */
+    std::array<std::uint16_t, 17> firstCode{};
+    std::array<std::uint16_t, 17> firstIndex{};
+    std::array<std::uint16_t, 17> countAt{};
+    std::vector<std::uint8_t> symbols;
+};
+
+/**
+ * Entropy-encode a sequence of quantized blocks (already integer
+ * valued) into a bit stream: DC differences + AC run-length symbols
+ * against the standard baseline tables.
+ */
+BitStream entropyEncode(const std::vector<std::array<int, blockSize>>
+                            &blocks);
+
+/** Exact inverse of entropyEncode (needs the block count). */
+std::vector<std::array<int, blockSize>> entropyDecode(
+    const BitStream &stream, std::size_t blockCount);
+
+} // namespace mithra::axbench::jpeg
+
+#endif // MITHRA_AXBENCH_JPEG_CODEC_HH

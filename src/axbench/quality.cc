@@ -1,0 +1,111 @@
+#include "axbench/quality.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithra::axbench
+{
+
+std::string
+metricName(QualityMetric metric)
+{
+    switch (metric) {
+      case QualityMetric::AvgRelativeError: return "Avg. Relative Error";
+      case QualityMetric::MissRate: return "Miss Rate";
+      case QualityMetric::ImageDiff: return "Image Diff";
+    }
+    panic("unknown quality metric");
+}
+
+namespace
+{
+
+/**
+ * Scale floor for relative errors: elements with magnitude near zero
+ * would otherwise dominate the metric with huge ratios that no
+ * application-level metric would report.
+ */
+double
+relativeFloor(const FinalOutput &reference)
+{
+    double sumSq = 0.0;
+    for (float r : reference.elements)
+        sumSq += static_cast<double>(r) * r;
+    const double rms = reference.elements.empty()
+        ? 0.0
+        : std::sqrt(sumSq / static_cast<double>(reference.elements.size()));
+    return 1e-2 * rms + 1e-9;
+}
+
+} // namespace
+
+std::vector<double>
+elementErrors(QualityMetric metric, const FinalOutput &reference,
+              const FinalOutput &candidate)
+{
+    MITHRA_ASSERT(reference.elements.size() == candidate.elements.size(),
+                  "output element count mismatch: ",
+                  reference.elements.size(), " vs ",
+                  candidate.elements.size());
+    const std::size_t n = reference.elements.size();
+    std::vector<double> errors(n);
+
+    switch (metric) {
+      case QualityMetric::AvgRelativeError: {
+        const double floor = relativeFloor(reference);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double r = reference.elements[i];
+            const double c = candidate.elements[i];
+            // Saturate at 100%: a wrecked element counts as fully
+            // wrong rather than letting near-zero references dominate
+            // the average (AxBench-style behaviour).
+            errors[i] = std::min(100.0,
+                                 100.0 * std::fabs(r - c)
+                                     / std::max(std::fabs(r), floor));
+        }
+        break;
+      }
+      case QualityMetric::MissRate: {
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool r = reference.elements[i] > 0.5f;
+            const bool c = candidate.elements[i] > 0.5f;
+            errors[i] = (r == c) ? 0.0 : 100.0;
+        }
+        break;
+      }
+      case QualityMetric::ImageDiff: {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double diff = static_cast<double>(reference.elements[i])
+                - candidate.elements[i];
+            errors[i] = 100.0 * std::fabs(diff) / 255.0;
+        }
+        break;
+      }
+    }
+    return errors;
+}
+
+double
+qualityLoss(QualityMetric metric, const FinalOutput &reference,
+            const FinalOutput &candidate)
+{
+    const auto errors = elementErrors(metric, reference, candidate);
+    if (errors.empty())
+        return 0.0;
+
+    if (metric == QualityMetric::ImageDiff) {
+        // RMS of the per-pixel differences, relative to full scale.
+        double sumSq = 0.0;
+        for (double e : errors)
+            sumSq += e * e;
+        return std::sqrt(sumSq / static_cast<double>(errors.size()));
+    }
+
+    double sum = 0.0;
+    for (double e : errors)
+        sum += e;
+    return sum / static_cast<double>(errors.size());
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Application-specific quality metrics (paper Table I).
+ *
+ * Each benchmark declares one metric; the statistical optimizer and the
+ * evaluation harness only ever see "final quality loss" percentages:
+ *
+ *  - AvgRelativeError: mean per-element relative error, in percent
+ *    (blackscholes, fft, inversek2j).
+ *  - MissRate: fraction of binary decisions that flipped, in percent
+ *    (jmeint).
+ *  - ImageDiff: root-mean-square pixel difference relative to the
+ *    8-bit range, in percent (jpeg, sobel).
+ */
+
+#ifndef MITHRA_AXBENCH_QUALITY_HH
+#define MITHRA_AXBENCH_QUALITY_HH
+
+#include <string>
+#include <vector>
+
+namespace mithra::axbench
+{
+
+/** A final application output as a flat element vector. */
+struct FinalOutput
+{
+    std::vector<float> elements;
+};
+
+/** The quality metric a benchmark is judged by. */
+enum class QualityMetric
+{
+    AvgRelativeError,
+    MissRate,
+    ImageDiff,
+};
+
+/** Metric name as printed in Table I. */
+std::string metricName(QualityMetric metric);
+
+/**
+ * Final quality loss of `candidate` against `reference`, in percent.
+ * Larger is worse; 0 means identical.
+ */
+double qualityLoss(QualityMetric metric, const FinalOutput &reference,
+                   const FinalOutput &candidate);
+
+/**
+ * Per-element final error (same units as the metric) — the Figure 1
+ * CDF is built over these values.
+ */
+std::vector<double> elementErrors(QualityMetric metric,
+                                  const FinalOutput &reference,
+                                  const FinalOutput &candidate);
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_QUALITY_HH

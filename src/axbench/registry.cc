@@ -1,0 +1,48 @@
+#include "axbench/registry.hh"
+
+#include "axbench/blackscholes.hh"
+#include "axbench/fft.hh"
+#include "axbench/inversek2j.hh"
+#include "axbench/jmeint.hh"
+#include "axbench/jpeg.hh"
+#include "axbench/sobel.hh"
+#include "common/logging.hh"
+
+namespace mithra::axbench
+{
+
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"blackscholes", "fft", "inversek2j", "jmeint", "jpeg",
+            "sobel"};
+}
+
+std::unique_ptr<Benchmark>
+makeBenchmark(const std::string &name)
+{
+    if (name == "blackscholes")
+        return std::make_unique<Blackscholes>();
+    if (name == "fft")
+        return std::make_unique<Fft>();
+    if (name == "inversek2j")
+        return std::make_unique<InverseK2J>();
+    if (name == "jmeint")
+        return std::make_unique<Jmeint>();
+    if (name == "jpeg")
+        return std::make_unique<Jpeg>();
+    if (name == "sobel")
+        return std::make_unique<Sobel>();
+    fatal("unknown benchmark `", name, "'");
+}
+
+std::vector<std::unique_ptr<Benchmark>>
+makeAllBenchmarks()
+{
+    std::vector<std::unique_ptr<Benchmark>> all;
+    for (const auto &name : benchmarkNames())
+        all.push_back(makeBenchmark(name));
+    return all;
+}
+
+} // namespace mithra::axbench

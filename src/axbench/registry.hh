@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Benchmark registry: name -> factory for the six paper benchmarks.
+ */
+
+#ifndef MITHRA_AXBENCH_REGISTRY_HH
+#define MITHRA_AXBENCH_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+/** Names of all registered benchmarks, in Table I order. */
+std::vector<std::string> benchmarkNames();
+
+/** Instantiate a benchmark by name; fatal() on unknown names. */
+std::unique_ptr<Benchmark> makeBenchmark(const std::string &name);
+
+/** Instantiate every benchmark, in Table I order. */
+std::vector<std::unique_ptr<Benchmark>> makeAllBenchmarks();
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_REGISTRY_HH

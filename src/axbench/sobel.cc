@@ -1,0 +1,176 @@
+#include "axbench/sobel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/scale.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+using std::sqrt;
+
+struct SobelDataset final : Dataset
+{
+    Image image{1, 1};
+};
+
+/**
+ * The safe-to-approximate target function: gradient magnitude of one
+ * 3x3 window. Window values and the result are in [0, 1].
+ */
+template <typename T>
+T
+sobelWindow(const T (&w)[9])
+{
+    // Horizontal Sobel kernel.
+    T gx = w[2] - w[0]
+        + T(2.0f) * (w[5] - w[3])
+        + w[8] - w[6];
+    // Vertical Sobel kernel.
+    T gy = w[6] - w[0]
+        + T(2.0f) * (w[7] - w[1])
+        + w[8] - w[2];
+
+    T magnitude = sqrt(gx * gx + gy * gy) / T(5.65685424949238f);
+    if (magnitude > T(1.0f))
+        magnitude = T(1.0f);
+    return magnitude;
+}
+
+} // namespace
+
+std::size_t
+Sobel::imageEdge()
+{
+    // Area scales with MITHRA_SCALE; the edge scales with its root.
+    const double scale = experimentScale();
+    const double edge = 128.0 * std::sqrt(scale);
+    return std::max<std::size_t>(16, static_cast<std::size_t>(edge));
+}
+
+npu::TrainerOptions
+Sobel::npuTrainerOptions() const
+{
+    npu::TrainerOptions options;
+    options.epochs = 30;
+    options.learningRate = 0.3f;
+    options.seed = 0x50be1;
+    return options;
+}
+
+std::unique_ptr<Dataset>
+Sobel::makeDataset(std::uint64_t seed) const
+{
+    auto dataset = std::make_unique<SobelDataset>();
+    SceneParams params;
+    params.width = imageEdge();
+    params.height = imageEdge();
+    // Busier scenes than jpeg's: edge detection is judged on texture.
+    params.maxShapes = 12;
+    params.noiseStddev = 9.0;
+    dataset->image = generateScene(seed, params);
+    return dataset;
+}
+
+InvocationTrace
+Sobel::trace(const Dataset &dataset) const
+{
+    const auto &ds = dynamic_cast<const SobelDataset &>(dataset);
+    const Image &img = ds.image;
+    InvocationTrace trace(9, 1);
+
+    Vec input(9);
+    for (std::size_t y = 0; y < img.height(); ++y) {
+        for (std::size_t x = 0; x < img.width(); ++x) {
+            float window[9];
+            std::size_t k = 0;
+            for (long dy = -1; dy <= 1; ++dy) {
+                for (long dx = -1; dx <= 1; ++dx) {
+                    window[k] = static_cast<float>(
+                        img.atClamped(static_cast<long>(x) + dx,
+                                      static_cast<long>(y) + dy)) / 255.0f;
+                    input[k] = window[k];
+                    ++k;
+                }
+            }
+            const float magnitude = sobelWindow<float>(window);
+            trace.append(input, {magnitude});
+        }
+    }
+    return trace;
+}
+
+FinalOutput
+Sobel::recompose(const Dataset &, const InvocationTrace &trace,
+                 const std::vector<std::uint8_t> &useAccel) const
+{
+    MITHRA_ASSERT(useAccel.size() == trace.count(),
+                  "decision vector size mismatch");
+    FinalOutput out;
+    out.elements.reserve(trace.count());
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                        : trace.preciseOutput(i);
+        const float pixel =
+            std::clamp(chosen[0], 0.0f, 1.0f) * 255.0f;
+        out.elements.push_back(pixel);
+    }
+    return out;
+}
+
+BenchmarkCosts
+Sobel::measureCosts() const
+{
+    using sim::Counted;
+
+    const auto dataset = makeDataset(0x5eed50b);
+    const auto &ds = dynamic_cast<const SobelDataset &>(*dataset);
+    const Image &img = ds.image;
+    const std::size_t sample = std::min<std::size_t>(128,
+        img.width() * img.height());
+
+    BenchmarkCosts costs;
+    {
+        sim::ScopedOpCount scope;
+        for (std::size_t i = 0; i < sample; ++i) {
+            const std::size_t x = 1 + i % (img.width() - 2);
+            const std::size_t y = 1 + (i / img.width()) % (img.height()
+                                                           - 2);
+            Counted<float> window[9];
+            std::size_t k = 0;
+            for (long dy = -1; dy <= 1; ++dy) {
+                for (long dx = -1; dx <= 1; ++dx) {
+                    window[k++] = Counted<float>(static_cast<float>(
+                        img.atClamped(static_cast<long>(x) + dx,
+                                      static_cast<long>(y) + dy))
+                        / 255.0f);
+                }
+            }
+            // The window gather is part of the target function: nine
+            // loads plus the normalization divide per element.
+            sim::countMemoryOps(9);
+            sim::opTally().div += 9;
+            volatile float sink =
+                sobelWindow<Counted<float>>(window).value();
+            (void)sink;
+        }
+        costs.targetOpsPerInvocation =
+            scope.counts().scaled(1.0 / static_cast<double>(sample));
+    }
+
+    // Driver: store the output pixel, advance the scan loops.
+    sim::OpCounts perPixel;
+    perPixel.memory = 1;
+    perPixel.addSub = 2;
+    perPixel.compare = 2;
+    costs.otherOpsPerDataset = perPixel.scaled(
+        static_cast<double>(img.width() * img.height()));
+    return costs;
+}
+
+} // namespace mithra::axbench

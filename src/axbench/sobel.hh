@@ -1,0 +1,46 @@
+/**
+ * @file
+ * sobel — image processing (Sobel edge detector).
+ *
+ * The safe-to-approximate function maps a 3x3 pixel window (9 inputs,
+ * normalized to [0, 1]) to the gradient magnitude of the center pixel
+ * (1 output). NPU topology 9->8->1; quality metric is image diff
+ * (paper Table I).
+ */
+
+#ifndef MITHRA_AXBENCH_SOBEL_HH
+#define MITHRA_AXBENCH_SOBEL_HH
+
+#include "axbench/benchmark.hh"
+#include "axbench/image.hh"
+
+namespace mithra::axbench
+{
+
+class Sobel final : public Benchmark
+{
+  public:
+    std::string name() const override { return "sobel"; }
+    std::string domain() const override { return "Image Processing"; }
+    QualityMetric metric() const override
+    {
+        return QualityMetric::ImageDiff;
+    }
+    npu::Topology npuTopology() const override { return {9, 8, 1}; }
+    npu::TrainerOptions npuTrainerOptions() const override;
+    unsigned tableQuantizerBits() const override { return 1; }
+
+    std::unique_ptr<Dataset> makeDataset(std::uint64_t seed) const override;
+    InvocationTrace trace(const Dataset &dataset) const override;
+    FinalOutput recompose(
+        const Dataset &dataset, const InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override;
+    BenchmarkCosts measureCosts() const override;
+
+    /** Image edge length (paper: 512; default here: 128, scalable). */
+    static std::size_t imageEdge();
+};
+
+} // namespace mithra::axbench
+
+#endif // MITHRA_AXBENCH_SOBEL_HH

@@ -1,0 +1,40 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace mithra
+{
+
+namespace
+{
+bool informOn = true;
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn = enabled;
+}
+
+bool
+informEnabled()
+{
+    return informOn;
+}
+
+namespace detail
+{
+
+void
+emitMessage(const char *prefix, const std::string &message)
+{
+    if (message.empty())
+        return;
+    if (prefix == std::string("info") && !informOn)
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix, message.c_str());
+}
+
+} // namespace detail
+
+} // namespace mithra

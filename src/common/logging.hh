@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            library itself. Aborts (may dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something may not behave as the user expects.
+ * inform() — progress / status messages.
+ */
+
+#ifndef MITHRA_COMMON_LOGGING_HH
+#define MITHRA_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mithra
+{
+
+namespace detail
+{
+
+/** Formats "prefix: message" and writes it to stderr. */
+void emitMessage(const char *prefix, const std::string &message);
+
+/** Concatenate an arbitrary list of streamable values into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal library bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitMessage("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitMessage("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Enable/disable inform() output (benchmark harnesses silence it). */
+void setInformEnabled(bool enabled);
+
+/** @return whether inform() currently prints. */
+bool informEnabled();
+
+} // namespace mithra
+
+/**
+ * Assert an internal invariant with a formatted explanation. Active in
+ * all build types: classifier and simulator state is cheap to check
+ * relative to the modeled work.
+ */
+#define MITHRA_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mithra::panic("assertion `", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, ": ", __VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#endif // MITHRA_COMMON_LOGGING_HH

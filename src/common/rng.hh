@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the whole library.
+ *
+ * Every experiment in this repository must be exactly reproducible from
+ * a seed, so we implement our own small generators instead of relying on
+ * implementation-defined std::default_random_engine distributions:
+ *
+ *  - SplitMix64: used to expand user seeds into generator state.
+ *  - Xoshiro256**: the main generator (Blackman & Vigna), fast and with
+ *    good statistical quality for simulation workloads.
+ *
+ * Distribution helpers (uniform, normal, lognormal, exponential) are
+ * implemented here so results are bit-identical across platforms.
+ */
+
+#ifndef MITHRA_COMMON_RNG_HH
+#define MITHRA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mithra
+{
+
+/** SplitMix64 step: expands a 64-bit state into a stream of values. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * Xoshiro256** deterministic random number generator with portable
+ * distribution helpers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return standard normal variate (Box–Muller, cached pair). */
+    double normal();
+
+    /** @return normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /** @return lognormal variate exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** @return exponential variate with the given rate. */
+    double exponential(double rate);
+
+    /** @return true with probability p. */
+    bool bernoulli(double p);
+
+    /** Fisher–Yates shuffle of an index vector [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s[4];
+    double cachedNormal;
+    bool hasCachedNormal;
+};
+
+} // namespace mithra
+
+#endif // MITHRA_COMMON_RNG_HH

@@ -1,0 +1,50 @@
+#include "common/scale.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mithra
+{
+
+double
+experimentScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("MITHRA_SCALE");
+        if (!env)
+            return 1.0;
+        char *end = nullptr;
+        double value = std::strtod(env, &end);
+        if (end == env || value <= 0.0 || value > 100.0) {
+            fatal("MITHRA_SCALE must be a float in (0, 100], got `",
+                  env, "'");
+        }
+        return value;
+    }();
+    return scale;
+}
+
+std::size_t
+scaledCount(std::size_t full, std::size_t minimum)
+{
+    const double scaled = static_cast<double>(full) * experimentScale();
+    const auto count = std::max<std::size_t>(
+        static_cast<std::size_t>(scaled), 1);
+    return std::max(minimum, count);
+}
+
+std::size_t
+numCompileDatasets()
+{
+    return scaledCount(250);
+}
+
+std::size_t
+numValidationDatasets()
+{
+    return scaledCount(250);
+}
+
+} // namespace mithra

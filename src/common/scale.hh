@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Experiment scale knobs.
+ *
+ * The paper's evaluation uses 250 compilation datasets and 250 unseen
+ * validation datasets per benchmark. Running the full pipeline at that
+ * scale is the default; the MITHRA_SCALE environment variable (a float,
+ * e.g. 0.2) shrinks dataset counts and sizes proportionally so the whole
+ * harness can be smoke-tested quickly.
+ */
+
+#ifndef MITHRA_COMMON_SCALE_HH
+#define MITHRA_COMMON_SCALE_HH
+
+#include <cstddef>
+
+namespace mithra
+{
+
+/** @return the global scale factor from MITHRA_SCALE (default 1.0). */
+double experimentScale();
+
+/** Scale a count, clamped below by the given minimum. */
+std::size_t scaledCount(std::size_t full, std::size_t minimum = 8);
+
+/** Paper value: datasets used to find the threshold and train. */
+std::size_t numCompileDatasets();
+
+/** Paper value: unseen datasets used for validation/evaluation. */
+std::size_t numValidationDatasets();
+
+} // namespace mithra
+
+#endif // MITHRA_COMMON_SCALE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared numeric vector aliases.
+ *
+ * Accelerator invocations move small vectors of scalars between the
+ * core, the classifier and the NPU. Single precision matches the NPU
+ * hardware the paper builds on and halves the memory footprint of the
+ * cached invocation traces.
+ */
+
+#ifndef MITHRA_COMMON_VEC_HH
+#define MITHRA_COMMON_VEC_HH
+
+#include <vector>
+
+namespace mithra
+{
+
+/** An accelerator input or output vector. */
+using Vec = std::vector<float>;
+
+/** A batch of vectors. */
+using VecBatch = std::vector<Vec>;
+
+} // namespace mithra
+
+#endif // MITHRA_COMMON_VEC_HH

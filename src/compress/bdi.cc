@@ -1,0 +1,282 @@
+#include "compress/bdi.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mithra::compress
+{
+
+namespace
+{
+
+/** Read a little-endian unsigned word of `width` bytes at `offset`. */
+std::uint64_t
+readWord(const std::array<std::uint8_t, lineBytes> &line,
+         std::size_t offset, std::size_t width)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i)
+        value |= static_cast<std::uint64_t>(line[offset + i]) << (8 * i);
+    return value;
+}
+
+/** Write a little-endian unsigned word of `width` bytes. */
+void
+writeWord(std::array<std::uint8_t, lineBytes> &line, std::size_t offset,
+          std::size_t width, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < width; ++i)
+        line[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+/** Sign-extend a `width`-byte value to 64 bits. */
+std::int64_t
+signExtend(std::uint64_t value, std::size_t width)
+{
+    const int shift = static_cast<int>(64 - 8 * width);
+    return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/** Does `delta` fit in a signed `width`-byte integer? */
+bool
+fitsSigned(std::int64_t delta, std::size_t width)
+{
+    const std::int64_t bound = std::int64_t{1} << (8 * width - 1);
+    return delta >= -bound && delta < bound;
+}
+
+/**
+ * Try a base+delta encoding. Returns true and fills `payload` with
+ * [base | deltas...] when every word's delta from the first word fits.
+ */
+bool
+tryBaseDelta(const std::array<std::uint8_t, lineBytes> &line,
+             std::size_t baseWidth, std::size_t deltaWidth,
+             std::vector<std::uint8_t> &payload)
+{
+    const std::size_t words = lineBytes / baseWidth;
+    const auto base =
+        static_cast<std::int64_t>(signExtend(readWord(line, 0, baseWidth),
+                                             baseWidth));
+
+    std::vector<std::int64_t> deltas(words);
+    for (std::size_t w = 0; w < words; ++w) {
+        const auto value = signExtend(readWord(line, w * baseWidth,
+                                               baseWidth), baseWidth);
+        const std::int64_t delta = value - base;
+        if (!fitsSigned(delta, deltaWidth))
+            return false;
+        deltas[w] = delta;
+    }
+
+    payload.clear();
+    payload.reserve(baseWidth + words * deltaWidth);
+    for (std::size_t i = 0; i < baseWidth; ++i) {
+        payload.push_back(static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(base) >> (8 * i)));
+    }
+    for (std::size_t w = 0; w < words; ++w) {
+        for (std::size_t i = 0; i < deltaWidth; ++i) {
+            payload.push_back(static_cast<std::uint8_t>(
+                static_cast<std::uint64_t>(deltas[w]) >> (8 * i)));
+        }
+    }
+    return true;
+}
+
+struct SchemeSpec
+{
+    BdiEncoding encoding;
+    std::size_t baseWidth;
+    std::size_t deltaWidth;
+};
+
+/** Candidate base+delta schemes, cheapest payload first. */
+constexpr SchemeSpec schemes[] = {
+    {BdiEncoding::Base8Delta1, 8, 1}, // 8 + 8  = 16 B
+    {BdiEncoding::Base4Delta1, 4, 1}, // 4 + 16 = 20 B
+    {BdiEncoding::Base8Delta2, 8, 2}, // 8 + 16 = 24 B
+    {BdiEncoding::Base2Delta1, 2, 1}, // 2 + 32 = 34 B
+    {BdiEncoding::Base4Delta2, 4, 2}, // 4 + 32 = 36 B
+    {BdiEncoding::Base8Delta4, 8, 4}, // 8 + 32 = 40 B
+};
+
+} // namespace
+
+std::string
+encodingName(BdiEncoding encoding)
+{
+    switch (encoding) {
+      case BdiEncoding::Zeros: return "zeros";
+      case BdiEncoding::Repeated: return "repeated";
+      case BdiEncoding::Base8Delta1: return "b8d1";
+      case BdiEncoding::Base8Delta2: return "b8d2";
+      case BdiEncoding::Base8Delta4: return "b8d4";
+      case BdiEncoding::Base4Delta1: return "b4d1";
+      case BdiEncoding::Base4Delta2: return "b4d2";
+      case BdiEncoding::Base2Delta1: return "b2d1";
+      case BdiEncoding::Uncompressed: return "raw";
+    }
+    panic("unknown BDI encoding");
+}
+
+BdiLine
+compressLine(const std::array<std::uint8_t, lineBytes> &line)
+{
+    // Zero line?
+    if (std::all_of(line.begin(), line.end(),
+                    [](std::uint8_t b) { return b == 0; })) {
+        return {BdiEncoding::Zeros, {}};
+    }
+
+    // Repeated 8-byte value?
+    {
+        const std::uint64_t first = readWord(line, 0, 8);
+        bool repeated = true;
+        for (std::size_t w = 1; w < lineBytes / 8 && repeated; ++w)
+            repeated = readWord(line, w * 8, 8) == first;
+        if (repeated) {
+            std::vector<std::uint8_t> payload(line.begin(),
+                                              line.begin() + 8);
+            return {BdiEncoding::Repeated, std::move(payload)};
+        }
+    }
+
+    // Base+delta schemes, in increasing payload order.
+    BdiLine best{BdiEncoding::Uncompressed,
+                 std::vector<std::uint8_t>(line.begin(), line.end())};
+    for (const auto &scheme : schemes) {
+        std::vector<std::uint8_t> payload;
+        if (tryBaseDelta(line, scheme.baseWidth, scheme.deltaWidth,
+                         payload)) {
+            if (payload.size() < best.payload.size())
+                best = {scheme.encoding, std::move(payload)};
+        }
+    }
+    return best;
+}
+
+std::array<std::uint8_t, lineBytes>
+decompressLine(const BdiLine &line)
+{
+    std::array<std::uint8_t, lineBytes> out{};
+
+    switch (line.encoding) {
+      case BdiEncoding::Zeros:
+        return out;
+      case BdiEncoding::Repeated: {
+        MITHRA_ASSERT(line.payload.size() == 8, "bad repeated payload");
+        for (std::size_t w = 0; w < lineBytes / 8; ++w) {
+            std::copy(line.payload.begin(), line.payload.end(),
+                      out.begin() + static_cast<std::ptrdiff_t>(w * 8));
+        }
+        return out;
+      }
+      case BdiEncoding::Uncompressed:
+        MITHRA_ASSERT(line.payload.size() == lineBytes, "bad raw payload");
+        std::copy(line.payload.begin(), line.payload.end(), out.begin());
+        return out;
+      default:
+        break;
+    }
+
+    // Base+delta decode.
+    const SchemeSpec *spec = nullptr;
+    for (const auto &scheme : schemes) {
+        if (scheme.encoding == line.encoding) {
+            spec = &scheme;
+            break;
+        }
+    }
+    MITHRA_ASSERT(spec, "unhandled BDI encoding in decompressLine");
+
+    const std::size_t words = lineBytes / spec->baseWidth;
+    MITHRA_ASSERT(line.payload.size()
+                      == spec->baseWidth + words * spec->deltaWidth,
+                  "bad base+delta payload size");
+
+    std::uint64_t baseRaw = 0;
+    for (std::size_t i = 0; i < spec->baseWidth; ++i)
+        baseRaw |= static_cast<std::uint64_t>(line.payload[i]) << (8 * i);
+    const std::int64_t base = signExtend(baseRaw, spec->baseWidth);
+
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t deltaRaw = 0;
+        const std::size_t offset = spec->baseWidth + w * spec->deltaWidth;
+        for (std::size_t i = 0; i < spec->deltaWidth; ++i) {
+            deltaRaw |= static_cast<std::uint64_t>(line.payload[offset + i])
+                << (8 * i);
+        }
+        const std::int64_t value = base
+            + signExtend(deltaRaw, spec->deltaWidth);
+        writeWord(out, w * spec->baseWidth, spec->baseWidth,
+                  static_cast<std::uint64_t>(value));
+    }
+    return out;
+}
+
+std::size_t
+BdiBuffer::compressedBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &line : lines)
+        total += line.sizeBytes();
+    return total;
+}
+
+double
+BdiBuffer::ratio() const
+{
+    const std::size_t compressed = compressedBytes();
+    if (compressed == 0)
+        return 1.0;
+    return static_cast<double>(originalBytes)
+        / static_cast<double>(compressed);
+}
+
+BdiBuffer
+compressBuffer(const std::vector<std::uint8_t> &bytes)
+{
+    BdiBuffer out;
+    out.originalBytes = bytes.size();
+    for (std::size_t offset = 0; offset < bytes.size();
+         offset += lineBytes) {
+        std::array<std::uint8_t, lineBytes> line{};
+        const std::size_t n = std::min(lineBytes, bytes.size() - offset);
+        std::memcpy(line.data(), bytes.data() + offset, n);
+        out.lines.push_back(compressLine(line));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+decompressBuffer(const BdiBuffer &buffer)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(buffer.lines.size() * lineBytes);
+    for (const auto &line : buffer.lines) {
+        const auto raw = decompressLine(line);
+        out.insert(out.end(), raw.begin(), raw.end());
+    }
+    out.resize(buffer.originalBytes);
+    return out;
+}
+
+std::size_t
+decompressCycles(BdiEncoding encoding)
+{
+    switch (encoding) {
+      case BdiEncoding::Zeros:
+      case BdiEncoding::Uncompressed:
+        return 0;
+      case BdiEncoding::Repeated:
+        return 1;
+      default:
+        // One vector add to apply deltas plus one cycle of setup.
+        return 2;
+    }
+}
+
+} // namespace mithra::compress

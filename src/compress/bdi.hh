@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Base-Delta-Immediate (BDI) cache-line compression
+ * [Pekhimenko et al., PACT 2012], used by MITHRA to compress the trained
+ * decision tables before encoding them in the program binary
+ * (paper §IV-C.1 and §V-B.3 / Table II).
+ *
+ * A 64-byte line is encoded with the cheapest applicable scheme:
+ *   - Zeros: the whole line is zero (payload-free).
+ *   - Repeated: one 8-byte value repeated across the line.
+ *   - B<base>D<delta>: one <base>-byte base plus per-word deltas that
+ *     each fit in <delta> bytes (signed).
+ * Otherwise the line stays uncompressed. Compression/decompression use
+ * only additions, subtractions and comparisons, matching the
+ * low-latency hardware the paper assumes.
+ */
+
+#ifndef MITHRA_COMPRESS_BDI_HH
+#define MITHRA_COMPRESS_BDI_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mithra::compress
+{
+
+/** Bytes per compression line, matching a cache line. */
+constexpr std::size_t lineBytes = 64;
+
+/** The BDI encoding chosen for a line. */
+enum class BdiEncoding : std::uint8_t
+{
+    Zeros,
+    Repeated,
+    Base8Delta1,
+    Base8Delta2,
+    Base8Delta4,
+    Base4Delta1,
+    Base4Delta2,
+    Base2Delta1,
+    Uncompressed,
+};
+
+/** Human-readable encoding name (for reports and tests). */
+std::string encodingName(BdiEncoding encoding);
+
+/** A compressed 64-byte line. */
+struct BdiLine
+{
+    BdiEncoding encoding;
+    /** Base + deltas (or raw bytes when uncompressed). */
+    std::vector<std::uint8_t> payload;
+
+    /** Payload bytes plus the per-line 4-bit encoding tag (rounded up). */
+    std::size_t sizeBytes() const { return payload.size() + 1; }
+};
+
+/** Compress one 64-byte line with the cheapest applicable encoding. */
+BdiLine compressLine(const std::array<std::uint8_t, lineBytes> &line);
+
+/** Exact inverse of compressLine(). */
+std::array<std::uint8_t, lineBytes> decompressLine(const BdiLine &line);
+
+/** Result of compressing a whole buffer (e.g. a decision table). */
+struct BdiBuffer
+{
+    std::vector<BdiLine> lines;
+    std::size_t originalBytes;
+
+    /** Total compressed size in bytes (payloads + tags). */
+    std::size_t compressedBytes() const;
+
+    /** originalBytes / compressedBytes. */
+    double ratio() const;
+};
+
+/**
+ * Compress an arbitrary buffer by splitting it into 64-byte lines
+ * (zero-padding the final partial line).
+ */
+BdiBuffer compressBuffer(const std::vector<std::uint8_t> &bytes);
+
+/** Exact inverse of compressBuffer (returns originalBytes bytes). */
+std::vector<std::uint8_t> decompressBuffer(const BdiBuffer &buffer);
+
+/**
+ * Modeled decompression cost of one line in cycles: vector add plus
+ * compare, per the paper's "only addition, subtraction and comparison"
+ * claim. Uncompressed and zero lines are free to expand.
+ */
+std::size_t decompressCycles(BdiEncoding encoding);
+
+} // namespace mithra::compress
+
+#endif // MITHRA_COMPRESS_BDI_HH

@@ -1,0 +1,71 @@
+#include "core/classifier.hh"
+
+#include "common/logging.hh"
+
+namespace mithra::core
+{
+
+void
+Classifier::beginDataset(const axbench::InvocationTrace &)
+{
+}
+
+void
+Classifier::observe(const Vec &, float)
+{
+}
+
+OracleClassifier::OracleClassifier(float threshold)
+    : errorThreshold(threshold)
+{
+    MITHRA_ASSERT(threshold >= 0.0f, "negative oracle threshold");
+}
+
+void
+OracleClassifier::beginDataset(const axbench::InvocationTrace &trace)
+{
+    MITHRA_ASSERT(trace.hasApproximations(),
+                  "oracle needs the accelerator outputs in the trace");
+    currentTrace = &trace;
+}
+
+bool
+OracleClassifier::decidePrecise(const Vec &, std::size_t invocationIndex)
+{
+    MITHRA_ASSERT(currentTrace, "oracle used without beginDataset");
+    return currentTrace->maxAbsError(invocationIndex) > errorThreshold;
+}
+
+sim::ClassifierCost
+OracleClassifier::cost() const
+{
+    return {}; // the oracle is free (and infeasible)
+}
+
+RandomFilterClassifier::RandomFilterClassifier(double preciseFraction,
+                                               std::uint64_t seed)
+    : fraction(preciseFraction), rng(seed)
+{
+    MITHRA_ASSERT(preciseFraction >= 0.0 && preciseFraction <= 1.0,
+                  "precise fraction out of range: ", preciseFraction);
+}
+
+bool
+RandomFilterClassifier::decidePrecise(const Vec &, std::size_t)
+{
+    return rng.bernoulli(fraction);
+}
+
+sim::ClassifierCost
+RandomFilterClassifier::cost() const
+{
+    // A free-running LFSR and one compare.
+    sim::ClassifierCost cost;
+    cost.extraCyclesAccel = 0.0;
+    cost.extraCyclesPrecise = 1.0;
+    cost.energyPjPerInvocation = 0.5;
+    cost.sizeBytes = 8.0;
+    return cost;
+}
+
+} // namespace mithra::core

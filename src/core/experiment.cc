@@ -1,0 +1,376 @@
+#include "core/experiment.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/scale.hh"
+
+namespace mithra::core
+{
+
+std::string
+designName(Design design)
+{
+    switch (design) {
+      case Design::FullApprox: return "full-approx";
+      case Design::Oracle: return "oracle";
+      case Design::Table: return "table";
+      case Design::Neural: return "neural";
+      case Design::Random: return "random";
+    }
+    panic("unknown design");
+}
+
+ResultCache::ResultCache(const std::string &path)
+    : filePath(path)
+{
+    load();
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(filePath);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        entries[line.substr(0, tab)] = line.substr(tab + 1);
+    }
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string &key) const
+{
+    const auto it = entries.find(key);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultCache::put(const std::string &key, const std::string &value)
+{
+    entries[key] = value;
+    append(key, value);
+}
+
+void
+ResultCache::append(const std::string &key, const std::string &value)
+{
+    std::ofstream out(filePath, std::ios::app);
+    if (!out) {
+        warn("cannot append to result cache at ", filePath);
+        return;
+    }
+    out << key << '\t' << value << '\n';
+}
+
+bool
+RunOptions::isDefault() const
+{
+    const hw::TableGeometry defaults{};
+    return geometry.numTables == defaults.numTables
+        && geometry.tableBytes == defaults.tableBytes
+        && quantizerBits == 0 && onlineUpdates && !skipCalibration
+        && randomPreciseFraction == 0.0;
+}
+
+namespace
+{
+
+std::string
+cachePath()
+{
+    if (const char *env = std::getenv("MITHRA_CACHE"))
+        return env;
+    return ".mithra-cache.tsv";
+}
+
+std::string
+serializeRecord(const ExperimentRecord &record)
+{
+    const auto &e = record.eval;
+    std::ostringstream os;
+    os.precision(17);
+    os << e.kind << ' ' << e.meanQualityLoss << ' ' << e.p99QualityLoss
+       << ' ' << e.successes << ' ' << e.trials << ' '
+       << e.successLowerBound << ' ' << e.invocationRate << ' '
+       << e.speedup << ' ' << e.energyReduction << ' '
+       << e.edpImprovement << ' ' << e.falsePositiveRate << ' '
+       << e.falseNegativeRate << ' ' << e.totals.cycles << ' '
+       << e.totals.energyPj << ' ' << e.baselineTotals.cycles << ' '
+       << e.baselineTotals.energyPj << ' ' << record.threshold << ' '
+       << record.compressedBytes << ' '
+       << (record.topology.empty() ? "-" : record.topology);
+    return os.str();
+}
+
+ExperimentRecord
+parseRecord(const std::string &text)
+{
+    ExperimentRecord record;
+    auto &e = record.eval;
+    std::istringstream is(text);
+    is >> e.kind >> e.meanQualityLoss >> e.p99QualityLoss >> e.successes
+        >> e.trials >> e.successLowerBound >> e.invocationRate
+        >> e.speedup >> e.energyReduction >> e.edpImprovement
+        >> e.falsePositiveRate >> e.falseNegativeRate >> e.totals.cycles
+        >> e.totals.energyPj >> e.baselineTotals.cycles
+        >> e.baselineTotals.energyPj >> record.threshold
+        >> record.compressedBytes >> record.topology;
+    MITHRA_ASSERT(!is.fail(), "corrupt cache record: ", text);
+    if (record.topology == "-")
+        record.topology.clear();
+    return record;
+}
+
+std::string
+serializeWorkload(const WorkloadRecord &record)
+{
+    std::ostringstream os;
+    os.precision(17);
+    // Domain and metric names contain spaces; encode them with '_'.
+    auto encode = [](std::string s) {
+        for (auto &c : s)
+            if (c == ' ')
+                c = '_';
+        return s;
+    };
+    os << encode(record.domain) << ' ' << encode(record.metricName)
+       << ' ' << record.npuTopology << ' ' << record.fullApproxLossMean
+       << ' ' << record.npuTrainMse << ' '
+       << record.preciseCyclesPerInvocation << ' '
+       << record.accelCyclesPerInvocation << ' '
+       << record.invocationsPerDataset;
+    return os.str();
+}
+
+WorkloadRecord
+parseWorkload(const std::string &text)
+{
+    WorkloadRecord record;
+    std::istringstream is(text);
+    is >> record.domain >> record.metricName >> record.npuTopology
+        >> record.fullApproxLossMean >> record.npuTrainMse
+        >> record.preciseCyclesPerInvocation
+        >> record.accelCyclesPerInvocation
+        >> record.invocationsPerDataset;
+    MITHRA_ASSERT(!is.fail(), "corrupt workload record: ", text);
+    auto decode = [](std::string s) {
+        for (auto &c : s)
+            if (c == '_')
+                c = ' ';
+        return s;
+    };
+    record.domain = decode(record.domain);
+    record.metricName = decode(record.metricName);
+    return record;
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(const PipelineOptions &options)
+    : pipeline(options), cache(cachePath())
+{
+}
+
+std::string
+ExperimentRunner::specKey(const QualitySpec &spec) const
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << spec.maxQualityLossPct << ':' << spec.confidence << ':'
+       << spec.successRate;
+    return os.str();
+}
+
+std::string
+ExperimentRunner::cacheKey(const std::string &benchmark,
+                           const QualitySpec &spec, Design design,
+                           const RunOptions &options) const
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "v5:" << benchmark << ':' << specKey(spec) << ':'
+       << designName(design) << ':' << options.geometry.numTables << 'x'
+       << options.geometry.tableBytes << ':' << options.quantizerBits
+       << ':' << (options.onlineUpdates ? 1 : 0)
+       << (options.skipCalibration ? ":nc" : "") << ':'
+       << options.randomPreciseFraction << ":s"
+       << experimentScale() << ":d"
+       << pipeline.options().compileDatasetCount << ":x"
+       << pipeline.options().seed;
+    return os.str();
+}
+
+ExperimentRunner::LoadedWorkload &
+ExperimentRunner::loaded(const std::string &benchmark)
+{
+    auto it = workloads.find(benchmark);
+    if (it == workloads.end()) {
+        LoadedWorkload entry;
+        entry.workload = pipeline.compile(benchmark);
+        entry.validation = makeValidationSet(entry.workload);
+        it = workloads.emplace(benchmark, std::move(entry)).first;
+    }
+    return it->second;
+}
+
+const CompiledWorkload &
+ExperimentRunner::workload(const std::string &benchmark)
+{
+    return loaded(benchmark).workload;
+}
+
+QualityPackage &
+ExperimentRunner::package(LoadedWorkload &entry, const QualitySpec &spec)
+{
+    const std::string key = specKey(spec);
+    auto it = entry.packages.find(key);
+    if (it == entry.packages.end()) {
+        QualityPackage pkg;
+        pkg.spec = spec;
+        pkg.threshold = pipeline.tuneThreshold(entry.workload, spec);
+        it = entry.packages.emplace(key, std::move(pkg)).first;
+    }
+    return it->second;
+}
+
+ExperimentRecord
+ExperimentRunner::run(const std::string &benchmark,
+                      const QualitySpec &spec, Design design,
+                      const RunOptions &options)
+{
+    const std::string key = cacheKey(benchmark, spec, design, options);
+    if (const auto cached = cache.get(key))
+        return parseRecord(*cached);
+
+    LoadedWorkload &entry = loaded(benchmark);
+    QualityPackage &pkg = package(entry, spec);
+    const Evaluator evaluator(entry.workload, spec,
+                              pkg.threshold.threshold);
+
+    ExperimentRecord record;
+    record.threshold = pkg.threshold.threshold;
+
+    switch (design) {
+      case Design::FullApprox:
+        record.eval = evaluator.evaluateFullApprox(entry.validation);
+        break;
+      case Design::Oracle:
+        record.eval = evaluator.evaluateOracle(entry.validation);
+        break;
+      case Design::Table: {
+        TableClassifierOptions tableOpts;
+        tableOpts.geometry = options.geometry;
+        tableOpts.quantizerBits = options.quantizerBits;
+        tableOpts.onlineUpdates = options.onlineUpdates;
+        // Reuse the default-options classifier across binaries via the
+        // package; bespoke options always retrain.
+        if (options.isDefault() && pkg.table) {
+            TableClassifier copy = *pkg.table; // keep cached one pristine
+            record.eval = evaluator.evaluate(copy, entry.validation);
+            record.compressedBytes = static_cast<double>(
+                pkg.table->compressedSizeBytes());
+        } else if (options.skipCalibration) {
+            const TrainingData data = pipeline.makeTrainingData(
+                entry.workload, pkg.threshold.threshold);
+            auto trained = TableClassifier::train(data, tableOpts);
+            record.compressedBytes =
+                static_cast<double>(trained.compressedSizeBytes());
+            record.eval = evaluator.evaluate(trained, entry.validation);
+        } else {
+            auto tuned = pipeline.tuneTable(entry.workload, spec,
+                                            pkg.threshold, tableOpts);
+            if (options.isDefault())
+                pkg.table = std::move(tuned.classifier);
+            TableClassifier &trained =
+                options.isDefault() ? *pkg.table : *tuned.classifier;
+            record.compressedBytes =
+                static_cast<double>(trained.compressedSizeBytes());
+            TableClassifier copy = trained;
+            record.eval = evaluator.evaluate(copy, entry.validation);
+        }
+        break;
+      }
+      case Design::Neural: {
+        if (!pkg.neural) {
+            auto tuned = pipeline.tuneNeural(entry.workload, spec,
+                                             pkg.threshold);
+            pkg.neural = std::move(tuned.classifier);
+        }
+        record.eval = evaluator.evaluate(*pkg.neural, entry.validation);
+        record.topology = npu::topologyName(pkg.neural->topology());
+        record.compressedBytes =
+            static_cast<double>(pkg.neural->configSizeBytes());
+        break;
+      }
+      case Design::Random:
+        record.eval = evaluator.evaluateRandom(
+            entry.validation, options.randomPreciseFraction);
+        break;
+    }
+
+    cache.put(key, serializeRecord(record));
+    return record;
+}
+
+WorkloadRecord
+ExperimentRunner::workloadFacts(const std::string &benchmark)
+{
+    std::ostringstream keyStream;
+    keyStream << "meta:v5:" << benchmark << ":s" << experimentScale()
+              << ":d" << pipeline.options().compileDatasetCount << ":x"
+              << pipeline.options().seed;
+    const std::string key = keyStream.str();
+    if (const auto cached = cache.get(key))
+        return parseWorkload(*cached);
+
+    LoadedWorkload &entry = loaded(benchmark);
+    WorkloadRecord record;
+    record.domain = entry.workload.benchmark->domain();
+    record.metricName =
+        axbench::metricName(entry.workload.benchmark->metric());
+    record.npuTopology =
+        npu::topologyName(entry.workload.benchmark->npuTopology());
+    record.fullApproxLossMean = entry.workload.fullApproxLossMean;
+    record.npuTrainMse = entry.workload.npuTrainMse;
+    record.preciseCyclesPerInvocation = entry.workload.profile.preciseCycles;
+    record.accelCyclesPerInvocation = entry.workload.profile.accelCycles;
+    record.invocationsPerDataset =
+        entry.workload.profile.invocationsPerDataset;
+
+    cache.put(key, serializeWorkload(record));
+    return record;
+}
+
+std::vector<double>
+ExperimentRunner::elementErrorSample(const std::string &benchmark,
+                                     std::size_t maxSamples)
+{
+    LoadedWorkload &entry = loaded(benchmark);
+    const auto &bench = *entry.workload.benchmark;
+
+    std::vector<double> errors;
+    for (const auto &validationEntry : entry.validation.entries) {
+        const auto approxFinal = bench.approxOutput(
+            *validationEntry.dataset, *validationEntry.trace);
+        const auto elementErrs = axbench::elementErrors(
+            bench.metric(), validationEntry.preciseFinal, approxFinal);
+        errors.insert(errors.end(), elementErrs.begin(),
+                      elementErrs.end());
+        if (errors.size() >= maxSamples)
+            break;
+    }
+    if (errors.size() > maxSamples)
+        errors.resize(maxSamples);
+    return errors;
+}
+
+} // namespace mithra::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Shared experiment driver for the benchmark harness.
+ *
+ * Every bench/ binary regenerates one of the paper's tables or
+ * figures; most of them need the same expensive grid of evaluations
+ * (compile a workload, tune the knob, train classifiers, validate on
+ * unseen datasets). The ExperimentRunner compiles each workload once
+ * per process and memoizes every evaluation in a TSV result cache on
+ * disk, so running all bench binaries back to back costs roughly one
+ * grid computation.
+ *
+ * Cache location: $MITHRA_CACHE, defaulting to ".mithra-cache.tsv" in
+ * the working directory. Delete the file to force recomputation. Keys
+ * include the experiment scale and dataset counts, so cached results
+ * are never mixed across scales.
+ */
+
+#ifndef MITHRA_CORE_EXPERIMENT_HH
+#define MITHRA_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "core/runtime.hh"
+
+namespace mithra::core
+{
+
+/** The designs the paper compares. */
+enum class Design
+{
+    FullApprox,
+    Oracle,
+    Table,
+    Neural,
+    Random,
+};
+
+std::string designName(Design design);
+
+/** One cached evaluation row. */
+struct ExperimentRecord
+{
+    DesignEvaluation eval;
+    /** Tuned accelerator-error threshold behind this evaluation. */
+    double threshold = 0.0;
+    /** Compressed table size (table design only). */
+    double compressedBytes = 0.0;
+    /** Selected neural topology (neural design only). */
+    std::string topology;
+};
+
+/** Workload-level facts for Table I / Table II / Figure 1. */
+struct WorkloadRecord
+{
+    std::string domain;
+    std::string metricName;
+    std::string npuTopology;
+    double fullApproxLossMean = 0.0;
+    double npuTrainMse = 0.0;
+    double preciseCyclesPerInvocation = 0.0;
+    double accelCyclesPerInvocation = 0.0;
+    std::size_t invocationsPerDataset = 0;
+};
+
+/** A flat string-keyed TSV store. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(const std::string &path);
+
+    std::optional<std::string> get(const std::string &key) const;
+    void put(const std::string &key, const std::string &value);
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    void load();
+    void append(const std::string &key, const std::string &value);
+
+    std::string filePath;
+    std::map<std::string, std::string> entries;
+};
+
+/** Per-run experiment knobs beyond the quality spec. */
+struct RunOptions
+{
+    /** Table geometry (Figure 11 sweeps this). */
+    hw::TableGeometry geometry{};
+    /** Table quantizer bits override (0 = benchmark hint). */
+    unsigned quantizerBits = 0;
+    /** Online table updates on/off (ablation). */
+    bool onlineUpdates = true;
+    /**
+     * Train the table once at the tuned threshold instead of running
+     * the closed-loop calibration (Figure 11's geometry sweep measures
+     * capacity vs invocation rate, not contract certification).
+     */
+    bool skipCalibration = false;
+    /** Random design: fraction run precisely. */
+    double randomPreciseFraction = 0.0;
+
+    /** True when every field still has its default value. */
+    bool isDefault() const;
+};
+
+/** Compiles workloads lazily and memoizes evaluations. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(
+        const PipelineOptions &options = PipelineOptions{});
+
+    /** Evaluate one (benchmark, contract, design) cell. */
+    ExperimentRecord run(const std::string &benchmark,
+                         const QualitySpec &spec, Design design,
+                         const RunOptions &options = RunOptions{});
+
+    /** Workload-level facts (compiles on first use). */
+    WorkloadRecord workloadFacts(const std::string &benchmark);
+
+    /**
+     * Per-element final error samples under full approximation over
+     * the validation sets (Figure 1). Not cached on disk (bulk data);
+     * requires the compiled workload.
+     */
+    std::vector<double> elementErrorSample(const std::string &benchmark,
+                                           std::size_t maxSamples);
+
+    /** Access the lazily compiled workload (tests/diagnostics). */
+    const CompiledWorkload &workload(const std::string &benchmark);
+
+    const PipelineOptions &pipelineOptions() const
+    {
+        return pipeline.options();
+    }
+
+  private:
+    struct LoadedWorkload
+    {
+        CompiledWorkload workload;
+        ValidationSet validation;
+        /** Tuned packages per quality-spec key. */
+        std::map<std::string, QualityPackage> packages;
+    };
+
+    LoadedWorkload &loaded(const std::string &benchmark);
+    QualityPackage &package(LoadedWorkload &entry,
+                            const QualitySpec &spec);
+    std::string specKey(const QualitySpec &spec) const;
+    std::string cacheKey(const std::string &benchmark,
+                         const QualitySpec &spec, Design design,
+                         const RunOptions &options) const;
+
+    Pipeline pipeline;
+    ResultCache cache;
+    std::map<std::string, LoadedWorkload> workloads;
+};
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_EXPERIMENT_HH

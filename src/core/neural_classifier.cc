@@ -1,0 +1,217 @@
+#include "core/neural_classifier.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "npu/trainer.hh"
+
+namespace mithra::core
+{
+
+namespace
+{
+
+/** Balanced, capped (input, one-hot target) sample for training. */
+struct PreparedSamples
+{
+    VecBatch trainInputs, trainTargets;
+    VecBatch holdoutInputs;
+    std::vector<std::uint8_t> holdoutLabels;
+};
+
+PreparedSamples
+prepareSamples(const TrainingData &data,
+               const NeuralClassifierOptions &options)
+{
+    Rng rng(options.trainer.seed ^ 0x6e657572616cULL);
+    const std::size_t n = data.rawInputs.size();
+    const auto order = rng.permutation(n);
+
+    // Split off the holdout set first.
+    const auto holdoutCount = static_cast<std::size_t>(
+        options.holdoutFraction * static_cast<double>(n));
+
+    // Indices per class from the remaining pool.
+    std::vector<std::size_t> preciseIdx, accelIdx;
+    PreparedSamples out;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = order[k];
+        if (k < holdoutCount) {
+            out.holdoutInputs.push_back(data.rawInputs[i]);
+            out.holdoutLabels.push_back(data.labels[i]);
+        } else if (data.labels[i]) {
+            preciseIdx.push_back(i);
+        } else {
+            accelIdx.push_back(i);
+        }
+    }
+
+    // Class balancing: precise inputs are rare (that is the whole
+    // premise), so replicate them up to parity — or beyond it by the
+    // conservativeness knob — capped overall.
+    const std::size_t perClass = std::min(
+        options.maxTrainSamples / 2,
+        std::max(preciseIdx.size(), accelIdx.size()));
+    const auto preciseCount = static_cast<std::size_t>(
+        static_cast<double>(perClass)
+        * std::max(1.0, options.preciseOversample));
+
+    auto emit = [&](const std::vector<std::size_t> &pool, bool precise,
+                    std::size_t count) {
+        if (pool.empty())
+            return;
+        for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t i = pool[k % pool.size()];
+            out.trainInputs.push_back(data.rawInputs[i]);
+            out.trainTargets.push_back(precise ? Vec{0.9f, 0.1f}
+                                               : Vec{0.1f, 0.9f});
+        }
+    };
+    emit(preciseIdx, true, preciseCount);
+    emit(accelIdx, false, perClass);
+
+    // Shuffle so any prefix (the topology-selection subsample) mixes
+    // both classes.
+    const auto shuffled = rng.permutation(out.trainInputs.size());
+    VecBatch inputs(out.trainInputs.size());
+    VecBatch targets(out.trainTargets.size());
+    for (std::size_t k = 0; k < shuffled.size(); ++k) {
+        inputs[k] = std::move(out.trainInputs[shuffled[k]]);
+        targets[k] = std::move(out.trainTargets[shuffled[k]]);
+    }
+    out.trainInputs.swap(inputs);
+    out.trainTargets.swap(targets);
+    return out;
+}
+
+double
+holdoutAccuracy(const npu::Mlp &net, const npu::LinearScaler &scaler,
+                const VecBatch &inputs,
+                const std::vector<std::uint8_t> &labels)
+{
+    if (inputs.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const Vec out = net.forward(scaler.toUnit(inputs[i]));
+        const bool precise = out[0] > out[1];
+        if (precise == (labels[i] != 0))
+            ++correct;
+    }
+    return static_cast<double>(correct)
+        / static_cast<double>(inputs.size());
+}
+
+} // namespace
+
+NeuralClassifier::NeuralClassifier(npu::LinearScaler scaler, npu::Mlp netIn,
+                                   double accuracyIn,
+                                   const npu::NpuParams &params)
+    : inputScaler(std::move(scaler)), net(std::move(netIn)),
+      accuracy(accuracyIn), costModel(params)
+{
+}
+
+NeuralClassifier
+NeuralClassifier::train(const TrainingData &data,
+                        const NeuralClassifierOptions &options)
+{
+    MITHRA_ASSERT(!data.rawInputs.empty(), "no training samples");
+    MITHRA_ASSERT(!options.hiddenSizes.empty(), "no candidate topologies");
+
+    npu::LinearScaler scaler;
+    scaler.fit(data.rawInputs);
+
+    const PreparedSamples samples = prepareSamples(data, options);
+    MITHRA_ASSERT(!samples.trainInputs.empty(),
+                  "sample preparation produced no training data");
+
+    VecBatch unitInputs;
+    unitInputs.reserve(samples.trainInputs.size());
+    for (const auto &input : samples.trainInputs)
+        unitInputs.push_back(scaler.toUnit(input));
+
+    const std::size_t inputWidth = data.rawInputs.front().size();
+
+    // Topology selection (paper §IV-B): train every candidate on a
+    // subsample for a few epochs and keep the most accurate, with a
+    // small slack inside which fewer neurons win. The winner is then
+    // trained with the full budget.
+    std::size_t chosenHidden = options.forcedHidden;
+    if (chosenHidden == 0) {
+        const std::size_t subset = std::min(options.selectionSamples,
+                                            unitInputs.size());
+        const VecBatch selInputs(unitInputs.begin(),
+                                 unitInputs.begin()
+                                     + static_cast<std::ptrdiff_t>(
+                                         subset));
+        const VecBatch selTargets(samples.trainTargets.begin(),
+                                  samples.trainTargets.begin()
+                                      + static_cast<std::ptrdiff_t>(
+                                          subset));
+        double bestAccuracy = -1.0;
+        for (std::size_t hidden : options.hiddenSizes) {
+            npu::Mlp candidate({inputWidth, hidden, 2});
+            npu::initWeights(candidate, options.trainer.seed + hidden);
+            npu::TrainerOptions trainerOptions = options.trainer;
+            trainerOptions.epochs = options.selectionEpochs;
+            trainerOptions.seed += hidden;
+            npu::train(candidate, selInputs, selTargets, trainerOptions);
+
+            const double acc = holdoutAccuracy(candidate, scaler,
+                                               samples.holdoutInputs,
+                                               samples.holdoutLabels);
+            // Candidates are visited smallest first, so strictly
+            // better accuracy (beyond the slack) justifies growth.
+            if (acc > bestAccuracy + options.accuracySlack
+                || chosenHidden == 0) {
+                chosenHidden = hidden;
+                bestAccuracy = acc;
+            }
+        }
+    }
+
+    // Full training run for the selected topology.
+    npu::Mlp best({inputWidth, chosenHidden, 2});
+    npu::initWeights(best, options.trainer.seed + chosenHidden);
+    npu::TrainerOptions trainerOptions = options.trainer;
+    trainerOptions.seed += chosenHidden;
+    npu::train(best, unitInputs, samples.trainTargets, trainerOptions);
+    const double accuracy = holdoutAccuracy(best, scaler,
+                                            samples.holdoutInputs,
+                                            samples.holdoutLabels);
+
+    return NeuralClassifier(std::move(scaler), std::move(best), accuracy,
+                            options.npuParams);
+}
+
+bool
+NeuralClassifier::decidePrecise(const Vec &input, std::size_t)
+{
+    const Vec out = net.forward(inputScaler.toUnit(input));
+    return out[0] > out[1];
+}
+
+sim::ClassifierCost
+NeuralClassifier::cost() const
+{
+    const auto npuCost = costModel.invocationCost(net);
+    sim::ClassifierCost cost;
+    // The classifier shares the NPU with the accelerator: its forward
+    // pass serializes ahead of either outcome.
+    cost.extraCyclesAccel = static_cast<double>(npuCost.cycles);
+    cost.extraCyclesPrecise = static_cast<double>(npuCost.cycles);
+    cost.energyPjPerInvocation = npuCost.picoJoules;
+    cost.sizeBytes = static_cast<double>(net.sizeBytes());
+    return cost;
+}
+
+std::size_t
+NeuralClassifier::configSizeBytes() const
+{
+    // Weights plus the input scaling ranges.
+    return net.sizeBytes() + inputScaler.width() * 8;
+}
+
+} // namespace mithra::core

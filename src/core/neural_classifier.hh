@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The neural MITHRA classifier (paper §IV-B).
+ *
+ * A three-layer MLP with two output neurons (one-hot: neuron 0 fires
+ * for "precise") executed on the NPU hardware itself. The compiler
+ * trains the five candidate topologies (2, 4, 8, 16 or 32 hidden
+ * neurons) offline and deploys the one with the highest accuracy and
+ * the fewest neurons. Because the classifier shares the NPU, its
+ * forward pass serializes with the accelerator invocation and its
+ * cycles/energy are charged on every call.
+ */
+
+#ifndef MITHRA_CORE_NEURAL_CLASSIFIER_HH
+#define MITHRA_CORE_NEURAL_CLASSIFIER_HH
+
+#include "core/classifier.hh"
+#include "core/training_data.hh"
+#include "npu/approximator.hh"
+#include "npu/cost_model.hh"
+
+namespace mithra::core
+{
+
+/** Compile-time options for the neural design. */
+struct NeuralClassifierOptions
+{
+    /** Candidate hidden-layer widths (paper: 2, 4, 8, 16, 32). */
+    std::vector<std::size_t> hiddenSizes = {2, 4, 8, 16, 32};
+    /** Skip topology selection and use this hidden width (0 = select). */
+    std::size_t forcedHidden = 0;
+    /** Cap on training samples (training cost control). */
+    std::size_t maxTrainSamples = 30000;
+    /** Cheaper selection phase: candidates train on a subsample... */
+    std::size_t selectionSamples = 8000;
+    /** ...for fewer epochs; only the winner gets the full budget. */
+    std::size_t selectionEpochs = 20;
+    /** Fraction of samples held out for topology selection. */
+    double holdoutFraction = 0.15;
+    /** Accuracy slack within which a smaller network wins. */
+    double accuracySlack = 0.005;
+    /**
+     * Oversampling of the precise class beyond parity. Raising this
+     * biases mistakes toward false positives (quality-safe); the
+     * closed-loop calibration ramps it when the label threshold alone
+     * cannot certify the contract (bimodal error distributions).
+     */
+    double preciseOversample = 1.0;
+    /** Classifier training is cheaper than NPU mimic training. */
+    npu::TrainerOptions trainer{.epochs = 60,
+                                .learningRate = 0.3f,
+                                .momentum = 0.9f,
+                                .batchSize = 32,
+                                .seed = 0xc1a55,
+                                .targetMse = 0.0,
+                                .lrDecay = 0.99f};
+    /** NPU parameters used to cost the classifier's forward pass. */
+    npu::NpuParams npuParams{};
+};
+
+/** The deployable neural classifier. */
+class NeuralClassifier final : public Classifier
+{
+  public:
+    /** Train all candidate topologies and keep the best (see above). */
+    static NeuralClassifier train(const TrainingData &data,
+                                  const NeuralClassifierOptions &options);
+
+    std::string kind() const override { return "neural"; }
+    bool decidePrecise(const Vec &input,
+                       std::size_t invocationIndex) override;
+    sim::ClassifierCost cost() const override;
+    std::size_t configSizeBytes() const override;
+
+    /** The selected topology, e.g. {18, 16, 2}. */
+    const npu::Topology &topology() const { return net.topology(); }
+    /** Holdout accuracy of the selected network. */
+    double selectionAccuracy() const { return accuracy; }
+
+  private:
+    NeuralClassifier(npu::LinearScaler scaler, npu::Mlp net,
+                     double accuracy, const npu::NpuParams &params);
+
+    npu::LinearScaler inputScaler;
+    npu::Mlp net;
+    double accuracy;
+    npu::NpuCostModel costModel;
+};
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_NEURAL_CLASSIFIER_HH

@@ -1,0 +1,363 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+#include "sim/core_model.hh"
+#include "stats/clopper_pearson.hh"
+
+namespace mithra::core
+{
+
+Pipeline::Pipeline(const PipelineOptions &options)
+    : pipelineOptions(options)
+{
+}
+
+namespace
+{
+
+/** Sample (input, precise output) pairs across traces to train the NPU. */
+void
+sampleNpuTraining(
+    const std::vector<std::unique_ptr<axbench::InvocationTrace>> &traces,
+    std::size_t maxSamples, std::uint64_t seed, VecBatch &inputs,
+    VecBatch &outputs)
+{
+    std::size_t total = 0;
+    for (const auto &trace : traces)
+        total += trace->count();
+    MITHRA_ASSERT(total > 0, "no invocations to sample");
+
+    const double keep = std::min(
+        1.0, static_cast<double>(maxSamples) / static_cast<double>(total));
+    Rng rng(seed ^ 0x6e70755f747261ULL);
+
+    for (const auto &trace : traces) {
+        for (std::size_t i = 0; i < trace->count(); ++i) {
+            if (keep < 1.0 && !rng.bernoulli(keep))
+                continue;
+            const auto in = trace->input(i);
+            const auto out = trace->preciseOutput(i);
+            inputs.emplace_back(in.begin(), in.end());
+            outputs.emplace_back(out.begin(), out.end());
+        }
+    }
+}
+
+} // namespace
+
+CompiledWorkload
+Pipeline::compile(const std::string &benchmarkName) const
+{
+    CompiledWorkload workload;
+    workload.benchmark = axbench::makeBenchmark(benchmarkName);
+    const auto &bench = *workload.benchmark;
+
+    const std::size_t datasetCount = pipelineOptions.compileDatasetCount
+        ? pipelineOptions.compileDatasetCount
+        : numCompileDatasets();
+
+    inform("compile[", benchmarkName, "]: generating ", datasetCount,
+           " datasets and tracing");
+    for (std::size_t d = 0; d < datasetCount; ++d) {
+        auto dataset = bench.makeDataset(
+            axbench::compileSeed(benchmarkName, d));
+        auto trace = std::make_unique<axbench::InvocationTrace>(
+            bench.trace(*dataset));
+        workload.compileDatasets.push_back(std::move(dataset));
+        workload.compileTraces.push_back(std::move(trace));
+    }
+
+    // Train the accelerator on sampled invocations (the paper's NPU
+    // workflow: the compiler collects input/output pairs of the target
+    // function and trains the network offline).
+    VecBatch trainIn, trainOut;
+    sampleNpuTraining(workload.compileTraces,
+                      pipelineOptions.npuTrainSamples,
+                      pipelineOptions.seed, trainIn, trainOut);
+    inform("compile[", benchmarkName, "]: training NPU ",
+           npu::topologyName(bench.npuTopology()), " on ",
+           trainIn.size(), " samples");
+    workload.npuTrainMse = workload.accel.trainToMimic(
+        bench.npuTopology(), trainIn, trainOut,
+        bench.npuTrainerOptions());
+
+    // Attach approximate outputs to every trace and build the
+    // threshold problem.
+    workload.problem.benchmark = &bench;
+    double lossSum = 0.0;
+    for (std::size_t d = 0; d < workload.compileTraces.size(); ++d) {
+        auto &trace = *workload.compileTraces[d];
+        trace.attachApproximations(workload.accel);
+        workload.problem.entries.push_back(ThresholdProblem::makeEntry(
+            bench, *workload.compileDatasets[d], trace));
+
+        const auto &entry = workload.problem.entries.back();
+        const auto approxFinal = bench.approxOutput(
+            *workload.compileDatasets[d], trace);
+        lossSum += axbench::qualityLoss(bench.metric(),
+                                        entry.preciseFinal, approxFinal);
+    }
+    workload.fullApproxLossMean =
+        lossSum / static_cast<double>(workload.compileTraces.size());
+
+    // Cost profile.
+    workload.coreParams = pipelineOptions.coreParams;
+    workload.systemParams = pipelineOptions.systemParams;
+    workload.costs = bench.measureCosts();
+    const sim::CoreModel core(pipelineOptions.coreParams);
+    const npu::NpuCostModel npuCost(pipelineOptions.npuParams);
+
+    sim::RegionProfile &profile = workload.profile;
+    profile.preciseCycles =
+        core.cycles(workload.costs.targetOpsPerInvocation)
+        + pipelineOptions.coreParams.regionOverheadCycles;
+    profile.preciseEnergyPj = core.energyPj(profile.preciseCycles);
+    const auto accelCost = npuCost.invocationCost(
+        workload.accel.network());
+    profile.accelCycles = static_cast<double>(accelCost.cycles);
+    profile.accelEnergyPj = accelCost.picoJoules;
+    profile.invocationsPerDataset =
+        workload.compileTraces.front()->count();
+    profile.otherCyclesPerDataset =
+        core.cycles(workload.costs.otherOpsPerDataset);
+    profile.otherEnergyPjPerDataset =
+        core.energyPj(profile.otherCyclesPerDataset);
+
+    inform("compile[", benchmarkName, "]: full-approx loss ",
+           workload.fullApproxLossMean, "%, precise ",
+           profile.preciseCycles, " cyc/inv, NPU ", profile.accelCycles,
+           " cyc/inv");
+    return workload;
+}
+
+ThresholdResult
+Pipeline::tuneThreshold(const CompiledWorkload &workload,
+                        const QualitySpec &spec) const
+{
+    const ThresholdOptimizer optimizer(spec);
+    return optimizer.optimize(workload.problem);
+}
+
+TrainingData
+Pipeline::makeTrainingData(const CompiledWorkload &workload,
+                           double threshold) const
+{
+    return buildTrainingData(workload.problem, threshold,
+                             pipelineOptions.classifierTuples,
+                             pipelineOptions.seed);
+}
+
+namespace
+{
+
+/** Outcome of one classifier-in-the-loop compile measurement. */
+struct CalibrationMeasurement
+{
+    double successBound = 0.0;
+    double invocationRate = 0.0;
+};
+
+/**
+ * Success bound and invocation rate of a trained classifier measured
+ * end to end (Algorithm 1's measurement, but with the real
+ * classifier's decisions instead of the oracle's) over the *held-out*
+ * half of the compile datasets — the half the training tuples were not
+ * sampled from, so memorizing classifiers cannot inflate the bound.
+ */
+CalibrationMeasurement
+calibrationMeasure(const CompiledWorkload &workload,
+                   Classifier &classifier, const QualitySpec &spec)
+{
+    std::size_t successes = 0;
+    std::size_t trials = 0;
+    std::size_t accel = 0;
+    std::size_t total = 0;
+    std::vector<std::uint8_t> decisions;
+    for (std::size_t e = 1; e < workload.problem.entries.size(); e += 2) {
+        const auto &entry = workload.problem.entries[e];
+        const auto &trace = *entry.trace;
+        classifier.beginDataset(trace);
+        decisions.assign(trace.count(), 0);
+        std::size_t numAccel = 0;
+        for (std::size_t i = 0; i < trace.count(); ++i) {
+            const bool precise = !classifier.approximationEnabled()
+                || classifier.decidePrecise(trace.inputVec(i), i);
+            decisions[i] = precise ? 0 : 1;
+            numAccel += precise ? 0 : 1;
+        }
+        accel += numAccel;
+        total += trace.count();
+        const auto final = workload.benchmark->recompose(
+            *entry.dataset, trace, decisions);
+        const double loss = axbench::qualityLoss(
+            workload.benchmark->metric(), entry.preciseFinal, final);
+        if (loss <= spec.maxQualityLossPct)
+            ++successes;
+        ++trials;
+    }
+
+    CalibrationMeasurement out;
+    out.successBound =
+        stats::clopperPearsonLower(successes, trials, spec.confidence);
+    out.invocationRate = total
+        ? static_cast<double>(accel) / static_cast<double>(total)
+        : 0.0;
+    return out;
+}
+
+/** Sub-problem holding only the even-indexed (training) entries. */
+ThresholdProblem
+trainingHalf(const ThresholdProblem &problem)
+{
+    ThresholdProblem half;
+    half.benchmark = problem.benchmark;
+    for (std::size_t e = 0; e < problem.entries.size(); e += 2)
+        half.entries.push_back(problem.entries[e]);
+    return half;
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Closed-loop calibration: train on the even-indexed compile sets,
+ * measure the classifier-in-the-loop success bound on the odd half,
+ * and tighten the labeling threshold while the bound misses the
+ * contract. Deploys the first (loosest-label) round that meets it,
+ * or the most conservative round when none does.
+ */
+template <typename ClassifierType, typename TrainFn>
+CalibratedClassifier<ClassifierType>
+calibrateLoop(const PipelineOptions &options,
+              const CompiledWorkload &workload, const QualitySpec &spec,
+              double tunedThreshold, TrainFn trainOne)
+{
+    const ThresholdProblem trainProblem = trainingHalf(workload.problem);
+    CalibratedClassifier<ClassifierType> out;
+    double th = tunedThreshold;
+
+    for (std::size_t round = 0; round <= options.maxCalibrationRounds;
+         ++round) {
+        const TrainingData data = buildTrainingData(
+            trainProblem, th, options.classifierTuples, options.seed);
+        auto candidate = trainOne(data, round);
+        const auto measured = calibrationMeasure(workload, *candidate,
+                                                 spec);
+        inform("tune[", workload.benchmark->name(), "]: ",
+               candidate->kind(), " labels@", th, " -> bound ",
+               measured.successBound, ", rate ",
+               measured.invocationRate);
+        if (measured.successBound >= spec.successRate) {
+            out.labelThreshold = th;
+            out.classifier = std::move(candidate);
+            return out;
+        }
+        th *= options.labelTighten;
+    }
+
+    // No round met the contract: deploy the tightest round
+    // (maximally conservative labels).
+    out.labelThreshold = th / options.labelTighten;
+    const TrainingData data = buildTrainingData(
+        trainProblem, out.labelThreshold, options.classifierTuples,
+        options.seed);
+    out.classifier = trainOne(data, options.maxCalibrationRounds);
+    const auto conservative = calibrationMeasure(workload,
+                                                 *out.classifier, spec);
+    if (conservative.successBound >= spec.successRate) {
+        warn("tune[", workload.benchmark->name(), "]: ",
+             out.classifier->kind(),
+             " classifier deployed with maximally conservative labels");
+    } else {
+        // Fail closed: the compiler refuses to deploy approximation it
+        // cannot certify; every invocation runs precisely.
+        out.classifier->disableApproximation();
+        warn("tune[", workload.benchmark->name(), "]: ",
+             out.classifier->kind(),
+             " classifier could not certify the contract; "
+             "approximation disabled (fail closed)");
+    }
+    return out;
+}
+
+} // namespace
+
+CalibratedClassifier<TableClassifier>
+Pipeline::tuneTable(const CompiledWorkload &workload,
+                    const QualitySpec &spec,
+                    const ThresholdResult &threshold,
+                    const TableClassifierOptions &tableOptions) const
+{
+    TableClassifierOptions tableOpts = tableOptions;
+    if (tableOpts.quantizerBits == 0)
+        tableOpts.quantizerBits = workload.benchmark->tableQuantizerBits();
+
+    return calibrateLoop<TableClassifier>(
+        pipelineOptions, workload, spec, threshold.threshold,
+        [&](const TrainingData &data, std::size_t) {
+            return std::make_unique<TableClassifier>(
+                TableClassifier::train(data, tableOpts));
+        });
+}
+
+CalibratedClassifier<NeuralClassifier>
+Pipeline::tuneNeural(const CompiledWorkload &workload,
+                     const QualitySpec &spec,
+                     const ThresholdResult &threshold,
+                     const NeuralClassifierOptions &neuralOptions) const
+{
+    NeuralClassifierOptions neuralOpts = neuralOptions;
+    neuralOpts.npuParams = pipelineOptions.npuParams;
+
+    std::size_t selectedHidden = 0;
+    return calibrateLoop<NeuralClassifier>(
+        pipelineOptions, workload, spec, threshold.threshold,
+        [&](const TrainingData &data, std::size_t round) {
+            // Bimodal error distributions make the label threshold an
+            // all-or-nothing knob; ramp the class-weight bias as the
+            // smoother second knob. Topology selection runs once; the
+            // later, more conservative rounds reuse the winner.
+            NeuralClassifierOptions opts = neuralOpts;
+            opts.preciseOversample =
+                1.0 + 0.8 * static_cast<double>(round);
+            opts.forcedHidden = selectedHidden;
+            auto classifier = std::make_unique<NeuralClassifier>(
+                NeuralClassifier::train(data, opts));
+            selectedHidden = classifier->topology()[1];
+            return classifier;
+        });
+}
+
+QualityPackage
+Pipeline::tune(const CompiledWorkload &workload, const QualitySpec &spec,
+               const TableClassifierOptions &tableOptions,
+               const NeuralClassifierOptions &neuralOptions) const
+{
+    QualityPackage package;
+    package.spec = spec;
+    package.threshold = tuneThreshold(workload, spec);
+    inform("tune[", workload.benchmark->name(), "]: q<=",
+           spec.maxQualityLossPct, "% -> th=", package.threshold.threshold,
+           " (bound ", package.threshold.successLowerBound, ", rate ",
+           package.threshold.invocationRate, ")");
+
+    auto table = tuneTable(workload, spec, package.threshold,
+                           tableOptions);
+    package.table = std::move(table.classifier);
+    package.tableLabelThreshold = table.labelThreshold;
+
+    auto neural = tuneNeural(workload, spec, package.threshold,
+                             neuralOptions);
+    package.neural = std::move(neural.classifier);
+    package.neuralLabelThreshold = neural.labelThreshold;
+    return package;
+}
+
+} // namespace mithra::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width table printing and number formatting for the benchmark
+ * harness binaries that regenerate the paper's tables and figures.
+ */
+
+#ifndef MITHRA_CORE_REPORT_HH
+#define MITHRA_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace mithra::core
+{
+
+/** Format helpers. */
+std::string fmtPct(double value, int decimals = 1);
+std::string fmtRatio(double value, int decimals = 2);
+std::string fmtBytes(double bytes);
+std::string fmtKb(double bytes, int decimals = 2);
+std::string fmtCount(double value);
+
+/** A simple aligned console table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Queue one row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Print headers, separator and all rows to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a "== Figure N: title ==" banner. */
+void printBanner(const std::string &title);
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_REPORT_HH

@@ -1,0 +1,188 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/scale.hh"
+#include "stats/clopper_pearson.hh"
+#include "stats/summary.hh"
+
+namespace mithra::core
+{
+
+std::size_t
+ValidationSet::totalInvocations() const
+{
+    std::size_t total = 0;
+    for (const auto &entry : entries)
+        total += entry.trace->count();
+    return total;
+}
+
+ValidationSet
+makeValidationSet(const CompiledWorkload &workload, std::size_t count)
+{
+    const auto &bench = *workload.benchmark;
+    if (count == 0)
+        count = numValidationDatasets();
+
+    ValidationSet set;
+    set.entries.reserve(count);
+    for (std::size_t d = 0; d < count; ++d) {
+        ValidationEntry entry;
+        entry.dataset = bench.makeDataset(
+            axbench::validationSeed(bench.name(), d));
+        entry.trace = std::make_unique<axbench::InvocationTrace>(
+            bench.trace(*entry.dataset));
+        entry.trace->attachApproximations(workload.accel);
+        entry.preciseFinal = bench.preciseOutput(*entry.dataset,
+                                                 *entry.trace);
+        set.entries.push_back(std::move(entry));
+    }
+    return set;
+}
+
+Evaluator::Evaluator(const CompiledWorkload &workloadIn,
+                     const QualitySpec &specIn, double thresholdIn,
+                     const EvaluationOptions &optionsIn)
+    : workload(workloadIn), spec(specIn), threshold(thresholdIn),
+      options(optionsIn),
+      systemSim(sim::CoreModel{workloadIn.coreParams},
+                workloadIn.systemParams)
+{
+}
+
+DesignEvaluation
+Evaluator::evaluate(Classifier &classifier,
+                    const ValidationSet &validation) const
+{
+    MITHRA_ASSERT(!validation.entries.empty(), "empty validation set");
+    const auto &bench = *workload.benchmark;
+
+    DesignEvaluation eval;
+    eval.kind = classifier.kind();
+    eval.trials = validation.entries.size();
+
+    Rng sampler(options.seed ^ 0x0b5e7feULL);
+    std::vector<double> losses;
+    losses.reserve(eval.trials);
+
+    std::size_t accelTotal = 0;
+    std::size_t invocationTotal = 0;
+    std::size_t falsePositives = 0;
+    std::size_t falseNegatives = 0;
+
+    std::vector<std::uint8_t> decisions;
+    for (const auto &entry : validation.entries) {
+        const auto &trace = *entry.trace;
+        classifier.beginDataset(trace);
+
+        decisions.assign(trace.count(), 0);
+        std::size_t numAccel = 0;
+        for (std::size_t i = 0; i < trace.count(); ++i) {
+            const Vec input = trace.inputVec(i);
+            const bool precise = !classifier.approximationEnabled()
+                || classifier.decidePrecise(input, i);
+            decisions[i] = precise ? 0 : 1;
+            numAccel += precise ? 0 : 1;
+
+            // Oracle comparison for false-decision accounting.
+            const bool oraclePrecise =
+                trace.maxAbsError(i) > static_cast<float>(threshold);
+            if (precise && !oraclePrecise)
+                ++falsePositives;
+            else if (!precise && oraclePrecise)
+                ++falseNegatives;
+
+            // Sporadic online sampling: run both paths, report the
+            // true error (paper §IV-C.1).
+            if (options.onlineSampleRate > 0.0
+                && sampler.bernoulli(options.onlineSampleRate)) {
+                classifier.observe(input, trace.maxAbsError(i));
+            }
+        }
+
+        accelTotal += numAccel;
+        invocationTotal += trace.count();
+
+        const auto final = bench.recompose(*entry.dataset, trace,
+                                           decisions);
+        const double loss = axbench::qualityLoss(
+            bench.metric(), entry.preciseFinal, final);
+        losses.push_back(loss);
+        if (loss <= spec.maxQualityLossPct)
+            ++eval.successes;
+
+        // Cost accounting for this dataset.
+        const auto totals = systemSim.run(workload.profile,
+                                          classifier.cost(), numAccel,
+                                          trace.count() - numAccel);
+        const auto baseline = systemSim.baseline(workload.profile);
+        eval.totals.cycles += totals.cycles;
+        eval.totals.energyPj += totals.energyPj;
+        eval.baselineTotals.cycles += baseline.cycles;
+        eval.baselineTotals.energyPj += baseline.energyPj;
+    }
+
+    eval.meanQualityLoss = stats::mean(losses);
+    eval.p99QualityLoss = stats::percentile(losses, 99.0);
+    eval.successLowerBound = stats::clopperPearsonLower(
+        eval.successes, eval.trials, spec.confidence);
+    eval.invocationRate = invocationTotal
+        ? static_cast<double>(accelTotal)
+            / static_cast<double>(invocationTotal)
+        : 0.0;
+    eval.falsePositiveRate = invocationTotal
+        ? static_cast<double>(falsePositives)
+            / static_cast<double>(invocationTotal)
+        : 0.0;
+    eval.falseNegativeRate = invocationTotal
+        ? static_cast<double>(falseNegatives)
+            / static_cast<double>(invocationTotal)
+        : 0.0;
+    eval.speedup = sim::speedup(eval.baselineTotals, eval.totals);
+    eval.energyReduction = sim::energyReduction(eval.baselineTotals,
+                                                eval.totals);
+    eval.edpImprovement = sim::edpImprovement(eval.baselineTotals,
+                                              eval.totals);
+    return eval;
+}
+
+DesignEvaluation
+Evaluator::evaluateOracle(const ValidationSet &validation) const
+{
+    OracleClassifier oracle(static_cast<float>(threshold));
+    return evaluate(oracle, validation);
+}
+
+DesignEvaluation
+Evaluator::evaluateRandom(const ValidationSet &validation,
+                          double preciseFraction) const
+{
+    RandomFilterClassifier random(preciseFraction, options.seed);
+    return evaluate(random, validation);
+}
+
+DesignEvaluation
+Evaluator::evaluateFullApprox(const ValidationSet &validation) const
+{
+    // A classifier that never redirects: always approximate.
+    class AlwaysAccel final : public Classifier
+    {
+      public:
+        std::string kind() const override { return "full-approx"; }
+        bool decidePrecise(const Vec &, std::size_t) override
+        {
+            return false;
+        }
+        sim::ClassifierCost cost() const override { return {}; }
+        std::size_t configSizeBytes() const override { return 0; }
+    };
+
+    AlwaysAccel always;
+    return evaluate(always, validation);
+}
+
+} // namespace mithra::core

@@ -1,0 +1,87 @@
+#include "core/table_classifier.hh"
+
+#include "common/logging.hh"
+#include "compress/bdi.hh"
+
+namespace mithra::core
+{
+
+TableClassifier::TableClassifier(hw::InputQuantizer quantizerIn,
+                                 hw::TableEnsemble ensembleIn,
+                                 double threshold, bool onlineUpdates)
+    : quantizer(std::move(quantizerIn)), ensemble(std::move(ensembleIn)),
+      errorThreshold(threshold), onlineUpdatesEnabled(onlineUpdates)
+{
+}
+
+TableClassifier
+TableClassifier::train(const TrainingData &data,
+                       const TableClassifierOptions &options)
+{
+    MITHRA_ASSERT(!data.rawInputs.empty(), "no training tuples");
+    hw::InputQuantizer quantizer;
+    quantizer.calibrate(data.rawInputs, options.quantizerBits);
+    auto tuples = data.quantized(quantizer);
+    auto ensemble = hw::trainGreedyEnsemble(options.geometry, tuples);
+    return TableClassifier(std::move(quantizer), std::move(ensemble),
+                           data.threshold, options.onlineUpdates);
+}
+
+bool
+TableClassifier::decidePrecise(const Vec &input, std::size_t)
+{
+    return ensemble.decidePrecise(quantizer.quantize(input));
+}
+
+void
+TableClassifier::observe(const Vec &input, float actualError)
+{
+    if (!onlineUpdatesEnabled)
+        return;
+    if (actualError > static_cast<float>(errorThreshold)) {
+        ensemble.markPrecise(quantizer.quantize(input));
+        ++updatesApplied;
+    }
+}
+
+sim::ClassifierCost
+TableClassifier::cost() const
+{
+    const auto numTables =
+        static_cast<double>(ensemble.geometry().numTables);
+    const auto inputs = static_cast<double>(quantizer.width());
+
+    sim::ClassifierCost cost;
+    // MISR hashing overlaps the FIFO enqueue of the inputs; the
+    // accelerated path hides the decision entirely, the precise path
+    // waits for the OR gate before the branch redirects.
+    cost.extraCyclesAccel = 0.0;
+    cost.extraCyclesPrecise = decisionLatencyCycles;
+    cost.energyPjPerInvocation =
+        numTables * (tableReadPj + inputs * misrStepPj);
+    cost.sizeBytes = static_cast<double>(compressedSizeBytes());
+    return cost;
+}
+
+std::size_t
+TableClassifier::configSizeBytes() const
+{
+    // Compressed tables plus the quantizer ranges (two floats per
+    // input element) and one MISR pool index per table.
+    return compressedSizeBytes() + quantizer.width() * 8
+        + ensemble.geometry().numTables;
+}
+
+std::size_t
+TableClassifier::uncompressedSizeBytes() const
+{
+    return ensemble.geometry().totalBytes();
+}
+
+std::size_t
+TableClassifier::compressedSizeBytes() const
+{
+    return compress::compressBuffer(ensemble.toBytes()).compressedBytes();
+}
+
+} // namespace mithra::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The table-based MITHRA classifier (paper §IV-A).
+ *
+ * Wraps the hardware model (quantizer -> MISR ensemble -> OR gate)
+ * with compile-time training, BDI compression of the trained tables
+ * for the binary (Table II), online updates from sampled runtime
+ * errors, and the cycle/energy overheads the system simulator charges.
+ */
+
+#ifndef MITHRA_CORE_TABLE_CLASSIFIER_HH
+#define MITHRA_CORE_TABLE_CLASSIFIER_HH
+
+#include "core/classifier.hh"
+#include "core/training_data.hh"
+#include "hw/decision_table.hh"
+#include "hw/quantizer.hh"
+
+namespace mithra::core
+{
+
+/** Compile-time options for the table-based design. */
+struct TableClassifierOptions
+{
+    /** Paper default (Pareto optimal): 8 tables x 0.5 KB. */
+    hw::TableGeometry geometry{};
+    /** Apply sampled online updates at runtime (paper §IV-C.1). */
+    bool onlineUpdates = true;
+    /** Quantizer code width; 0 = InputQuantizer::defaultBits(). */
+    unsigned quantizerBits = 0;
+};
+
+/** The deployable table-based classifier. */
+class TableClassifier final : public Classifier
+{
+  public:
+    /** Energy of one read from one table (CACTI-like, 45 nm, pJ). */
+    static constexpr double tableReadPj = 8.0;
+    /** Energy of one MISR shift step (synthesis-like, 45 nm, pJ). */
+    static constexpr double misrStepPj = 0.4;
+    /** Cycles from the last input element to the OR-gate decision. */
+    static constexpr double decisionLatencyCycles = 2.0;
+
+    /**
+     * Train from labeled tuples: greedy MISR assignment from the
+     * 16-entry pool, conservative fill, then BDI-compress the tables.
+     */
+    static TableClassifier train(const TrainingData &data,
+                                 const TableClassifierOptions &options);
+
+    std::string kind() const override { return "table"; }
+    bool decidePrecise(const Vec &input,
+                       std::size_t invocationIndex) override;
+    void observe(const Vec &input, float actualError) override;
+    sim::ClassifierCost cost() const override;
+    std::size_t configSizeBytes() const override;
+
+    /** Uncompressed table storage (geometry total). */
+    std::size_t uncompressedSizeBytes() const;
+    /** BDI-compressed size of the current table contents. */
+    std::size_t compressedSizeBytes() const;
+    /** Fraction of set bits across the tables. */
+    double density() const { return ensemble.density(); }
+    /** The underlying hardware ensemble (tests/diagnostics). */
+    const hw::TableEnsemble &hardware() const { return ensemble; }
+    /** Threshold used for labels and online updates. */
+    double threshold() const { return errorThreshold; }
+    /** Online updates applied so far. */
+    std::size_t onlineUpdatesApplied() const { return updatesApplied; }
+
+  private:
+    TableClassifier(hw::InputQuantizer quantizer,
+                    hw::TableEnsemble ensemble, double threshold,
+                    bool onlineUpdates);
+
+    hw::InputQuantizer quantizer;
+    hw::TableEnsemble ensemble;
+    double errorThreshold;
+    bool onlineUpdatesEnabled;
+    std::size_t updatesApplied = 0;
+};
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_TABLE_CLASSIFIER_HH

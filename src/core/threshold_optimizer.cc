@@ -1,0 +1,285 @@
+#include "core/threshold_optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/clopper_pearson.hh"
+
+namespace mithra::core
+{
+
+ThresholdEntry
+ThresholdProblem::makeEntry(const axbench::Benchmark &benchmark,
+                            const axbench::Dataset &dataset,
+                            const axbench::InvocationTrace &trace)
+{
+    MITHRA_ASSERT(trace.hasApproximations(),
+                  "threshold entries need accelerator outputs");
+    ThresholdEntry entry;
+    entry.dataset = &dataset;
+    entry.trace = &trace;
+    entry.preciseFinal = benchmark.preciseOutput(dataset, trace);
+    entry.errors.reserve(trace.count());
+    for (std::size_t i = 0; i < trace.count(); ++i)
+        entry.errors.push_back(trace.maxAbsError(i));
+    return entry;
+}
+
+ThresholdOptimizer::ThresholdOptimizer(const QualitySpec &spec)
+    : qualitySpec(spec)
+{
+    MITHRA_ASSERT(spec.maxQualityLossPct > 0.0,
+                  "quality loss target must be positive");
+    MITHRA_ASSERT(spec.confidence > 0.0 && spec.confidence < 1.0,
+                  "confidence must be in (0, 1)");
+    MITHRA_ASSERT(spec.successRate > 0.0 && spec.successRate <= 1.0,
+                  "success rate must be in (0, 1]");
+}
+
+ThresholdResult
+ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
+                             double threshold) const
+{
+    MITHRA_ASSERT(problem.benchmark, "problem has no benchmark");
+    MITHRA_ASSERT(!problem.entries.empty(), "problem has no datasets");
+
+    std::size_t successes = 0;
+    std::size_t accelerated = 0;
+    std::size_t total = 0;
+
+    std::vector<std::uint8_t> decisions;
+    for (const auto &entry : problem.entries) {
+        decisions.assign(entry.trace->count(), 0);
+        for (std::size_t i = 0; i < entry.trace->count(); ++i) {
+            // Instrumented run (Algorithm 1 step 2): invoke the
+            // accelerator only when its local error is within th.
+            if (entry.errors[i]
+                <= static_cast<float>(threshold)) {
+                decisions[i] = 1;
+                ++accelerated;
+            }
+        }
+        total += entry.trace->count();
+
+        const auto final = problem.benchmark->recompose(
+            *entry.dataset, *entry.trace, decisions);
+        const double loss = axbench::qualityLoss(
+            problem.benchmark->metric(), entry.preciseFinal, final);
+        if (loss <= qualitySpec.maxQualityLossPct)
+            ++successes;
+    }
+
+    ThresholdResult result;
+    result.threshold = threshold;
+    result.successes = successes;
+    result.trials = problem.entries.size();
+    result.successLowerBound = stats::clopperPearsonLower(
+        successes, result.trials, qualitySpec.confidence);
+    result.iterations = 1;
+    result.invocationRate = total
+        ? static_cast<double>(accelerated) / static_cast<double>(total)
+        : 0.0;
+    return result;
+}
+
+namespace
+{
+
+/** Largest accelerator error seen across all compile datasets. */
+double
+maxObservedError(const ThresholdProblem &problem)
+{
+    double worst = 0.0;
+    for (const auto &entry : problem.entries)
+        for (float e : entry.errors)
+            worst = std::max(worst, static_cast<double>(e));
+    return worst;
+}
+
+} // namespace
+
+ThresholdResult
+ThresholdOptimizer::optimize(const ThresholdProblem &problem) const
+{
+    // Tightening the threshold monotonically shrinks the set of
+    // accelerated invocations, so quality per dataset can only improve
+    // and the success bound is (statistically) monotone. Bisect for
+    // the loosest threshold whose lower bound still meets S.
+    std::size_t iterations = 0;
+
+    const double maxError = maxObservedError(problem);
+    ThresholdResult atZero = evaluate(problem, 0.0);
+    iterations += atZero.iterations;
+    if (atZero.successLowerBound < qualitySpec.successRate) {
+        // Even all-precise execution cannot meet the contract (the
+        // guarantee is limited by the number of compile datasets).
+        warn("quality contract unreachable: even th=0 gives lower ",
+             "bound ", atZero.successLowerBound, " < ",
+             qualitySpec.successRate);
+        atZero.iterations = iterations;
+        return atZero;
+    }
+
+    ThresholdResult atMax = evaluate(problem, maxError);
+    iterations += atMax.iterations;
+    if (atMax.successLowerBound >= qualitySpec.successRate) {
+        atMax.iterations = iterations;
+        return atMax; // full approximation already meets the contract
+    }
+
+    double lo = 0.0;
+    double hi = maxError;
+    ThresholdResult best = atZero;
+    for (int step = 0; step < 32 && hi - lo > 1e-9 * (1.0 + hi);
+         ++step) {
+        const double mid = 0.5 * (lo + hi);
+        ThresholdResult candidate = evaluate(problem, mid);
+        ++iterations;
+        if (candidate.successLowerBound >= qualitySpec.successRate) {
+            best = candidate;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.iterations = iterations;
+    return best;
+}
+
+MultiFunctionOptimizer::MultiFunctionOptimizer(const QualitySpec &spec)
+    : qualitySpec(spec)
+{
+}
+
+MultiFunctionResult
+MultiFunctionOptimizer::evaluate(const MultiFunctionProblem &problem,
+                                 const std::vector<double> &thresholds)
+    const
+{
+    MITHRA_ASSERT(!problem.entries.empty(), "no datasets");
+
+    MultiFunctionResult result;
+    result.thresholds = thresholds;
+    result.trials = problem.entries.size();
+
+    std::size_t accelerated = 0;
+    std::size_t total = 0;
+    for (const auto &entry : problem.entries) {
+        MITHRA_ASSERT(entry.traces.size() == thresholds.size(),
+                      "threshold tuple width mismatch");
+        std::vector<std::vector<std::uint8_t>> decisions(
+            entry.traces.size());
+        for (std::size_t f = 0; f < entry.traces.size(); ++f) {
+            decisions[f].assign(entry.traces[f]->count(), 0);
+            for (std::size_t i = 0; i < entry.traces[f]->count(); ++i) {
+                if (entry.errors[f][i]
+                    <= static_cast<float>(thresholds[f])) {
+                    decisions[f][i] = 1;
+                    ++accelerated;
+                }
+            }
+            total += entry.traces[f]->count();
+        }
+        const auto final = entry.recompose(decisions);
+        const double loss = axbench::qualityLoss(
+            problem.metric, entry.preciseFinal, final);
+        if (loss <= qualitySpec.maxQualityLossPct)
+            ++result.successes;
+    }
+
+    result.successLowerBound = stats::clopperPearsonLower(
+        result.successes, result.trials, qualitySpec.confidence);
+    result.invocationRate = total
+        ? static_cast<double>(accelerated) / static_cast<double>(total)
+        : 0.0;
+    return result;
+}
+
+MultiFunctionResult
+MultiFunctionOptimizer::optimize(const MultiFunctionProblem &problem)
+    const
+{
+    MITHRA_ASSERT(!problem.entries.empty(), "no datasets");
+    const std::size_t functions = problem.entries.front().traces.size();
+
+    // Per-function max observed error bounds the search.
+    std::vector<double> maxError(functions, 0.0);
+    for (const auto &entry : problem.entries) {
+        for (std::size_t f = 0; f < functions; ++f) {
+            for (float e : entry.errors[f]) {
+                maxError[f] = std::max(maxError[f],
+                                       static_cast<double>(e));
+            }
+        }
+    }
+
+    // Greedy: fix thresholds one function at a time, each maximized by
+    // bisection while the joint contract still certifies.
+    std::vector<double> thresholds(functions, 0.0);
+    for (std::size_t f = 0; f < functions; ++f) {
+        auto probe = thresholds;
+        probe[f] = maxError[f];
+        if (evaluate(problem, probe).successLowerBound
+            >= qualitySpec.successRate) {
+            thresholds[f] = maxError[f];
+            continue;
+        }
+
+        double lo = 0.0;
+        double hi = maxError[f];
+        for (int step = 0; step < 24 && hi - lo > 1e-9 * (1.0 + hi);
+             ++step) {
+            probe[f] = 0.5 * (lo + hi);
+            if (evaluate(problem, probe).successLowerBound
+                >= qualitySpec.successRate) {
+                lo = probe[f];
+            } else {
+                hi = probe[f];
+            }
+        }
+        thresholds[f] = lo;
+    }
+    return evaluate(problem, thresholds);
+}
+
+ThresholdResult
+ThresholdOptimizer::optimizeIterative(const ThresholdProblem &problem,
+                                      double initial, double delta,
+                                      std::size_t maxSteps) const
+{
+    MITHRA_ASSERT(delta > 0.0, "delta must be positive");
+
+    // Algorithm 1: adjust th by +/- delta until the success rate
+    // straddles S between consecutive thresholds.
+    double th = std::max(0.0, initial);
+    ThresholdResult current = evaluate(problem, th);
+    std::size_t iterations = current.iterations;
+    bool lastMet = current.successLowerBound >= qualitySpec.successRate;
+    ThresholdResult lastMeeting = lastMet ? current
+                                          : evaluate(problem, 0.0);
+    if (!lastMet)
+        ++iterations;
+
+    for (std::size_t step = 0; step < maxSteps; ++step) {
+        const bool met =
+            current.successLowerBound >= qualitySpec.successRate;
+        if (met)
+            lastMeeting = current;
+
+        // Terminate when the previous threshold met S and the current
+        // (looser) one does not (Algorithm 1 step 6).
+        if (step > 0 && !met && lastMet)
+            break;
+
+        lastMet = met;
+        th = met ? th + delta : std::max(0.0, th - delta);
+        current = evaluate(problem, th);
+        ++iterations;
+    }
+
+    lastMeeting.iterations = iterations;
+    return lastMeeting;
+}
+
+} // namespace mithra::core

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The statistical threshold optimizer (paper §III-A, Algorithm 1).
+ *
+ * Converts the programmer's *final* quality-loss requirement into a
+ * *local* accelerator-error threshold th: an invocation is
+ * approximable when every element of its output vector differs from
+ * the precise result by at most th (Eq. 1). The optimizer maximizes
+ * th (and therefore the accelerator invocation rate) subject to a
+ * statistical guarantee: with confidence beta, at least a fraction S
+ * of unseen datasets will meet the quality target — established with
+ * the Clopper–Pearson exact method over the representative compile
+ * datasets.
+ */
+
+#ifndef MITHRA_CORE_THRESHOLD_OPTIMIZER_HH
+#define MITHRA_CORE_THRESHOLD_OPTIMIZER_HH
+
+#include <functional>
+#include <vector>
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::core
+{
+
+/** One compile dataset prepared for threshold evaluation. */
+struct ThresholdEntry
+{
+    const axbench::Dataset *dataset;
+    const axbench::InvocationTrace *trace;
+    /** All-precise final output (the quality reference). */
+    axbench::FinalOutput preciseFinal;
+    /** Per-invocation max-abs accelerator error (cached). */
+    std::vector<float> errors;
+};
+
+/** The profiled inputs Algorithm 1 iterates over. */
+struct ThresholdProblem
+{
+    const axbench::Benchmark *benchmark = nullptr;
+    std::vector<ThresholdEntry> entries;
+
+    /** Build an entry from a dataset/trace pair (trace must have
+     *  approximations attached). */
+    static ThresholdEntry makeEntry(const axbench::Benchmark &benchmark,
+                                    const axbench::Dataset &dataset,
+                                    const axbench::InvocationTrace &trace);
+};
+
+/** The programmer-facing quality contract. */
+struct QualitySpec
+{
+    /** Desired final quality loss, percent (e.g. 5.0). */
+    double maxQualityLossPct = 5.0;
+    /** Degree of confidence beta (e.g. 0.95). */
+    double confidence = 0.95;
+    /** Desired success rate S on unseen datasets (e.g. 0.90). */
+    double successRate = 0.90;
+};
+
+/** Outcome of the optimization. */
+struct ThresholdResult
+{
+    /** The tuned quality-control knob. */
+    double threshold = 0.0;
+    /** Clopper–Pearson lower bound achieved on the compile sets. */
+    double successLowerBound = 0.0;
+    /** Datasets meeting the quality target at this threshold. */
+    std::size_t successes = 0;
+    std::size_t trials = 0;
+    /** Instrumented-program evaluations spent. */
+    std::size_t iterations = 0;
+    /** Fraction of invocations with error <= threshold (compile sets). */
+    double invocationRate = 0.0;
+};
+
+/** Algorithm 1 with the Clopper–Pearson exact method. */
+class ThresholdOptimizer
+{
+  public:
+    explicit ThresholdOptimizer(const QualitySpec &spec);
+
+    /**
+     * Robust variant: bisection over the threshold, exploiting that
+     * tightening th can only improve quality. This is the default the
+     * pipeline uses.
+     */
+    ThresholdResult optimize(const ThresholdProblem &problem) const;
+
+    /**
+     * Literal Algorithm 1: start from an initial threshold and walk it
+     * up/down by delta until the success bound straddles S.
+     */
+    ThresholdResult optimizeIterative(const ThresholdProblem &problem,
+                                      double initial, double delta,
+                                      std::size_t maxSteps = 200) const;
+
+    /**
+     * One instrumented evaluation (Algorithm 1 steps 2-4): apply the
+     * threshold to every compile dataset and compute the
+     * Clopper–Pearson success lower bound.
+     */
+    ThresholdResult evaluate(const ThresholdProblem &problem,
+                             double threshold) const;
+
+    const QualitySpec &spec() const { return qualitySpec; }
+
+  private:
+    QualitySpec qualitySpec;
+};
+
+/**
+ * Multi-function extension (paper §III-A): when an application
+ * offloads several functions to the accelerator, the optimizer
+ * greedily finds a *tuple* of thresholds — functions are visited in
+ * order and each threshold is maximized while all previously fixed
+ * thresholds stay in place and the joint quality contract holds.
+ * As the paper notes, the greedy choice is suboptimal as the number
+ * of offloaded functions grows.
+ */
+struct MultiFunctionResult
+{
+    std::vector<double> thresholds;
+    double successLowerBound = 0.0;
+    std::size_t successes = 0;
+    std::size_t trials = 0;
+    /** Joint invocation rate over all functions' invocations. */
+    double invocationRate = 0.0;
+};
+
+/**
+ * One compile dataset with one trace per offloaded function. The
+ * recompose callback rebuilds the final output from all functions'
+ * per-invocation decisions at once.
+ */
+struct MultiFunctionEntry
+{
+    std::vector<const axbench::InvocationTrace *> traces;
+    axbench::FinalOutput preciseFinal;
+    /** errors[f][i] = function f's invocation-i max-abs error. */
+    std::vector<std::vector<float>> errors;
+    /** Rebuild the final output from per-function decision vectors. */
+    std::function<axbench::FinalOutput(
+        const std::vector<std::vector<std::uint8_t>> &)>
+        recompose;
+};
+
+struct MultiFunctionProblem
+{
+    axbench::QualityMetric metric = axbench::QualityMetric::AvgRelativeError;
+    std::vector<MultiFunctionEntry> entries;
+};
+
+class MultiFunctionOptimizer
+{
+  public:
+    explicit MultiFunctionOptimizer(const QualitySpec &spec);
+
+    /** Greedy per-function tuning (function order = trace order). */
+    MultiFunctionResult optimize(const MultiFunctionProblem &problem) const;
+
+    /** Evaluate a fixed tuple of thresholds. */
+    MultiFunctionResult evaluate(const MultiFunctionProblem &problem,
+                                 const std::vector<double> &thresholds)
+        const;
+
+  private:
+    QualitySpec qualitySpec;
+};
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_THRESHOLD_OPTIMIZER_HH

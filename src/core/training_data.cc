@@ -1,0 +1,69 @@
+#include "core/training_data.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mithra::core
+{
+
+double
+TrainingData::preciseFraction() const
+{
+    if (labels.empty())
+        return 0.0;
+    std::size_t precise = 0;
+    for (std::uint8_t label : labels)
+        precise += label;
+    return static_cast<double>(precise)
+        / static_cast<double>(labels.size());
+}
+
+TrainingData
+buildTrainingData(const ThresholdProblem &problem, double threshold,
+                  std::size_t maxTuples, std::uint64_t seed)
+{
+    MITHRA_ASSERT(!problem.entries.empty(), "no compile datasets");
+    MITHRA_ASSERT(maxTuples > 0, "maxTuples must be positive");
+
+    // Total invocations across the compile sets.
+    std::size_t total = 0;
+    for (const auto &entry : problem.entries)
+        total += entry.trace->count();
+    MITHRA_ASSERT(total > 0, "compile datasets have no invocations");
+
+    // Uniform sampling without replacement via a keep probability;
+    // a single image already provides hundreds of thousands of
+    // samples (paper §III-B), so approximate uniformity is plenty.
+    const double keep = std::min(
+        1.0, static_cast<double>(maxTuples) / static_cast<double>(total));
+    Rng rng(seed ^ 0x7261696eda7aULL);
+
+    TrainingData data;
+    data.threshold = threshold;
+
+    // First pass: collect raw inputs and labels.
+    for (const auto &entry : problem.entries) {
+        for (std::size_t i = 0; i < entry.trace->count(); ++i) {
+            if (keep < 1.0 && !rng.bernoulli(keep))
+                continue;
+            data.rawInputs.push_back(entry.trace->inputVec(i));
+            data.labels.push_back(
+                entry.errors[i] > static_cast<float>(threshold) ? 1 : 0);
+        }
+    }
+    MITHRA_ASSERT(!data.rawInputs.empty(), "sampling produced no tuples");
+    return data;
+}
+
+std::vector<hw::TrainingTuple>
+TrainingData::quantized(const hw::InputQuantizer &quantizer) const
+{
+    std::vector<hw::TrainingTuple> tuples;
+    tuples.reserve(rawInputs.size());
+    for (std::size_t i = 0; i < rawInputs.size(); ++i)
+        tuples.push_back({quantizer.quantize(rawInputs[i]),
+                          labels[i] != 0});
+    return tuples;
+}
+
+} // namespace mithra::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Classifier training data generation (paper §III-B).
+ *
+ * Once the threshold is tuned, the compiler samples accelerator
+ * invocations from the representative datasets and labels each input
+ * vector with one bit: does the accelerator's error on this input
+ * exceed the threshold? The resulting tuple set is classifier
+ * agnostic; the table-based design consumes the quantized codes and
+ * the neural design consumes the raw input vectors.
+ */
+
+#ifndef MITHRA_CORE_TRAINING_DATA_HH
+#define MITHRA_CORE_TRAINING_DATA_HH
+
+#include <cstdint>
+
+#include "core/threshold_optimizer.hh"
+#include "hw/decision_table.hh"
+#include "hw/quantizer.hh"
+
+namespace mithra::core
+{
+
+/** Labeled training set shared by both hardware classifiers. */
+struct TrainingData
+{
+    /** Sampled raw accelerator input vectors. */
+    VecBatch rawInputs;
+    /** Labels (same order): 1 = run precise. */
+    std::vector<std::uint8_t> labels;
+    /** The threshold the labels were generated against. */
+    double threshold = 0.0;
+
+    /** Fraction of tuples labeled precise. */
+    double preciseFraction() const;
+
+    /** Quantize the samples into table-classifier tuples. */
+    std::vector<hw::TrainingTuple> quantized(
+        const hw::InputQuantizer &quantizer) const;
+};
+
+/**
+ * Sample up to maxTuples invocations uniformly across the compile
+ * datasets and label them against the threshold.
+ */
+TrainingData buildTrainingData(const ThresholdProblem &problem,
+                               double threshold, std::size_t maxTuples,
+                               std::uint64_t seed);
+
+} // namespace mithra::core
+
+#endif // MITHRA_CORE_TRAINING_DATA_HH

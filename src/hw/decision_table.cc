@@ -1,0 +1,263 @@
+#include "hw/decision_table.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mithra::hw
+{
+
+DecisionTable::DecisionTable(unsigned indexBits)
+{
+    MITHRA_ASSERT(indexBits >= 4 && indexBits <= 24,
+                  "unreasonable table index width: ", indexBits);
+    numEntries = std::size_t{1} << indexBits;
+    words.assign(numEntries / 64, 0);
+}
+
+bool
+DecisionTable::bit(std::uint32_t index) const
+{
+    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    return (words[index / 64] >> (index % 64)) & 1;
+}
+
+void
+DecisionTable::setBit(std::uint32_t index)
+{
+    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    words[index / 64] |= std::uint64_t{1} << (index % 64);
+}
+
+void
+DecisionTable::clearBit(std::uint32_t index)
+{
+    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    words[index / 64] &= ~(std::uint64_t{1} << (index % 64));
+}
+
+std::size_t
+DecisionTable::onesCount() const
+{
+    std::size_t ones = 0;
+    for (std::uint64_t word : words)
+        ones += static_cast<std::size_t>(std::popcount(word));
+    return ones;
+}
+
+std::vector<std::uint8_t>
+DecisionTable::toBytes() const
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 8);
+    for (std::uint64_t word : words) {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+    return bytes;
+}
+
+DecisionTable
+DecisionTable::fromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    MITHRA_ASSERT(!bytes.empty() && (bytes.size() & (bytes.size() - 1)) == 0,
+                  "table byte size must be a power of two");
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < bytes.size() * 8)
+        ++bits;
+    DecisionTable table(bits);
+    for (std::size_t w = 0; w < table.words.size(); ++w) {
+        std::uint64_t word = 0;
+        for (int i = 0; i < 8; ++i) {
+            word |= static_cast<std::uint64_t>(bytes[w * 8 + i])
+                << (8 * i);
+        }
+        table.words[w] = word;
+    }
+    return table;
+}
+
+unsigned
+TableGeometry::indexBits() const
+{
+    MITHRA_ASSERT(tableBytes >= 2 && (tableBytes & (tableBytes - 1)) == 0,
+                  "table size must be a power-of-two byte count, got ",
+                  tableBytes);
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < tableBytes * 8)
+        ++bits;
+    return bits;
+}
+
+TableEnsemble::TableEnsemble(const TableGeometry &geometry,
+                             std::vector<std::size_t> ids)
+    : geom(geometry), configIds(std::move(ids))
+{
+    MITHRA_ASSERT(configIds.size() == geom.numTables,
+                  "need one MISR configuration per table");
+    const unsigned bits = geom.indexBits();
+    const auto &pool = misrConfigPool();
+    for (std::size_t id : configIds) {
+        MITHRA_ASSERT(id < pool.size(), "MISR pool index out of range: ",
+                      id);
+        tables.emplace_back(bits);
+        misrs.emplace_back(pool[id], bits);
+    }
+}
+
+bool
+TableEnsemble::decidePrecise(const std::vector<std::uint8_t> &codes) const
+{
+    // All MISRs hash in parallel in hardware; the combining gate fires
+    // "precise" only when every table's entry agrees. Because training
+    // marks a precise pattern in all tables, a trained pattern always
+    // reads precise; an accelerable pattern must collide with marked
+    // entries under all hash functions at once to be misrouted — the
+    // Bloom-filter property that makes the multi-table design beat a
+    // single large table (see DESIGN.md for the discussion of the
+    // paper's OR-gate wording).
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+        if (!tables[t].bit(misrs[t].hash(codes)))
+            return false;
+    }
+    return true;
+}
+
+void
+TableEnsemble::markPrecise(const std::vector<std::uint8_t> &codes)
+{
+    for (std::size_t t = 0; t < tables.size(); ++t)
+        tables[t].setBit(misrs[t].hash(codes));
+}
+
+void
+TableEnsemble::train(const std::vector<TrainingTuple> &tuples)
+{
+    // Entries start at zero (always accelerate); conservative fill.
+    for (const auto &tuple : tuples) {
+        if (tuple.precise)
+            markPrecise(tuple.codes);
+    }
+}
+
+std::vector<std::uint8_t>
+TableEnsemble::toBytes() const
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(geom.totalBytes());
+    for (const auto &table : tables) {
+        const auto part = table.toBytes();
+        bytes.insert(bytes.end(), part.begin(), part.end());
+    }
+    return bytes;
+}
+
+double
+TableEnsemble::density() const
+{
+    std::size_t ones = 0;
+    std::size_t total = 0;
+    for (const auto &table : tables) {
+        ones += table.onesCount();
+        total += table.entries();
+    }
+    return total ? static_cast<double>(ones) / static_cast<double>(total)
+                 : 0.0;
+}
+
+FalseDecisionCount
+countFalseDecisions(const TableEnsemble &ensemble,
+                    const std::vector<TrainingTuple> &tuples)
+{
+    FalseDecisionCount count;
+    count.total = tuples.size();
+    for (const auto &tuple : tuples) {
+        const bool precise = ensemble.decidePrecise(tuple.codes);
+        if (precise && !tuple.precise)
+            ++count.falsePositives;
+        else if (!precise && tuple.precise)
+            ++count.falseNegatives;
+    }
+    return count;
+}
+
+TableEnsemble
+trainGreedyEnsemble(const TableGeometry &geometry,
+                    const std::vector<TrainingTuple> &tuples)
+{
+    MITHRA_ASSERT(!tuples.empty(), "cannot train an ensemble on no data");
+    const unsigned bits = geometry.indexBits();
+    const auto &pool = misrConfigPool();
+
+    // Hash every tuple under every pool configuration once; the greedy
+    // search below then only manipulates precomputed indices.
+    std::vector<std::vector<std::uint32_t>> indices(misrPoolSize);
+    for (std::size_t id = 0; id < misrPoolSize; ++id) {
+        Misr misr(pool[id], bits);
+        indices[id].reserve(tuples.size());
+        for (const auto &tuple : tuples)
+            indices[id].push_back(misr.hash(tuple.codes));
+    }
+
+    // Decision of the ensemble built so far, per tuple. With the
+    // unanimity combination every table starts by agreeing "precise"
+    // and each added table can only veto.
+    std::vector<std::uint8_t> accumulated(tuples.size(), 1);
+
+    std::vector<std::size_t> chosen;
+    std::vector<bool> used(misrPoolSize, false);
+
+    for (std::size_t t = 0; t < geometry.numTables; ++t) {
+        std::size_t bestId = misrPoolSize;
+        std::size_t bestErrors = ~std::size_t{0};
+
+        for (std::size_t id = 0; id < misrPoolSize; ++id) {
+            if (used[id])
+                continue;
+
+            // Conservative single-table fill under this configuration.
+            DecisionTable candidate(bits);
+            for (std::size_t i = 0; i < tuples.size(); ++i) {
+                if (tuples[i].precise)
+                    candidate.setBit(indices[id][i]);
+            }
+
+            // Errors of (existing ensemble AND candidate table).
+            std::size_t errors = 0;
+            for (std::size_t i = 0; i < tuples.size(); ++i) {
+                const bool precise =
+                    accumulated[i] && candidate.bit(indices[id][i]);
+                if (precise != tuples[i].precise)
+                    ++errors;
+            }
+
+            if (errors < bestErrors) {
+                bestErrors = errors;
+                bestId = id;
+            }
+        }
+
+        MITHRA_ASSERT(bestId < misrPoolSize,
+                      "MISR pool exhausted: more tables than configs");
+        used[bestId] = true;
+        chosen.push_back(bestId);
+
+        // Fold the winner's decisions into the accumulated ensemble.
+        DecisionTable winner(bits);
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            if (tuples[i].precise)
+                winner.setBit(indices[bestId][i]);
+        }
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            accumulated[i] = accumulated[i]
+                && winner.bit(indices[bestId][i]);
+        }
+    }
+
+    TableEnsemble ensemble(geometry, chosen);
+    ensemble.train(tuples);
+    return ensemble;
+}
+
+} // namespace mithra::hw

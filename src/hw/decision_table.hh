@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Single-bit decision tables and the multi-table OR ensemble
+ * (paper §IV-A).
+ *
+ * Each table stores one bit per entry: 0 = invoke the accelerator,
+ * 1 = fall back to the precise function. Tables are indexed by a MISR
+ * signature over the quantized accelerator inputs. Because aliasing in
+ * a single small table is biased toward invoking the accelerator, the
+ * ensemble ORs several tables that are indexed with *different* MISR
+ * configurations — a boosting-like combination of weak learners.
+ */
+
+#ifndef MITHRA_HW_DECISION_TABLE_HH
+#define MITHRA_HW_DECISION_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/misr.hh"
+
+namespace mithra::hw
+{
+
+/** One training example for the classifiers. */
+struct TrainingTuple
+{
+    /** Quantized accelerator input codes. */
+    std::vector<std::uint8_t> codes;
+    /** True when the accelerator error exceeded the threshold. */
+    bool precise;
+};
+
+/** A bit-addressable decision table of 2^indexBits entries. */
+class DecisionTable
+{
+  public:
+    /** Create an all-zero table with 2^indexBits single-bit entries. */
+    explicit DecisionTable(unsigned indexBits);
+
+    /** Read the decision bit at an index. */
+    bool bit(std::uint32_t index) const;
+
+    /** Set (never clear) the decision bit at an index. */
+    void setBit(std::uint32_t index);
+
+    /** Clear one bit (used by online-update ablations). */
+    void clearBit(std::uint32_t index);
+
+    /** Number of entries. */
+    std::size_t entries() const { return numEntries; }
+
+    /** Table storage in bytes (entries / 8). */
+    std::size_t sizeBytes() const { return numEntries / 8; }
+
+    /** Population count of set bits (table density diagnostics). */
+    std::size_t onesCount() const;
+
+    /** Raw storage for BDI compression / binary encoding. */
+    std::vector<std::uint8_t> toBytes() const;
+
+    /** Restore from raw storage (inverse of toBytes). */
+    static DecisionTable fromBytes(const std::vector<std::uint8_t> &bytes);
+
+  private:
+    std::size_t numEntries;
+    std::vector<std::uint64_t> words;
+};
+
+/** Geometry of the multi-table design (paper Figure 11 sweeps these). */
+struct TableGeometry
+{
+    /** Number of parallel tables (paper default: 8). */
+    std::size_t numTables = 8;
+    /** Size of each table in bytes (paper default: 512 B = 0.5 KB). */
+    std::size_t tableBytes = 512;
+
+    /** log2 of entries per table (entries = 8 * tableBytes). */
+    unsigned indexBits() const;
+    /** Total uncompressed storage. */
+    std::size_t totalBytes() const { return numTables * tableBytes; }
+};
+
+/**
+ * The multi-table classifier hardware: N equally sized tables, each
+ * hashed by a distinct MISR configuration, combined with an OR gate.
+ */
+class TableEnsemble
+{
+  public:
+    /**
+     * @param geometry  table count / size
+     * @param configIds indices into misrConfigPool(), one per table
+     */
+    TableEnsemble(const TableGeometry &geometry,
+                  std::vector<std::size_t> configIds);
+
+    /**
+     * Classify one invocation.
+     * @return true when the precise function must run (any table hits).
+     */
+    bool decidePrecise(const std::vector<std::uint8_t> &codes) const;
+
+    /**
+     * Conservative training step: mark this input as precise in every
+     * table (paper §IV-C.1; aliasing keeps the entry 1 even when other
+     * aliased inputs are accelerable).
+     */
+    void markPrecise(const std::vector<std::uint8_t> &codes);
+
+    /** Train from scratch over a tuple set (entries start at 0). */
+    void train(const std::vector<TrainingTuple> &tuples);
+
+    /** Geometry accessor. */
+    const TableGeometry &geometry() const { return geom; }
+
+    /** MISR pool indices in table order. */
+    const std::vector<std::size_t> &misrConfigIds() const
+    {
+        return configIds;
+    }
+
+    /** Access a table (diagnostics/tests). */
+    const DecisionTable &table(std::size_t i) const { return tables[i]; }
+
+    /** Concatenated raw bytes of all tables (for BDI compression). */
+    std::vector<std::uint8_t> toBytes() const;
+
+    /** Fraction of set bits across all tables. */
+    double density() const;
+
+  private:
+    TableGeometry geom;
+    std::vector<std::size_t> configIds;
+    std::vector<DecisionTable> tables;
+    /** One MISR per table; mutable because hashing reuses state. */
+    mutable std::vector<Misr> misrs;
+};
+
+/**
+ * Count the false decisions an ensemble makes against labeled tuples.
+ * falsePositive: label says accelerate, ensemble says precise.
+ * falseNegative: label says precise, ensemble says accelerate.
+ */
+struct FalseDecisionCount
+{
+    std::size_t falsePositives = 0;
+    std::size_t falseNegatives = 0;
+    std::size_t total = 0;
+
+    std::size_t errors() const { return falsePositives + falseNegatives; }
+};
+
+FalseDecisionCount countFalseDecisions(
+    const TableEnsemble &ensemble,
+    const std::vector<TrainingTuple> &tuples);
+
+/**
+ * Compiler-side greedy construction (paper §IV-A.2): assign the first
+ * table the pool configuration with the fewest false decisions when
+ * trained alone, then grow the ensemble one table at a time, always
+ * adding the configuration that minimizes the ensemble's false
+ * decisions on the training tuples.
+ */
+TableEnsemble trainGreedyEnsemble(const TableGeometry &geometry,
+                                  const std::vector<TrainingTuple> &tuples);
+
+} // namespace mithra::hw
+
+#endif // MITHRA_HW_DECISION_TABLE_HH

@@ -1,0 +1,86 @@
+#include "hw/misr.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mithra::hw
+{
+
+const std::array<MisrConfig, misrPoolSize> &
+misrConfigPool()
+{
+    // Taps are primitive-polynomial-style masks; spread constants are
+    // odd so every input bit reaches several register bits; seeds and
+    // rotations differ so the 16 configurations map the same input
+    // stream to dissimilar signatures.
+    static const std::array<MisrConfig, misrPoolSize> pool = {{
+        {0x0000002d, 1, 0x9e3779b1, 0x0badf00d},
+        {0x00000053, 3, 0x85ebca77, 0x12345678},
+        {0x000000c3, 5, 0xc2b2ae3d, 0xdeadbeef},
+        {0x00000119, 7, 0x27d4eb2f, 0xcafebabe},
+        {0x00000187, 2, 0x165667b1, 0x01234567},
+        {0x00000211, 4, 0xd3a2646d, 0x89abcdef},
+        {0x000002dd, 6, 0xfd7046c5, 0xfeedface},
+        {0x00000369, 8, 0xb55a4f09, 0x0f1e2d3c},
+        {0x000004a1, 1, 0x8da6b343, 0x55aa55aa},
+        {0x0000058b, 3, 0xd8163841, 0xa5a5a5a5},
+        {0x00000679, 5, 0xcb1ab31f, 0x77777777},
+        {0x0000071d, 7, 0xa91e8f39, 0x31415926},
+        {0x000008e5, 2, 0x63d83595, 0x27182818},
+        {0x0000090f, 4, 0x4ed8aa4b, 0x16180339},
+        {0x00000a93, 6, 0x2b7e1519, 0x0c0ffee0},
+        {0x00000bb7, 8, 0x71374491, 0x600dd06e},
+    }};
+    return pool;
+}
+
+Misr::Misr(const MisrConfig &config, unsigned indexBits)
+    : cfg(config), bits(indexBits)
+{
+    MITHRA_ASSERT(indexBits >= 4 && indexBits <= 24,
+                  "unreasonable MISR width: ", indexBits);
+    mask = (std::uint32_t{1} << bits) - 1;
+    reset();
+}
+
+void
+Misr::reset()
+{
+    state = cfg.seed & mask;
+}
+
+void
+Misr::shiftIn(std::uint8_t code)
+{
+    // LFSR-style feedback: parity of tapped bits enters at bit 0.
+    const std::uint32_t feedback =
+        static_cast<std::uint32_t>(std::popcount(state & cfg.taps) & 1);
+
+    // Rotate within the signature width.
+    const unsigned r = cfg.rotate % bits;
+    state = ((state << r) | (state >> (bits - r))) & mask;
+    state ^= feedback;
+
+    // XOR the incoming code through the spreading wiring.
+    const std::uint32_t spreadCode =
+        (static_cast<std::uint32_t>(code) * cfg.spread) & mask;
+    state ^= spreadCode;
+}
+
+std::uint32_t
+Misr::signature() const
+{
+    return state;
+}
+
+std::uint32_t
+Misr::hash(const std::vector<std::uint8_t> &codes)
+{
+    reset();
+    for (std::uint8_t code : codes)
+        shiftIn(code);
+    return signature();
+}
+
+} // namespace mithra::hw

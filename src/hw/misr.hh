@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-Input Signature Register (MISR) hash model (paper §IV-A.1).
+ *
+ * A MISR folds a stream of input codes into a short signature with XOR
+ * gates feeding a shift register. MITHRA uses the final register value
+ * as the decision-table index after the last input element of an
+ * invocation arrives (tri-state gates isolate the tables until then).
+ *
+ * The hash must (1) combine every element, (2) minimize destructive
+ * aliasing, (3) be cheap in hardware, (4) accept a varying number of
+ * inputs and (5) be reconfigurable across applications. We model a
+ * reconfigurable MISR as: rotate-by-r, LFSR-style feedback taps, and a
+ * per-configuration input spreading pattern (an odd multiplier — a
+ * fixed XOR wiring of the input byte across register bits). The pool
+ * of 16 fixed configurations below is application independent; the
+ * compiler greedily picks which configuration drives each table.
+ */
+
+#ifndef MITHRA_HW_MISR_HH
+#define MITHRA_HW_MISR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mithra::hw
+{
+
+/** One fixed MISR wiring from the configuration pool. */
+struct MisrConfig
+{
+    /** Feedback tap mask (XORed parity feeds bit 0). */
+    std::uint32_t taps;
+    /** Left-rotation applied each step. */
+    unsigned rotate;
+    /** Odd constant modeling the input spreading XOR wiring. */
+    std::uint32_t spread;
+    /** Initial register value. */
+    std::uint32_t seed;
+};
+
+/** Number of fixed configurations in the pool. */
+constexpr std::size_t misrPoolSize = 16;
+
+/** The application-independent pool of 16 MISR configurations. */
+const std::array<MisrConfig, misrPoolSize> &misrConfigPool();
+
+/**
+ * A MISR instance of a given index width, bound to one configuration
+ * from the pool.
+ */
+class Misr
+{
+  public:
+    /**
+     * @param config    wiring from misrConfigPool()
+     * @param indexBits signature width; the table has 2^indexBits rows
+     */
+    Misr(const MisrConfig &config, unsigned indexBits);
+
+    /** Reset the register to the configuration seed. */
+    void reset();
+
+    /** Shift one 8-bit input code into the register. */
+    void shiftIn(std::uint8_t code);
+
+    /** Current signature (valid after the last element arrived). */
+    std::uint32_t signature() const;
+
+    /** Convenience: hash a whole invocation's codes in one call. */
+    std::uint32_t hash(const std::vector<std::uint8_t> &codes);
+
+    /** Signature width in bits. */
+    unsigned indexBits() const { return bits; }
+
+  private:
+    MisrConfig cfg;
+    unsigned bits;
+    std::uint32_t mask;
+    std::uint32_t state;
+};
+
+} // namespace mithra::hw
+
+#endif // MITHRA_HW_MISR_HH

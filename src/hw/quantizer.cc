@@ -1,0 +1,93 @@
+#include "hw/quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mithra::hw
+{
+
+unsigned
+InputQuantizer::defaultBits(std::size_t width)
+{
+    MITHRA_ASSERT(width > 0, "zero-width quantizer");
+    // Keep the distinct-pattern space (2^(bits*width)) around 2^8: the
+    // multi-table OR-ensemble behaves like a Bloom filter over the
+    // distinct patterns labeled "precise", and its false-positive rate
+    // stays low only while that set is small relative to the table
+    // capacity. Values below are the empirical sweet spots from the
+    // per-benchmark sweep (see fig11 bench's --bits ablation).
+    if (width == 1)
+        return 8;
+    if (width == 2)
+        return 4;
+    if (width <= 4)
+        return 3;
+    if (width <= 10)
+        return 2;
+    return 1;
+}
+
+void
+InputQuantizer::calibrate(const VecBatch &inputs, unsigned bitsPerElement)
+{
+    MITHRA_ASSERT(!inputs.empty(), "cannot calibrate from no inputs");
+    const std::size_t n = inputs.front().size();
+    codeBits = bitsPerElement ? bitsPerElement : defaultBits(n);
+    MITHRA_ASSERT(codeBits >= 1 && codeBits <= 8,
+                  "code width out of range: ", codeBits);
+
+    lows.assign(n, std::numeric_limits<float>::max());
+    highs.assign(n, std::numeric_limits<float>::lowest());
+
+    for (const auto &vec : inputs) {
+        MITHRA_ASSERT(vec.size() == n, "ragged input batch: ", vec.size(),
+                      " vs ", n);
+        for (std::size_t i = 0; i < n; ++i) {
+            lows[i] = std::min(lows[i], vec[i]);
+            highs[i] = std::max(highs[i], vec[i]);
+        }
+    }
+
+    // Degenerate (constant) elements get a unit-wide range so the
+    // quantizer stays well defined.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(highs[i] > lows[i]))
+            highs[i] = lows[i] + 1.0f;
+    }
+}
+
+InputQuantizer::InputQuantizer(std::vector<float> lowsIn,
+                               std::vector<float> highsIn,
+                               unsigned bitsPerElement)
+    : lows(std::move(lowsIn)), highs(std::move(highsIn)),
+      codeBits(bitsPerElement)
+{
+    MITHRA_ASSERT(lows.size() == highs.size(),
+                  "mismatched quantizer bounds");
+    MITHRA_ASSERT(codeBits >= 1 && codeBits <= 8,
+                  "code width out of range: ", codeBits);
+    for (std::size_t i = 0; i < lows.size(); ++i)
+        MITHRA_ASSERT(highs[i] > lows[i], "empty range at element ", i);
+}
+
+std::vector<std::uint8_t>
+InputQuantizer::quantize(const Vec &input) const
+{
+    MITHRA_ASSERT(input.size() == lows.size(),
+                  "input width ", input.size(), " != calibrated width ",
+                  lows.size());
+    const float levels = static_cast<float>((1u << codeBits) - 1);
+    std::vector<std::uint8_t> codes(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const float span = highs[i] - lows[i];
+        float t = (input[i] - lows[i]) / span;
+        t = std::clamp(t, 0.0f, 1.0f);
+        codes[i] = static_cast<std::uint8_t>(std::lround(t * levels));
+    }
+    return codes;
+}
+
+} // namespace mithra::hw

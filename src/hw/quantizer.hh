@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Input quantizer for the table-based classifier.
+ *
+ * The MISR hash (paper §IV-A.1) consumes fixed-width bit-vectors, one
+ * per accelerator input element. The compiler calibrates a linear
+ * 8-bit quantization range per element position from the training
+ * inputs; the resulting codes are what stream into the MISRs at
+ * runtime. The ranges are part of MITHRA's architectural configuration
+ * (saved/restored on context switch alongside the NPU config).
+ */
+
+#ifndef MITHRA_HW_QUANTIZER_HH
+#define MITHRA_HW_QUANTIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec.hh"
+
+namespace mithra::hw
+{
+
+/**
+ * Per-element linear quantization to codes of a configurable width.
+ *
+ * The code width is a compile-time decision per application: the
+ * distinct-pattern space (2^(bits * elements)) must stay comparable to
+ * the decision-table capacity, otherwise accelerator inputs that
+ * behave identically land on unrelated table entries and the
+ * OR-ensemble drowns in destructive aliasing. The default policy
+ * (defaultBits) budgets ~12 bits of pattern space across the input
+ * elements, which is also why wide-input benchmarks (jmeint's 18 and
+ * jpeg's 64 inputs) stress the table-based design exactly as the paper
+ * observes.
+ */
+class InputQuantizer
+{
+  public:
+    InputQuantizer() = default;
+
+    /** Compile-time policy: bits per element for a given width. */
+    static unsigned defaultBits(std::size_t width);
+
+    /**
+     * Calibrate per-element [lo, hi] ranges from a sample of input
+     * vectors. All vectors must have the same width.
+     *
+     * @param bitsPerElement code width in [1, 8]; 0 = defaultBits()
+     */
+    void calibrate(const VecBatch &inputs, unsigned bitsPerElement = 0);
+
+    /** Construct directly from known ranges (for tests/configs). */
+    InputQuantizer(std::vector<float> lows, std::vector<float> highs,
+                   unsigned bitsPerElement = 8);
+
+    /** Quantize one input vector to one code per element (clamping). */
+    std::vector<std::uint8_t> quantize(const Vec &input) const;
+
+    /** Number of calibrated element positions. */
+    std::size_t width() const { return lows.size(); }
+
+    /** Code width in bits. */
+    unsigned bits() const { return codeBits; }
+
+    /** Calibrated lower bounds per element. */
+    const std::vector<float> &lowerBounds() const { return lows; }
+
+    /** Calibrated upper bounds per element. */
+    const std::vector<float> &highBounds() const { return highs; }
+
+  private:
+    std::vector<float> lows;
+    std::vector<float> highs;
+    unsigned codeBits = 8;
+};
+
+} // namespace mithra::hw
+
+#endif // MITHRA_HW_QUANTIZER_HH

@@ -1,0 +1,134 @@
+#include "npu/approximator.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace mithra::npu
+{
+
+LinearScaler::LinearScaler(std::vector<float> lowsIn,
+                           std::vector<float> highsIn)
+    : lows(std::move(lowsIn)), highs(std::move(highsIn))
+{
+    MITHRA_ASSERT(lows.size() == highs.size(),
+                  "mismatched scaler bounds");
+    for (std::size_t i = 0; i < lows.size(); ++i)
+        MITHRA_ASSERT(highs[i] > lows[i], "empty range at element ", i);
+}
+
+void
+LinearScaler::fit(const VecBatch &batch)
+{
+    MITHRA_ASSERT(!batch.empty(), "cannot fit a scaler to no data");
+    const std::size_t n = batch.front().size();
+    lows.assign(n, std::numeric_limits<float>::max());
+    highs.assign(n, std::numeric_limits<float>::lowest());
+    for (const auto &vec : batch) {
+        MITHRA_ASSERT(vec.size() == n, "ragged batch in scaler fit");
+        for (std::size_t i = 0; i < n; ++i) {
+            lows[i] = std::min(lows[i], vec[i]);
+            highs[i] = std::max(highs[i], vec[i]);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(highs[i] > lows[i]))
+            highs[i] = lows[i] + 1.0f;
+    }
+}
+
+Vec
+LinearScaler::toUnit(const Vec &raw) const
+{
+    MITHRA_ASSERT(raw.size() == lows.size(), "scaler width mismatch");
+    Vec unit(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const float t = (raw[i] - lows[i]) / (highs[i] - lows[i]);
+        unit[i] = std::clamp(t, 0.0f, 1.0f);
+    }
+    return unit;
+}
+
+Vec
+LinearScaler::fromUnit(const Vec &unit) const
+{
+    MITHRA_ASSERT(unit.size() == lows.size(), "scaler width mismatch");
+    Vec raw(unit.size());
+    for (std::size_t i = 0; i < unit.size(); ++i)
+        raw[i] = lows[i] + unit[i] * (highs[i] - lows[i]);
+    return raw;
+}
+
+double
+Approximator::trainToMimic(const Topology &topology, const VecBatch &inputs,
+                           const VecBatch &outputs,
+                           const TrainerOptions &options)
+{
+    MITHRA_ASSERT(!topology.empty(), "empty topology");
+    MITHRA_ASSERT(inputs.size() == outputs.size(),
+                  "inputs/outputs size mismatch");
+    MITHRA_ASSERT(!inputs.empty(), "no training samples");
+    MITHRA_ASSERT(topology.front() == inputs.front().size(),
+                  "topology input width ", topology.front(),
+                  " != sample width ", inputs.front().size());
+    MITHRA_ASSERT(topology.back() == outputs.front().size(),
+                  "topology output width ", topology.back(),
+                  " != sample width ", outputs.front().size());
+
+    inputScaler.fit(inputs);
+    outputScaler.fit(outputs);
+
+    VecBatch unitInputs;
+    unitInputs.reserve(inputs.size());
+    for (const auto &vec : inputs)
+        unitInputs.push_back(inputScaler.toUnit(vec));
+
+    // Map output targets into [margin, 1 - margin] so the sigmoid can
+    // actually reach them.
+    VecBatch unitTargets;
+    unitTargets.reserve(outputs.size());
+    const float span = 1.0f - 2.0f * outputMargin;
+    for (const auto &vec : outputs) {
+        Vec unit = outputScaler.toUnit(vec);
+        for (auto &v : unit)
+            v = outputMargin + v * span;
+        unitTargets.push_back(std::move(unit));
+    }
+
+    net = std::make_shared<Mlp>(topology);
+    initWeights(*net, options.seed);
+    return train(*net, unitInputs, unitTargets, options);
+}
+
+Approximator
+Approximator::fromParts(LinearScaler inputScalerIn,
+                        LinearScaler outputScalerIn, Mlp netIn)
+{
+    MITHRA_ASSERT(inputScalerIn.width() == netIn.topology().front(),
+                  "input scaler width mismatch");
+    MITHRA_ASSERT(outputScalerIn.width() == netIn.topology().back(),
+                  "output scaler width mismatch");
+    Approximator out;
+    out.inputScaler = std::move(inputScalerIn);
+    out.outputScaler = std::move(outputScalerIn);
+    out.net = std::make_shared<Mlp>(std::move(netIn));
+    return out;
+}
+
+Vec
+Approximator::invoke(const Vec &input) const
+{
+    MITHRA_ASSERT(net, "Approximator used before training");
+    const Vec unitOut = net->forward(inputScaler.toUnit(input));
+    Vec band(unitOut.size());
+    const float span = 1.0f - 2.0f * outputMargin;
+    for (std::size_t i = 0; i < unitOut.size(); ++i) {
+        const float t = (unitOut[i] - outputMargin) / span;
+        band[i] = std::clamp(t, 0.0f, 1.0f);
+    }
+    return outputScaler.fromUnit(band);
+}
+
+} // namespace mithra::npu

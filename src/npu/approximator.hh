@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The trained NPU configuration: an MLP plus the linear input/output
+ * scaling the compiler wraps around it.
+ *
+ * The accelerator operates on normalized values; the compiler derives
+ * per-element input ranges and per-element output ranges from the
+ * training data, maps inputs into [0, 1] and maps sigmoid outputs in
+ * [margin, 1 - margin] back to application units. This is the object
+ * a benchmark invokes in place of its safe-to-approximate function.
+ */
+
+#ifndef MITHRA_NPU_APPROXIMATOR_HH
+#define MITHRA_NPU_APPROXIMATOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/vec.hh"
+#include "npu/mlp.hh"
+#include "npu/trainer.hh"
+
+namespace mithra::npu
+{
+
+/** Per-element linear range mapping. */
+class LinearScaler
+{
+  public:
+    LinearScaler() = default;
+
+    /** Construct from known bounds (tests, serialization). */
+    LinearScaler(std::vector<float> lowsIn, std::vector<float> highsIn);
+
+    /** Fit per-element [lo, hi] from a batch. */
+    void fit(const VecBatch &batch);
+
+    /** Map raw values into [0, 1] element-wise (clamped). */
+    Vec toUnit(const Vec &raw) const;
+
+    /** Map unit-range values back to raw units. */
+    Vec fromUnit(const Vec &unit) const;
+
+    std::size_t width() const { return lows.size(); }
+    const std::vector<float> &lowerBounds() const { return lows; }
+    const std::vector<float> &upperBounds() const { return highs; }
+
+  private:
+    std::vector<float> lows;
+    std::vector<float> highs;
+};
+
+/** A trained, scaled MLP acting as the approximate accelerator. */
+class Approximator
+{
+  public:
+    /** Output sigmoid headroom: targets are mapped into this band. */
+    static constexpr float outputMargin = 0.1f;
+
+    Approximator() = default;
+
+    /**
+     * Fit scalers and train the network to mimic `outputs = f(inputs)`.
+     *
+     * @return the final training MSE in normalized units.
+     */
+    double trainToMimic(const Topology &topology, const VecBatch &inputs,
+                        const VecBatch &outputs,
+                        const TrainerOptions &options);
+
+    /** Approximate one invocation (raw units in, raw units out). */
+    Vec invoke(const Vec &input) const;
+
+    /** The underlying network. */
+    const Mlp &network() const { return *net; }
+
+    /** True after trainToMimic succeeded. */
+    bool trained() const { return net != nullptr; }
+
+    /** Rebuild from persisted parts (serialization). */
+    static Approximator fromParts(LinearScaler inputScaler,
+                                  LinearScaler outputScaler, Mlp net);
+
+    /** The input-side scaler (serialization). */
+    const LinearScaler &inputScalerRef() const { return inputScaler; }
+    /** The output-side scaler (serialization). */
+    const LinearScaler &outputScalerRef() const { return outputScaler; }
+
+  private:
+    LinearScaler inputScaler;
+    LinearScaler outputScaler;
+    std::shared_ptr<Mlp> net;
+};
+
+} // namespace mithra::npu
+
+#endif // MITHRA_NPU_APPROXIMATOR_HH

@@ -1,0 +1,61 @@
+#include "npu/cost_model.hh"
+
+#include "common/logging.hh"
+
+namespace mithra::npu
+{
+
+NpuCostModel::NpuCostModel(const NpuParams &params)
+    : npuParams(params)
+{
+    MITHRA_ASSERT(npuParams.numPes > 0, "NPU needs at least one PE");
+}
+
+std::size_t
+NpuCostModel::invocationCycles(const Mlp &mlp) const
+{
+    const auto &topo = mlp.topology();
+    std::size_t cycles = npuParams.invocationOverheadCycles;
+
+    // Enqueue inputs word by word.
+    cycles += topo.front() * npuParams.cyclesPerQueueWord;
+
+    // Each layer: neurons are spread over the PEs; a PE computes its
+    // neuron's dot product one MAC per cycle, then the sigmoid unit
+    // finishes the neuron. Rounds of `numPes` neurons serialize.
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const std::size_t in = topo[l - 1];
+        const std::size_t out = topo[l];
+        const std::size_t rounds =
+            (out + npuParams.numPes - 1) / npuParams.numPes;
+        cycles += rounds * ((in + 1) + npuParams.cyclesPerSigmoid);
+    }
+
+    // Dequeue outputs.
+    cycles += topo.back() * npuParams.cyclesPerQueueWord;
+    return cycles;
+}
+
+double
+NpuCostModel::invocationEnergyPj(const Mlp &mlp) const
+{
+    const auto &topo = mlp.topology();
+    double energy = 0.0;
+    energy += static_cast<double>(mlp.macsPerForward())
+        * npuParams.picoJoulesPerMac;
+    energy += static_cast<double>(mlp.sigmoidsPerForward())
+        * npuParams.picoJoulesPerSigmoid;
+    energy += static_cast<double>(topo.front() + topo.back())
+        * npuParams.picoJoulesPerQueueWord;
+    energy += static_cast<double>(invocationCycles(mlp))
+        * npuParams.picoJoulesPerCycleStatic;
+    return energy;
+}
+
+NpuCost
+NpuCostModel::invocationCost(const Mlp &mlp) const
+{
+    return {invocationCycles(mlp), invocationEnergyPj(mlp)};
+}
+
+} // namespace mithra::npu

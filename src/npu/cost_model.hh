@@ -1,0 +1,83 @@
+/**
+ * @file
+ * NPU cycle and energy model.
+ *
+ * The accelerator is the eight-PE neural processing unit of
+ * Esmaeilzadeh et al. (MICRO'12): the core enqueues the invocation's
+ * inputs into an input FIFO, the PEs evaluate the MLP layer by layer
+ * (neurons of a layer are distributed across PEs; sigmoid comes from a
+ * lookup unit), and the core dequeues the outputs. The NPU runs at the
+ * core clock, so costs are expressed in core cycles.
+ *
+ * Energy constants are 45 nm figures in the spirit of the paper's
+ * McPAT/CACTI/synthesis methodology (see DESIGN.md for the
+ * substitution note); what matters for the reproduced results is their
+ * relative magnitude versus the core model in sim/core_model.
+ */
+
+#ifndef MITHRA_NPU_COST_MODEL_HH
+#define MITHRA_NPU_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "npu/mlp.hh"
+
+namespace mithra::npu
+{
+
+/** Microarchitectural parameters of the NPU. */
+struct NpuParams
+{
+    /** Parallel processing elements (paper: 8). */
+    std::size_t numPes = 8;
+    /** Cycles to move one word through an ISA queue instruction. */
+    std::size_t cyclesPerQueueWord = 1;
+    /** Pipeline fill / drain overhead per invocation. */
+    std::size_t invocationOverheadCycles = 4;
+    /** Cycles per sigmoid lookup (per neuron, overlapped per PE). */
+    std::size_t cyclesPerSigmoid = 1;
+
+    /** Energy per multiply-accumulate including weight SRAM read. */
+    double picoJoulesPerMac = 5.0;
+    /** Energy per sigmoid LUT access. */
+    double picoJoulesPerSigmoid = 2.0;
+    /** Energy per word moved through a FIFO. */
+    double picoJoulesPerQueueWord = 1.2;
+    /** NPU static energy per busy cycle (leakage + clock). */
+    double picoJoulesPerCycleStatic = 15.0;
+};
+
+/** Cycle/energy cost of one invocation of a given network. */
+struct NpuCost
+{
+    std::size_t cycles = 0;
+    double picoJoules = 0.0;
+};
+
+/** Cost model for executing MLPs on the NPU. */
+class NpuCostModel
+{
+  public:
+    explicit NpuCostModel(const NpuParams &params = NpuParams{});
+
+    /**
+     * Cycles to run one forward pass of `mlp`, including enqueueing
+     * the inputs and dequeueing the outputs.
+     */
+    std::size_t invocationCycles(const Mlp &mlp) const;
+
+    /** Energy of one forward pass, in picojoules. */
+    double invocationEnergyPj(const Mlp &mlp) const;
+
+    /** Both at once. */
+    NpuCost invocationCost(const Mlp &mlp) const;
+
+    const NpuParams &params() const { return npuParams; }
+
+  private:
+    NpuParams npuParams;
+};
+
+} // namespace mithra::npu
+
+#endif // MITHRA_NPU_COST_MODEL_HH

@@ -1,0 +1,123 @@
+#include "npu/mlp.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mithra::npu
+{
+
+std::string
+topologyName(const Topology &topology)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < topology.size(); ++i) {
+        if (i)
+            os << "->";
+        os << topology[i];
+    }
+    return os.str();
+}
+
+Mlp::Mlp(Topology topology)
+    : topo(std::move(topology))
+{
+    MITHRA_ASSERT(topo.size() >= 2, "an MLP needs at least two layers");
+    for (std::size_t width : topo)
+        MITHRA_ASSERT(width > 0, "zero-width MLP layer");
+    for (std::size_t l = 1; l < topo.size(); ++l)
+        weightsPerLayer.emplace_back(topo[l] * (topo[l - 1] + 1), 0.0f);
+}
+
+float
+Mlp::activate(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+Vec
+Mlp::forward(const Vec &input) const
+{
+    MITHRA_ASSERT(input.size() == topo.front(), "MLP input width ",
+                  input.size(), " != ", topo.front());
+    Vec current = input;
+    Vec next;
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const std::size_t in = topo[l - 1];
+        const std::size_t out = topo[l];
+        const auto &weights = weightsPerLayer[l - 1];
+        next.assign(out, 0.0f);
+        for (std::size_t o = 0; o < out; ++o) {
+            const float *row = &weights[o * (in + 1)];
+            float sum = row[in]; // bias
+            for (std::size_t i = 0; i < in; ++i)
+                sum += row[i] * current[i];
+            next[o] = activate(sum);
+        }
+        current.swap(next);
+    }
+    return current;
+}
+
+std::size_t
+Mlp::weightCount() const
+{
+    std::size_t count = 0;
+    for (const auto &layer : weightsPerLayer)
+        count += layer.size();
+    return count;
+}
+
+std::size_t
+Mlp::macsPerForward() const
+{
+    std::size_t macs = 0;
+    for (std::size_t l = 1; l < topo.size(); ++l)
+        macs += topo[l] * (topo[l - 1] + 1);
+    return macs;
+}
+
+std::size_t
+Mlp::sigmoidsPerForward() const
+{
+    std::size_t sigmoids = 0;
+    for (std::size_t l = 1; l < topo.size(); ++l)
+        sigmoids += topo[l];
+    return sigmoids;
+}
+
+float
+Mlp::weight(std::size_t layer, std::size_t to, std::size_t from) const
+{
+    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    const std::size_t in = topo[layer - 1];
+    MITHRA_ASSERT(to < topo[layer] && from <= in, "bad weight index");
+    return weightsPerLayer[layer - 1][to * (in + 1) + from];
+}
+
+void
+Mlp::setWeight(std::size_t layer, std::size_t to, std::size_t from,
+               float value)
+{
+    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    const std::size_t in = topo[layer - 1];
+    MITHRA_ASSERT(to < topo[layer] && from <= in, "bad weight index");
+    weightsPerLayer[layer - 1][to * (in + 1) + from] = value;
+}
+
+std::vector<float> &
+Mlp::layerWeights(std::size_t layer)
+{
+    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    return weightsPerLayer[layer - 1];
+}
+
+const std::vector<float> &
+Mlp::layerWeights(std::size_t layer) const
+{
+    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    return weightsPerLayer[layer - 1];
+}
+
+} // namespace mithra::npu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-layer perceptron model.
+ *
+ * This is the compute substrate for both the approximate accelerator
+ * (the NPU executes an MLP trained to mimic the safe-to-approximate
+ * function, per Esmaeilzadeh et al. MICRO'12) and MITHRA's neural
+ * classifier (paper §IV-B). Fully connected layers with sigmoid
+ * activations; weights are trained offline by npu/trainer.
+ */
+
+#ifndef MITHRA_NPU_MLP_HH
+#define MITHRA_NPU_MLP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/vec.hh"
+
+namespace mithra::npu
+{
+
+/** Layer widths, e.g. {6, 8, 3, 1} for blackscholes' NPU. */
+using Topology = std::vector<std::size_t>;
+
+/** Render a topology as "6->8->3->1". */
+std::string topologyName(const Topology &topology);
+
+/** A fully connected sigmoid MLP. */
+class Mlp
+{
+  public:
+    /** Create with all weights zero; use trainer or setWeight. */
+    explicit Mlp(Topology topology);
+
+    /** Forward pass; input size must match the first layer width. */
+    Vec forward(const Vec &input) const;
+
+    /** The layer widths. */
+    const Topology &topology() const { return topo; }
+
+    /** Number of weights including biases. */
+    std::size_t weightCount() const;
+
+    /** Multiply-accumulate operations per forward pass. */
+    std::size_t macsPerForward() const;
+
+    /** Number of sigmoid evaluations per forward pass. */
+    std::size_t sigmoidsPerForward() const;
+
+    /** Storage footprint of the weights in bytes (32-bit words). */
+    std::size_t sizeBytes() const { return weightCount() * 4; }
+
+    /**
+     * Weight of the edge from `from` (or the bias when
+     * from == fan-in) to neuron `to` of layer `layer` (1-based layer
+     * indexing over non-input layers).
+     */
+    float weight(std::size_t layer, std::size_t to, std::size_t from) const;
+
+    /** Mutate one weight (used by the trainer). */
+    void setWeight(std::size_t layer, std::size_t to, std::size_t from,
+                   float value);
+
+    /** Flat mutable access for the trainer's inner loop. */
+    std::vector<float> &layerWeights(std::size_t layer);
+    const std::vector<float> &layerWeights(std::size_t layer) const;
+
+    /** Sigmoid activation used by every neuron. */
+    static float activate(float x);
+
+  private:
+    Topology topo;
+    /**
+     * weightsPerLayer[l] holds layer l+1's matrix, row-major:
+     * out × (in + 1), the last column being the bias.
+     */
+    std::vector<std::vector<float>> weightsPerLayer;
+};
+
+} // namespace mithra::npu
+
+#endif // MITHRA_NPU_MLP_HH

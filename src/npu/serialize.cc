@@ -1,0 +1,170 @@
+#include "npu/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mithra::npu
+{
+
+namespace
+{
+
+constexpr const char *mlpMagic = "mithra-mlp-v1";
+constexpr const char *scalerMagic = "mithra-scaler-v1";
+constexpr const char *approximatorMagic = "mithra-npu-v1";
+
+void
+expectToken(std::istream &in, const std::string &expected)
+{
+    std::string token;
+    in >> token;
+    if (in.fail() || token != expected) {
+        fatal("NPU config parse error: expected `", expected,
+              "', got `", token, "'");
+    }
+}
+
+std::size_t
+readCount(std::istream &in, const char *what)
+{
+    std::size_t value = 0;
+    in >> value;
+    if (in.fail())
+        fatal("NPU config parse error: bad ", what);
+    return value;
+}
+
+float
+readFloat(std::istream &in)
+{
+    // Values are written as hexfloats; strtof parses them exactly.
+    std::string token;
+    in >> token;
+    if (in.fail())
+        fatal("NPU config parse error: missing float");
+    char *end = nullptr;
+    const float value = std::strtof(token.c_str(), &end);
+    if (end == token.c_str())
+        fatal("NPU config parse error: bad float `", token, "'");
+    return value;
+}
+
+void
+writeFloat(std::ostream &out, float value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(value));
+    out << buf;
+}
+
+} // namespace
+
+void
+saveMlp(std::ostream &out, const Mlp &mlp)
+{
+    const auto &topo = mlp.topology();
+    out << mlpMagic << '\n' << topo.size();
+    for (std::size_t width : topo)
+        out << ' ' << width;
+    out << '\n';
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const auto &weights = mlp.layerWeights(l);
+        for (std::size_t w = 0; w < weights.size(); ++w) {
+            if (w)
+                out << ' ';
+            writeFloat(out, weights[w]);
+        }
+        out << '\n';
+    }
+}
+
+Mlp
+loadMlp(std::istream &in)
+{
+    expectToken(in, mlpMagic);
+    const std::size_t layers = readCount(in, "layer count");
+    if (layers < 2)
+        fatal("NPU config parse error: too few layers");
+    Topology topo(layers);
+    for (auto &width : topo)
+        width = readCount(in, "layer width");
+
+    Mlp mlp(topo);
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        auto &weights = mlp.layerWeights(l);
+        for (auto &w : weights)
+            w = readFloat(in);
+    }
+    return mlp;
+}
+
+void
+saveScaler(std::ostream &out, const LinearScaler &scaler)
+{
+    out << scalerMagic << '\n' << scaler.width() << '\n';
+    for (std::size_t i = 0; i < scaler.width(); ++i) {
+        writeFloat(out, scaler.lowerBounds()[i]);
+        out << ' ';
+        writeFloat(out, scaler.upperBounds()[i]);
+        out << '\n';
+    }
+}
+
+LinearScaler
+loadScaler(std::istream &in)
+{
+    expectToken(in, scalerMagic);
+    const std::size_t width = readCount(in, "scaler width");
+    std::vector<float> lows(width), highs(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        lows[i] = readFloat(in);
+        highs[i] = readFloat(in);
+    }
+    return LinearScaler(std::move(lows), std::move(highs));
+}
+
+void
+saveApproximator(std::ostream &out, const Approximator &approximator)
+{
+    MITHRA_ASSERT(approximator.trained(),
+                  "cannot save an untrained approximator");
+    out << approximatorMagic << '\n';
+    saveScaler(out, approximator.inputScalerRef());
+    saveScaler(out, approximator.outputScalerRef());
+    saveMlp(out, approximator.network());
+}
+
+Approximator
+loadApproximator(std::istream &in)
+{
+    expectToken(in, approximatorMagic);
+    LinearScaler inputScaler = loadScaler(in);
+    LinearScaler outputScaler = loadScaler(in);
+    Mlp net = loadMlp(in);
+    return Approximator::fromParts(std::move(inputScaler),
+                                   std::move(outputScaler),
+                                   std::move(net));
+}
+
+void
+saveApproximatorFile(const std::string &path,
+                     const Approximator &approximator)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write NPU config to `", path, "'");
+    saveApproximator(out, approximator);
+}
+
+Approximator
+loadApproximatorFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read NPU config from `", path, "'");
+    return loadApproximator(in);
+}
+
+} // namespace mithra::npu

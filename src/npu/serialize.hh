@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Serialization of NPU configurations.
+ *
+ * The paper's workflow generates the accelerator configuration at
+ * compile time and encodes it in the program binary (§III); the OS
+ * saves/restores it as architectural state. This module provides that
+ * persistence for the trained networks: a small, versioned,
+ * line-oriented text format that round-trips Mlp weights, the linear
+ * input/output scalers and whole Approximator bundles exactly
+ * (floats are stored in hex-float form).
+ */
+
+#ifndef MITHRA_NPU_SERIALIZE_HH
+#define MITHRA_NPU_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "npu/approximator.hh"
+#include "npu/mlp.hh"
+
+namespace mithra::npu
+{
+
+/** Write a network's topology and weights. */
+void saveMlp(std::ostream &out, const Mlp &mlp);
+
+/** Read back a network written by saveMlp; fatal() on format errors. */
+Mlp loadMlp(std::istream &in);
+
+/** Write a scaler's per-element bounds. */
+void saveScaler(std::ostream &out, const LinearScaler &scaler);
+
+/** Read back a scaler written by saveScaler. */
+LinearScaler loadScaler(std::istream &in);
+
+/** Write a trained approximator (scalers + network). */
+void saveApproximator(std::ostream &out, const Approximator &approximator);
+
+/** Read back an approximator written by saveApproximator. */
+Approximator loadApproximator(std::istream &in);
+
+/** Convenience: file-based wrappers (fatal() on I/O errors). */
+void saveApproximatorFile(const std::string &path,
+                          const Approximator &approximator);
+Approximator loadApproximatorFile(const std::string &path);
+
+} // namespace mithra::npu
+
+#endif // MITHRA_NPU_SERIALIZE_HH

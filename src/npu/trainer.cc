@@ -1,0 +1,196 @@
+#include "npu/trainer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mithra::npu
+{
+
+void
+initWeights(Mlp &mlp, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto &topo = mlp.topology();
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const auto fanIn = static_cast<double>(topo[l - 1] + 1);
+        const double bound = std::sqrt(3.0 / fanIn);
+        auto &weights = mlp.layerWeights(l);
+        for (auto &w : weights)
+            w = static_cast<float>(rng.uniform(-bound, bound));
+    }
+}
+
+namespace
+{
+
+/** Per-layer activations for one forward pass, input included. */
+struct ForwardTrace
+{
+    std::vector<Vec> activations;
+};
+
+ForwardTrace
+forwardTrace(const Mlp &mlp, const Vec &input)
+{
+    const auto &topo = mlp.topology();
+    ForwardTrace trace;
+    trace.activations.reserve(topo.size());
+    trace.activations.push_back(input);
+
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const std::size_t in = topo[l - 1];
+        const std::size_t out = topo[l];
+        const auto &weights = mlp.layerWeights(l);
+        const Vec &prev = trace.activations.back();
+        Vec next(out);
+        for (std::size_t o = 0; o < out; ++o) {
+            const float *row = &weights[o * (in + 1)];
+            float sum = row[in];
+            for (std::size_t i = 0; i < in; ++i)
+                sum += row[i] * prev[i];
+            next[o] = Mlp::activate(sum);
+        }
+        trace.activations.push_back(std::move(next));
+    }
+    return trace;
+}
+
+} // namespace
+
+double
+train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
+      const TrainerOptions &options)
+{
+    MITHRA_ASSERT(inputs.size() == targets.size(),
+                  "inputs/targets size mismatch");
+    MITHRA_ASSERT(!inputs.empty(), "cannot train on an empty dataset");
+    MITHRA_ASSERT(options.batchSize > 0, "batch size must be positive");
+
+    const auto &topo = mlp.topology();
+    Rng rng(options.seed ^ 0x7261696e6572ULL);
+
+    // Momentum velocity, same shape as the weights.
+    std::vector<std::vector<float>> velocity;
+    std::vector<std::vector<float>> gradient;
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        velocity.emplace_back(mlp.layerWeights(l).size(), 0.0f);
+        gradient.emplace_back(mlp.layerWeights(l).size(), 0.0f);
+    }
+
+    // Per-layer delta buffers.
+    std::vector<Vec> deltas;
+    for (std::size_t l = 1; l < topo.size(); ++l)
+        deltas.emplace_back(topo[l], 0.0f);
+
+    double epochMse = 0.0;
+    float learningRate = options.learningRate;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        const auto order = rng.permutation(inputs.size());
+        double squaredErrorSum = 0.0;
+        std::size_t elementCount = 0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += options.batchSize) {
+            const std::size_t end =
+                std::min(start + options.batchSize, order.size());
+
+            for (auto &layerGrad : gradient)
+                std::fill(layerGrad.begin(), layerGrad.end(), 0.0f);
+
+            for (std::size_t k = start; k < end; ++k) {
+                const std::size_t idx = order[k];
+                const auto trace = forwardTrace(mlp, inputs[idx]);
+                const Vec &output = trace.activations.back();
+                const Vec &target = targets[idx];
+                MITHRA_ASSERT(target.size() == output.size(),
+                              "target width mismatch");
+
+                // Output layer deltas: (y - t) * y * (1 - y).
+                const std::size_t last = topo.size() - 1;
+                for (std::size_t o = 0; o < output.size(); ++o) {
+                    const float err = output[o] - target[o];
+                    squaredErrorSum += static_cast<double>(err) * err;
+                    deltas[last - 1][o] =
+                        err * output[o] * (1.0f - output[o]);
+                }
+                elementCount += output.size();
+
+                // Hidden layer deltas, back to front.
+                for (std::size_t l = last; l-- > 1;) {
+                    const std::size_t width = topo[l];
+                    const std::size_t nextWidth = topo[l + 1];
+                    const auto &nextWeights = mlp.layerWeights(l + 1);
+                    const Vec &act = trace.activations[l];
+                    for (std::size_t h = 0; h < width; ++h) {
+                        float sum = 0.0f;
+                        for (std::size_t o = 0; o < nextWidth; ++o) {
+                            sum += nextWeights[o * (width + 1) + h]
+                                * deltas[l][o];
+                        }
+                        deltas[l - 1][h] = sum * act[h] * (1.0f - act[h]);
+                    }
+                }
+
+                // Accumulate gradients.
+                for (std::size_t l = 1; l < topo.size(); ++l) {
+                    const std::size_t in = topo[l - 1];
+                    const std::size_t out = topo[l];
+                    const Vec &prev = trace.activations[l - 1];
+                    auto &layerGrad = gradient[l - 1];
+                    for (std::size_t o = 0; o < out; ++o) {
+                        const float delta = deltas[l - 1][o];
+                        float *row = &layerGrad[o * (in + 1)];
+                        for (std::size_t i = 0; i < in; ++i)
+                            row[i] += delta * prev[i];
+                        row[in] += delta;
+                    }
+                }
+            }
+
+            // Apply the momentum SGD update for this minibatch.
+            const float scale = learningRate
+                / static_cast<float>(end - start);
+            for (std::size_t l = 1; l < topo.size(); ++l) {
+                auto &weights = mlp.layerWeights(l);
+                auto &vel = velocity[l - 1];
+                const auto &layerGrad = gradient[l - 1];
+                for (std::size_t w = 0; w < weights.size(); ++w) {
+                    vel[w] = options.momentum * vel[w]
+                        - scale * layerGrad[w];
+                    weights[w] += vel[w];
+                }
+            }
+        }
+
+        epochMse = squaredErrorSum
+            / static_cast<double>(std::max<std::size_t>(elementCount, 1));
+        if (options.targetMse > 0.0 && epochMse < options.targetMse)
+            break;
+        learningRate *= options.lrDecay;
+    }
+    return epochMse;
+}
+
+double
+meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
+                 const VecBatch &targets)
+{
+    MITHRA_ASSERT(inputs.size() == targets.size(),
+                  "inputs/targets size mismatch");
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const Vec out = mlp.forward(inputs[i]);
+        for (std::size_t o = 0; o < out.size(); ++o) {
+            const double err = static_cast<double>(out[o])
+                - targets[i][o];
+            sum += err * err;
+        }
+        count += out.size();
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace mithra::npu

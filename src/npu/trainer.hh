@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Offline MLP training (stochastic gradient descent with momentum).
+ *
+ * Both the NPU configuration (the accelerator's network) and MITHRA's
+ * neural classifier are trained offline at compile time (paper
+ * §IV-C.2). Training is fully deterministic given the seed.
+ */
+
+#ifndef MITHRA_NPU_TRAINER_HH
+#define MITHRA_NPU_TRAINER_HH
+
+#include <cstdint>
+
+#include "common/vec.hh"
+#include "npu/mlp.hh"
+
+namespace mithra::npu
+{
+
+/** Hyper-parameters for offline training. */
+struct TrainerOptions
+{
+    std::size_t epochs = 120;
+    float learningRate = 0.25f;
+    float momentum = 0.9f;
+    std::size_t batchSize = 16;
+    std::uint64_t seed = 1;
+    /** Stop early when training MSE drops below this (0 disables). */
+    double targetMse = 0.0;
+    /** Multiplicative learning-rate decay per epoch (1 = constant). */
+    float lrDecay = 1.0f;
+};
+
+/**
+ * Initialize weights with small uniform values scaled by fan-in
+ * (Xavier-style), deterministically from options.seed.
+ */
+void initWeights(Mlp &mlp, std::uint64_t seed);
+
+/**
+ * Train the network on (input, target) pairs with minibatch SGD and
+ * momentum; targets must lie in (0, 1) since the output layer is
+ * sigmoid.
+ *
+ * @return the final epoch's mean squared error.
+ */
+double train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
+             const TrainerOptions &options);
+
+/** Mean squared error of the network over a dataset. */
+double meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
+                        const VecBatch &targets);
+
+} // namespace mithra::npu
+
+#endif // MITHRA_NPU_TRAINER_HH

@@ -1,0 +1,44 @@
+#include "sim/core_model.hh"
+
+#include "common/logging.hh"
+
+namespace mithra::sim
+{
+
+CoreModel::CoreModel(const CoreParams &params)
+    : coreParams(params)
+{
+    MITHRA_ASSERT(coreParams.ilpFactor > 0.0, "ILP factor must be > 0");
+}
+
+double
+CoreModel::cycles(const OpCounts &ops) const
+{
+    const auto &p = coreParams;
+    const double weighted =
+        static_cast<double>(ops.addSub) * p.addSubCycles
+        + static_cast<double>(ops.mul) * p.mulCycles
+        + static_cast<double>(ops.div) * p.divCycles
+        + static_cast<double>(ops.sqrtOp) * p.sqrtCycles
+        + static_cast<double>(ops.transcendental) * p.transcendentalCycles
+        + static_cast<double>(ops.compare) * p.compareCycles
+        + static_cast<double>(ops.memory) * p.memoryCycles;
+    // Misprediction flushes serialize; they are not amortized by ILP.
+    const double mispredicts = static_cast<double>(ops.compare)
+        * p.branchMispredictRate * p.mispredictPenaltyCycles;
+    return weighted / p.ilpFactor + mispredicts;
+}
+
+double
+CoreModel::energyPj(double cycles) const
+{
+    return cycles * coreParams.picoJoulesPerCycle;
+}
+
+double
+CoreModel::seconds(double cycles) const
+{
+    return cycles / coreParams.clockHz;
+}
+
+} // namespace mithra::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Out-of-order core cost model (Nehalem-like, 45 nm, 2.08 GHz).
+ *
+ * Converts measured operation counts into cycles and energy. The model
+ * captures what the reproduced results actually depend on: the
+ * relative cost of running a safe-to-approximate region precisely on
+ * an aggressive core versus invoking the NPU, and the energy ratio
+ * between the two. Latency weights approximate Nehalem execution
+ * latencies; the ILP factor models the 4-wide out-of-order engine
+ * extracting parallelism from real dependency chains.
+ */
+
+#ifndef MITHRA_SIM_CORE_MODEL_HH
+#define MITHRA_SIM_CORE_MODEL_HH
+
+#include "sim/opcount.hh"
+
+namespace mithra::sim
+{
+
+/** Per-operation-class cost weights and core-wide parameters. */
+struct CoreParams
+{
+    double addSubCycles = 1.0;
+    double mulCycles = 1.5;
+    double divCycles = 12.0;
+    double sqrtCycles = 14.0;
+    /** libm transcendental (exp/log/sin/cos/pow) software cost. */
+    double transcendentalCycles = 40.0;
+    double compareCycles = 1.0;
+    /** Average memory access (L1-dominated with some misses). */
+    double memoryCycles = 2.0;
+
+    /** Sustained instruction-level parallelism of the OoO engine. */
+    double ilpFactor = 2.0;
+    /** Per-invocation call/loop overhead cycles for a region entry. */
+    double regionOverheadCycles = 8.0;
+    /**
+     * Data-dependent branch modeling: every compare is treated as a
+     * potential branch; mispredictions flush the pipeline and are not
+     * hidden by ILP. Branchy regions (jmeint's intersection tests)
+     * are exactly the ones the branch-free NPU wins big on.
+     */
+    double branchMispredictRate = 0.08;
+    double mispredictPenaltyCycles = 14.0;
+
+    /** Active core energy per cycle (picojoules; ~2 nJ/cycle). */
+    double picoJoulesPerCycle = 2000.0;
+    /** Core clock in Hz (for absolute-time reporting only). */
+    double clockHz = 2.08e9;
+};
+
+/** The analytical core model. */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreParams &params = CoreParams{});
+
+    /** Cycles to execute a region with the given dynamic op counts. */
+    double cycles(const OpCounts &ops) const;
+
+    /** Energy (pJ) of executing that many cycles on the core. */
+    double energyPj(double cycles) const;
+
+    /** Wall-clock seconds for a cycle count at the modeled clock. */
+    double seconds(double cycles) const;
+
+    const CoreParams &params() const { return coreParams; }
+
+  private:
+    CoreParams coreParams;
+};
+
+} // namespace mithra::sim
+
+#endif // MITHRA_SIM_CORE_MODEL_HH

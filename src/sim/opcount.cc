@@ -1,0 +1,96 @@
+#include "sim/opcount.hh"
+
+namespace mithra::sim
+{
+
+OpCounts &
+OpCounts::operator+=(const OpCounts &other)
+{
+    addSub += other.addSub;
+    mul += other.mul;
+    div += other.div;
+    sqrtOp += other.sqrtOp;
+    transcendental += other.transcendental;
+    compare += other.compare;
+    memory += other.memory;
+    return *this;
+}
+
+OpCounts
+OpCounts::operator+(const OpCounts &other) const
+{
+    OpCounts out = *this;
+    out += other;
+    return out;
+}
+
+OpCounts
+OpCounts::operator-(const OpCounts &other) const
+{
+    OpCounts out;
+    out.addSub = addSub - other.addSub;
+    out.mul = mul - other.mul;
+    out.div = div - other.div;
+    out.sqrtOp = sqrtOp - other.sqrtOp;
+    out.transcendental = transcendental - other.transcendental;
+    out.compare = compare - other.compare;
+    out.memory = memory - other.memory;
+    return out;
+}
+
+OpCounts
+OpCounts::scaled(double factor) const
+{
+    auto scale = [factor](std::uint64_t x) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(x) * factor + 0.5);
+    };
+    OpCounts out;
+    out.addSub = scale(addSub);
+    out.mul = scale(mul);
+    out.div = scale(div);
+    out.sqrtOp = scale(sqrtOp);
+    out.transcendental = scale(transcendental);
+    out.compare = scale(compare);
+    out.memory = scale(memory);
+    return out;
+}
+
+std::uint64_t
+OpCounts::total() const
+{
+    return addSub + mul + div + sqrtOp + transcendental + compare + memory;
+}
+
+OpCounts &
+opTally()
+{
+    thread_local OpCounts tally;
+    return tally;
+}
+
+OpCounts
+resetOpTally()
+{
+    OpCounts previous = opTally();
+    opTally() = OpCounts{};
+    return previous;
+}
+
+ScopedOpCount::ScopedOpCount()
+    : saved(resetOpTally())
+{
+}
+
+ScopedOpCount::~ScopedOpCount()
+{
+    opTally() += saved;
+}
+
+OpCounts
+ScopedOpCount::counts() const
+{
+    return opTally();
+}
+
+} // namespace mithra::sim

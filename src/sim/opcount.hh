@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Operation-count instrumentation.
+ *
+ * This repository replaces the paper's MARSSx86 cycle-accurate
+ * simulation with an analytical model driven by *measured* operation
+ * counts of each code region. Benchmarks implement their kernels as
+ * templates over the scalar type; running them once with
+ * Counted<float> tallies every arithmetic operation into a
+ * thread-local OpCounts, which sim/core_model then converts into
+ * Nehalem-like cycles and energy.
+ */
+
+#ifndef MITHRA_SIM_OPCOUNT_HH
+#define MITHRA_SIM_OPCOUNT_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace mithra::sim
+{
+
+/** Tally of dynamic operations executed by an instrumented region. */
+struct OpCounts
+{
+    std::uint64_t addSub = 0;
+    std::uint64_t mul = 0;
+    std::uint64_t div = 0;
+    std::uint64_t sqrtOp = 0;
+    /** exp/log/sin/cos/atan2/pow and friends (libm calls). */
+    std::uint64_t transcendental = 0;
+    std::uint64_t compare = 0;
+    /** Abstract load/store traffic attributed by kernels. */
+    std::uint64_t memory = 0;
+
+    OpCounts &operator+=(const OpCounts &other);
+    OpCounts operator+(const OpCounts &other) const;
+    OpCounts operator-(const OpCounts &other) const;
+    /** Scale all counts (e.g. per-invocation -> per-dataset). */
+    OpCounts scaled(double factor) const;
+
+    std::uint64_t total() const;
+};
+
+/** Thread-local tally that Counted<T> operations accumulate into. */
+OpCounts &opTally();
+
+/** Reset the tally and return the previous counts. */
+OpCounts resetOpTally();
+
+/** RAII scope that measures the ops executed within it. */
+class ScopedOpCount
+{
+  public:
+    ScopedOpCount();
+    ~ScopedOpCount();
+
+    ScopedOpCount(const ScopedOpCount &) = delete;
+    ScopedOpCount &operator=(const ScopedOpCount &) = delete;
+
+    /** Counts accumulated since construction. */
+    OpCounts counts() const;
+
+  private:
+    OpCounts saved;
+};
+
+/**
+ * An arithmetic scalar that tallies every operation applied to it.
+ * Use exactly like the underlying type in templated kernels.
+ */
+template <typename T>
+class Counted
+{
+  public:
+    Counted() : v() {}
+    Counted(T value) : v(value) {}
+
+    T value() const { return v; }
+    explicit operator T() const { return v; }
+
+    Counted operator-() const
+    {
+        ++opTally().addSub;
+        return Counted(-v);
+    }
+
+    Counted &operator+=(Counted rhs)
+    {
+        ++opTally().addSub;
+        v += rhs.v;
+        return *this;
+    }
+    Counted &operator-=(Counted rhs)
+    {
+        ++opTally().addSub;
+        v -= rhs.v;
+        return *this;
+    }
+    Counted &operator*=(Counted rhs)
+    {
+        ++opTally().mul;
+        v *= rhs.v;
+        return *this;
+    }
+    Counted &operator/=(Counted rhs)
+    {
+        ++opTally().div;
+        v /= rhs.v;
+        return *this;
+    }
+
+    friend Counted operator+(Counted a, Counted b) { return a += b; }
+    friend Counted operator-(Counted a, Counted b) { return a -= b; }
+    friend Counted operator*(Counted a, Counted b) { return a *= b; }
+    friend Counted operator/(Counted a, Counted b) { return a /= b; }
+
+    friend bool operator<(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v < b.v;
+    }
+    friend bool operator>(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v > b.v;
+    }
+    friend bool operator<=(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v <= b.v;
+    }
+    friend bool operator>=(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v >= b.v;
+    }
+    friend bool operator==(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v == b.v;
+    }
+    friend bool operator!=(Counted a, Counted b)
+    {
+        ++opTally().compare;
+        return a.v != b.v;
+    }
+
+  private:
+    T v;
+};
+
+/** Attribute abstract memory traffic from a kernel. */
+inline void
+countMemoryOps(std::uint64_t n)
+{
+    opTally().memory += n;
+}
+
+// Math overloads for plain floats are pulled from <cmath> via ADL in
+// kernels; these mirror them for Counted<T> with tallying.
+
+template <typename T>
+Counted<T>
+sqrt(Counted<T> x)
+{
+    ++opTally().sqrtOp;
+    return Counted<T>(std::sqrt(x.value()));
+}
+
+template <typename T>
+Counted<T>
+exp(Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::exp(x.value()));
+}
+
+template <typename T>
+Counted<T>
+log(Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::log(x.value()));
+}
+
+template <typename T>
+Counted<T>
+sin(Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::sin(x.value()));
+}
+
+template <typename T>
+Counted<T>
+cos(Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::cos(x.value()));
+}
+
+template <typename T>
+Counted<T>
+atan2(Counted<T> y, Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::atan2(y.value(), x.value()));
+}
+
+template <typename T>
+Counted<T>
+acos(Counted<T> x)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::acos(x.value()));
+}
+
+template <typename T>
+Counted<T>
+pow(Counted<T> x, Counted<T> y)
+{
+    ++opTally().transcendental;
+    return Counted<T>(std::pow(x.value(), y.value()));
+}
+
+template <typename T>
+Counted<T>
+fabs(Counted<T> x)
+{
+    ++opTally().compare;
+    return Counted<T>(std::fabs(x.value()));
+}
+
+} // namespace mithra::sim
+
+#endif // MITHRA_SIM_OPCOUNT_HH

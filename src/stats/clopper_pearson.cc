@@ -1,0 +1,83 @@
+#include "stats/clopper_pearson.hh"
+
+#include "common/logging.hh"
+#include "stats/special_functions.hh"
+
+namespace mithra::stats
+{
+
+namespace
+{
+
+void
+checkArgs(std::size_t successes, std::size_t trials, double confidence)
+{
+    MITHRA_ASSERT(trials > 0, "Clopper-Pearson needs at least one trial");
+    MITHRA_ASSERT(successes <= trials, "successes (", successes,
+                  ") exceed trials (", trials, ")");
+    MITHRA_ASSERT(confidence > 0.0 && confidence < 1.0,
+                  "confidence must be in (0, 1), got ", confidence);
+}
+
+} // namespace
+
+double
+clopperPearsonLower(std::size_t successes, std::size_t trials,
+                    double confidence)
+{
+    checkArgs(successes, trials, confidence);
+    if (successes == 0)
+        return 0.0;
+    const double alpha = 1.0 - confidence;
+    // Lower bound is the alpha quantile of Beta(k, n - k + 1).
+    return regIncompleteBetaInv(static_cast<double>(successes),
+                                static_cast<double>(trials - successes)
+                                    + 1.0,
+                                alpha);
+}
+
+double
+clopperPearsonUpper(std::size_t successes, std::size_t trials,
+                    double confidence)
+{
+    checkArgs(successes, trials, confidence);
+    if (successes == trials)
+        return 1.0;
+    const double alpha = 1.0 - confidence;
+    // Upper bound is the (1 - alpha) quantile of Beta(k + 1, n - k).
+    return regIncompleteBetaInv(static_cast<double>(successes) + 1.0,
+                                static_cast<double>(trials - successes),
+                                1.0 - alpha);
+}
+
+ProportionInterval
+clopperPearsonInterval(std::size_t successes, std::size_t trials,
+                       double confidence)
+{
+    // Two-sided interval: split the tail mass alpha across both sides.
+    const double oneSidedConfidence = 1.0 - (1.0 - confidence) / 2.0;
+    return {clopperPearsonLower(successes, trials, oneSidedConfidence),
+            clopperPearsonUpper(successes, trials, oneSidedConfidence)};
+}
+
+std::size_t
+requiredSuccesses(std::size_t trials, double targetRate, double confidence)
+{
+    MITHRA_ASSERT(targetRate >= 0.0 && targetRate <= 1.0,
+                  "target success rate out of range: ", targetRate);
+    // clopperPearsonLower is monotone in successes; binary search.
+    std::size_t lo = 0;
+    std::size_t hi = trials;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (clopperPearsonLower(mid, trials, confidence) >= targetRate)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    if (clopperPearsonLower(lo, trials, confidence) < targetRate)
+        return trials + 1; // unreachable even with a perfect record
+    return lo;
+}
+
+} // namespace mithra::stats

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Clopper–Pearson exact binomial confidence bounds (paper §III-A, Eq. 3).
+ *
+ * Given n_trials representative datasets of which n_success met the
+ * desired final quality loss, the one-sided lower bound at confidence
+ * beta is the success rate S such that, with probability beta, at least
+ * a fraction S of *unseen* datasets will also meet the quality target.
+ * The bound is exact (derived from the Beta distribution) and
+ * conservative, exactly as the paper requires.
+ */
+
+#ifndef MITHRA_STATS_CLOPPER_PEARSON_HH
+#define MITHRA_STATS_CLOPPER_PEARSON_HH
+
+#include <cstddef>
+
+namespace mithra::stats
+{
+
+/** A two-sided confidence interval on a binomial proportion. */
+struct ProportionInterval
+{
+    double lower;
+    double upper;
+};
+
+/**
+ * One-sided Clopper–Pearson lower confidence bound.
+ *
+ * @param successes  number of datasets meeting the quality target
+ * @param trials     total number of datasets evaluated
+ * @param confidence degree of confidence beta in (0, 1), e.g. 0.95
+ * @return the largest S such that we can claim, with the given
+ *         confidence, that the true success rate is at least S
+ */
+double clopperPearsonLower(std::size_t successes, std::size_t trials,
+                           double confidence);
+
+/** One-sided Clopper–Pearson upper confidence bound. */
+double clopperPearsonUpper(std::size_t successes, std::size_t trials,
+                           double confidence);
+
+/** Two-sided Clopper–Pearson interval at the given confidence. */
+ProportionInterval clopperPearsonInterval(std::size_t successes,
+                                          std::size_t trials,
+                                          double confidence);
+
+/**
+ * The smallest number of successes out of @p trials whose one-sided
+ * lower bound at @p confidence reaches @p targetRate. Used to report
+ * how many validation datasets must pass (the paper's "235 out of 250"
+ * for 90% success at 95% confidence).
+ */
+std::size_t requiredSuccesses(std::size_t trials, double targetRate,
+                              double confidence);
+
+} // namespace mithra::stats
+
+#endif // MITHRA_STATS_CLOPPER_PEARSON_HH

@@ -1,0 +1,167 @@
+#include "stats/special_functions.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mithra::stats
+{
+
+double
+lnGamma(double x)
+{
+    MITHRA_ASSERT(x > 0.0, "lnGamma defined for positive x, got ", x);
+    return std::lgamma(x);
+}
+
+double
+lnBeta(double a, double b)
+{
+    return lnGamma(a) + lnGamma(b) - lnGamma(a + b);
+}
+
+namespace
+{
+
+/**
+ * Continued-fraction evaluation of the incomplete beta (modified Lentz
+ * method). Converges quickly for x < (a + 1) / (a + b + 2).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int maxIterations = 300;
+    constexpr double epsilon = 3.0e-14;
+    constexpr double tiny = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+
+    for (int m = 1; m <= maxIterations; ++m) {
+        const int m2 = 2 * m;
+        // Even step.
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon)
+            return h;
+    }
+    warn("betaContinuedFraction did not converge (a=", a, " b=", b,
+         " x=", x, ")");
+    return h;
+}
+
+} // namespace
+
+double
+regIncompleteBeta(double a, double b, double x)
+{
+    MITHRA_ASSERT(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+
+    const double lnFront = a * std::log(x) + b * std::log(1.0 - x)
+        - lnBeta(a, b);
+    const double front = std::exp(lnFront);
+
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    // Use the symmetry I_x(a, b) = 1 - I_{1-x}(b, a).
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+regIncompleteBetaInv(double a, double b, double p)
+{
+    MITHRA_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range: ", p);
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return 1.0;
+
+    // Bisection bracket, refined by Newton steps where they behave.
+    double lo = 0.0;
+    double hi = 1.0;
+    double x = a / (a + b); // start at the mean
+
+    for (int iter = 0; iter < 200; ++iter) {
+        const double f = regIncompleteBeta(a, b, x) - p;
+        if (std::fabs(f) < 1.0e-13)
+            break;
+        if (f > 0.0)
+            hi = x;
+        else
+            lo = x;
+
+        // Newton step using the beta density as the derivative.
+        const double lnPdf = (a - 1.0) * std::log(std::max(x, 1e-300))
+            + (b - 1.0) * std::log(std::max(1.0 - x, 1e-300))
+            - lnBeta(a, b);
+        const double pdf = std::exp(lnPdf);
+        double next = x - f / std::max(pdf,
+            std::numeric_limits<double>::min());
+        if (!(next > lo && next < hi))
+            next = 0.5 * (lo + hi); // fall back to bisection
+        if (std::fabs(next - x) < 1.0e-15 * (1.0 + std::fabs(x))) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    return x;
+}
+
+double
+binomialCdf(long k, long n, double p)
+{
+    MITHRA_ASSERT(n >= 0 && k <= n, "bad binomial arguments k=", k,
+                  " n=", n);
+    if (k < 0)
+        return 0.0;
+    if (k >= n)
+        return 1.0;
+    // P(X <= k) = I_{1-p}(n - k, k + 1).
+    return regIncompleteBeta(static_cast<double>(n - k),
+                             static_cast<double>(k + 1), 1.0 - p);
+}
+
+double
+fQuantile(double p, double d1, double d2)
+{
+    MITHRA_ASSERT(d1 > 0.0 && d2 > 0.0, "F dof must be positive");
+    // If X ~ F(d1, d2) then d1*X / (d1*X + d2) ~ Beta(d1/2, d2/2).
+    const double z = regIncompleteBetaInv(d1 / 2.0, d2 / 2.0, p);
+    if (z >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return d2 * z / (d1 * (1.0 - z));
+}
+
+} // namespace mithra::stats

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Special functions needed by the statistical optimizer.
+ *
+ * The Clopper–Pearson exact method (paper Eq. 3) is defined in terms of
+ * quantiles of the F distribution, which are equivalent to quantiles of
+ * the Beta distribution. We implement the regularized incomplete beta
+ * function I_x(a, b) with the standard Lentz continued-fraction
+ * evaluation and invert it with a guarded Newton iteration, so the
+ * library has no dependency on external math packages.
+ */
+
+#ifndef MITHRA_STATS_SPECIAL_FUNCTIONS_HH
+#define MITHRA_STATS_SPECIAL_FUNCTIONS_HH
+
+namespace mithra::stats
+{
+
+/** Natural log of the gamma function. */
+double lnGamma(double x);
+
+/** Natural log of the beta function B(a, b). */
+double lnBeta(double a, double b);
+
+/**
+ * Regularized incomplete beta function I_x(a, b), the CDF of the
+ * Beta(a, b) distribution evaluated at x in [0, 1].
+ */
+double regIncompleteBeta(double a, double b, double x);
+
+/**
+ * Inverse of the regularized incomplete beta: the x such that
+ * I_x(a, b) = p. Also known as the Beta(a, b) quantile function.
+ */
+double regIncompleteBetaInv(double a, double b, double p);
+
+/** CDF of the binomial distribution: P(X <= k) for X ~ Bin(n, p). */
+double binomialCdf(long k, long n, double p);
+
+/** Quantile of the F distribution with (d1, d2) degrees of freedom. */
+double fQuantile(double p, double d1, double d2);
+
+} // namespace mithra::stats
+
+#endif // MITHRA_STATS_SPECIAL_FUNCTIONS_HH

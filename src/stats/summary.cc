@@ -1,0 +1,116 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithra::stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double sum = 0.0;
+    for (double x : xs)
+        sum += (x - mu) * (x - mu);
+    return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        MITHRA_ASSERT(x > 0.0, "geomean needs positive samples, got ", x);
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    MITHRA_ASSERT(!xs.empty(), "minValue of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    MITHRA_ASSERT(!xs.empty(), "maxValue of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    MITHRA_ASSERT(!xs.empty(), "percentile of empty sample");
+    MITHRA_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted(std::move(samples))
+{
+    MITHRA_ASSERT(!sorted.empty(), "CDF of empty sample");
+    std::sort(sorted.begin(), sorted.end());
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    return static_cast<double>(it - sorted.begin())
+        / static_cast<double>(sorted.size());
+}
+
+double
+EmpiricalCdf::quantile(double p) const
+{
+    MITHRA_ASSERT(p >= 0.0 && p <= 1.0, "quantile prob out of range: ", p);
+    if (p <= 0.0)
+        return sorted.front();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::series(std::size_t points) const
+{
+    MITHRA_ASSERT(points >= 2, "a CDF series needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    const double lo = sorted.front();
+    const double hi = sorted.back();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i)
+            / static_cast<double>(points - 1);
+        out.emplace_back(x, fractionAtOrBelow(x));
+    }
+    return out;
+}
+
+} // namespace mithra::stats

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Descriptive statistics and empirical CDFs used by the evaluation
+ * harness (Figure 1 CDF plots, geometric-mean speedups, percentiles).
+ */
+
+#ifndef MITHRA_STATS_SUMMARY_HH
+#define MITHRA_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mithra::stats
+{
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive samples. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; asserts on empty input. */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum; asserts on empty input. */
+double maxValue(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]. p = 50 is the median.
+ * Asserts on empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Empirical cumulative distribution function over a sample.
+ *
+ * Used to regenerate the Figure 1 per-element error CDFs: build from
+ * the per-element final errors and sample fractionAtOrBelow() over a
+ * grid of error levels.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Build from a sample (copied and sorted). */
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** Fraction of samples <= x. */
+    double fractionAtOrBelow(double x) const;
+
+    /** Value below which a fraction p of the samples fall. */
+    double quantile(double p) const;
+
+    /** Number of samples. */
+    std::size_t size() const { return sorted.size(); }
+
+    /**
+     * Evenly spaced (x, fraction) points across the sample range,
+     * suitable for printing a CDF series.
+     */
+    std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+  private:
+    std::vector<double> sorted;
+};
+
+} // namespace mithra::stats
+
+#endif // MITHRA_STATS_SUMMARY_HH

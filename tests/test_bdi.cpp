@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and property tests for Base-Delta-Immediate compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/bdi.hh"
+
+using namespace mithra;
+using namespace mithra::compress;
+
+namespace
+{
+
+std::array<std::uint8_t, lineBytes>
+filledLine(std::uint8_t value)
+{
+    std::array<std::uint8_t, lineBytes> line;
+    line.fill(value);
+    return line;
+}
+
+} // namespace
+
+TEST(Bdi, ZeroLineIsFree)
+{
+    const auto line = filledLine(0);
+    const auto compressed = compressLine(line);
+    EXPECT_EQ(compressed.encoding, BdiEncoding::Zeros);
+    EXPECT_TRUE(compressed.payload.empty());
+    EXPECT_EQ(decompressLine(compressed), line);
+}
+
+TEST(Bdi, RepeatedLineUsesEightBytes)
+{
+    std::array<std::uint8_t, lineBytes> line{};
+    for (std::size_t i = 0; i < lineBytes; ++i)
+        line[i] = static_cast<std::uint8_t>(i % 8 + 1);
+    const auto compressed = compressLine(line);
+    EXPECT_EQ(compressed.encoding, BdiEncoding::Repeated);
+    EXPECT_EQ(compressed.payload.size(), 8u);
+    EXPECT_EQ(decompressLine(compressed), line);
+}
+
+TEST(Bdi, SmallDeltasPickBase8Delta1)
+{
+    // 8-byte words near a common base, differing in the low byte.
+    std::array<std::uint8_t, lineBytes> line{};
+    for (std::size_t w = 0; w < 8; ++w) {
+        line[w * 8] = static_cast<std::uint8_t>(10 + w);
+        line[w * 8 + 1] = 0x42; // same high bytes everywhere
+    }
+    const auto compressed = compressLine(line);
+    EXPECT_EQ(compressed.encoding, BdiEncoding::Base8Delta1);
+    EXPECT_EQ(compressed.payload.size(), 8u + 8u);
+    EXPECT_EQ(decompressLine(compressed), line);
+}
+
+TEST(Bdi, IncompressibleLineStaysRaw)
+{
+    Rng rng(99);
+    std::array<std::uint8_t, lineBytes> line;
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    const auto compressed = compressLine(line);
+    EXPECT_EQ(compressed.encoding, BdiEncoding::Uncompressed);
+    EXPECT_EQ(decompressLine(compressed), line);
+}
+
+TEST(Bdi, CompressedNeverLargerThanRawPlusTag)
+{
+    Rng rng(100);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::array<std::uint8_t, lineBytes> line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.nextBelow(4) * 60);
+        const auto compressed = compressLine(line);
+        EXPECT_LE(compressed.sizeBytes(), lineBytes + 1);
+    }
+}
+
+/** Property: every generated pattern round-trips exactly. */
+class BdiRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BdiRoundTrip, LineRoundTrips)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<std::uint8_t, lineBytes> line{};
+        switch (rng.nextBelow(5)) {
+          case 0: // sparse
+            for (int k = 0; k < 4; ++k)
+                line[rng.nextBelow(lineBytes)] =
+                    static_cast<std::uint8_t>(rng.nextBelow(256));
+            break;
+          case 1: // clustered values
+            for (auto &b : line)
+                b = static_cast<std::uint8_t>(100 + rng.nextBelow(6));
+            break;
+          case 2: // 4-byte words around a base
+            for (std::size_t w = 0; w < lineBytes / 4; ++w) {
+                line[w * 4] =
+                    static_cast<std::uint8_t>(rng.nextBelow(256));
+                line[w * 4 + 1] = 0x11;
+                line[w * 4 + 2] = 0x22;
+                line[w * 4 + 3] = 0x33;
+            }
+            break;
+          case 3: // random
+            for (auto &b : line)
+                b = static_cast<std::uint8_t>(rng.nextBelow(256));
+            break;
+          default: // all equal
+            line.fill(static_cast<std::uint8_t>(rng.nextBelow(256)));
+            break;
+        }
+        const auto compressed = compressLine(line);
+        EXPECT_EQ(decompressLine(compressed), line);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdiRoundTrip, ::testing::Range(1, 9));
+
+TEST(Bdi, BufferRoundTripWithPartialTail)
+{
+    Rng rng(101);
+    for (std::size_t size : {1u, 63u, 64u, 65u, 200u, 4096u}) {
+        std::vector<std::uint8_t> bytes(size);
+        for (auto &b : bytes)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        const auto buffer = compressBuffer(bytes);
+        EXPECT_EQ(buffer.originalBytes, size);
+        EXPECT_EQ(decompressBuffer(buffer), bytes);
+    }
+}
+
+TEST(Bdi, SparseBufferCompressesWell)
+{
+    // A mostly-zero 4 KB table should shrink by an order of magnitude
+    // (the paper's blackscholes/fft/inversek2j tables shrink ~16x).
+    std::vector<std::uint8_t> bytes(4096, 0);
+    bytes[17] = 1;
+    bytes[900] = 3;
+    const auto buffer = compressBuffer(bytes);
+    EXPECT_GT(buffer.ratio(), 10.0);
+    EXPECT_EQ(decompressBuffer(buffer), bytes);
+}
+
+TEST(Bdi, DenseBufferBarelyCompresses)
+{
+    Rng rng(102);
+    std::vector<std::uint8_t> bytes(4096);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    const auto buffer = compressBuffer(bytes);
+    EXPECT_LT(buffer.ratio(), 1.1);
+}
+
+TEST(Bdi, DecompressCyclesAreSmall)
+{
+    EXPECT_EQ(decompressCycles(BdiEncoding::Zeros), 0u);
+    EXPECT_EQ(decompressCycles(BdiEncoding::Uncompressed), 0u);
+    EXPECT_LE(decompressCycles(BdiEncoding::Base8Delta1), 2u);
+}
+
+TEST(Bdi, EncodingNamesAreUnique)
+{
+    const BdiEncoding all[] = {
+        BdiEncoding::Zeros,       BdiEncoding::Repeated,
+        BdiEncoding::Base8Delta1, BdiEncoding::Base8Delta2,
+        BdiEncoding::Base8Delta4, BdiEncoding::Base4Delta1,
+        BdiEncoding::Base4Delta2, BdiEncoding::Base2Delta1,
+        BdiEncoding::Uncompressed,
+    };
+    std::set<std::string> names;
+    for (auto encoding : all)
+        names.insert(encodingName(encoding));
+    EXPECT_EQ(names.size(), std::size(all));
+}

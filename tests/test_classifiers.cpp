@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the runtime classifiers: oracle, random filter, the
+ * table-based design (training, online updates, compression) and the
+ * neural design (topology selection, conservativeness).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/classifier.hh"
+#include "core/neural_classifier.hh"
+#include "core/table_classifier.hh"
+
+using namespace mithra;
+using namespace mithra::core;
+
+namespace
+{
+
+/** Synthetic training data: label = input[0] > cut. */
+TrainingData
+syntheticData(std::size_t n, float cut, std::uint64_t seed)
+{
+    Rng rng(seed);
+    TrainingData data;
+    data.threshold = 0.1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        const float y = static_cast<float>(rng.uniform());
+        data.rawInputs.push_back({x, y});
+        data.labels.push_back(x > cut ? 1 : 0);
+    }
+    return data;
+}
+
+} // namespace
+
+TEST(Oracle, DecisionsFollowTraceErrors)
+{
+    axbench::InvocationTrace trace(1, 1);
+    trace.appendWithApprox({0.0f}, {1.0f}, {1.05f}); // error 0.05
+    trace.appendWithApprox({1.0f}, {1.0f}, {1.50f}); // error 0.50
+
+    OracleClassifier oracle(0.1f);
+    oracle.beginDataset(trace);
+    EXPECT_FALSE(oracle.decidePrecise({0.0f}, 0));
+    EXPECT_TRUE(oracle.decidePrecise({1.0f}, 1));
+    EXPECT_EQ(oracle.configSizeBytes(), 0u);
+    EXPECT_DOUBLE_EQ(oracle.cost().energyPjPerInvocation, 0.0);
+}
+
+TEST(RandomFilter, MatchesRequestedFraction)
+{
+    RandomFilterClassifier random(0.3, 42);
+    int precise = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        precise += random.decidePrecise({}, static_cast<std::size_t>(i));
+    EXPECT_NEAR(static_cast<double>(precise) / n, 0.3, 0.02);
+}
+
+TEST(RandomFilter, ExtremesAreDeterministic)
+{
+    RandomFilterClassifier never(0.0, 1);
+    RandomFilterClassifier always(1.0, 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(never.decidePrecise({}, 0));
+        EXPECT_TRUE(always.decidePrecise({}, 0));
+    }
+}
+
+TEST(TableClassifier, LearnsThresholdedRegion)
+{
+    const auto data = syntheticData(20000, 0.75f, 7);
+    TableClassifierOptions options;
+    options.quantizerBits = 4;
+    auto classifier = TableClassifier::train(data, options);
+
+    // Training inputs with x clearly above/below the cut separate.
+    std::size_t correct = 0, total = 0;
+    Rng rng(8);
+    for (int i = 0; i < 2000; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        const float y = static_cast<float>(rng.uniform());
+        if (std::fabs(x - 0.75f) < 0.05f)
+            continue; // skip the boundary cells
+        const bool expected = x > 0.75f;
+        correct += classifier.decidePrecise({x, y}, 0) == expected;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+              0.95);
+}
+
+TEST(TableClassifier, OnlineUpdateMarksObservedErrors)
+{
+    const auto data = syntheticData(1000, 2.0f, 9); // no precise labels
+    TableClassifierOptions options;
+    options.quantizerBits = 6;
+    auto classifier = TableClassifier::train(data, options);
+
+    const Vec input = {0.5f, 0.5f};
+    EXPECT_FALSE(classifier.decidePrecise(input, 0));
+    // Observing a small error must not change the decision.
+    classifier.observe(input, 0.01f);
+    EXPECT_FALSE(classifier.decidePrecise(input, 0));
+    // Observing a large error must flip it.
+    classifier.observe(input, 5.0f);
+    EXPECT_TRUE(classifier.decidePrecise(input, 0));
+    EXPECT_EQ(classifier.onlineUpdatesApplied(), 1u);
+}
+
+TEST(TableClassifier, OnlineUpdatesCanBeDisabled)
+{
+    const auto data = syntheticData(1000, 2.0f, 10);
+    TableClassifierOptions options;
+    options.onlineUpdates = false;
+    auto classifier = TableClassifier::train(data, options);
+    const Vec input = {0.5f, 0.5f};
+    classifier.observe(input, 5.0f);
+    EXPECT_FALSE(classifier.decidePrecise(input, 0));
+    EXPECT_EQ(classifier.onlineUpdatesApplied(), 0u);
+}
+
+TEST(TableClassifier, EmptyTablesCompressAway)
+{
+    // No precise labels at all: the tables are all zero and BDI
+    // collapses them to per-line tags.
+    const auto data = syntheticData(5000, 2.0f, 11);
+    auto classifier = TableClassifier::train(data,
+                                             TableClassifierOptions{});
+    EXPECT_EQ(classifier.uncompressedSizeBytes(), 4096u);
+    EXPECT_LT(classifier.compressedSizeBytes(), 256u);
+}
+
+TEST(TableClassifier, DenserTablesCompressWorse)
+{
+    const auto sparse = syntheticData(20000, 0.97f, 11);
+    const auto dense = syntheticData(20000, 0.30f, 11);
+    TableClassifierOptions options;
+    options.quantizerBits = 4;
+    const auto sparseClassifier = TableClassifier::train(sparse,
+                                                         options);
+    const auto denseClassifier = TableClassifier::train(dense, options);
+    EXPECT_LE(sparseClassifier.compressedSizeBytes(),
+              denseClassifier.compressedSizeBytes());
+}
+
+TEST(TableClassifier, CostModelShape)
+{
+    const auto data = syntheticData(5000, 0.5f, 12);
+    auto classifier = TableClassifier::train(data,
+                                             TableClassifierOptions{});
+    const auto cost = classifier.cost();
+    // The decision overlaps the accelerated path but delays fallback.
+    EXPECT_DOUBLE_EQ(cost.extraCyclesAccel, 0.0);
+    EXPECT_GT(cost.extraCyclesPrecise, 0.0);
+    EXPECT_GT(cost.energyPjPerInvocation, 0.0);
+    EXPECT_GT(classifier.configSizeBytes(), 0u);
+}
+
+TEST(TableClassifier, FailClosedDisablesApproximation)
+{
+    const auto data = syntheticData(1000, 0.5f, 13);
+    auto classifier = TableClassifier::train(data,
+                                             TableClassifierOptions{});
+    EXPECT_TRUE(classifier.approximationEnabled());
+    classifier.disableApproximation();
+    EXPECT_FALSE(classifier.approximationEnabled());
+}
+
+TEST(NeuralClassifier, LearnsLinearBoundary)
+{
+    const auto data = syntheticData(20000, 0.5f, 14);
+    NeuralClassifierOptions options;
+    options.trainer.epochs = 40;
+    auto classifier = NeuralClassifier::train(data, options);
+
+    EXPECT_GT(classifier.selectionAccuracy(), 0.95);
+    Rng rng(15);
+    std::size_t correct = 0, total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        const float y = static_cast<float>(rng.uniform());
+        if (std::fabs(x - 0.5f) < 0.05f)
+            continue;
+        correct += classifier.decidePrecise({x, y}, 0) == (x > 0.5f);
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+              0.95);
+}
+
+TEST(NeuralClassifier, SelectsSmallTopologyForEasyProblem)
+{
+    // A linearly separable problem should not need 32 hidden neurons.
+    const auto data = syntheticData(8000, 0.5f, 16);
+    NeuralClassifierOptions options;
+    options.trainer.epochs = 30;
+    auto classifier = NeuralClassifier::train(data, options);
+    ASSERT_EQ(classifier.topology().size(), 3u);
+    EXPECT_EQ(classifier.topology().front(), 2u);
+    EXPECT_EQ(classifier.topology().back(), 2u);
+    EXPECT_LE(classifier.topology()[1], 8u);
+}
+
+TEST(NeuralClassifier, ForcedTopologyIsRespected)
+{
+    const auto data = syntheticData(4000, 0.5f, 17);
+    NeuralClassifierOptions options;
+    options.forcedHidden = 16;
+    options.trainer.epochs = 10;
+    auto classifier = NeuralClassifier::train(data, options);
+    EXPECT_EQ(classifier.topology()[1], 16u);
+}
+
+TEST(NeuralClassifier, CostChargesBothPaths)
+{
+    const auto data = syntheticData(4000, 0.5f, 18);
+    NeuralClassifierOptions options;
+    options.trainer.epochs = 5;
+    auto classifier = NeuralClassifier::train(data, options);
+    const auto cost = classifier.cost();
+    // The classifier shares the NPU: it serializes on either path.
+    EXPECT_GT(cost.extraCyclesAccel, 0.0);
+    EXPECT_DOUBLE_EQ(cost.extraCyclesAccel, cost.extraCyclesPrecise);
+    EXPECT_GT(cost.energyPjPerInvocation, 0.0);
+}
+
+TEST(NeuralClassifier, OversamplingBiasesTowardPrecise)
+{
+    // With heavy precise-class oversampling, borderline inputs should
+    // flip toward the precise side.
+    const auto data = syntheticData(20000, 0.8f, 19);
+
+    NeuralClassifierOptions neutral;
+    neutral.trainer.epochs = 30;
+    neutral.forcedHidden = 8;
+    auto balanced = NeuralClassifier::train(data, neutral);
+
+    NeuralClassifierOptions conservative = neutral;
+    conservative.preciseOversample = 4.0;
+    auto biased = NeuralClassifier::train(data, conservative);
+
+    Rng rng(20);
+    int balancedPrecise = 0, biasedPrecise = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Vec input = {static_cast<float>(rng.uniform()),
+                           static_cast<float>(rng.uniform())};
+        balancedPrecise += balanced.decidePrecise(input, 0);
+        biasedPrecise += biased.decidePrecise(input, 0);
+    }
+    EXPECT_GE(biasedPrecise, balancedPrecise);
+}

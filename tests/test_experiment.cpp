@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the experiment-harness plumbing: the TSV result cache,
+ * run-option semantics and design naming. (End-to-end runner behaviour
+ * is covered in test_integration.cpp.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace mithra;
+using namespace mithra::core;
+
+namespace
+{
+
+std::string
+tempCachePath()
+{
+    return "/tmp/mithra-cache-unit.tsv";
+}
+
+} // namespace
+
+TEST(ResultCache, MissingFileIsEmpty)
+{
+    std::remove(tempCachePath().c_str());
+    ResultCache cache(tempCachePath());
+    EXPECT_FALSE(cache.get("nope").has_value());
+}
+
+TEST(ResultCache, PutThenGet)
+{
+    std::remove(tempCachePath().c_str());
+    ResultCache cache(tempCachePath());
+    cache.put("alpha", "1 2 3");
+    ASSERT_TRUE(cache.get("alpha").has_value());
+    EXPECT_EQ(*cache.get("alpha"), "1 2 3");
+    std::remove(tempCachePath().c_str());
+}
+
+TEST(ResultCache, PersistsAcrossInstances)
+{
+    std::remove(tempCachePath().c_str());
+    {
+        ResultCache cache(tempCachePath());
+        cache.put("k1", "v1");
+        cache.put("k2", "v2 with spaces");
+    }
+    {
+        ResultCache cache(tempCachePath());
+        EXPECT_EQ(*cache.get("k1"), "v1");
+        EXPECT_EQ(*cache.get("k2"), "v2 with spaces");
+        EXPECT_FALSE(cache.get("k3").has_value());
+    }
+    std::remove(tempCachePath().c_str());
+}
+
+TEST(ResultCache, LastWriteWins)
+{
+    std::remove(tempCachePath().c_str());
+    {
+        ResultCache cache(tempCachePath());
+        cache.put("key", "old");
+        cache.put("key", "new");
+        EXPECT_EQ(*cache.get("key"), "new");
+    }
+    {
+        // The append-only file replays in order; the newest survives.
+        ResultCache cache(tempCachePath());
+        EXPECT_EQ(*cache.get("key"), "new");
+    }
+    std::remove(tempCachePath().c_str());
+}
+
+TEST(ResultCache, IgnoresMalformedLines)
+{
+    std::remove(tempCachePath().c_str());
+    {
+        std::FILE *f = std::fopen(tempCachePath().c_str(), "w");
+        std::fputs("no-tab-in-this-line\ngood\tvalue\n", f);
+        std::fclose(f);
+    }
+    ResultCache cache(tempCachePath());
+    EXPECT_EQ(*cache.get("good"), "value");
+    EXPECT_FALSE(cache.get("no-tab-in-this-line").has_value());
+    std::remove(tempCachePath().c_str());
+}
+
+TEST(RunOptions, DefaultDetection)
+{
+    RunOptions options;
+    EXPECT_TRUE(options.isDefault());
+
+    RunOptions geometry;
+    geometry.geometry.numTables = 4;
+    EXPECT_FALSE(geometry.isDefault());
+
+    RunOptions bits;
+    bits.quantizerBits = 3;
+    EXPECT_FALSE(bits.isDefault());
+
+    RunOptions online;
+    online.onlineUpdates = false;
+    EXPECT_FALSE(online.isDefault());
+
+    RunOptions noCal;
+    noCal.skipCalibration = true;
+    EXPECT_FALSE(noCal.isDefault());
+
+    RunOptions random;
+    random.randomPreciseFraction = 0.25;
+    EXPECT_FALSE(random.isDefault());
+}
+
+TEST(Design, NamesMatchPaperVocabulary)
+{
+    EXPECT_EQ(designName(Design::FullApprox), "full-approx");
+    EXPECT_EQ(designName(Design::Oracle), "oracle");
+    EXPECT_EQ(designName(Design::Table), "table");
+    EXPECT_EQ(designName(Design::Neural), "neural");
+    EXPECT_EQ(designName(Design::Random), "random");
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * End-to-end integration tests: the compile pipeline, the runtime
+ * evaluator and the experiment runner's result cache, exercised on a
+ * deliberately small configuration of the cheapest benchmark.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/pipeline.hh"
+#include "core/runtime.hh"
+
+using namespace mithra;
+using namespace mithra::core;
+
+namespace
+{
+
+/** Small, fast pipeline configuration for tests. */
+PipelineOptions
+testOptions()
+{
+    PipelineOptions options;
+    options.compileDatasetCount = 16;
+    options.npuTrainSamples = 3000;
+    options.classifierTuples = 20000;
+    options.maxCalibrationRounds = 2;
+    return options;
+}
+
+/** A spec achievable with 16 compile datasets. */
+QualitySpec
+testSpec()
+{
+    QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = 0.75;
+    return spec;
+}
+
+} // namespace
+
+TEST(PipelineIntegration, CompileProducesConsistentWorkload)
+{
+    const Pipeline pipeline(testOptions());
+    const auto workload = pipeline.compile("inversek2j");
+
+    EXPECT_EQ(workload.benchmark->name(), "inversek2j");
+    EXPECT_EQ(workload.compileDatasets.size(), 16u);
+    EXPECT_EQ(workload.compileTraces.size(), 16u);
+    EXPECT_EQ(workload.problem.entries.size(), 16u);
+    EXPECT_TRUE(workload.accel.trained());
+    EXPECT_GT(workload.fullApproxLossMean, 0.0);
+    EXPECT_GT(workload.profile.preciseCycles, 0.0);
+    EXPECT_GT(workload.profile.accelCycles, 0.0);
+    EXPECT_GT(workload.profile.invocationsPerDataset, 0u);
+
+    // Every trace carries approximations after compile.
+    for (const auto &trace : workload.compileTraces)
+        EXPECT_TRUE(trace->hasApproximations());
+}
+
+TEST(PipelineIntegration, TuneAndEvaluateEndToEnd)
+{
+    const Pipeline pipeline(testOptions());
+    const auto workload = pipeline.compile("inversek2j");
+    const auto spec = testSpec();
+    const auto package = pipeline.tune(workload, spec);
+
+    EXPECT_GT(package.threshold.threshold, 0.0);
+    ASSERT_TRUE(package.table);
+    ASSERT_TRUE(package.neural);
+    EXPECT_LE(package.tableLabelThreshold,
+              package.threshold.threshold + 1e-12);
+
+    const auto validation = makeValidationSet(workload, 16);
+    EXPECT_EQ(validation.entries.size(), 16u);
+    const Evaluator evaluator(workload, spec,
+                              package.threshold.threshold);
+
+    const auto oracle = evaluator.evaluateOracle(validation);
+    EXPECT_GT(oracle.invocationRate, 0.1);
+    EXPECT_EQ(oracle.falsePositiveRate, 0.0);
+    EXPECT_EQ(oracle.falseNegativeRate, 0.0);
+    EXPECT_GT(oracle.speedup, 1.0);
+
+    const auto table = evaluator.evaluate(*package.table, validation);
+    EXPECT_GE(table.invocationRate, 0.0);
+    EXPECT_LE(table.invocationRate, oracle.invocationRate + 0.1);
+
+    const auto fullApprox = evaluator.evaluateFullApprox(validation);
+    EXPECT_DOUBLE_EQ(fullApprox.invocationRate, 1.0);
+    EXPECT_GE(fullApprox.speedup, oracle.speedup - 1e-9);
+
+    const auto random = evaluator.evaluateRandom(
+        validation, 1.0 - oracle.invocationRate);
+    EXPECT_NEAR(random.invocationRate, oracle.invocationRate, 0.05);
+    // At the same rate, the oracle's quality is at least as good.
+    EXPECT_LE(oracle.meanQualityLoss, random.meanQualityLoss + 1e-9);
+}
+
+TEST(PipelineIntegration, ValidationSeedsAreUnseen)
+{
+    const Pipeline pipeline(testOptions());
+    // Compile and validation seeds must never collide for any index.
+    for (std::size_t i = 0; i < 250; ++i) {
+        for (std::size_t j = 0; j < 250; ++j) {
+            ASSERT_NE(axbench::compileSeed("sobel", i),
+                      axbench::validationSeed("sobel", j));
+        }
+    }
+}
+
+TEST(ExperimentRunner, CacheRoundTripsRecords)
+{
+    const std::string path = "/tmp/mithra-test-cache.tsv";
+    std::remove(path.c_str());
+    setenv("MITHRA_CACHE", path.c_str(), 1);
+
+    ExperimentRecord first;
+    {
+        ExperimentRunner runner(testOptions());
+        first = runner.run("inversek2j", testSpec(), Design::Oracle);
+        EXPECT_GT(first.eval.trials, 0u);
+    }
+    {
+        // A fresh runner must serve the identical record from disk
+        // without recompiling (no workload is loaded for cache hits).
+        ExperimentRunner runner(testOptions());
+        const auto second = runner.run("inversek2j", testSpec(),
+                                       Design::Oracle);
+        EXPECT_EQ(second.eval.successes, first.eval.successes);
+        EXPECT_DOUBLE_EQ(second.eval.speedup, first.eval.speedup);
+        EXPECT_DOUBLE_EQ(second.threshold, first.threshold);
+        EXPECT_EQ(second.eval.kind, first.eval.kind);
+    }
+    unsetenv("MITHRA_CACHE");
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, WorkloadFactsAreStable)
+{
+    const std::string path = "/tmp/mithra-test-cache2.tsv";
+    std::remove(path.c_str());
+    setenv("MITHRA_CACHE", path.c_str(), 1);
+
+    ExperimentRunner runner(testOptions());
+    const auto facts = runner.workloadFacts("inversek2j");
+    EXPECT_EQ(facts.domain, "Robotics");
+    EXPECT_EQ(facts.metricName, "Avg. Relative Error");
+    EXPECT_EQ(facts.npuTopology, "2->8->2");
+    EXPECT_GT(facts.invocationsPerDataset, 0u);
+
+    const auto cached = runner.workloadFacts("inversek2j");
+    EXPECT_EQ(cached.domain, facts.domain);
+    EXPECT_DOUBLE_EQ(cached.fullApproxLossMean,
+                     facts.fullApproxLossMean);
+
+    unsetenv("MITHRA_CACHE");
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, DesignNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (auto design : {Design::FullApprox, Design::Oracle,
+                        Design::Table, Design::Neural, Design::Random})
+        names.insert(designName(design));
+    EXPECT_EQ(names.size(), 5u);
+}

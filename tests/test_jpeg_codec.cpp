@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit and property tests for the baseline JPEG codec substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "axbench/jpeg_codec.hh"
+#include "common/rng.hh"
+
+using namespace mithra;
+using namespace mithra::axbench::jpeg;
+
+TEST(JpegCodec, ZigzagIsAPermutation)
+{
+    const auto &order = zigzagOrder();
+    std::set<std::size_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), blockSize);
+    EXPECT_EQ(order[0], 0u);      // DC first
+    EXPECT_EQ(order[1], 1u);      // then right
+    EXPECT_EQ(order[2], 8u);      // then down-left
+    EXPECT_EQ(order[63], 63u);    // highest frequency last
+}
+
+TEST(JpegCodec, QuantTableQualityScaling)
+{
+    const auto q50 = quantTable(50);
+    const auto q90 = quantTable(90);
+    const auto q10 = quantTable(10);
+    for (std::size_t i = 0; i < blockSize; ++i) {
+        EXPECT_LE(q90[i], q50[i]);
+        EXPECT_GE(q10[i], q50[i]);
+        EXPECT_GE(q90[i], 1);
+        EXPECT_LE(q10[i], 255);
+    }
+    // Quality 50 uses the Annex-K base table unchanged.
+    EXPECT_EQ(q50[0], 16);
+    EXPECT_EQ(q50[63], 99);
+}
+
+TEST(JpegCodec, FlatBlockHasOnlyDc)
+{
+    const auto table = quantTable(75);
+    float pixels[blockSize];
+    std::fill(pixels, pixels + blockSize, 200.0f);
+    float coeffs[blockSize];
+    blockDctQuantize<float>(pixels, table, coeffs);
+    for (std::size_t i = 1; i < blockSize; ++i)
+        EXPECT_FLOAT_EQ(coeffs[i], 0.0f) << "AC index " << i;
+    EXPECT_NE(coeffs[0], 0.0f);
+}
+
+TEST(JpegCodec, DctIdctRoundTripIsClose)
+{
+    Rng rng(1);
+    const auto table = quantTable(95); // fine quantization
+    float pixels[blockSize];
+    for (auto &p : pixels)
+        p = static_cast<float>(100.0 + 20.0 * rng.uniform());
+    float coeffs[blockSize];
+    blockDctQuantize<float>(pixels, table, coeffs);
+    float decoded[blockSize];
+    blockDequantizeIdct(coeffs, table, decoded);
+    for (std::size_t i = 0; i < blockSize; ++i)
+        EXPECT_NEAR(decoded[i], pixels[i], 6.0f);
+}
+
+TEST(JpegCodec, LowerQualityLosesMore)
+{
+    Rng rng(2);
+    float pixels[blockSize];
+    for (auto &p : pixels)
+        p = static_cast<float>(rng.uniform(0.0, 255.0));
+
+    auto rmse = [&](int quality) {
+        const auto table = quantTable(quality);
+        float coeffs[blockSize], decoded[blockSize];
+        blockDctQuantize<float>(pixels, table, coeffs);
+        blockDequantizeIdct(coeffs, table, decoded);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < blockSize; ++i) {
+            const double d = decoded[i] - pixels[i];
+            sum += d * d;
+        }
+        return std::sqrt(sum / blockSize);
+    };
+
+    EXPECT_LT(rmse(90), rmse(20));
+}
+
+TEST(JpegCodec, BitStreamRoundTrip)
+{
+    BitStream stream;
+    stream.writeBits(0b101, 3);
+    stream.writeBits(0xff, 8);
+    stream.writeBits(0, 2);
+    stream.writeBits(0b110011, 6);
+    EXPECT_EQ(stream.sizeBits(), 19u);
+    EXPECT_EQ(stream.sizeBytes(), 3u);
+
+    BitReader reader(stream.bytes());
+    EXPECT_EQ(reader.readBits(3), 0b101u);
+    EXPECT_EQ(reader.readBits(8), 0xffu);
+    EXPECT_EQ(reader.readBits(2), 0u);
+    EXPECT_EQ(reader.readBits(6), 0b110011u);
+}
+
+TEST(JpegCodec, HuffmanTablesRoundTripEverySymbol)
+{
+    for (const HuffmanTable *table :
+         {&HuffmanTable::standardDc(), &HuffmanTable::standardAc()}) {
+        // DC symbols are 0..11; AC symbols come from the standard set.
+        std::vector<std::uint8_t> symbols;
+        if (table == &HuffmanTable::standardDc()) {
+            for (std::uint8_t s = 0; s <= 11; ++s)
+                symbols.push_back(s);
+        } else {
+            symbols = {0x00, 0x01, 0x11, 0xf0, 0xfa, 0x53, 0x28};
+        }
+        BitStream stream;
+        for (auto s : symbols)
+            table->encode(stream, s);
+        BitReader reader(stream.bytes());
+        for (auto s : symbols)
+            EXPECT_EQ(table->decode(reader), s);
+    }
+}
+
+TEST(JpegCodec, EntropyRoundTripZeroBlocks)
+{
+    std::vector<std::array<int, blockSize>> blocks(3);
+    for (auto &block : blocks)
+        block.fill(0);
+    const auto stream = entropyEncode(blocks);
+    EXPECT_EQ(entropyDecode(stream, blocks.size()), blocks);
+}
+
+TEST(JpegCodec, EntropyRoundTripDcChain)
+{
+    // DC values exercise the difference coding across blocks.
+    std::vector<std::array<int, blockSize>> blocks(4);
+    int dc = 0;
+    for (auto &block : blocks) {
+        block.fill(0);
+        dc += 37;
+        block[0] = dc;
+    }
+    const auto stream = entropyEncode(blocks);
+    EXPECT_EQ(entropyDecode(stream, blocks.size()), blocks);
+}
+
+/** Property: random sparse coefficient blocks round-trip exactly. */
+class EntropyRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EntropyRoundTrip, RandomBlocks)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<std::array<int, blockSize>> blocks(8);
+    for (auto &block : blocks) {
+        block.fill(0);
+        block[0] = static_cast<int>(rng.nextBelow(200)) - 100;
+        const std::size_t nonzero = rng.nextBelow(20);
+        for (std::size_t k = 0; k < nonzero; ++k) {
+            block[1 + rng.nextBelow(blockSize - 1)] =
+                static_cast<int>(rng.nextBelow(60)) - 30;
+        }
+    }
+    const auto stream = entropyEncode(blocks);
+    EXPECT_EQ(entropyDecode(stream, blocks.size()), blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyRoundTrip,
+                         ::testing::Range(1, 13));
+
+TEST(JpegCodec, EntropyCodingCompressesSparseBlocks)
+{
+    // A sparse block stream must beat raw 2-bytes-per-coefficient.
+    std::vector<std::array<int, blockSize>> blocks(16);
+    Rng rng(77);
+    for (auto &block : blocks) {
+        block.fill(0);
+        block[0] = 40;
+        block[1] = static_cast<int>(rng.nextBelow(8)) - 4;
+    }
+    const auto stream = entropyEncode(blocks);
+    EXPECT_LT(stream.sizeBytes(), blocks.size() * blockSize * 2 / 10);
+}
+
+TEST(JpegCodec, RunLengthLongZeroRuns)
+{
+    // Coefficients placed after >16 zeros exercise the ZRL symbol.
+    std::vector<std::array<int, blockSize>> blocks(1);
+    blocks[0].fill(0);
+    blocks[0][zigzagOrder()[40]] = 9;
+    blocks[0][zigzagOrder()[63]] = -3;
+    const auto stream = entropyEncode(blocks);
+    EXPECT_EQ(entropyDecode(stream, 1), blocks);
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the NPU substrate: MLP forward pass, offline trainer,
+ * the scaled approximator and the cycle/energy cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "npu/approximator.hh"
+#include "npu/cost_model.hh"
+#include "npu/mlp.hh"
+#include "npu/trainer.hh"
+
+using namespace mithra;
+using namespace mithra::npu;
+
+TEST(Mlp, TopologyNameFormat)
+{
+    EXPECT_EQ(topologyName({6, 8, 3, 1}), "6->8->3->1");
+    EXPECT_EQ(topologyName({2, 8, 2}), "2->8->2");
+}
+
+TEST(Mlp, ForwardOutputWidth)
+{
+    Mlp mlp({3, 5, 2});
+    const Vec out = mlp.forward({0.1f, 0.2f, 0.3f});
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Mlp, ZeroWeightsGiveSigmoidOfZero)
+{
+    Mlp mlp({2, 2});
+    const Vec out = mlp.forward({1.0f, -1.0f});
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_FLOAT_EQ(out[1], 0.5f);
+}
+
+TEST(Mlp, SingleNeuronComputesSigmoid)
+{
+    Mlp mlp({1, 1});
+    mlp.setWeight(1, 0, 0, 2.0f); // input weight
+    mlp.setWeight(1, 0, 1, 0.5f); // bias
+    const Vec out = mlp.forward({1.5f});
+    const float expected = 1.0f / (1.0f + std::exp(-(2.0f * 1.5f
+                                                     + 0.5f)));
+    EXPECT_NEAR(out[0], expected, 1e-6f);
+}
+
+TEST(Mlp, WeightCountFormula)
+{
+    // Paper Table I topologies.
+    EXPECT_EQ(Mlp({6, 8, 3, 1}).weightCount(),
+              8u * 7 + 3u * 9 + 1u * 4);
+    EXPECT_EQ(Mlp({64, 16, 64}).weightCount(), 16u * 65 + 64u * 17);
+}
+
+TEST(Mlp, MacsAndSigmoidsPerForward)
+{
+    Mlp mlp({2, 8, 2});
+    EXPECT_EQ(mlp.macsPerForward(), 8u * 3 + 2u * 9);
+    EXPECT_EQ(mlp.sigmoidsPerForward(), 10u);
+    EXPECT_EQ(mlp.sizeBytes(), mlp.weightCount() * 4);
+}
+
+TEST(Mlp, WeightAccessorsRoundTrip)
+{
+    Mlp mlp({2, 3, 1});
+    mlp.setWeight(1, 2, 0, 0.25f);
+    mlp.setWeight(2, 0, 3, -1.5f); // output bias
+    EXPECT_FLOAT_EQ(mlp.weight(1, 2, 0), 0.25f);
+    EXPECT_FLOAT_EQ(mlp.weight(2, 0, 3), -1.5f);
+}
+
+TEST(Trainer, InitWeightsDeterministic)
+{
+    Mlp a({4, 8, 2}), b({4, 8, 2});
+    initWeights(a, 7);
+    initWeights(b, 7);
+    EXPECT_EQ(a.layerWeights(1), b.layerWeights(1));
+    EXPECT_EQ(a.layerWeights(2), b.layerWeights(2));
+}
+
+TEST(Trainer, InitWeightsBounded)
+{
+    Mlp mlp({4, 8, 2});
+    initWeights(mlp, 9);
+    for (std::size_t l = 1; l < 3; ++l)
+        for (float w : mlp.layerWeights(l))
+            EXPECT_LE(std::fabs(w), 1.0f);
+}
+
+TEST(Trainer, LearnsXor)
+{
+    const VecBatch inputs = {{0.f, 0.f}, {0.f, 1.f}, {1.f, 0.f},
+                             {1.f, 1.f}};
+    const VecBatch targets = {{0.1f}, {0.9f}, {0.9f}, {0.1f}};
+
+    Mlp mlp({2, 4, 1});
+    initWeights(mlp, 3);
+    TrainerOptions options;
+    options.epochs = 3000;
+    options.learningRate = 0.5f;
+    options.batchSize = 4;
+    const double mse = train(mlp, inputs, targets, options);
+    EXPECT_LT(mse, 0.01);
+
+    EXPECT_LT(mlp.forward({0.f, 0.f})[0], 0.4f);
+    EXPECT_GT(mlp.forward({0.f, 1.f})[0], 0.6f);
+    EXPECT_GT(mlp.forward({1.f, 0.f})[0], 0.6f);
+    EXPECT_LT(mlp.forward({1.f, 1.f})[0], 0.4f);
+}
+
+TEST(Trainer, LearnsSmoothFunction)
+{
+    // Regression on sin over [0, 1] (scaled into the sigmoid band).
+    Rng rng(5);
+    VecBatch inputs, targets;
+    for (int i = 0; i < 400; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        inputs.push_back({x});
+        targets.push_back(
+            {0.1f + 0.8f * 0.5f * (1.0f + std::sin(6.28f * x))});
+    }
+    Mlp mlp({1, 8, 1});
+    initWeights(mlp, 4);
+    TrainerOptions options;
+    options.epochs = 900;
+    options.learningRate = 0.5f;
+    options.lrDecay = 0.997f;
+    const double mse = train(mlp, inputs, targets, options);
+    EXPECT_LT(mse, 0.01);
+}
+
+TEST(Trainer, EarlyStopOnTargetMse)
+{
+    const VecBatch inputs = {{0.f}, {1.f}};
+    const VecBatch targets = {{0.5f}, {0.5f}};
+    Mlp mlp({1, 2, 1});
+    initWeights(mlp, 6);
+    TrainerOptions options;
+    options.epochs = 100000; // would take long without early stop
+    options.targetMse = 0.01;
+    const double mse = train(mlp, inputs, targets, options);
+    EXPECT_LT(mse, 0.01);
+}
+
+TEST(Trainer, MeanSquaredErrorOfPerfectFit)
+{
+    Mlp mlp({1, 1});
+    const VecBatch inputs = {{0.0f}};
+    const VecBatch targets = {{0.5f}}; // sigmoid(0) = 0.5 exactly
+    EXPECT_NEAR(meanSquaredError(mlp, inputs, targets), 0.0, 1e-12);
+}
+
+TEST(Scaler, RoundTripWithinRange)
+{
+    LinearScaler scaler;
+    scaler.fit({{0.0f, -5.0f}, {10.0f, 5.0f}});
+    const Vec raw = {2.5f, 0.0f};
+    const Vec unit = scaler.toUnit(raw);
+    EXPECT_NEAR(unit[0], 0.25f, 1e-6f);
+    EXPECT_NEAR(unit[1], 0.5f, 1e-6f);
+    const Vec back = scaler.fromUnit(unit);
+    EXPECT_NEAR(back[0], raw[0], 1e-5f);
+    EXPECT_NEAR(back[1], raw[1], 1e-5f);
+}
+
+TEST(Scaler, ClampsOutOfRange)
+{
+    LinearScaler scaler;
+    scaler.fit({{0.0f}, {1.0f}});
+    EXPECT_FLOAT_EQ(scaler.toUnit({99.0f})[0], 1.0f);
+    EXPECT_FLOAT_EQ(scaler.toUnit({-99.0f})[0], 0.0f);
+}
+
+TEST(Approximator, MimicsLinearFunction)
+{
+    // y = 0.5 x0 + 0.25 x1 over [0, 1]^2 — easily learnable.
+    Rng rng(6);
+    VecBatch inputs, outputs;
+    for (int i = 0; i < 600; ++i) {
+        const float x0 = static_cast<float>(rng.uniform());
+        const float x1 = static_cast<float>(rng.uniform());
+        inputs.push_back({x0, x1});
+        outputs.push_back({0.5f * x0 + 0.25f * x1});
+    }
+
+    Approximator approximator;
+    TrainerOptions options;
+    options.epochs = 300;
+    options.learningRate = 0.4f;
+    const double mse = approximator.trainToMimic({2, 4, 1}, inputs,
+                                                 outputs, options);
+    EXPECT_LT(mse, 0.002);
+    EXPECT_TRUE(approximator.trained());
+
+    double worst = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const float x0 = static_cast<float>(rng.uniform());
+        const float x1 = static_cast<float>(rng.uniform());
+        const float expected = 0.5f * x0 + 0.25f * x1;
+        const Vec out = approximator.invoke({x0, x1});
+        worst = std::max(worst,
+                         std::fabs(static_cast<double>(out[0])
+                                   - expected));
+    }
+    EXPECT_LT(worst, 0.08);
+}
+
+TEST(CostModel, InvocationCyclesFormula)
+{
+    NpuParams params; // 8 PEs, 1 cycle/word, 4 overhead, 1/sigmoid
+    const NpuCostModel model(params);
+
+    // 2->8->2: enqueue 2; layer1 one round of (2+1)+1; layer2 one
+    // round of (8+1)+1; dequeue 2; overhead 4.
+    Mlp mlp({2, 8, 2});
+    EXPECT_EQ(model.invocationCycles(mlp), 4u + 2 + (3 + 1) + (9 + 1)
+                                               + 2);
+}
+
+TEST(CostModel, MorePesNeverSlower)
+{
+    Mlp mlp({18, 32, 8, 2});
+    NpuParams few;
+    few.numPes = 2;
+    NpuParams many;
+    many.numPes = 16;
+    EXPECT_GT(NpuCostModel(few).invocationCycles(mlp),
+              NpuCostModel(many).invocationCycles(mlp));
+}
+
+TEST(CostModel, EnergyScalesWithNetworkSize)
+{
+    const NpuCostModel model;
+    Mlp small({2, 2, 1});
+    Mlp large({64, 32, 64});
+    EXPECT_LT(model.invocationEnergyPj(small),
+              model.invocationEnergyPj(large));
+    EXPECT_GT(model.invocationEnergyPj(small), 0.0);
+}
+
+TEST(CostModel, CostBundlesMatchPieces)
+{
+    const NpuCostModel model;
+    Mlp mlp({9, 8, 1});
+    const auto cost = model.invocationCost(mlp);
+    EXPECT_EQ(cost.cycles, model.invocationCycles(mlp));
+    EXPECT_DOUBLE_EQ(cost.picoJoules, model.invocationEnergyPj(mlp));
+}
+
+/** Table I topologies should all be modeled without surprises. */
+class PaperTopology : public ::testing::TestWithParam<Topology>
+{
+};
+
+TEST_P(PaperTopology, CostsArePositiveAndFinite)
+{
+    const NpuCostModel model;
+    Mlp mlp(GetParam());
+    EXPECT_GT(model.invocationCycles(mlp), 0u);
+    EXPECT_GT(model.invocationEnergyPj(mlp), 0.0);
+    EXPECT_LT(model.invocationCycles(mlp), 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, PaperTopology,
+    ::testing::Values(Topology{6, 8, 3, 1}, Topology{1, 4, 4, 2},
+                      Topology{2, 8, 2}, Topology{18, 32, 8, 2},
+                      Topology{64, 16, 64}, Topology{9, 8, 1}));

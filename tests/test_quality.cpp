@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the application quality metrics and the image and
+ * common substrates (scale knobs, report formatting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "axbench/image.hh"
+#include "axbench/quality.hh"
+#include "common/scale.hh"
+#include "core/report.hh"
+
+using namespace mithra;
+using namespace mithra::axbench;
+
+TEST(Quality, IdenticalOutputsHaveZeroLoss)
+{
+    const FinalOutput out{{1.0f, 2.0f, 3.0f}};
+    for (auto metric :
+         {QualityMetric::AvgRelativeError, QualityMetric::MissRate,
+          QualityMetric::ImageDiff}) {
+        EXPECT_DOUBLE_EQ(qualityLoss(metric, out, out), 0.0);
+    }
+}
+
+TEST(Quality, AvgRelativeErrorSimpleCase)
+{
+    const FinalOutput reference{{10.0f, 20.0f}};
+    const FinalOutput candidate{{11.0f, 20.0f}};
+    // One element off by 10%, one exact: average 5%.
+    EXPECT_NEAR(qualityLoss(QualityMetric::AvgRelativeError, reference,
+                            candidate),
+                5.0, 1e-6);
+}
+
+TEST(Quality, AvgRelativeErrorSaturatesAt100)
+{
+    const FinalOutput reference{{1.0f}};
+    const FinalOutput candidate{{1000.0f}};
+    EXPECT_DOUBLE_EQ(qualityLoss(QualityMetric::AvgRelativeError,
+                                 reference, candidate),
+                     100.0);
+}
+
+TEST(Quality, AvgRelativeErrorNearZeroReferenceUsesFloor)
+{
+    // A tiny reference element must not blow the metric past 100%.
+    const FinalOutput reference{{1e-9f, 100.0f}};
+    const FinalOutput candidate{{0.5f, 100.0f}};
+    const double loss = qualityLoss(QualityMetric::AvgRelativeError,
+                                    reference, candidate);
+    EXPECT_LE(loss, 50.0 + 1e-9);
+    EXPECT_GT(loss, 0.0);
+}
+
+TEST(Quality, MissRateCountsFlips)
+{
+    const FinalOutput reference{{1.0f, 0.0f, 1.0f, 0.0f}};
+    const FinalOutput candidate{{1.0f, 1.0f, 1.0f, 0.0f}};
+    EXPECT_DOUBLE_EQ(qualityLoss(QualityMetric::MissRate, reference,
+                                 candidate),
+                     25.0);
+}
+
+TEST(Quality, ImageDiffIsRmsOfPixelError)
+{
+    // All pixels off by 25.5 of 255 -> 10% RMS.
+    const FinalOutput reference{{100.0f, 100.0f, 100.0f, 100.0f}};
+    const FinalOutput candidate{{125.5f, 74.5f, 125.5f, 74.5f}};
+    EXPECT_NEAR(qualityLoss(QualityMetric::ImageDiff, reference,
+                            candidate),
+                10.0, 1e-6);
+}
+
+TEST(Quality, ElementErrorsLengthMatches)
+{
+    const FinalOutput reference{{1.0f, 2.0f, 3.0f}};
+    const FinalOutput candidate{{1.0f, 2.5f, 3.0f}};
+    const auto errors = elementErrors(QualityMetric::AvgRelativeError,
+                                      reference, candidate);
+    ASSERT_EQ(errors.size(), 3u);
+    EXPECT_DOUBLE_EQ(errors[0], 0.0);
+    EXPECT_GT(errors[1], 0.0);
+}
+
+TEST(Quality, MetricNamesMatchTableOne)
+{
+    EXPECT_EQ(metricName(QualityMetric::AvgRelativeError),
+              "Avg. Relative Error");
+    EXPECT_EQ(metricName(QualityMetric::MissRate), "Miss Rate");
+    EXPECT_EQ(metricName(QualityMetric::ImageDiff), "Image Diff");
+}
+
+TEST(Image, DimensionsAndFill)
+{
+    Image img(8, 4, 7);
+    EXPECT_EQ(img.width(), 8u);
+    EXPECT_EQ(img.height(), 4u);
+    EXPECT_EQ(img.at(3, 2), 7);
+}
+
+TEST(Image, SetAndGet)
+{
+    Image img(4, 4);
+    img.set(1, 2, 200);
+    EXPECT_EQ(img.at(1, 2), 200);
+    EXPECT_EQ(img.pixels()[2 * 4 + 1], 200);
+}
+
+TEST(Image, ClampedAccessAtEdges)
+{
+    Image img(3, 3);
+    img.set(0, 0, 11);
+    img.set(2, 2, 22);
+    EXPECT_EQ(img.atClamped(-5, -5), 11);
+    EXPECT_EQ(img.atClamped(10, 10), 22);
+}
+
+TEST(Image, SceneGenerationDeterministic)
+{
+    SceneParams params;
+    params.width = 32;
+    params.height = 32;
+    const Image a = generateScene(42, params);
+    const Image b = generateScene(42, params);
+    EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(Image, DifferentSeedsDiffer)
+{
+    SceneParams params;
+    params.width = 32;
+    params.height = 32;
+    const Image a = generateScene(1, params);
+    const Image b = generateScene(2, params);
+    EXPECT_NE(a.pixels(), b.pixels());
+}
+
+TEST(Image, SceneHasContrast)
+{
+    SceneParams params;
+    params.width = 64;
+    params.height = 64;
+    const Image img = generateScene(3, params);
+    std::uint8_t lo = 255, hi = 0;
+    for (auto px : img.pixels()) {
+        lo = std::min(lo, px);
+        hi = std::max(hi, px);
+    }
+    EXPECT_GT(static_cast<int>(hi) - lo, 50);
+}
+
+TEST(Scale, ScaledCountRespectsMinimum)
+{
+    EXPECT_GE(scaledCount(4096, 256), 256u);
+    EXPECT_GE(scaledCount(10, 8), 8u);
+}
+
+TEST(Report, FormatHelpers)
+{
+    using core::fmtBytes;
+    using core::fmtKb;
+    using core::fmtPct;
+    using core::fmtRatio;
+    EXPECT_EQ(fmtPct(12.345, 1), "12.3%");
+    EXPECT_EQ(fmtRatio(2.5), "2.50x");
+    EXPECT_EQ(fmtBytes(512), "512 B");
+    EXPECT_EQ(fmtBytes(2048), "2.00 KB");
+    EXPECT_EQ(fmtKb(1024, 2), "1.00 KB");
+}
+
+TEST(Report, TablePrinterHandlesRows)
+{
+    core::TablePrinter table({"a", "b"});
+    table.addRow({"hello", "1"});
+    table.addRow({"x", "longer-cell"});
+    // Printing must not crash; output goes to stdout.
+    table.print();
+    SUCCEED();
+}

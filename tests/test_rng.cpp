@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace mithra;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitMix64KnownValue)
+{
+    // First output for state 0 is a published reference value.
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitMix64(state), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(12);
+    constexpr int n = 200000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(13);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive)
+{
+    Rng rng(14);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(15);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(16);
+    constexpr int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsValid)
+{
+    Rng rng(17);
+    const auto perm = rng.permutation(100);
+    ASSERT_EQ(perm.size(), 100u);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne)
+{
+    Rng rng(18);
+    EXPECT_TRUE(rng.permutation(0).empty());
+    const auto one = rng.permutation(1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(19);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 4);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for NPU configuration serialization: exact round-trips of
+ * networks, scalers and whole approximators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "npu/serialize.hh"
+#include "npu/trainer.hh"
+
+using namespace mithra;
+using namespace mithra::npu;
+
+TEST(Serialize, MlpRoundTripsBitExact)
+{
+    Mlp original({6, 8, 3, 1});
+    initWeights(original, 42);
+
+    std::stringstream stream;
+    saveMlp(stream, original);
+    const Mlp restored = loadMlp(stream);
+
+    ASSERT_EQ(restored.topology(), original.topology());
+    for (std::size_t l = 1; l < original.topology().size(); ++l)
+        EXPECT_EQ(restored.layerWeights(l), original.layerWeights(l));
+}
+
+TEST(Serialize, MlpForwardIdenticalAfterRoundTrip)
+{
+    Mlp original({4, 16, 2});
+    initWeights(original, 7);
+
+    std::stringstream stream;
+    saveMlp(stream, original);
+    const Mlp restored = loadMlp(stream);
+
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        Vec input(4);
+        for (auto &v : input)
+            v = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const Vec a = original.forward(input);
+        const Vec b = restored.forward(input);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i], b[i]); // bit-exact via hexfloats
+    }
+}
+
+TEST(Serialize, ScalerRoundTrips)
+{
+    LinearScaler original({-1.5f, 0.0f}, {2.5f, 10.0f});
+    std::stringstream stream;
+    saveScaler(stream, original);
+    const LinearScaler restored = loadScaler(stream);
+    EXPECT_EQ(restored.lowerBounds(), original.lowerBounds());
+    EXPECT_EQ(restored.upperBounds(), original.upperBounds());
+}
+
+TEST(Serialize, ApproximatorRoundTripsBehaviour)
+{
+    // Train a tiny approximator and verify the restored copy gives
+    // identical outputs on fresh inputs.
+    Rng rng(11);
+    VecBatch inputs, outputs;
+    for (int i = 0; i < 200; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        inputs.push_back({x});
+        outputs.push_back({2.0f * x + 1.0f});
+    }
+    Approximator original;
+    TrainerOptions options;
+    options.epochs = 50;
+    original.trainToMimic({1, 4, 1}, inputs, outputs, options);
+
+    std::stringstream stream;
+    saveApproximator(stream, original);
+    const Approximator restored = loadApproximator(stream);
+    EXPECT_TRUE(restored.trained());
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vec input = {static_cast<float>(rng.uniform())};
+        EXPECT_EQ(restored.invoke(input)[0], original.invoke(input)[0]);
+    }
+}
+
+TEST(Serialize, FileWrappersRoundTrip)
+{
+    Rng rng(12);
+    VecBatch inputs, outputs;
+    for (int i = 0; i < 100; ++i) {
+        const float x = static_cast<float>(rng.uniform());
+        inputs.push_back({x, 1.0f - x});
+        outputs.push_back({x * x});
+    }
+    Approximator original;
+    TrainerOptions options;
+    options.epochs = 20;
+    original.trainToMimic({2, 2, 1}, inputs, outputs, options);
+
+    const std::string path = "/tmp/mithra-test-npu.cfg";
+    saveApproximatorFile(path, original);
+    const Approximator restored = loadApproximatorFile(path);
+    EXPECT_EQ(restored.invoke({0.25f, 0.75f})[0],
+              original.invoke({0.25f, 0.75f})[0]);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeathTest, RejectsCorruptMagic)
+{
+    std::stringstream stream("not-a-config 3");
+    EXPECT_DEATH(loadMlp(stream), "expected");
+}
+
+TEST(SerializeDeathTest, RejectsTruncatedWeights)
+{
+    Mlp mlp({2, 2});
+    initWeights(mlp, 1);
+    std::stringstream stream;
+    saveMlp(stream, mlp);
+    std::string text = stream.str();
+    text.resize(text.size() / 2);
+    std::stringstream truncated(text);
+    EXPECT_DEATH(loadMlp(truncated), "parse error");
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: operation counting, the
+ * core cost model and whole-system cost composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+#include "sim/opcount.hh"
+#include "sim/system_sim.hh"
+
+using namespace mithra;
+using namespace mithra::sim;
+
+TEST(OpCount, CountsEachOperatorClass)
+{
+    resetOpTally();
+    Counted<float> a(2.0f), b(3.0f);
+    const Counted<float> sum = a + b;
+    const Counted<float> product = a * b;
+    const Counted<float> quotient = a / b;
+    const Counted<float> difference = a - b;
+    (void)sum;
+    (void)product;
+    (void)quotient;
+    (void)difference;
+
+    const OpCounts counts = resetOpTally();
+    EXPECT_EQ(counts.addSub, 2u);
+    EXPECT_EQ(counts.mul, 1u);
+    EXPECT_EQ(counts.div, 1u);
+}
+
+TEST(OpCount, ComparisonsAndMathFunctions)
+{
+    resetOpTally();
+    Counted<float> x(4.0f);
+    const bool less = x < Counted<float>(5.0f);
+    EXPECT_TRUE(less);
+    const auto root = sqrt(x);
+    const auto ex = exp(x);
+    const auto lg = log(x);
+    const auto sn = sin(x);
+    EXPECT_FLOAT_EQ(root.value(), 2.0f);
+    (void)ex;
+    (void)lg;
+    (void)sn;
+
+    const OpCounts counts = resetOpTally();
+    EXPECT_EQ(counts.compare, 1u);
+    EXPECT_EQ(counts.sqrtOp, 1u);
+    EXPECT_EQ(counts.transcendental, 3u);
+}
+
+TEST(OpCount, NegationAndMemory)
+{
+    resetOpTally();
+    Counted<float> x(1.0f);
+    const auto neg = -x;
+    EXPECT_FLOAT_EQ(neg.value(), -1.0f);
+    countMemoryOps(5);
+
+    const OpCounts counts = resetOpTally();
+    EXPECT_EQ(counts.addSub, 1u);
+    EXPECT_EQ(counts.memory, 5u);
+}
+
+TEST(OpCount, ScopedCountingNests)
+{
+    resetOpTally();
+    Counted<float> x(1.0f);
+    x += Counted<float>(1.0f); // outer op
+    {
+        ScopedOpCount scope;
+        x += Counted<float>(1.0f); // inner op
+        EXPECT_EQ(scope.counts().addSub, 1u);
+    }
+    // After the scope ends, outer + inner are both visible.
+    EXPECT_EQ(resetOpTally().addSub, 2u);
+}
+
+TEST(OpCount, ArithmeticOnCounts)
+{
+    OpCounts a;
+    a.addSub = 10;
+    a.mul = 4;
+    OpCounts b;
+    b.addSub = 2;
+    b.memory = 8;
+
+    const OpCounts sum = a + b;
+    EXPECT_EQ(sum.addSub, 12u);
+    EXPECT_EQ(sum.mul, 4u);
+    EXPECT_EQ(sum.memory, 8u);
+    EXPECT_EQ(sum.total(), 24u);
+
+    const OpCounts diff = sum - b;
+    EXPECT_EQ(diff.addSub, a.addSub);
+
+    const OpCounts half = sum.scaled(0.5);
+    EXPECT_EQ(half.addSub, 6u);
+    EXPECT_EQ(half.mul, 2u);
+}
+
+TEST(CoreModel, CycleWeightsApplied)
+{
+    CoreParams params;
+    params.ilpFactor = 1.0;
+    params.branchMispredictRate = 0.0;
+    const CoreModel core(params);
+
+    OpCounts ops;
+    ops.addSub = 10;
+    EXPECT_DOUBLE_EQ(core.cycles(ops), 10.0 * params.addSubCycles);
+
+    OpCounts divs;
+    divs.div = 3;
+    EXPECT_DOUBLE_EQ(core.cycles(divs), 3.0 * params.divCycles);
+}
+
+TEST(CoreModel, IlpDividesThroughput)
+{
+    CoreParams params;
+    params.ilpFactor = 2.0;
+    params.branchMispredictRate = 0.0;
+    const CoreModel core(params);
+    OpCounts ops;
+    ops.addSub = 100;
+    EXPECT_DOUBLE_EQ(core.cycles(ops), 50.0);
+}
+
+TEST(CoreModel, MispredictionsBypassIlp)
+{
+    CoreParams params;
+    params.ilpFactor = 4.0;
+    params.branchMispredictRate = 0.1;
+    params.mispredictPenaltyCycles = 10.0;
+    const CoreModel core(params);
+    OpCounts ops;
+    ops.compare = 100;
+    // 100 compares / 4 ILP + 100 * 0.1 * 10 penalty.
+    EXPECT_DOUBLE_EQ(core.cycles(ops), 25.0 + 100.0);
+}
+
+TEST(CoreModel, EnergyAndTime)
+{
+    const CoreModel core;
+    EXPECT_DOUBLE_EQ(core.energyPj(10.0),
+                     10.0 * core.params().picoJoulesPerCycle);
+    EXPECT_NEAR(core.seconds(2.08e9), 1.0, 1e-9);
+}
+
+namespace
+{
+
+RegionProfile
+exampleProfile()
+{
+    RegionProfile profile;
+    profile.preciseCycles = 100.0;
+    profile.preciseEnergyPj = 200000.0;
+    profile.accelCycles = 25.0;
+    profile.accelEnergyPj = 1000.0;
+    profile.invocationsPerDataset = 1000;
+    profile.otherCyclesPerDataset = 50000.0;
+    profile.otherEnergyPjPerDataset = 1.0e8;
+    return profile;
+}
+
+} // namespace
+
+TEST(SystemSim, BaselineComposition)
+{
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    const auto totals = system.baseline(profile);
+    EXPECT_DOUBLE_EQ(totals.cycles, 50000.0 + 1000 * 100.0);
+    EXPECT_DOUBLE_EQ(totals.energyPj, 1.0e8 + 1000 * 200000.0);
+}
+
+TEST(SystemSim, FullApproxFasterThanBaseline)
+{
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    const auto baseline = system.baseline(profile);
+    const auto approx = system.fullApprox(profile);
+    EXPECT_LT(approx.cycles, baseline.cycles);
+    EXPECT_GT(speedup(baseline, approx), 1.0);
+}
+
+TEST(SystemSim, RunAllPreciseCostsMoreThanBaseline)
+{
+    // Routing everything to the precise path still pays the branch
+    // and classifier overhead: MITHRA can never beat the baseline at
+    // a 0% invocation rate.
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    ClassifierCost cost;
+    cost.extraCyclesPrecise = 2.0;
+    const auto run = system.run(profile, cost, 0, 1000);
+    EXPECT_GT(run.cycles, system.baseline(profile).cycles);
+}
+
+TEST(SystemSim, RunInterpolatesWithInvocations)
+{
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    const ClassifierCost cost;
+    const auto none = system.run(profile, cost, 0, 1000);
+    const auto half = system.run(profile, cost, 500, 500);
+    const auto all = system.run(profile, cost, 1000, 0);
+    EXPECT_GT(none.cycles, half.cycles);
+    EXPECT_GT(half.cycles, all.cycles);
+}
+
+TEST(SystemSim, ClassifierEnergyChargedPerInvocation)
+{
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    ClassifierCost expensive;
+    expensive.energyPjPerInvocation = 500.0;
+    const ClassifierCost free;
+    const auto cheap = system.run(profile, free, 500, 500);
+    const auto costly = system.run(profile, expensive, 500, 500);
+    EXPECT_NEAR(costly.energyPj - cheap.energyPj, 1000 * 500.0, 1e-6);
+}
+
+TEST(SystemSim, RatioHelpers)
+{
+    RunTotals a{1000.0, 2000.0};
+    RunTotals b{500.0, 500.0};
+    EXPECT_DOUBLE_EQ(speedup(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(energyReduction(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(edpImprovement(a, b), 8.0);
+    EXPECT_DOUBLE_EQ(a.edp(), 2.0e6);
+}
+
+TEST(SystemSim, DecisionCountMismatchPanics)
+{
+    const SystemSimulator system{CoreModel{}};
+    const auto profile = exampleProfile();
+    EXPECT_DEATH(system.run(profile, ClassifierCost{}, 1, 1),
+                 "decision counts");
+}

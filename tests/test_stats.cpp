@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit and property tests for the statistics substrate: the
+ * regularized incomplete beta function, Clopper-Pearson exact bounds
+ * and descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/clopper_pearson.hh"
+#include "stats/special_functions.hh"
+#include "stats/summary.hh"
+
+using namespace mithra;
+using namespace mithra::stats;
+
+TEST(SpecialFunctions, LnBetaSymmetry)
+{
+    EXPECT_NEAR(lnBeta(2.5, 4.0), lnBeta(4.0, 2.5), 1e-12);
+}
+
+TEST(SpecialFunctions, IncompleteBetaBoundaries)
+{
+    EXPECT_DOUBLE_EQ(regIncompleteBeta(3.0, 5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regIncompleteBeta(3.0, 5.0, 1.0), 1.0);
+}
+
+TEST(SpecialFunctions, IncompleteBetaUniformCase)
+{
+    // Beta(1, 1) is the uniform distribution: I_x(1,1) = x.
+    for (double x : {0.1, 0.25, 0.5, 0.75, 0.9})
+        EXPECT_NEAR(regIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(SpecialFunctions, IncompleteBetaClosedForm)
+{
+    // I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a.
+    for (double x : {0.2, 0.5, 0.8}) {
+        EXPECT_NEAR(regIncompleteBeta(1.0, 3.0, x),
+                    1.0 - std::pow(1.0 - x, 3.0), 1e-10);
+        EXPECT_NEAR(regIncompleteBeta(4.0, 1.0, x), std::pow(x, 4.0),
+                    1e-10);
+    }
+}
+
+TEST(SpecialFunctions, IncompleteBetaSymmetryRelation)
+{
+    // I_x(a, b) = 1 - I_{1-x}(b, a).
+    for (double x : {0.1, 0.3, 0.6, 0.9}) {
+        EXPECT_NEAR(regIncompleteBeta(2.5, 7.0, x),
+                    1.0 - regIncompleteBeta(7.0, 2.5, 1.0 - x), 1e-10);
+    }
+}
+
+/** Parameterized monotonicity sweep of the incomplete beta. */
+class IncompleteBetaSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(IncompleteBetaSweep, MonotoneInX)
+{
+    const auto [a, b] = GetParam();
+    double previous = -1.0;
+    for (double x = 0.0; x <= 1.0; x += 0.05) {
+        const double value = regIncompleteBeta(a, b, x);
+        EXPECT_GE(value, previous - 1e-12);
+        EXPECT_GE(value, 0.0);
+        EXPECT_LE(value, 1.0);
+        previous = value;
+    }
+}
+
+TEST_P(IncompleteBetaSweep, InverseRoundTrip)
+{
+    const auto [a, b] = GetParam();
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+        const double x = regIncompleteBetaInv(a, b, p);
+        EXPECT_NEAR(regIncompleteBeta(a, b, x), p, 1e-8)
+            << "a=" << a << " b=" << b << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, IncompleteBetaSweep,
+    ::testing::Values(std::pair{0.5, 0.5}, std::pair{1.0, 3.0},
+                      std::pair{2.0, 2.0}, std::pair{5.0, 1.5},
+                      std::pair{10.0, 30.0}, std::pair{90.0, 11.0},
+                      std::pair{235.0, 16.0}));
+
+TEST(SpecialFunctions, BinomialCdfMatchesDirectSum)
+{
+    // Direct summation reference for small n.
+    const int n = 12;
+    const double p = 0.3;
+    double direct = 0.0;
+    double logChoose = 0.0; // running C(n, k)
+    for (int k = 0; k <= n; ++k) {
+        if (k > 0) {
+            logChoose += std::log(static_cast<double>(n - k + 1))
+                - std::log(static_cast<double>(k));
+        }
+        direct += std::exp(logChoose + k * std::log(p)
+                           + (n - k) * std::log(1.0 - p));
+        EXPECT_NEAR(binomialCdf(k, n, p), direct, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(SpecialFunctions, FQuantileMedianOfF11)
+{
+    // Median of F(1,1) is 1 by symmetry of the ratio.
+    EXPECT_NEAR(fQuantile(0.5, 1.0, 1.0), 1.0, 1e-6);
+}
+
+TEST(ClopperPearson, ZeroSuccessesGiveZeroLower)
+{
+    EXPECT_DOUBLE_EQ(clopperPearsonLower(0, 100, 0.95), 0.0);
+}
+
+TEST(ClopperPearson, AllSuccessesClosedForm)
+{
+    // With k = n the exact lower bound is (1 - confidence)^(1/n).
+    for (std::size_t n : {10u, 50u, 250u}) {
+        EXPECT_NEAR(clopperPearsonLower(n, n, 0.95),
+                    std::pow(0.05, 1.0 / static_cast<double>(n)), 1e-9);
+    }
+}
+
+TEST(ClopperPearson, AllFailuresUpperClosedForm)
+{
+    // With k = 0 the exact upper bound is 1 - (1 - confidence)^(1/n).
+    EXPECT_NEAR(clopperPearsonUpper(0, 20, 0.95),
+                1.0 - std::pow(0.05, 1.0 / 20.0), 1e-9);
+}
+
+TEST(ClopperPearson, PaperOperatingPoint)
+{
+    // 235 of 250 unseen datasets at 95% confidence must certify a 90%
+    // success rate (the paper's headline operating point).
+    EXPECT_GE(clopperPearsonLower(235, 250, 0.95), 0.90);
+    EXPECT_LT(clopperPearsonLower(230, 250, 0.95), 0.90);
+}
+
+TEST(ClopperPearson, LowerBoundBelowPointEstimate)
+{
+    for (std::size_t k : {10u, 50u, 90u}) {
+        const double bound = clopperPearsonLower(k, 100, 0.95);
+        EXPECT_LT(bound, static_cast<double>(k) / 100.0);
+    }
+}
+
+TEST(ClopperPearson, MonotoneInSuccesses)
+{
+    double previous = -1.0;
+    for (std::size_t k = 0; k <= 50; k += 5) {
+        const double bound = clopperPearsonLower(k, 50, 0.95);
+        EXPECT_GE(bound, previous);
+        previous = bound;
+    }
+}
+
+TEST(ClopperPearson, HigherConfidenceIsMoreConservative)
+{
+    EXPECT_GT(clopperPearsonLower(45, 50, 0.90),
+              clopperPearsonLower(45, 50, 0.99));
+}
+
+TEST(ClopperPearson, IntervalContainsPointEstimate)
+{
+    const auto interval = clopperPearsonInterval(30, 100, 0.95);
+    EXPECT_LT(interval.lower, 0.30);
+    EXPECT_GT(interval.upper, 0.30);
+    EXPECT_GT(interval.lower, 0.0);
+    EXPECT_LT(interval.upper, 1.0);
+}
+
+TEST(ClopperPearson, RequiredSuccessesIsConsistent)
+{
+    const std::size_t required = requiredSuccesses(250, 0.90, 0.95);
+    EXPECT_GE(clopperPearsonLower(required, 250, 0.95), 0.90);
+    ASSERT_GT(required, 0u);
+    EXPECT_LT(clopperPearsonLower(required - 1, 250, 0.95), 0.90);
+}
+
+TEST(ClopperPearson, RequiredSuccessesUnreachable)
+{
+    // 10 trials cannot certify a 90% rate at 95% confidence.
+    EXPECT_GT(requiredSuccesses(10, 0.90, 0.95), 10u);
+}
+
+TEST(ClopperPearson, CoverageProperty)
+{
+    // Property: for true rate p, the lower bound exceeds p with
+    // probability at most (1 - confidence). Simulated check.
+    Rng rng(123);
+    const double p = 0.85;
+    const std::size_t trials = 60;
+    int violations = 0;
+    constexpr int runs = 2000;
+    for (int run = 0; run < runs; ++run) {
+        std::size_t successes = 0;
+        for (std::size_t t = 0; t < trials; ++t)
+            successes += rng.bernoulli(p);
+        if (clopperPearsonLower(successes, trials, 0.95) > p)
+            ++violations;
+    }
+    // Expect <= 5% violations (allowing simulation slack).
+    EXPECT_LT(violations, static_cast<int>(0.08 * runs));
+}
+
+TEST(Summary, MeanAndStddev)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summary, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+}
+
+TEST(Summary, PercentileInterpolation)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Summary, EmpiricalCdfFractions)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10.0), 1.0);
+}
+
+TEST(Summary, EmpiricalCdfQuantile)
+{
+    EmpiricalCdf cdf({5.0, 1.0, 3.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(Summary, CdfSeriesEndpoints)
+{
+    EmpiricalCdf cdf({0.0, 1.0, 2.0, 3.0});
+    const auto series = cdf.series(5);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+    EXPECT_DOUBLE_EQ(series.back().first, 3.0);
+    EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}

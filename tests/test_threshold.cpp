@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the statistical threshold optimizer (Algorithm 1) and the
+ * training-data generator, using a hermetic synthetic benchmark whose
+ * accelerator error structure is fully controlled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/threshold_optimizer.hh"
+#include "core/training_data.hh"
+
+using namespace mithra;
+using namespace mithra::core;
+
+namespace
+{
+
+/** A dataset holding nothing: all state lives in the traces. */
+struct FakeDataset final : axbench::Dataset
+{
+};
+
+/**
+ * A synthetic benchmark: one input element in [0, 1], identity final
+ * output (concatenation of chosen scalar outputs), avg-relative-error
+ * metric. The accelerator error of invocation i is supplied directly,
+ * so tests control the error distribution exactly.
+ */
+class FakeBenchmark final : public axbench::Benchmark
+{
+  public:
+    std::string name() const override { return "fake"; }
+    std::string domain() const override { return "Testing"; }
+    axbench::QualityMetric metric() const override
+    {
+        return axbench::QualityMetric::AvgRelativeError;
+    }
+    npu::Topology npuTopology() const override { return {1, 2, 1}; }
+
+    std::unique_ptr<axbench::Dataset> makeDataset(
+        std::uint64_t) const override
+    {
+        return std::make_unique<FakeDataset>();
+    }
+
+    axbench::InvocationTrace trace(
+        const axbench::Dataset &) const override
+    {
+        mithra::panic("FakeBenchmark traces are built by the test");
+    }
+
+    axbench::FinalOutput recompose(
+        const axbench::Dataset &, const axbench::InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override
+    {
+        axbench::FinalOutput out;
+        for (std::size_t i = 0; i < trace.count(); ++i) {
+            const auto chosen = useAccel[i] ? trace.approxOutput(i)
+                                            : trace.preciseOutput(i);
+            out.elements.push_back(chosen[0]);
+        }
+        return out;
+    }
+
+    axbench::BenchmarkCosts measureCosts() const override
+    {
+        return {};
+    }
+};
+
+/**
+ * Build a threshold problem of `datasets` traces with `perDataset`
+ * invocations each. Precise outputs are 1.0; the approximate output of
+ * invocation i is 1 + error where error is drawn from a two-population
+ * mix: mostly small (<= smallError), a fraction large (largeError).
+ */
+struct FakeProblem
+{
+    FakeBenchmark benchmark;
+    std::vector<std::unique_ptr<axbench::Dataset>> datasets;
+    std::vector<std::unique_ptr<axbench::InvocationTrace>> traces;
+    ThresholdProblem problem;
+};
+
+std::unique_ptr<FakeProblem>
+makeFakeProblem(std::size_t datasets, std::size_t perDataset,
+                double largeFraction, float smallError,
+                float largeError, std::uint64_t seed = 1)
+{
+    auto fake = std::make_unique<FakeProblem>();
+    Rng rng(seed);
+    fake->problem.benchmark = &fake->benchmark;
+    for (std::size_t d = 0; d < datasets; ++d) {
+        fake->datasets.push_back(std::make_unique<FakeDataset>());
+        auto trace = std::make_unique<axbench::InvocationTrace>(1, 1);
+        for (std::size_t i = 0; i < perDataset; ++i) {
+            const float input = static_cast<float>(rng.uniform());
+            const bool large = rng.bernoulli(largeFraction);
+            const float error = large
+                ? largeError
+                : static_cast<float>(rng.uniform()) * smallError;
+            trace->appendWithApprox({input}, {1.0f}, {1.0f + error});
+        }
+        fake->traces.push_back(std::move(trace));
+        fake->problem.entries.push_back(ThresholdProblem::makeEntry(
+            fake->benchmark, *fake->datasets.back(),
+            *fake->traces.back()));
+    }
+    return fake;
+}
+
+} // namespace
+
+TEST(ThresholdOptimizer, EntryCachesMaxAbsErrors)
+{
+    auto fake = makeFakeProblem(2, 50, 0.2, 0.01f, 0.5f);
+    for (const auto &entry : fake->problem.entries) {
+        ASSERT_EQ(entry.errors.size(), 50u);
+        for (std::size_t i = 0; i < entry.errors.size(); ++i) {
+            EXPECT_FLOAT_EQ(entry.errors[i],
+                            entry.trace->maxAbsError(i));
+        }
+    }
+}
+
+TEST(ThresholdOptimizer, EvaluateAtZeroAcceleratesNothing)
+{
+    auto fake = makeFakeProblem(5, 100, 0.2, 0.01f, 0.5f);
+    QualitySpec spec;
+    const ThresholdOptimizer optimizer(spec);
+    const auto result = optimizer.evaluate(fake->problem, 0.0);
+    EXPECT_EQ(result.successes, 5u);
+    EXPECT_DOUBLE_EQ(result.invocationRate, 0.0);
+}
+
+TEST(ThresholdOptimizer, EvaluateAboveMaxAcceleratesEverything)
+{
+    auto fake = makeFakeProblem(5, 100, 0.2, 0.01f, 0.5f);
+    QualitySpec spec;
+    const ThresholdOptimizer optimizer(spec);
+    const auto result = optimizer.evaluate(fake->problem, 1.0);
+    EXPECT_DOUBLE_EQ(result.invocationRate, 1.0);
+}
+
+TEST(ThresholdOptimizer, InvocationRateMonotoneInThreshold)
+{
+    auto fake = makeFakeProblem(5, 200, 0.15, 0.02f, 0.6f);
+    QualitySpec spec;
+    const ThresholdOptimizer optimizer(spec);
+    double previous = -1.0;
+    for (double th : {0.0, 0.01, 0.05, 0.3, 0.7}) {
+        const auto result = optimizer.evaluate(fake->problem, th);
+        EXPECT_GE(result.invocationRate, previous);
+        previous = result.invocationRate;
+    }
+}
+
+TEST(ThresholdOptimizer, SeparatesBimodalErrors)
+{
+    // 10% of invocations err at 0.5; the rest below 0.02. With a 5%
+    // relative-error budget the optimizer should settle between the
+    // modes, accelerating ~90% of invocations.
+    auto fake = makeFakeProblem(40, 300, 0.10, 0.02f, 0.5f);
+    QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = 0.80; // achievable with 40 datasets
+    const ThresholdOptimizer optimizer(spec);
+    const auto result = optimizer.optimize(fake->problem);
+
+    EXPECT_GE(result.threshold, 0.02);
+    EXPECT_LT(result.threshold, 0.5);
+    EXPECT_NEAR(result.invocationRate, 0.90, 0.03);
+    EXPECT_GE(result.successLowerBound, spec.successRate);
+}
+
+TEST(ThresholdOptimizer, FullApproxAcceptedWhenHarmless)
+{
+    // All errors tiny: the loosest threshold passes everything.
+    auto fake = makeFakeProblem(40, 100, 0.0, 0.001f, 0.0f);
+    QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.successRate = 0.80;
+    const ThresholdOptimizer optimizer(spec);
+    const auto result = optimizer.optimize(fake->problem);
+    EXPECT_DOUBLE_EQ(result.invocationRate, 1.0);
+}
+
+TEST(ThresholdOptimizer, UnreachableContractFallsToZero)
+{
+    // Too few datasets for the demanded success rate: the optimizer
+    // must report the (still insufficient) all-precise point.
+    auto fake = makeFakeProblem(5, 50, 0.1, 0.02f, 0.5f);
+    QualitySpec spec;
+    spec.successRate = 0.99;
+    const ThresholdOptimizer optimizer(spec);
+    const auto result = optimizer.optimize(fake->problem);
+    EXPECT_DOUBLE_EQ(result.threshold, 0.0);
+    EXPECT_LT(result.successLowerBound, 0.99);
+}
+
+TEST(ThresholdOptimizer, IterativeAgreesWithBisection)
+{
+    auto fake = makeFakeProblem(40, 200, 0.10, 0.02f, 0.5f);
+    QualitySpec spec;
+    spec.successRate = 0.80;
+    const ThresholdOptimizer optimizer(spec);
+    const auto bisect = optimizer.optimize(fake->problem);
+    const auto iterative =
+        optimizer.optimizeIterative(fake->problem, 0.01, 0.02);
+    // Both must land between the error modes with similar rates.
+    EXPECT_NEAR(iterative.invocationRate, bisect.invocationRate, 0.05);
+    EXPECT_GE(iterative.successLowerBound, spec.successRate);
+}
+
+TEST(TrainingData, LabelsMatchThreshold)
+{
+    auto fake = makeFakeProblem(10, 100, 0.2, 0.02f, 0.5f);
+    const auto data = buildTrainingData(fake->problem, 0.1, 100000, 1);
+    ASSERT_FALSE(data.rawInputs.empty());
+    EXPECT_EQ(data.rawInputs.size(), data.labels.size());
+    // Large errors (0.5) are labeled precise, small ones accelerate.
+    EXPECT_NEAR(data.preciseFraction(), 0.2, 0.05);
+}
+
+TEST(TrainingData, SamplingHonorsCap)
+{
+    auto fake = makeFakeProblem(10, 100, 0.2, 0.02f, 0.5f);
+    const auto data = buildTrainingData(fake->problem, 0.1, 200, 1);
+    EXPECT_LE(data.rawInputs.size(), 400u); // probabilistic cap
+    EXPECT_GE(data.rawInputs.size(), 80u);
+}
+
+TEST(TrainingData, QuantizedTuplesAlign)
+{
+    auto fake = makeFakeProblem(5, 100, 0.3, 0.02f, 0.5f);
+    const auto data = buildTrainingData(fake->problem, 0.1, 100000, 2);
+    hw::InputQuantizer quantizer;
+    quantizer.calibrate(data.rawInputs, 8);
+    const auto tuples = data.quantized(quantizer);
+    ASSERT_EQ(tuples.size(), data.labels.size());
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        EXPECT_EQ(tuples[i].precise, data.labels[i] != 0);
+        EXPECT_EQ(tuples[i].codes,
+                  quantizer.quantize(data.rawInputs[i]));
+    }
+}
+
+namespace
+{
+
+/**
+ * Two offloaded functions sharing one final output: function 0's
+ * errors are mostly small, function 1's errors are mostly large, so
+ * the greedy tuple should open function 0 wide and clamp function 1.
+ */
+MultiFunctionProblem
+makeTwoFunctionProblem(std::vector<std::unique_ptr<
+                           axbench::InvocationTrace>> &keepAlive,
+                       std::size_t datasets)
+{
+    Rng rng(99);
+    MultiFunctionProblem problem;
+    for (std::size_t d = 0; d < datasets; ++d) {
+        MultiFunctionEntry entry;
+        for (int f = 0; f < 2; ++f) {
+            auto trace =
+                std::make_unique<axbench::InvocationTrace>(1, 1);
+            for (int i = 0; i < 100; ++i) {
+                const double largeFraction = f == 0 ? 0.05 : 0.6;
+                const float error = rng.bernoulli(largeFraction)
+                    ? 0.5f
+                    : 0.01f * static_cast<float>(rng.uniform());
+                trace->appendWithApprox(
+                    {static_cast<float>(rng.uniform())}, {1.0f},
+                    {1.0f + error});
+            }
+            entry.traces.push_back(trace.get());
+            std::vector<float> errors;
+            for (std::size_t i = 0; i < trace->count(); ++i)
+                errors.push_back(trace->maxAbsError(i));
+            entry.errors.push_back(std::move(errors));
+            keepAlive.push_back(std::move(trace));
+        }
+        const auto *t0 = entry.traces[0];
+        const auto *t1 = entry.traces[1];
+        axbench::FinalOutput precise;
+        for (std::size_t i = 0; i < t0->count(); ++i)
+            precise.elements.push_back(1.0f);
+        for (std::size_t i = 0; i < t1->count(); ++i)
+            precise.elements.push_back(1.0f);
+        entry.preciseFinal = precise;
+        entry.recompose =
+            [t0, t1](const std::vector<std::vector<std::uint8_t>>
+                         &decisions) {
+                axbench::FinalOutput out;
+                for (std::size_t i = 0; i < t0->count(); ++i) {
+                    out.elements.push_back(
+                        decisions[0][i] ? t0->approxOutput(i)[0]
+                                        : t0->preciseOutput(i)[0]);
+                }
+                for (std::size_t i = 0; i < t1->count(); ++i) {
+                    out.elements.push_back(
+                        decisions[1][i] ? t1->approxOutput(i)[0]
+                                        : t1->preciseOutput(i)[0]);
+                }
+                return out;
+            };
+        problem.entries.push_back(std::move(entry));
+    }
+    return problem;
+}
+
+} // namespace
+
+TEST(MultiFunctionOptimizer, EvaluateAtZeroIsAllPrecise)
+{
+    std::vector<std::unique_ptr<axbench::InvocationTrace>> keepAlive;
+    const auto problem = makeTwoFunctionProblem(keepAlive, 10);
+    QualitySpec spec;
+    const MultiFunctionOptimizer optimizer(spec);
+    const auto result = optimizer.evaluate(problem, {0.0, 0.0});
+    EXPECT_DOUBLE_EQ(result.invocationRate, 0.0);
+    EXPECT_EQ(result.successes, 10u);
+}
+
+TEST(MultiFunctionOptimizer, GreedyTupleOpensCleanFunctionWide)
+{
+    std::vector<std::unique_ptr<axbench::InvocationTrace>> keepAlive;
+    const auto problem = makeTwoFunctionProblem(keepAlive, 40);
+    QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.successRate = 0.80;
+    const MultiFunctionOptimizer optimizer(spec);
+    const auto result = optimizer.optimize(problem);
+
+    ASSERT_EQ(result.thresholds.size(), 2u);
+    // Function 0 (rarely erring) gets a loose threshold; function 1
+    // (often erring) must stay clamped between the error modes.
+    EXPECT_GT(result.thresholds[0], 0.4);
+    EXPECT_LT(result.thresholds[1], 0.5);
+    EXPECT_GE(result.successLowerBound, spec.successRate);
+    EXPECT_GT(result.invocationRate, 0.5);
+}
+
+TEST(MultiFunctionOptimizer, TupleRespectsJointContract)
+{
+    std::vector<std::unique_ptr<axbench::InvocationTrace>> keepAlive;
+    const auto problem = makeTwoFunctionProblem(keepAlive, 40);
+    QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.successRate = 0.80;
+    const MultiFunctionOptimizer optimizer(spec);
+    const auto greedy = optimizer.optimize(problem);
+    // Re-evaluating the returned tuple reproduces its own metrics.
+    const auto check = optimizer.evaluate(problem, greedy.thresholds);
+    EXPECT_EQ(check.successes, greedy.successes);
+    EXPECT_DOUBLE_EQ(check.invocationRate, greedy.invocationRate);
+}
