@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_overall.dir/fig06_overall.cpp.o"
+  "CMakeFiles/fig06_overall.dir/fig06_overall.cpp.o.d"
+  "fig06_overall"
+  "fig06_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

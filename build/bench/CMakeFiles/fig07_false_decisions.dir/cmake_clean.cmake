@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_false_decisions.dir/fig07_false_decisions.cpp.o"
+  "CMakeFiles/fig07_false_decisions.dir/fig07_false_decisions.cpp.o.d"
+  "fig07_false_decisions"
+  "fig07_false_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_false_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

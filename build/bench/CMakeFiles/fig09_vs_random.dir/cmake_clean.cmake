@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vs_random.dir/fig09_vs_random.cpp.o"
+  "CMakeFiles/fig09_vs_random.dir/fig09_vs_random.cpp.o.d"
+  "fig09_vs_random"
+  "fig09_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

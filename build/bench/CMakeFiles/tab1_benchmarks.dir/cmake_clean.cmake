@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_benchmarks.dir/tab1_benchmarks.cpp.o"
+  "CMakeFiles/tab1_benchmarks.dir/tab1_benchmarks.cpp.o.d"
+  "tab1_benchmarks"
+  "tab1_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

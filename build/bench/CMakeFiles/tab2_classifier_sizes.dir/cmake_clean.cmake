@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_classifier_sizes.dir/tab2_classifier_sizes.cpp.o"
+  "CMakeFiles/tab2_classifier_sizes.dir/tab2_classifier_sizes.cpp.o.d"
+  "tab2_classifier_sizes"
+  "tab2_classifier_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_classifier_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

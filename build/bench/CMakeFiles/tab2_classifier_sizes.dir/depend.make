@@ -1,0 +1,2 @@
+# Empty dependencies file for tab2_classifier_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_sw_slowdown.dir/tab3_sw_slowdown.cpp.o"
+  "CMakeFiles/tab3_sw_slowdown.dir/tab3_sw_slowdown.cpp.o.d"
+  "tab3_sw_slowdown"
+  "tab3_sw_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_sw_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

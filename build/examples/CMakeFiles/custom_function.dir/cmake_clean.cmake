@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_function.dir/custom_function.cpp.o"
+  "CMakeFiles/custom_function.dir/custom_function.cpp.o.d"
+  "custom_function"
+  "custom_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_guarantee.dir/finance_guarantee.cpp.o"
+  "CMakeFiles/finance_guarantee.dir/finance_guarantee.cpp.o.d"
+  "finance_guarantee"
+  "finance_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

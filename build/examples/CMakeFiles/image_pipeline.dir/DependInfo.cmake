@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_pipeline.cpp" "examples/CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o" "gcc" "examples/CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mithra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mithra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mithra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithra_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/axbench/CMakeFiles/mithra_axbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/mithra_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mithra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

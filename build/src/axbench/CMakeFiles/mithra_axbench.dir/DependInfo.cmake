@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axbench/benchmark.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/benchmark.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/benchmark.cc.o.d"
+  "/root/repo/src/axbench/blackscholes.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/blackscholes.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/blackscholes.cc.o.d"
+  "/root/repo/src/axbench/fft.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/fft.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/fft.cc.o.d"
+  "/root/repo/src/axbench/image.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/image.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/image.cc.o.d"
+  "/root/repo/src/axbench/inversek2j.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/inversek2j.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/inversek2j.cc.o.d"
+  "/root/repo/src/axbench/jmeint.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/jmeint.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/jmeint.cc.o.d"
+  "/root/repo/src/axbench/jpeg.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/jpeg.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/jpeg.cc.o.d"
+  "/root/repo/src/axbench/jpeg_codec.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/jpeg_codec.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/jpeg_codec.cc.o.d"
+  "/root/repo/src/axbench/quality.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/quality.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/quality.cc.o.d"
+  "/root/repo/src/axbench/registry.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/registry.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/registry.cc.o.d"
+  "/root/repo/src/axbench/sobel.cc" "src/axbench/CMakeFiles/mithra_axbench.dir/sobel.cc.o" "gcc" "src/axbench/CMakeFiles/mithra_axbench.dir/sobel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/mithra_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mithra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

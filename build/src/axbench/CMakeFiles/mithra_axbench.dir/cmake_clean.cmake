@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_axbench.dir/benchmark.cc.o"
+  "CMakeFiles/mithra_axbench.dir/benchmark.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/blackscholes.cc.o"
+  "CMakeFiles/mithra_axbench.dir/blackscholes.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/fft.cc.o"
+  "CMakeFiles/mithra_axbench.dir/fft.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/image.cc.o"
+  "CMakeFiles/mithra_axbench.dir/image.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/inversek2j.cc.o"
+  "CMakeFiles/mithra_axbench.dir/inversek2j.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/jmeint.cc.o"
+  "CMakeFiles/mithra_axbench.dir/jmeint.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/jpeg.cc.o"
+  "CMakeFiles/mithra_axbench.dir/jpeg.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/jpeg_codec.cc.o"
+  "CMakeFiles/mithra_axbench.dir/jpeg_codec.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/quality.cc.o"
+  "CMakeFiles/mithra_axbench.dir/quality.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/registry.cc.o"
+  "CMakeFiles/mithra_axbench.dir/registry.cc.o.d"
+  "CMakeFiles/mithra_axbench.dir/sobel.cc.o"
+  "CMakeFiles/mithra_axbench.dir/sobel.cc.o.d"
+  "libmithra_axbench.a"
+  "libmithra_axbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_axbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

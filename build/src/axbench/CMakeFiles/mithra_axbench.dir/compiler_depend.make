@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mithra_axbench.
+# This may be replaced when dependencies are built.

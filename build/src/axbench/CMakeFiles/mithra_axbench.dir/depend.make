@@ -1,0 +1,2 @@
+# Empty dependencies file for mithra_axbench.
+# This may be replaced when dependencies are built.

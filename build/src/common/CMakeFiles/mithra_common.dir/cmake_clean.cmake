@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_common.dir/logging.cc.o"
+  "CMakeFiles/mithra_common.dir/logging.cc.o.d"
+  "CMakeFiles/mithra_common.dir/rng.cc.o"
+  "CMakeFiles/mithra_common.dir/rng.cc.o.d"
+  "CMakeFiles/mithra_common.dir/scale.cc.o"
+  "CMakeFiles/mithra_common.dir/scale.cc.o.d"
+  "libmithra_common.a"
+  "libmithra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

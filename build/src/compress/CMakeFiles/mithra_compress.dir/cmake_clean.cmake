@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_compress.dir/bdi.cc.o"
+  "CMakeFiles/mithra_compress.dir/bdi.cc.o.d"
+  "libmithra_compress.a"
+  "libmithra_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/mithra_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mithra_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/neural_classifier.cc" "src/core/CMakeFiles/mithra_core.dir/neural_classifier.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/neural_classifier.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/mithra_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mithra_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/report.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/mithra_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/table_classifier.cc" "src/core/CMakeFiles/mithra_core.dir/table_classifier.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/table_classifier.cc.o.d"
+  "/root/repo/src/core/threshold_optimizer.cc" "src/core/CMakeFiles/mithra_core.dir/threshold_optimizer.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/threshold_optimizer.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "src/core/CMakeFiles/mithra_core.dir/training_data.cc.o" "gcc" "src/core/CMakeFiles/mithra_core.dir/training_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mithra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithra_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mithra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/mithra_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mithra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axbench/CMakeFiles/mithra_axbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

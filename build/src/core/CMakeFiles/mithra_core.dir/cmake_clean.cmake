@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_core.dir/classifier.cc.o"
+  "CMakeFiles/mithra_core.dir/classifier.cc.o.d"
+  "CMakeFiles/mithra_core.dir/experiment.cc.o"
+  "CMakeFiles/mithra_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mithra_core.dir/neural_classifier.cc.o"
+  "CMakeFiles/mithra_core.dir/neural_classifier.cc.o.d"
+  "CMakeFiles/mithra_core.dir/pipeline.cc.o"
+  "CMakeFiles/mithra_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/mithra_core.dir/report.cc.o"
+  "CMakeFiles/mithra_core.dir/report.cc.o.d"
+  "CMakeFiles/mithra_core.dir/runtime.cc.o"
+  "CMakeFiles/mithra_core.dir/runtime.cc.o.d"
+  "CMakeFiles/mithra_core.dir/table_classifier.cc.o"
+  "CMakeFiles/mithra_core.dir/table_classifier.cc.o.d"
+  "CMakeFiles/mithra_core.dir/threshold_optimizer.cc.o"
+  "CMakeFiles/mithra_core.dir/threshold_optimizer.cc.o.d"
+  "CMakeFiles/mithra_core.dir/training_data.cc.o"
+  "CMakeFiles/mithra_core.dir/training_data.cc.o.d"
+  "libmithra_core.a"
+  "libmithra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/decision_table.cc" "src/hw/CMakeFiles/mithra_hw.dir/decision_table.cc.o" "gcc" "src/hw/CMakeFiles/mithra_hw.dir/decision_table.cc.o.d"
+  "/root/repo/src/hw/misr.cc" "src/hw/CMakeFiles/mithra_hw.dir/misr.cc.o" "gcc" "src/hw/CMakeFiles/mithra_hw.dir/misr.cc.o.d"
+  "/root/repo/src/hw/quantizer.cc" "src/hw/CMakeFiles/mithra_hw.dir/quantizer.cc.o" "gcc" "src/hw/CMakeFiles/mithra_hw.dir/quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithra_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

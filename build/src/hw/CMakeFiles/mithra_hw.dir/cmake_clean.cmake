@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_hw.dir/decision_table.cc.o"
+  "CMakeFiles/mithra_hw.dir/decision_table.cc.o.d"
+  "CMakeFiles/mithra_hw.dir/misr.cc.o"
+  "CMakeFiles/mithra_hw.dir/misr.cc.o.d"
+  "CMakeFiles/mithra_hw.dir/quantizer.cc.o"
+  "CMakeFiles/mithra_hw.dir/quantizer.cc.o.d"
+  "libmithra_hw.a"
+  "libmithra_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npu/approximator.cc" "src/npu/CMakeFiles/mithra_npu.dir/approximator.cc.o" "gcc" "src/npu/CMakeFiles/mithra_npu.dir/approximator.cc.o.d"
+  "/root/repo/src/npu/cost_model.cc" "src/npu/CMakeFiles/mithra_npu.dir/cost_model.cc.o" "gcc" "src/npu/CMakeFiles/mithra_npu.dir/cost_model.cc.o.d"
+  "/root/repo/src/npu/mlp.cc" "src/npu/CMakeFiles/mithra_npu.dir/mlp.cc.o" "gcc" "src/npu/CMakeFiles/mithra_npu.dir/mlp.cc.o.d"
+  "/root/repo/src/npu/serialize.cc" "src/npu/CMakeFiles/mithra_npu.dir/serialize.cc.o" "gcc" "src/npu/CMakeFiles/mithra_npu.dir/serialize.cc.o.d"
+  "/root/repo/src/npu/trainer.cc" "src/npu/CMakeFiles/mithra_npu.dir/trainer.cc.o" "gcc" "src/npu/CMakeFiles/mithra_npu.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_npu.dir/approximator.cc.o"
+  "CMakeFiles/mithra_npu.dir/approximator.cc.o.d"
+  "CMakeFiles/mithra_npu.dir/cost_model.cc.o"
+  "CMakeFiles/mithra_npu.dir/cost_model.cc.o.d"
+  "CMakeFiles/mithra_npu.dir/mlp.cc.o"
+  "CMakeFiles/mithra_npu.dir/mlp.cc.o.d"
+  "CMakeFiles/mithra_npu.dir/serialize.cc.o"
+  "CMakeFiles/mithra_npu.dir/serialize.cc.o.d"
+  "CMakeFiles/mithra_npu.dir/trainer.cc.o"
+  "CMakeFiles/mithra_npu.dir/trainer.cc.o.d"
+  "libmithra_npu.a"
+  "libmithra_npu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_model.cc" "src/sim/CMakeFiles/mithra_sim.dir/core_model.cc.o" "gcc" "src/sim/CMakeFiles/mithra_sim.dir/core_model.cc.o.d"
+  "/root/repo/src/sim/opcount.cc" "src/sim/CMakeFiles/mithra_sim.dir/opcount.cc.o" "gcc" "src/sim/CMakeFiles/mithra_sim.dir/opcount.cc.o.d"
+  "/root/repo/src/sim/system_sim.cc" "src/sim/CMakeFiles/mithra_sim.dir/system_sim.cc.o" "gcc" "src/sim/CMakeFiles/mithra_sim.dir/system_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

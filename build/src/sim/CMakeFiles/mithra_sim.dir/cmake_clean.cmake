@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_sim.dir/core_model.cc.o"
+  "CMakeFiles/mithra_sim.dir/core_model.cc.o.d"
+  "CMakeFiles/mithra_sim.dir/opcount.cc.o"
+  "CMakeFiles/mithra_sim.dir/opcount.cc.o.d"
+  "CMakeFiles/mithra_sim.dir/system_sim.cc.o"
+  "CMakeFiles/mithra_sim.dir/system_sim.cc.o.d"
+  "libmithra_sim.a"
+  "libmithra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithra_stats.dir/clopper_pearson.cc.o"
+  "CMakeFiles/mithra_stats.dir/clopper_pearson.cc.o.d"
+  "CMakeFiles/mithra_stats.dir/special_functions.cc.o"
+  "CMakeFiles/mithra_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/mithra_stats.dir/summary.cc.o"
+  "CMakeFiles/mithra_stats.dir/summary.cc.o.d"
+  "libmithra_stats.a"
+  "libmithra_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithra_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classifiers.dir/test_classifiers.cpp.o"
+  "CMakeFiles/test_classifiers.dir/test_classifiers.cpp.o.d"
+  "test_classifiers"
+  "test_classifiers.pdb"
+  "test_classifiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
