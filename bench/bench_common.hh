@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "axbench/registry.hh"
 #include "core/experiment.hh"
 
 namespace mithra::bench
@@ -37,6 +38,30 @@ headlineSpec(double qualityLossPct = 5.0)
 /** The three quality-controlled designs of Figures 6-8. */
 inline const std::vector<core::Design> mainDesigns = {
     core::Design::Oracle, core::Design::Table, core::Design::Neural};
+
+/** headlineSpec at every quality level the paper sweeps. */
+inline std::vector<core::QualitySpec>
+allLevelSpecs()
+{
+    std::vector<core::QualitySpec> specs;
+    for (double quality : qualityLevels)
+        specs.push_back(headlineSpec(quality));
+    return specs;
+}
+
+/**
+ * Compile whatever the binary's (spec, design) grid still needs
+ * across the thread pool before its serial evaluation loops run.
+ * Fully cached runs skip straight to the tables.
+ */
+inline void
+prefetchSuite(core::ExperimentRunner &runner,
+              const std::vector<core::QualitySpec> &specs,
+              const std::vector<core::Design> &designs,
+              const core::RunOptions &options = core::RunOptions{})
+{
+    runner.prefetch(axbench::benchmarkNames(), specs, designs, options);
+}
 
 } // namespace mithra::bench
 

@@ -25,6 +25,9 @@ main()
 {
     setInformEnabled(false);
     core::ExperimentRunner runner;
+    // Error samples always need the compiled workloads; build them all
+    // across the thread pool up front.
+    runner.prefetch(axbench::benchmarkNames());
 
     core::printBanner("Figure 1: CDF of final element error under full "
                       "approximation");

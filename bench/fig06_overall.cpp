@@ -30,6 +30,8 @@ main()
 {
     setInformEnabled(false);
     core::ExperimentRunner runner;
+    bench::prefetchSuite(runner, bench::allLevelSpecs(),
+                         bench::mainDesigns);
 
     core::printBanner("Figure 6: speedup / energy reduction / invocation "
                       "rate vs quality loss (95% conf, 90% success)");

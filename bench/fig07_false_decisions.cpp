@@ -26,6 +26,9 @@ main()
 {
     setInformEnabled(false);
     core::ExperimentRunner runner;
+    bench::prefetchSuite(
+        runner, bench::allLevelSpecs(),
+        {core::Design::Table, core::Design::Neural});
 
     core::printBanner("Figure 7: false decisions versus the oracle");
 

@@ -31,6 +31,10 @@ main(int argc, char **argv)
         && std::strcmp(argv[1], "--no-online") == 0;
 
     core::ExperimentRunner runner;
+    core::RunOptions prefetchOptions;
+    prefetchOptions.onlineUpdates = !noOnline;
+    bench::prefetchSuite(runner, bench::allLevelSpecs(),
+                         bench::mainDesigns, prefetchOptions);
 
     core::printBanner(std::string("Figure 8: per-benchmark results")
                       + (noOnline ? " (ablation: online updates off)"

@@ -65,6 +65,8 @@ main()
     setInformEnabled(false);
     core::ExperimentRunner runner;
     const auto spec = bench::headlineSpec();
+    bench::prefetchSuite(runner, {spec},
+                         {core::Design::Table, core::Design::Neural});
 
     core::printBanner("Figure 9: MITHRA vs random filtering (5% quality "
                       "loss)");

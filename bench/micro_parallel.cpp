@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the parallel execution
+ * substrate: serial vs. parallel wall time for compile-pipeline trace
+ * generation, NPU training and compile+threshold tuning at
+ * MITHRA_THREADS in {1, 2, 4, hardware_concurrency}.
+ *
+ * Every benchmark reports two counters:
+ *   threads            — pool width the measurement ran at
+ *   speedup_vs_1thread — this width's mean wall time relative to the
+ *                        1-thread run of the same benchmark family
+ *                        (registration puts the 1-thread run first)
+ *
+ * The determinism contract (common/parallel.hh) guarantees all widths
+ * compute identical results, so the speedup is the whole story.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axbench/registry.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "npu/mlp.hh"
+#include "npu/trainer.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+/** {1, 2, 4, hw} deduplicated and ascending. */
+std::vector<std::size_t>
+threadCounts()
+{
+    std::vector<std::size_t> counts = {1, 2, 4};
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    counts.push_back(hw);
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    return counts;
+}
+
+void
+applyThreadArgs(benchmark::internal::Benchmark *bench)
+{
+    for (std::size_t threads : threadCounts())
+        bench->Arg(static_cast<long>(threads));
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Report the counters. The 1-thread mean of each family is captured
+ * when it runs (first, by registration order) and serves as the
+ * baseline for the wider runs.
+ */
+void
+reportCounters(benchmark::State &state, const std::string &family,
+               std::size_t threads, double meanSeconds)
+{
+    static std::map<std::string, double> baselines;
+    if (threads == 1)
+        baselines[family] = meanSeconds;
+    // "pool_threads": google-benchmark itself reports a "threads"
+    // field (its own thread plumbing, always 1 here).
+    state.counters["pool_threads"] =
+        benchmark::Counter(static_cast<double>(threads));
+    const auto it = baselines.find(family);
+    state.counters["speedup_vs_1thread"] = benchmark::Counter(
+        it != baselines.end() && meanSeconds > 0.0
+            ? it->second / meanSeconds
+            : 0.0);
+}
+
+constexpr const char *benchName = "inversek2j";
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    setParallelThreadCount(threads);
+    const auto bench = axbench::makeBenchmark(benchName);
+    constexpr std::size_t datasetCount = 16;
+
+    double totalSeconds = 0.0;
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::unique_ptr<axbench::Dataset>> datasets(
+            datasetCount);
+        std::vector<std::unique_ptr<axbench::InvocationTrace>> traces(
+            datasetCount);
+        parallelFor(0, datasetCount, 1, [&](std::size_t d) {
+            datasets[d] = bench->makeDataset(
+                axbench::compileSeed(benchName, d));
+            traces[d] = std::make_unique<axbench::InvocationTrace>(
+                bench->trace(*datasets[d]));
+        });
+        benchmark::DoNotOptimize(traces.data());
+        totalSeconds += secondsSince(start);
+        ++iterations;
+    }
+    reportCounters(state, "trace_generation", threads,
+                   totalSeconds / static_cast<double>(iterations));
+}
+BENCHMARK(BM_TraceGeneration)
+    ->Apply(applyThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_NpuTraining(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    setParallelThreadCount(threads);
+
+    // Synthetic regression set shaped like a mid-size NPU workload.
+    constexpr std::size_t samples = 4096;
+    const npu::Topology topology = {16, 32, 4};
+    Rng rng(0xbe9c4a11u);
+    VecBatch inputs(samples), targets(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        inputs[i].resize(topology.front());
+        for (auto &v : inputs[i])
+            v = static_cast<float>(rng.uniform());
+        targets[i].resize(topology.back());
+        for (auto &v : targets[i])
+            v = static_cast<float>(rng.uniform(0.1, 0.9));
+    }
+    npu::TrainerOptions options;
+    options.epochs = 8;
+
+    double totalSeconds = 0.0;
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        npu::Mlp mlp(topology);
+        npu::initWeights(mlp, 7);
+        benchmark::DoNotOptimize(
+            npu::train(mlp, inputs, targets, options));
+        totalSeconds += secondsSince(start);
+        ++iterations;
+    }
+    reportCounters(state, "npu_training", threads,
+                   totalSeconds / static_cast<double>(iterations));
+}
+BENCHMARK(BM_NpuTraining)
+    ->Apply(applyThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileTune(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    setParallelThreadCount(threads);
+
+    core::PipelineOptions options;
+    options.compileDatasetCount = 16;
+    options.npuTrainSamples = 4000;
+    const core::Pipeline pipeline(options);
+    core::QualitySpec spec;
+
+    double totalSeconds = 0.0;
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto workload = pipeline.compile(benchName);
+        const auto result = pipeline.tuneThreshold(workload, spec);
+        benchmark::DoNotOptimize(result.threshold);
+        totalSeconds += secondsSince(start);
+        ++iterations;
+    }
+    reportCounters(state, "compile_tune", threads,
+                   totalSeconds / static_cast<double>(iterations));
+}
+BENCHMARK(BM_CompileTune)
+    ->Apply(applyThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

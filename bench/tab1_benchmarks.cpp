@@ -19,6 +19,7 @@ main()
 {
     setInformEnabled(false);
     core::ExperimentRunner runner;
+    runner.prefetchFacts(axbench::benchmarkNames());
 
     core::printBanner("Table I: benchmarks and error with full "
                       "approximation");

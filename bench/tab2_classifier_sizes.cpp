@@ -24,6 +24,8 @@ main()
     setInformEnabled(false);
     core::ExperimentRunner runner;
     const auto spec = bench::headlineSpec();
+    bench::prefetchSuite(runner, {spec},
+                         {core::Design::Table, core::Design::Neural});
 
     core::printBanner("Table II: compressed classifier sizes (5% quality "
                       "loss)");

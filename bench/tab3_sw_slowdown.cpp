@@ -69,6 +69,9 @@ main()
     setInformEnabled(false);
     core::ExperimentRunner runner;
     const auto spec = bench::headlineSpec();
+    // The simulator path below reads runner.workload() directly, so
+    // the compiled workloads are always needed.
+    runner.prefetch(axbench::benchmarkNames());
 
     core::printBanner("Software classifiers (paper 'necessity of "
                       "hardware' result, 5% quality loss)");

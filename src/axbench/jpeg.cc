@@ -141,25 +141,35 @@ Jpeg::recompose(const Dataset &dataset, const InvocationTrace &trace,
     const std::size_t perRow = ds.blocksPerRow();
 
     // Decode each variant at most once per trace (see DecodedBlocks).
-    if (decodeCache.size() > 600)
-        decodeCache.clear();
-    DecodedBlocks &cache = decodeCache[trace.id()];
-    if (cache.precisePixels.empty())
-        decodeVariant(trace, false, table, cache.precisePixels);
+    std::shared_ptr<DecodedBlocks> cache;
+    {
+        const std::lock_guard<std::mutex> lock(cacheMutex);
+        if (decodeCache.size() > 600)
+            decodeCache.clear();
+        auto &slot = decodeCache[trace.id()];
+        if (!slot)
+            slot = std::make_shared<DecodedBlocks>();
+        cache = slot;
+    }
     const bool wantsApprox =
         std::any_of(useAccel.begin(), useAccel.end(),
                     [](std::uint8_t u) { return u != 0; });
-    if (wantsApprox && !cache.hasApprox) {
-        decodeVariant(trace, true, table, cache.approxPixels);
-        cache.hasApprox = true;
+    {
+        const std::lock_guard<std::mutex> lock(cache->fill);
+        if (cache->precisePixels.empty())
+            decodeVariant(trace, false, table, cache->precisePixels);
+        if (wantsApprox && !cache->hasApprox) {
+            decodeVariant(trace, true, table, cache->approxPixels);
+            cache->hasApprox = true;
+        }
     }
 
     FinalOutput out;
     out.elements.assign(ds.image.width() * ds.image.height(), 0.0f);
 
     for (std::size_t b = 0; b < trace.count(); ++b) {
-        const float *pixels = (useAccel[b] ? cache.approxPixels
-                                           : cache.precisePixels)
+        const float *pixels = (useAccel[b] ? cache->approxPixels
+                                           : cache->precisePixels)
                                   .data()
             + b * jpeg::blockSize;
         const std::size_t bx = (b % perRow) * jpeg::blockEdge;

@@ -14,6 +14,8 @@
 #ifndef MITHRA_AXBENCH_JPEG_HH
 #define MITHRA_AXBENCH_JPEG_HH
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "axbench/benchmark.hh"
@@ -54,14 +56,25 @@ class Jpeg final : public Benchmark
      * recompose() dozens of times per trace while searching for the
      * threshold; decoding each block's precise and approximate
      * coefficients once makes those calls cheap selections.
+     *
+     * recompose() runs concurrently (the optimizer evaluates compile
+     * datasets in parallel), so entries are shared_ptrs handed out
+     * under cacheMutex — a holder keeps its entry alive across a
+     * concurrent eviction — and each entry's buffers are filled
+     * exactly once under its own fill mutex, after which they are
+     * immutable and read lock-free.
      */
     struct DecodedBlocks
     {
+        std::mutex fill;
         std::vector<float> precisePixels;
         std::vector<float> approxPixels;
         bool hasApprox = false;
     };
-    mutable std::unordered_map<std::uint64_t, DecodedBlocks> decodeCache;
+    mutable std::mutex cacheMutex;
+    mutable std::unordered_map<std::uint64_t,
+                               std::shared_ptr<DecodedBlocks>>
+        decodeCache;
 };
 
 } // namespace mithra::axbench

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic parallel execution substrate.
+ *
+ * A fixed-size thread pool (sized from std::thread::hardware_concurrency,
+ * overridable with the MITHRA_THREADS environment variable) plus static
+ * chunked parallel loops. The design contract, relied on by every
+ * caller in core/, npu/, hw/ and bench/:
+ *
+ *  - **Static chunking.** A range [begin, end) is cut into chunks of
+ *    `grain` consecutive indices. The chunk layout depends only on the
+ *    range and the grain — never on the thread count — so any
+ *    floating-point association introduced by chunking is identical
+ *    whether the chunks run on 1 thread or N.
+ *  - **Ordered reduction.** parallelMapReduce folds the per-chunk
+ *    partials in chunk-index order, so the result is bitwise identical
+ *    at every thread count (a grain of 1 reproduces the serial left
+ *    fold exactly).
+ *  - **MITHRA_THREADS=1 is the exact serial path.** No worker threads
+ *    are ever started; every loop body runs inline on the caller.
+ *  - **Nested regions run inline.** A parallel loop issued from inside
+ *    a worker task executes serially on that worker. Because of the
+ *    chunking contract this changes *where* the chunks run, never what
+ *    they compute.
+ *  - **Deterministic exceptions.** When chunk bodies throw, the
+ *    exception of the lowest-indexed throwing chunk is rethrown on the
+ *    caller (inline execution stops at that chunk; pooled execution
+ *    drains the remaining chunks first — either way the same exception
+ *    surfaces).
+ *
+ * Per-chunk pseudo-randomness must come from rngStream() (common/rng.hh)
+ * keyed by a stable chunk or item index — never from a shared mutated
+ * generator.
+ */
+
+#ifndef MITHRA_COMMON_PARALLEL_HH
+#define MITHRA_COMMON_PARALLEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mithra
+{
+
+/** Configured pool width (MITHRA_THREADS or hardware concurrency). */
+std::size_t parallelThreadCount();
+
+/**
+ * Reconfigure the pool width (tests and benchmarks sweeping thread
+ * counts). Joins any running workers; must not be called from inside a
+ * parallel region or concurrently with one.
+ */
+void setParallelThreadCount(std::size_t threads);
+
+/** True while the calling thread is executing a parallel-region task. */
+bool inParallelRegion();
+
+namespace detail
+{
+
+/** Type-erased chunk dispatch: body(chunkIndex) for every chunk. */
+void runChunks(std::size_t chunkCount,
+               void (*invoke)(void *context, std::size_t chunkIndex),
+               void *context, bool forceInline);
+
+template <typename Body>
+void
+runChunkedBody(std::size_t chunkCount, Body &body, bool forceInline)
+{
+    runChunks(
+        chunkCount,
+        [](void *context, std::size_t chunk) {
+            (*static_cast<Body *>(context))(chunk);
+        },
+        &body, forceInline);
+}
+
+} // namespace detail
+
+/**
+ * Run fn(chunkBegin, chunkEnd, chunkIndex) over [begin, end) cut into
+ * chunks of `grain` indices. Chunks may run concurrently; indices
+ * inside one chunk always run in order on one thread.
+ */
+template <typename Fn>
+void
+parallelForChunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn &&fn)
+{
+    if (end <= begin)
+        return;
+    MITHRA_ASSERT(grain > 0, "parallel grain must be positive");
+    const std::size_t chunkCount = (end - begin + grain - 1) / grain;
+    auto body = [&](std::size_t chunk) {
+        const std::size_t chunkBegin = begin + chunk * grain;
+        const std::size_t chunkEnd = std::min(chunkBegin + grain, end);
+        fn(chunkBegin, chunkEnd, chunk);
+    };
+    detail::runChunkedBody(chunkCount, body, false);
+}
+
+/**
+ * Run fn(i) for every i in [begin, end), statically chunked by
+ * `grain`. fn must not depend on cross-index execution order.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            Fn &&fn)
+{
+    parallelForChunks(begin, end, grain,
+                      [&](std::size_t chunkBegin, std::size_t chunkEnd,
+                          std::size_t) {
+                          for (std::size_t i = chunkBegin; i < chunkEnd;
+                               ++i)
+                              fn(i);
+                      });
+}
+
+/**
+ * Ordered map-reduce: result = fold of per-chunk partials in chunk
+ * order, seeded with `init`; each partial is the in-order fold of
+ * map(i) over its chunk. With a fixed grain the result is bitwise
+ * identical at any thread count; with grain 1 it equals the serial
+ * left fold reduce(...reduce(init, map(begin)) ..., map(end-1)).
+ */
+template <typename T, typename Map, typename Reduce>
+T
+parallelMapReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T init, Map &&map, Reduce &&reduce)
+{
+    if (end <= begin)
+        return init;
+    MITHRA_ASSERT(grain > 0, "parallel grain must be positive");
+    const std::size_t chunkCount = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(chunkCount);
+    auto body = [&](std::size_t chunk) {
+        const std::size_t chunkBegin = begin + chunk * grain;
+        const std::size_t chunkEnd = std::min(chunkBegin + grain, end);
+        T partial = map(chunkBegin);
+        for (std::size_t i = chunkBegin + 1; i < chunkEnd; ++i)
+            partial = reduce(std::move(partial), map(i));
+        partials[chunk] = std::move(partial);
+    };
+    detail::runChunkedBody(chunkCount, body, false);
+
+    T result = std::move(init);
+    for (auto &partial : partials)
+        result = reduce(std::move(result), std::move(partial));
+    return result;
+}
+
+} // namespace mithra
+
+#endif // MITHRA_COMMON_PARALLEL_HH

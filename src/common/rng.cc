@@ -18,6 +18,17 @@ splitMix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+Rng
+rngStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two SplitMix64 expansions decorrelate (seed, stream) pairs that
+    // differ in either component by a single bit.
+    std::uint64_t state = seed;
+    const std::uint64_t expandedSeed = splitMix64(state);
+    state = expandedSeed ^ (stream + 0x632be59bd9b4e019ULL);
+    return Rng(splitMix64(state));
+}
+
 namespace
 {
 

@@ -26,6 +26,17 @@ namespace mithra
 /** SplitMix64 step: expands a 64-bit state into a stream of values. */
 std::uint64_t splitMix64(std::uint64_t &state);
 
+class Rng;
+
+/**
+ * Derive an independent generator for one parallel work item: stream
+ * `stream` split from `seed` via SplitMix64. Unlike Rng::fork() this
+ * needs no shared mutated generator, so parallel chunks can seed
+ * themselves from (seed, chunkIndex) deterministically regardless of
+ * execution order or thread count.
+ */
+Rng rngStream(std::uint64_t seed, std::uint64_t stream);
+
 /**
  * Xoshiro256** deterministic random number generator with portable
  * distribution helpers.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/scale.hh"
 
 namespace mithra::core
@@ -228,6 +229,65 @@ ExperimentRunner::workload(const std::string &benchmark)
     return loaded(benchmark).workload;
 }
 
+void
+ExperimentRunner::prefetch(const std::vector<std::string> &benchmarks)
+{
+    std::vector<std::string> missing;
+    for (const auto &name : benchmarks) {
+        if (!workloads.contains(name))
+            missing.push_back(name);
+    }
+    if (missing.empty())
+        return;
+
+    // Build into local slots across the pool (each workload's own
+    // parallel regions then run inline), and only then populate the
+    // map serially — loaded() never observes a half-built entry.
+    std::vector<LoadedWorkload> built(missing.size());
+    parallelFor(0, missing.size(), 1, [&](std::size_t i) {
+        built[i].workload = pipeline.compile(missing[i]);
+        built[i].validation = makeValidationSet(built[i].workload);
+    });
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        workloads.emplace(missing[i], std::move(built[i]));
+}
+
+void
+ExperimentRunner::prefetch(const std::vector<std::string> &benchmarks,
+                           const std::vector<QualitySpec> &specs,
+                           const std::vector<Design> &designs,
+                           const RunOptions &options)
+{
+    std::vector<std::string> needed;
+    for (const auto &name : benchmarks) {
+        bool miss = false;
+        for (const auto &spec : specs) {
+            for (const Design design : designs) {
+                if (!cache.get(cacheKey(name, spec, design, options))) {
+                    miss = true;
+                    break;
+                }
+            }
+            if (miss)
+                break;
+        }
+        if (miss)
+            needed.push_back(name);
+    }
+    prefetch(needed);
+}
+
+void
+ExperimentRunner::prefetchFacts(const std::vector<std::string> &benchmarks)
+{
+    std::vector<std::string> needed;
+    for (const auto &name : benchmarks) {
+        if (!cache.get(factsKey(name)))
+            needed.push_back(name);
+    }
+    prefetch(needed);
+}
+
 QualityPackage &
 ExperimentRunner::package(LoadedWorkload &entry, const QualitySpec &spec)
 {
@@ -321,14 +381,20 @@ ExperimentRunner::run(const std::string &benchmark,
     return record;
 }
 
-WorkloadRecord
-ExperimentRunner::workloadFacts(const std::string &benchmark)
+std::string
+ExperimentRunner::factsKey(const std::string &benchmark) const
 {
     std::ostringstream keyStream;
     keyStream << "meta:v5:" << benchmark << ":s" << experimentScale()
               << ":d" << pipeline.options().compileDatasetCount << ":x"
               << pipeline.options().seed;
-    const std::string key = keyStream.str();
+    return keyStream.str();
+}
+
+WorkloadRecord
+ExperimentRunner::workloadFacts(const std::string &benchmark)
+{
+    const std::string key = factsKey(benchmark);
     if (const auto cached = cache.get(key))
         return parseWorkload(*cached);
 

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hh"
 #include "core/runtime.hh"
@@ -119,6 +120,28 @@ class ExperimentRunner
                          const QualitySpec &spec, Design design,
                          const RunOptions &options = RunOptions{});
 
+    /**
+     * Compile and validate the given benchmarks concurrently across
+     * the thread pool before the (single-threaded) evaluation loop
+     * asks for them. Already loaded benchmarks are skipped; each
+     * workload is identical to what a lazy loaded() call builds.
+     */
+    void prefetch(const std::vector<std::string> &benchmarks);
+
+    /**
+     * Cache-aware variant for the harness binaries: compile only the
+     * benchmarks that still have at least one uncached
+     * (spec, design) cell, so warm-cache runs stay free while cold
+     * runs overlap all the compiles.
+     */
+    void prefetch(const std::vector<std::string> &benchmarks,
+                  const std::vector<QualitySpec> &specs,
+                  const std::vector<Design> &designs,
+                  const RunOptions &options = RunOptions{});
+
+    /** Like the cache-aware prefetch, but for workloadFacts() users. */
+    void prefetchFacts(const std::vector<std::string> &benchmarks);
+
     /** Workload-level facts (compiles on first use). */
     WorkloadRecord workloadFacts(const std::string &benchmark);
 
@@ -151,6 +174,7 @@ class ExperimentRunner
     QualityPackage &package(LoadedWorkload &entry,
                             const QualitySpec &spec);
     std::string specKey(const QualitySpec &spec) const;
+    std::string factsKey(const std::string &benchmark) const;
     std::string cacheKey(const std::string &benchmark,
                          const QualitySpec &spec, Design design,
                          const RunOptions &options) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "npu/trainer.hh"
 
@@ -150,8 +151,14 @@ NeuralClassifier::train(const TrainingData &data,
                                   samples.trainTargets.begin()
                                       + static_cast<std::ptrdiff_t>(
                                           subset));
-        double bestAccuracy = -1.0;
-        for (std::size_t hidden : options.hiddenSizes) {
+        // Each candidate topology trains independently (seeded by its
+        // hidden size); the selection scan below stays serial and in
+        // smallest-first order so the slack rule picks the same winner
+        // at any thread count.
+        std::vector<double> candidateAccuracy(options.hiddenSizes.size(),
+                                              -1.0);
+        parallelFor(0, options.hiddenSizes.size(), 1, [&](std::size_t c) {
+            const std::size_t hidden = options.hiddenSizes[c];
             npu::Mlp candidate({inputWidth, hidden, 2});
             npu::initWeights(candidate, options.trainer.seed + hidden);
             npu::TrainerOptions trainerOptions = options.trainer;
@@ -159,15 +166,19 @@ NeuralClassifier::train(const TrainingData &data,
             trainerOptions.seed += hidden;
             npu::train(candidate, selInputs, selTargets, trainerOptions);
 
-            const double acc = holdoutAccuracy(candidate, scaler,
-                                               samples.holdoutInputs,
-                                               samples.holdoutLabels);
+            candidateAccuracy[c] = holdoutAccuracy(
+                candidate, scaler, samples.holdoutInputs,
+                samples.holdoutLabels);
+        });
+
+        double bestAccuracy = -1.0;
+        for (std::size_t c = 0; c < options.hiddenSizes.size(); ++c) {
             // Candidates are visited smallest first, so strictly
             // better accuracy (beyond the slack) justifies growth.
-            if (acc > bestAccuracy + options.accuracySlack
+            if (candidateAccuracy[c] > bestAccuracy + options.accuracySlack
                 || chosenHidden == 0) {
-                chosenHidden = hidden;
-                bestAccuracy = acc;
+                chosenHidden = options.hiddenSizes[c];
+                bestAccuracy = candidateAccuracy[c];
             }
         }
     }

@@ -4,6 +4,7 @@
 
 #include "axbench/registry.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 #include "sim/core_model.hh"
@@ -34,17 +35,31 @@ sampleNpuTraining(
 
     const double keep = std::min(
         1.0, static_cast<double>(maxSamples) / static_cast<double>(total));
-    Rng rng(seed ^ 0x6e70755f747261ULL);
 
-    for (const auto &trace : traces) {
-        for (std::size_t i = 0; i < trace->count(); ++i) {
+    // Each trace samples from its own RNG stream split off the seed, so
+    // the drawn set depends only on (seed, trace index) — identical at
+    // any thread count — and traces can sample concurrently. Per-trace
+    // batches are concatenated in trace order.
+    std::vector<std::pair<VecBatch, VecBatch>> perTrace(traces.size());
+    parallelFor(0, traces.size(), 1, [&](std::size_t t) {
+        Rng rng = rngStream(seed ^ 0x6e70755f747261ULL, t);
+        const auto &trace = *traces[t];
+        auto &[localIn, localOut] = perTrace[t];
+        for (std::size_t i = 0; i < trace.count(); ++i) {
             if (keep < 1.0 && !rng.bernoulli(keep))
                 continue;
-            const auto in = trace->input(i);
-            const auto out = trace->preciseOutput(i);
-            inputs.emplace_back(in.begin(), in.end());
-            outputs.emplace_back(out.begin(), out.end());
+            const auto in = trace.input(i);
+            const auto out = trace.preciseOutput(i);
+            localIn.emplace_back(in.begin(), in.end());
+            localOut.emplace_back(out.begin(), out.end());
         }
+    });
+
+    for (auto &[localIn, localOut] : perTrace) {
+        std::move(localIn.begin(), localIn.end(),
+                  std::back_inserter(inputs));
+        std::move(localOut.begin(), localOut.end(),
+                  std::back_inserter(outputs));
     }
 }
 
@@ -63,14 +78,18 @@ Pipeline::compile(const std::string &benchmarkName) const
 
     inform("compile[", benchmarkName, "]: generating ", datasetCount,
            " datasets and tracing");
-    for (std::size_t d = 0; d < datasetCount; ++d) {
+    // Datasets are seeded per index, so generation and tracing are
+    // independent across d and fill pre-sized slots in parallel.
+    workload.compileDatasets.resize(datasetCount);
+    workload.compileTraces.resize(datasetCount);
+    parallelFor(0, datasetCount, 1, [&](std::size_t d) {
         auto dataset = bench.makeDataset(
             axbench::compileSeed(benchmarkName, d));
-        auto trace = std::make_unique<axbench::InvocationTrace>(
-            bench.trace(*dataset));
-        workload.compileDatasets.push_back(std::move(dataset));
-        workload.compileTraces.push_back(std::move(trace));
-    }
+        workload.compileTraces[d] =
+            std::make_unique<axbench::InvocationTrace>(
+                bench.trace(*dataset));
+        workload.compileDatasets[d] = std::move(dataset);
+    });
 
     // Train the accelerator on sampled invocations (the paper's NPU
     // workflow: the compiler collects input/output pairs of the target
@@ -87,21 +106,25 @@ Pipeline::compile(const std::string &benchmarkName) const
         bench.npuTrainerOptions());
 
     // Attach approximate outputs to every trace and build the
-    // threshold problem.
+    // threshold problem. Each dataset's attach/entry/loss work only
+    // touches its own slot; the loss partials reduce in dataset order.
     workload.problem.benchmark = &bench;
-    double lossSum = 0.0;
-    for (std::size_t d = 0; d < workload.compileTraces.size(); ++d) {
-        auto &trace = *workload.compileTraces[d];
-        trace.attachApproximations(workload.accel);
-        workload.problem.entries.push_back(ThresholdProblem::makeEntry(
-            bench, *workload.compileDatasets[d], trace));
+    workload.problem.entries.resize(workload.compileTraces.size());
+    const double lossSum = parallelMapReduce(
+        0, workload.compileTraces.size(), 1, 0.0,
+        [&](std::size_t d) {
+            auto &trace = *workload.compileTraces[d];
+            trace.attachApproximations(workload.accel);
+            workload.problem.entries[d] = ThresholdProblem::makeEntry(
+                bench, *workload.compileDatasets[d], trace);
 
-        const auto &entry = workload.problem.entries.back();
-        const auto approxFinal = bench.approxOutput(
-            *workload.compileDatasets[d], trace);
-        lossSum += axbench::qualityLoss(bench.metric(),
-                                        entry.preciseFinal, approxFinal);
-    }
+            const auto approxFinal = bench.approxOutput(
+                *workload.compileDatasets[d], trace);
+            return axbench::qualityLoss(
+                bench.metric(),
+                workload.problem.entries[d].preciseFinal, approxFinal);
+        },
+        [](double a, double b) { return a + b; });
     workload.fullApproxLossMean =
         lossSum / static_cast<double>(workload.compileTraces.size());
 
@@ -173,39 +196,58 @@ CalibrationMeasurement
 calibrationMeasure(const CompiledWorkload &workload,
                    Classifier &classifier, const QualitySpec &spec)
 {
-    std::size_t successes = 0;
-    std::size_t trials = 0;
-    std::size_t accel = 0;
-    std::size_t total = 0;
-    std::vector<std::uint8_t> decisions;
-    for (std::size_t e = 1; e < workload.problem.entries.size(); e += 2) {
-        const auto &entry = workload.problem.entries[e];
-        const auto &trace = *entry.trace;
-        classifier.beginDataset(trace);
-        decisions.assign(trace.count(), 0);
-        std::size_t numAccel = 0;
-        for (std::size_t i = 0; i < trace.count(); ++i) {
-            const bool precise = !classifier.approximationEnabled()
-                || classifier.decidePrecise(trace.inputVec(i), i);
-            decisions[i] = precise ? 0 : 1;
-            numAccel += precise ? 0 : 1;
-        }
-        accel += numAccel;
-        total += trace.count();
-        const auto final = workload.benchmark->recompose(
-            *entry.dataset, trace, decisions);
-        const double loss = axbench::qualityLoss(
-            workload.benchmark->metric(), entry.preciseFinal, final);
-        if (loss <= spec.maxQualityLossPct)
-            ++successes;
-        ++trials;
-    }
+    // Held-out datasets are measured concurrently. The classifiers
+    // calibrated here (table, neural) decide each invocation from the
+    // input alone — beginDataset is a no-op for them and decidePrecise
+    // holds no mutable state — so sharing one classifier across
+    // datasets is safe; per-dataset counters reduce in entry order.
+    struct Tally
+    {
+        std::size_t successes = 0;
+        std::size_t trials = 0;
+        std::size_t accel = 0;
+        std::size_t total = 0;
+    };
+
+    const std::size_t numHeldOut = workload.problem.entries.size() / 2;
+    const Tally tally = parallelMapReduce(
+        0, numHeldOut, 1, Tally{},
+        [&](std::size_t k) {
+            const std::size_t e = 2 * k + 1;
+            const auto &entry = workload.problem.entries[e];
+            const auto &trace = *entry.trace;
+            classifier.beginDataset(trace);
+            std::vector<std::uint8_t> decisions(trace.count(), 0);
+            Tally one;
+            for (std::size_t i = 0; i < trace.count(); ++i) {
+                const bool precise = !classifier.approximationEnabled()
+                    || classifier.decidePrecise(trace.inputVec(i), i);
+                decisions[i] = precise ? 0 : 1;
+                one.accel += precise ? 0 : 1;
+            }
+            one.total = trace.count();
+            const auto final = workload.benchmark->recompose(
+                *entry.dataset, trace, decisions);
+            const double loss = axbench::qualityLoss(
+                workload.benchmark->metric(), entry.preciseFinal, final);
+            one.successes = loss <= spec.maxQualityLossPct ? 1 : 0;
+            one.trials = 1;
+            return one;
+        },
+        [](Tally a, const Tally &b) {
+            a.successes += b.successes;
+            a.trials += b.trials;
+            a.accel += b.accel;
+            a.total += b.total;
+            return a;
+        });
 
     CalibrationMeasurement out;
-    out.successBound =
-        stats::clopperPearsonLower(successes, trials, spec.confidence);
-    out.invocationRate = total
-        ? static_cast<double>(accel) / static_cast<double>(total)
+    out.successBound = stats::clopperPearsonLower(
+        tally.successes, tally.trials, spec.confidence);
+    out.invocationRate = tally.total
+        ? static_cast<double>(tally.accel)
+            / static_cast<double>(tally.total)
         : 0.0;
     return out;
 }

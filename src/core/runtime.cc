@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 #include "stats/clopper_pearson.hh"
@@ -28,10 +29,12 @@ makeValidationSet(const CompiledWorkload &workload, std::size_t count)
     if (count == 0)
         count = numValidationDatasets();
 
+    // Validation datasets are seeded per index, so generation, tracing
+    // and accelerator attachment fill pre-sized slots in parallel.
     ValidationSet set;
-    set.entries.reserve(count);
-    for (std::size_t d = 0; d < count; ++d) {
-        ValidationEntry entry;
+    set.entries.resize(count);
+    parallelFor(0, count, 1, [&](std::size_t d) {
+        ValidationEntry &entry = set.entries[d];
         entry.dataset = bench.makeDataset(
             axbench::validationSeed(bench.name(), d));
         entry.trace = std::make_unique<axbench::InvocationTrace>(
@@ -39,8 +42,7 @@ makeValidationSet(const CompiledWorkload &workload, std::size_t count)
         entry.trace->attachApproximations(workload.accel);
         entry.preciseFinal = bench.preciseOutput(*entry.dataset,
                                                  *entry.trace);
-        set.entries.push_back(std::move(entry));
-    }
+    });
     return set;
 }
 

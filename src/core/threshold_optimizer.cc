@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "stats/clopper_pearson.hh"
 
 namespace mithra::core
@@ -44,41 +45,57 @@ ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
     MITHRA_ASSERT(problem.benchmark, "problem has no benchmark");
     MITHRA_ASSERT(!problem.entries.empty(), "problem has no datasets");
 
-    std::size_t successes = 0;
-    std::size_t accelerated = 0;
-    std::size_t total = 0;
+    // Each compile dataset's instrumented run is independent: recompose
+    // and quality-loss work touch only that entry, and the integer
+    // counters reduce in entry order.
+    struct Tally
+    {
+        std::size_t successes = 0;
+        std::size_t accelerated = 0;
+        std::size_t total = 0;
+    };
 
-    std::vector<std::uint8_t> decisions;
-    for (const auto &entry : problem.entries) {
-        decisions.assign(entry.trace->count(), 0);
-        for (std::size_t i = 0; i < entry.trace->count(); ++i) {
-            // Instrumented run (Algorithm 1 step 2): invoke the
-            // accelerator only when its local error is within th.
-            if (entry.errors[i]
-                <= static_cast<float>(threshold)) {
-                decisions[i] = 1;
-                ++accelerated;
+    const Tally tally = parallelMapReduce(
+        0, problem.entries.size(), 1, Tally{},
+        [&](std::size_t e) {
+            const auto &entry = problem.entries[e];
+            std::vector<std::uint8_t> decisions(entry.trace->count(), 0);
+            Tally one;
+            for (std::size_t i = 0; i < entry.trace->count(); ++i) {
+                // Instrumented run (Algorithm 1 step 2): invoke the
+                // accelerator only when its local error is within th.
+                if (entry.errors[i]
+                    <= static_cast<float>(threshold)) {
+                    decisions[i] = 1;
+                    ++one.accelerated;
+                }
             }
-        }
-        total += entry.trace->count();
+            one.total = entry.trace->count();
 
-        const auto final = problem.benchmark->recompose(
-            *entry.dataset, *entry.trace, decisions);
-        const double loss = axbench::qualityLoss(
-            problem.benchmark->metric(), entry.preciseFinal, final);
-        if (loss <= qualitySpec.maxQualityLossPct)
-            ++successes;
-    }
+            const auto final = problem.benchmark->recompose(
+                *entry.dataset, *entry.trace, decisions);
+            const double loss = axbench::qualityLoss(
+                problem.benchmark->metric(), entry.preciseFinal, final);
+            one.successes = loss <= qualitySpec.maxQualityLossPct ? 1 : 0;
+            return one;
+        },
+        [](Tally a, const Tally &b) {
+            a.successes += b.successes;
+            a.accelerated += b.accelerated;
+            a.total += b.total;
+            return a;
+        });
 
     ThresholdResult result;
     result.threshold = threshold;
-    result.successes = successes;
+    result.successes = tally.successes;
     result.trials = problem.entries.size();
     result.successLowerBound = stats::clopperPearsonLower(
-        successes, result.trials, qualitySpec.confidence);
+        tally.successes, result.trials, qualitySpec.confidence);
     result.iterations = 1;
-    result.invocationRate = total
-        ? static_cast<double>(accelerated) / static_cast<double>(total)
+    result.invocationRate = tally.total
+        ? static_cast<double>(tally.accelerated)
+            / static_cast<double>(tally.total)
         : 0.0;
     return result;
 }
@@ -163,35 +180,56 @@ MultiFunctionOptimizer::evaluate(const MultiFunctionProblem &problem,
     result.thresholds = thresholds;
     result.trials = problem.entries.size();
 
-    std::size_t accelerated = 0;
-    std::size_t total = 0;
-    for (const auto &entry : problem.entries) {
-        MITHRA_ASSERT(entry.traces.size() == thresholds.size(),
-                      "threshold tuple width mismatch");
-        std::vector<std::vector<std::uint8_t>> decisions(
-            entry.traces.size());
-        for (std::size_t f = 0; f < entry.traces.size(); ++f) {
-            decisions[f].assign(entry.traces[f]->count(), 0);
-            for (std::size_t i = 0; i < entry.traces[f]->count(); ++i) {
-                if (entry.errors[f][i]
-                    <= static_cast<float>(thresholds[f])) {
-                    decisions[f][i] = 1;
-                    ++accelerated;
-                }
-            }
-            total += entry.traces[f]->count();
-        }
-        const auto final = entry.recompose(decisions);
-        const double loss = axbench::qualityLoss(
-            problem.metric, entry.preciseFinal, final);
-        if (loss <= qualitySpec.maxQualityLossPct)
-            ++result.successes;
-    }
+    // Entries evaluate concurrently, mirroring the single-function
+    // evaluate(): all per-dataset state is local and the counters
+    // reduce in entry order.
+    struct Tally
+    {
+        std::size_t successes = 0;
+        std::size_t accelerated = 0;
+        std::size_t total = 0;
+    };
 
+    const Tally tally = parallelMapReduce(
+        0, problem.entries.size(), 1, Tally{},
+        [&](std::size_t e) {
+            const auto &entry = problem.entries[e];
+            MITHRA_ASSERT(entry.traces.size() == thresholds.size(),
+                          "threshold tuple width mismatch");
+            std::vector<std::vector<std::uint8_t>> decisions(
+                entry.traces.size());
+            Tally one;
+            for (std::size_t f = 0; f < entry.traces.size(); ++f) {
+                decisions[f].assign(entry.traces[f]->count(), 0);
+                for (std::size_t i = 0; i < entry.traces[f]->count();
+                     ++i) {
+                    if (entry.errors[f][i]
+                        <= static_cast<float>(thresholds[f])) {
+                        decisions[f][i] = 1;
+                        ++one.accelerated;
+                    }
+                }
+                one.total += entry.traces[f]->count();
+            }
+            const auto final = entry.recompose(decisions);
+            const double loss = axbench::qualityLoss(
+                problem.metric, entry.preciseFinal, final);
+            one.successes = loss <= qualitySpec.maxQualityLossPct ? 1 : 0;
+            return one;
+        },
+        [](Tally a, const Tally &b) {
+            a.successes += b.successes;
+            a.accelerated += b.accelerated;
+            a.total += b.total;
+            return a;
+        });
+
+    result.successes = tally.successes;
     result.successLowerBound = stats::clopperPearsonLower(
         result.successes, result.trials, qualitySpec.confidence);
-    result.invocationRate = total
-        ? static_cast<double>(accelerated) / static_cast<double>(total)
+    result.invocationRate = tally.total
+        ? static_cast<double>(tally.accelerated)
+            / static_cast<double>(tally.total)
         : 0.0;
     return result;
 }

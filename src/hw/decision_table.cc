@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mithra::hw
 {
@@ -172,13 +173,24 @@ countFalseDecisions(const TableEnsemble &ensemble,
 {
     FalseDecisionCount count;
     count.total = tuples.size();
-    for (const auto &tuple : tuples) {
-        const bool precise = ensemble.decidePrecise(tuple.codes);
-        if (precise && !tuple.precise)
-            ++count.falsePositives;
-        else if (!precise && tuple.precise)
-            ++count.falseNegatives;
-    }
+    const auto perTuple = [&](std::size_t i) {
+        FalseDecisionCount one;
+        const bool precise = ensemble.decidePrecise(tuples[i].codes);
+        if (precise && !tuples[i].precise)
+            one.falsePositives = 1;
+        else if (!precise && tuples[i].precise)
+            one.falseNegatives = 1;
+        return one;
+    };
+    const auto merged = parallelMapReduce(
+        0, tuples.size(), 8192, FalseDecisionCount{}, perTuple,
+        [](FalseDecisionCount a, FalseDecisionCount b) {
+            a.falsePositives += b.falsePositives;
+            a.falseNegatives += b.falseNegatives;
+            return a;
+        });
+    count.falsePositives = merged.falsePositives;
+    count.falseNegatives = merged.falseNegatives;
     return count;
 }
 
@@ -191,14 +203,15 @@ trainGreedyEnsemble(const TableGeometry &geometry,
     const auto &pool = misrConfigPool();
 
     // Hash every tuple under every pool configuration once; the greedy
-    // search below then only manipulates precomputed indices.
+    // search below then only manipulates precomputed indices. Each of
+    // the 16 configurations hashes independently across the pool.
     std::vector<std::vector<std::uint32_t>> indices(misrPoolSize);
-    for (std::size_t id = 0; id < misrPoolSize; ++id) {
-        Misr misr(pool[id], bits);
+    parallelFor(0, misrPoolSize, 1, [&](std::size_t id) {
+        const Misr misr(pool[id], bits);
         indices[id].reserve(tuples.size());
         for (const auto &tuple : tuples)
             indices[id].push_back(misr.hash(tuple.codes));
-    }
+    });
 
     // Decision of the ensemble built so far, per tuple. With the
     // unanimity combination every table starts by agreeing "precise"
@@ -209,12 +222,16 @@ trainGreedyEnsemble(const TableGeometry &geometry,
     std::vector<bool> used(misrPoolSize, false);
 
     for (std::size_t t = 0; t < geometry.numTables; ++t) {
-        std::size_t bestId = misrPoolSize;
-        std::size_t bestErrors = ~std::size_t{0};
-
-        for (std::size_t id = 0; id < misrPoolSize; ++id) {
+        // Evaluate all unused candidate configurations concurrently:
+        // each trains its own single table and counts the errors of
+        // (existing ensemble AND candidate). The argmin scan below
+        // stays serial and in pool order, so the chosen configuration
+        // is identical at any thread count.
+        std::vector<std::size_t> candidateErrors(misrPoolSize,
+                                                 ~std::size_t{0});
+        parallelFor(0, misrPoolSize, 1, [&](std::size_t id) {
             if (used[id])
-                continue;
+                return;
 
             // Conservative single-table fill under this configuration.
             DecisionTable candidate(bits);
@@ -223,7 +240,6 @@ trainGreedyEnsemble(const TableGeometry &geometry,
                     candidate.setBit(indices[id][i]);
             }
 
-            // Errors of (existing ensemble AND candidate table).
             std::size_t errors = 0;
             for (std::size_t i = 0; i < tuples.size(); ++i) {
                 const bool precise =
@@ -231,9 +247,14 @@ trainGreedyEnsemble(const TableGeometry &geometry,
                 if (precise != tuples[i].precise)
                     ++errors;
             }
+            candidateErrors[id] = errors;
+        });
 
-            if (errors < bestErrors) {
-                bestErrors = errors;
+        std::size_t bestId = misrPoolSize;
+        std::size_t bestErrors = ~std::size_t{0};
+        for (std::size_t id = 0; id < misrPoolSize; ++id) {
+            if (!used[id] && candidateErrors[id] < bestErrors) {
+                bestErrors = candidateErrors[id];
                 bestId = id;
             }
         }

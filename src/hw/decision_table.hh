@@ -133,8 +133,8 @@ class TableEnsemble
     TableGeometry geom;
     std::vector<std::size_t> configIds;
     std::vector<DecisionTable> tables;
-    /** One MISR per table; mutable because hashing reuses state. */
-    mutable std::vector<Misr> misrs;
+    /** One MISR per table (hashing is pure; decide is thread-safe). */
+    std::vector<Misr> misrs;
 };
 
 /**

@@ -50,22 +50,28 @@ Misr::reset()
     state = cfg.seed & mask;
 }
 
-void
-Misr::shiftIn(std::uint8_t code)
+std::uint32_t
+Misr::stepState(std::uint32_t current, std::uint8_t code) const
 {
     // LFSR-style feedback: parity of tapped bits enters at bit 0.
     const std::uint32_t feedback =
-        static_cast<std::uint32_t>(std::popcount(state & cfg.taps) & 1);
+        static_cast<std::uint32_t>(std::popcount(current & cfg.taps) & 1);
 
     // Rotate within the signature width.
     const unsigned r = cfg.rotate % bits;
-    state = ((state << r) | (state >> (bits - r))) & mask;
-    state ^= feedback;
+    current = ((current << r) | (current >> (bits - r))) & mask;
+    current ^= feedback;
 
     // XOR the incoming code through the spreading wiring.
     const std::uint32_t spreadCode =
         (static_cast<std::uint32_t>(code) * cfg.spread) & mask;
-    state ^= spreadCode;
+    return current ^ spreadCode;
+}
+
+void
+Misr::shiftIn(std::uint8_t code)
+{
+    state = stepState(state, code);
 }
 
 std::uint32_t
@@ -75,12 +81,14 @@ Misr::signature() const
 }
 
 std::uint32_t
-Misr::hash(const std::vector<std::uint8_t> &codes)
+Misr::hash(const std::vector<std::uint8_t> &codes) const
 {
-    reset();
+    // Same register sequence as reset(); shiftIn()...; signature(),
+    // but on a local register so the call has no shared state.
+    std::uint32_t local = cfg.seed & mask;
     for (std::uint8_t code : codes)
-        shiftIn(code);
-    return signature();
+        local = stepState(local, code);
+    return local;
 }
 
 } // namespace mithra::hw

@@ -68,13 +68,22 @@ class Misr
     /** Current signature (valid after the last element arrived). */
     std::uint32_t signature() const;
 
-    /** Convenience: hash a whole invocation's codes in one call. */
-    std::uint32_t hash(const std::vector<std::uint8_t> &codes);
+    /**
+     * Convenience: hash a whole invocation's codes in one call. Pure —
+     * it runs the register sequence on a local copy of the state, so
+     * concurrent hashes through one Misr are safe (the ensemble's
+     * decision path is hammered from parallel loops).
+     */
+    std::uint32_t hash(const std::vector<std::uint8_t> &codes) const;
 
     /** Signature width in bits. */
     unsigned indexBits() const { return bits; }
 
   private:
+    /** One register step: feedback, rotate, spread-in one code. */
+    std::uint32_t stepState(std::uint32_t current,
+                            std::uint8_t code) const;
+
     MisrConfig cfg;
     unsigned bits;
     std::uint32_t mask;

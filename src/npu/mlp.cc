@@ -20,6 +20,41 @@ topologyName(const Topology &topology)
     return os.str();
 }
 
+void
+ForwardScratch::prepare(const Topology &topology)
+{
+    activations.resize(topology.size());
+    for (std::size_t l = 0; l < topology.size(); ++l)
+        activations[l].resize(topology[l]);
+}
+
+void
+forwardTrace(const Mlp &mlp, const Vec &input, ForwardScratch &scratch)
+{
+    const auto &topo = mlp.topology();
+    MITHRA_ASSERT(input.size() == topo.front(), "MLP input width ",
+                  input.size(), " != ", topo.front());
+    MITHRA_ASSERT(scratch.activations.size() == topo.size(),
+                  "scratch not prepared for this topology");
+    std::copy(input.begin(), input.end(),
+              scratch.activations.front().begin());
+
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        const std::size_t in = topo[l - 1];
+        const std::size_t out = topo[l];
+        const auto &weights = mlp.layerWeights(l);
+        const Vec &prev = scratch.activations[l - 1];
+        Vec &next = scratch.activations[l];
+        for (std::size_t o = 0; o < out; ++o) {
+            const float *row = &weights[o * (in + 1)];
+            float sum = row[in]; // bias
+            for (std::size_t i = 0; i < in; ++i)
+                sum += row[i] * prev[i];
+            next[o] = Mlp::activate(sum);
+        }
+    }
+}
+
 Mlp::Mlp(Topology topology)
     : topo(std::move(topology))
 {

@@ -27,6 +27,26 @@ using Topology = std::vector<std::size_t>;
 /** Render a topology as "6->8->3->1". */
 std::string topologyName(const Topology &topology);
 
+class Mlp;
+
+/**
+ * Caller-owned per-layer activation buffers for one forward pass
+ * (input included as layer 0). prepare() sizes the buffers once; a
+ * scratch prepared for a topology can then run any number of
+ * forwardTrace() passes with zero allocations — the trainer keeps one
+ * per parallel chunk so the whole epoch loop is allocation free.
+ */
+struct ForwardScratch
+{
+    std::vector<Vec> activations;
+
+    /** Size the buffers for one network topology. */
+    void prepare(const Topology &topology);
+
+    /** Network output of the last forwardTrace() pass. */
+    const Vec &output() const { return activations.back(); }
+};
+
 /** A fully connected sigmoid MLP. */
 class Mlp
 {
@@ -78,6 +98,15 @@ class Mlp
      */
     std::vector<std::vector<float>> weightsPerLayer;
 };
+
+/**
+ * Forward pass recording every layer's activations into `scratch`
+ * (prepared for this network's topology). Allocation free; the
+ * backpropagation inner loop and the bulk evaluation paths use this
+ * instead of Mlp::forward().
+ */
+void forwardTrace(const Mlp &mlp, const Vec &input,
+                  ForwardScratch &scratch);
 
 } // namespace mithra::npu
 

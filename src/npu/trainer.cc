@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace mithra::npu
@@ -25,36 +26,98 @@ initWeights(Mlp &mlp, std::uint64_t seed)
 namespace
 {
 
-/** Per-layer activations for one forward pass, input included. */
-struct ForwardTrace
+/**
+ * Samples per minibatch chunk. This — not the thread count — fixes
+ * how gradients associate when chunk partials are reduced in index
+ * order, so trained weights are bitwise identical at any
+ * MITHRA_THREADS setting.
+ */
+constexpr std::size_t sampleGrain = 4;
+
+/**
+ * Everything one minibatch chunk touches: forward activations, delta
+ * buffers and a private gradient accumulator. Prepared once per
+ * training run; the epoch loop performs no allocations.
+ */
+struct ChunkWorkspace
 {
-    std::vector<Vec> activations;
+    ForwardScratch scratch;
+    std::vector<Vec> deltas;
+    std::vector<std::vector<float>> gradient;
+    double squaredErrorSum = 0.0;
+    std::size_t elementCount = 0;
+
+    void prepare(const Mlp &mlp)
+    {
+        const auto &topo = mlp.topology();
+        scratch.prepare(topo);
+        deltas.resize(topo.size() - 1);
+        gradient.resize(topo.size() - 1);
+        for (std::size_t l = 1; l < topo.size(); ++l) {
+            deltas[l - 1].assign(topo[l], 0.0f);
+            gradient[l - 1].assign(mlp.layerWeights(l).size(), 0.0f);
+        }
+    }
+
+    void beginBatchChunk()
+    {
+        for (auto &layerGrad : gradient)
+            std::fill(layerGrad.begin(), layerGrad.end(), 0.0f);
+        squaredErrorSum = 0.0;
+        elementCount = 0;
+    }
 };
 
-ForwardTrace
-forwardTrace(const Mlp &mlp, const Vec &input)
+/** Forward + backward pass of one sample, accumulated into `ws`. */
+void
+accumulateSample(const Mlp &mlp, const Vec &input, const Vec &target,
+                 ChunkWorkspace &ws)
 {
     const auto &topo = mlp.topology();
-    ForwardTrace trace;
-    trace.activations.reserve(topo.size());
-    trace.activations.push_back(input);
+    forwardTrace(mlp, input, ws.scratch);
+    const Vec &output = ws.scratch.output();
+    MITHRA_ASSERT(target.size() == output.size(),
+                  "target width mismatch");
 
+    // Output layer deltas: (y - t) * y * (1 - y).
+    const std::size_t last = topo.size() - 1;
+    for (std::size_t o = 0; o < output.size(); ++o) {
+        const float err = output[o] - target[o];
+        ws.squaredErrorSum += static_cast<double>(err) * err;
+        ws.deltas[last - 1][o] = err * output[o] * (1.0f - output[o]);
+    }
+    ws.elementCount += output.size();
+
+    // Hidden layer deltas, back to front.
+    for (std::size_t l = last; l-- > 1;) {
+        const std::size_t width = topo[l];
+        const std::size_t nextWidth = topo[l + 1];
+        const auto &nextWeights = mlp.layerWeights(l + 1);
+        const Vec &act = ws.scratch.activations[l];
+        for (std::size_t h = 0; h < width; ++h) {
+            float sum = 0.0f;
+            for (std::size_t o = 0; o < nextWidth; ++o) {
+                sum += nextWeights[o * (width + 1) + h]
+                    * ws.deltas[l][o];
+            }
+            ws.deltas[l - 1][h] = sum * act[h] * (1.0f - act[h]);
+        }
+    }
+
+    // Accumulate gradients.
     for (std::size_t l = 1; l < topo.size(); ++l) {
         const std::size_t in = topo[l - 1];
         const std::size_t out = topo[l];
-        const auto &weights = mlp.layerWeights(l);
-        const Vec &prev = trace.activations.back();
-        Vec next(out);
+        const Vec &prev = ws.scratch.activations[l - 1];
+        auto &layerGrad = ws.gradient[l - 1];
         for (std::size_t o = 0; o < out; ++o) {
-            const float *row = &weights[o * (in + 1)];
-            float sum = row[in];
+            const float delta = ws.deltas[l - 1][o];
+            float *row = &layerGrad[o * (in + 1)];
             for (std::size_t i = 0; i < in; ++i)
-                sum += row[i] * prev[i];
-            next[o] = Mlp::activate(sum);
+                row[i] += delta * prev[i];
+            row[in] += delta;
         }
-        trace.activations.push_back(std::move(next));
     }
-    return trace;
 }
 
 } // namespace
@@ -71,7 +134,8 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
     const auto &topo = mlp.topology();
     Rng rng(options.seed ^ 0x7261696e6572ULL);
 
-    // Momentum velocity, same shape as the weights.
+    // Momentum velocity and the reduced gradient, same shape as the
+    // weights; all buffers are reserved once, before the epoch loop.
     std::vector<std::vector<float>> velocity;
     std::vector<std::vector<float>> gradient;
     for (std::size_t l = 1; l < topo.size(); ++l) {
@@ -79,10 +143,11 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
         gradient.emplace_back(mlp.layerWeights(l).size(), 0.0f);
     }
 
-    // Per-layer delta buffers.
-    std::vector<Vec> deltas;
-    for (std::size_t l = 1; l < topo.size(); ++l)
-        deltas.emplace_back(topo[l], 0.0f);
+    const std::size_t chunksPerBatch =
+        (options.batchSize + sampleGrain - 1) / sampleGrain;
+    std::vector<ChunkWorkspace> workspaces(chunksPerBatch);
+    for (auto &ws : workspaces)
+        ws.prepare(mlp);
 
     double epochMse = 0.0;
     float learningRate = options.learningRate;
@@ -96,56 +161,35 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
             const std::size_t end =
                 std::min(start + options.batchSize, order.size());
 
+            // Data-parallel minibatch: every chunk accumulates into
+            // its own gradient buffer against the frozen weights.
+            parallelForChunks(
+                start, end, sampleGrain,
+                [&](std::size_t chunkBegin, std::size_t chunkEnd,
+                    std::size_t chunk) {
+                    ChunkWorkspace &ws = workspaces[chunk];
+                    ws.beginBatchChunk();
+                    for (std::size_t k = chunkBegin; k < chunkEnd; ++k) {
+                        const std::size_t idx = order[k];
+                        accumulateSample(mlp, inputs[idx], targets[idx],
+                                         ws);
+                    }
+                });
+
+            // Ordered reduction in chunk-index order.
+            const std::size_t usedChunks =
+                (end - start + sampleGrain - 1) / sampleGrain;
             for (auto &layerGrad : gradient)
                 std::fill(layerGrad.begin(), layerGrad.end(), 0.0f);
-
-            for (std::size_t k = start; k < end; ++k) {
-                const std::size_t idx = order[k];
-                const auto trace = forwardTrace(mlp, inputs[idx]);
-                const Vec &output = trace.activations.back();
-                const Vec &target = targets[idx];
-                MITHRA_ASSERT(target.size() == output.size(),
-                              "target width mismatch");
-
-                // Output layer deltas: (y - t) * y * (1 - y).
-                const std::size_t last = topo.size() - 1;
-                for (std::size_t o = 0; o < output.size(); ++o) {
-                    const float err = output[o] - target[o];
-                    squaredErrorSum += static_cast<double>(err) * err;
-                    deltas[last - 1][o] =
-                        err * output[o] * (1.0f - output[o]);
-                }
-                elementCount += output.size();
-
-                // Hidden layer deltas, back to front.
-                for (std::size_t l = last; l-- > 1;) {
-                    const std::size_t width = topo[l];
-                    const std::size_t nextWidth = topo[l + 1];
-                    const auto &nextWeights = mlp.layerWeights(l + 1);
-                    const Vec &act = trace.activations[l];
-                    for (std::size_t h = 0; h < width; ++h) {
-                        float sum = 0.0f;
-                        for (std::size_t o = 0; o < nextWidth; ++o) {
-                            sum += nextWeights[o * (width + 1) + h]
-                                * deltas[l][o];
-                        }
-                        deltas[l - 1][h] = sum * act[h] * (1.0f - act[h]);
-                    }
-                }
-
-                // Accumulate gradients.
-                for (std::size_t l = 1; l < topo.size(); ++l) {
-                    const std::size_t in = topo[l - 1];
-                    const std::size_t out = topo[l];
-                    const Vec &prev = trace.activations[l - 1];
-                    auto &layerGrad = gradient[l - 1];
-                    for (std::size_t o = 0; o < out; ++o) {
-                        const float delta = deltas[l - 1][o];
-                        float *row = &layerGrad[o * (in + 1)];
-                        for (std::size_t i = 0; i < in; ++i)
-                            row[i] += delta * prev[i];
-                        row[in] += delta;
-                    }
+            for (std::size_t chunk = 0; chunk < usedChunks; ++chunk) {
+                const ChunkWorkspace &ws = workspaces[chunk];
+                squaredErrorSum += ws.squaredErrorSum;
+                elementCount += ws.elementCount;
+                for (std::size_t l = 0; l < gradient.size(); ++l) {
+                    auto &layerGrad = gradient[l];
+                    const auto &chunkGrad = ws.gradient[l];
+                    for (std::size_t w = 0; w < layerGrad.size(); ++w)
+                        layerGrad[w] += chunkGrad[w];
                 }
             }
 
@@ -179,18 +223,44 @@ meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
 {
     MITHRA_ASSERT(inputs.size() == targets.size(),
                   "inputs/targets size mismatch");
-    double sum = 0.0;
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-        const Vec out = mlp.forward(inputs[i]);
-        for (std::size_t o = 0; o < out.size(); ++o) {
-            const double err = static_cast<double>(out[o])
-                - targets[i][o];
-            sum += err * err;
-        }
-        count += out.size();
+    if (inputs.empty())
+        return 0.0;
+
+    struct Partial
+    {
+        double sum = 0.0;
+        std::size_t count = 0;
+    };
+
+    constexpr std::size_t grain = 512;
+    const std::size_t chunks = (inputs.size() + grain - 1) / grain;
+    std::vector<Partial> partials(chunks);
+    parallelForChunks(
+        0, inputs.size(), grain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            ForwardScratch scratch;
+            scratch.prepare(mlp.topology());
+            Partial partial;
+            for (std::size_t i = begin; i < end; ++i) {
+                forwardTrace(mlp, inputs[i], scratch);
+                const Vec &out = scratch.output();
+                for (std::size_t o = 0; o < out.size(); ++o) {
+                    const double err = static_cast<double>(out[o])
+                        - targets[i][o];
+                    partial.sum += err * err;
+                }
+                partial.count += out.size();
+            }
+            partials[chunk] = partial;
+        });
+
+    Partial total;
+    for (const auto &partial : partials) {
+        total.sum += partial.sum;
+        total.count += partial.count;
     }
-    return count ? sum / static_cast<double>(count) : 0.0;
+    return total.count ? total.sum / static_cast<double>(total.count)
+                       : 0.0;
 }
 
 } // namespace mithra::npu

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the deterministic parallel execution substrate
+ * (common/parallel.hh): range/grain edge cases, ordered reduction,
+ * exception semantics, and the headline guarantee — Pipeline and
+ * Trainer outputs are bitwise identical at 1 and N threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "npu/mlp.hh"
+#include "npu/trainer.hh"
+
+using namespace mithra;
+
+namespace
+{
+
+/** Pins the pool width for one test, restoring it afterwards. */
+class ThreadCountGuard
+{
+  public:
+    explicit ThreadCountGuard(std::size_t threads)
+        : saved(parallelThreadCount())
+    {
+        setParallelThreadCount(threads);
+    }
+    ~ThreadCountGuard() { setParallelThreadCount(saved); }
+
+  private:
+    std::size_t saved;
+};
+
+TEST(Parallel, EmptyRangeIsNoOp)
+{
+    ThreadCountGuard guard(4);
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, 1, [&](std::size_t) { ++calls; });
+    parallelFor(7, 3, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(parallelMapReduce(
+                  2, 2, 1, 42,
+                  [](std::size_t i) { return static_cast<int>(i); },
+                  [](int a, int b) { return a + b; }),
+              42);
+}
+
+TEST(Parallel, GrainLargerThanRangeRunsOneChunk)
+{
+    ThreadCountGuard guard(4);
+    std::vector<std::size_t> visited;
+    std::atomic<std::size_t> chunks{0};
+    parallelForChunks(3, 9, 100,
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t chunkIndex) {
+                          EXPECT_EQ(chunkIndex, 0u);
+                          ++chunks;
+                          for (std::size_t i = begin; i < end; ++i)
+                              visited.push_back(i);
+                      });
+    EXPECT_EQ(chunks.load(), 1u);
+    const std::vector<std::size_t> expected = {3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(visited, expected);
+}
+
+TEST(Parallel, EveryIndexVisitedExactlyOnce)
+{
+    ThreadCountGuard guard(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(0, n, 7, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ExceptionFromLowestChunkPropagates)
+{
+    ThreadCountGuard guard(4);
+    // Chunks 3 and 7 both throw; the contract rethrows the
+    // lowest-indexed chunk's exception at any thread count.
+    const auto run = [] {
+        parallelForChunks(0, 80, 10,
+                          [](std::size_t, std::size_t,
+                             std::size_t chunkIndex) {
+                              if (chunkIndex == 3)
+                                  throw std::runtime_error("chunk3");
+                              if (chunkIndex == 7)
+                                  throw std::runtime_error("chunk7");
+                          });
+    };
+    try {
+        run();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "chunk3");
+    }
+
+    setParallelThreadCount(1);
+    try {
+        run();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "chunk3");
+    }
+}
+
+TEST(Parallel, MapReduceFloatSumBitwiseStableAcrossWidths)
+{
+    // Fill with values whose sum is association-sensitive so any
+    // reordering of the fold would change the bits.
+    constexpr std::size_t n = 10000;
+    std::vector<float> values(n);
+    Rng rng(0x5ca1ab1e);
+    for (auto &v : values)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0)) * 1e6f +
+            static_cast<float>(rng.uniform());
+
+    const auto sum = [&] {
+        return parallelMapReduce(
+            0, n, 64, 0.0f,
+            [&](std::size_t i) { return values[i]; },
+            [](float a, float b) { return a + b; });
+    };
+
+    ThreadCountGuard guard(1);
+    const float serial = sum();
+    for (std::size_t threads : {2u, 4u, 8u}) {
+        setParallelThreadCount(threads);
+        const float parallel = sum();
+        EXPECT_EQ(serial, parallel) << "threads=" << threads;
+    }
+}
+
+TEST(Parallel, RngStreamsDeterministicAndIndependent)
+{
+    Rng a = rngStream(123, 0);
+    Rng a2 = rngStream(123, 0);
+    Rng b = rngStream(123, 1);
+    Rng c = rngStream(124, 0);
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, a2.next());
+    EXPECT_NE(va, b.next());
+    EXPECT_NE(va, c.next());
+}
+
+TEST(Parallel, TrainerBitwiseIdenticalAcrossWidths)
+{
+    constexpr std::size_t samples = 300;
+    const npu::Topology topology = {4, 8, 2};
+    Rng rng(0xdead5eed);
+    VecBatch inputs(samples), targets(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        inputs[i].resize(topology.front());
+        for (auto &v : inputs[i])
+            v = static_cast<float>(rng.uniform());
+        targets[i].resize(topology.back());
+        for (auto &v : targets[i])
+            v = static_cast<float>(rng.uniform(0.1, 0.9));
+    }
+    npu::TrainerOptions options;
+    options.epochs = 6;
+
+    const auto trainOnce = [&] {
+        npu::Mlp mlp(topology);
+        npu::initWeights(mlp, 11);
+        const double mse = npu::train(mlp, inputs, targets, options);
+        return std::make_pair(mse, mlp);
+    };
+
+    ThreadCountGuard guard(1);
+    const auto [serialMse, serialMlp] = trainOnce();
+    for (std::size_t threads : {2u, 4u}) {
+        setParallelThreadCount(threads);
+        const auto [parallelMse, parallelMlp] = trainOnce();
+        EXPECT_EQ(serialMse, parallelMse) << "threads=" << threads;
+        for (std::size_t l = 1; l < topology.size(); ++l)
+            EXPECT_EQ(serialMlp.layerWeights(l),
+                      parallelMlp.layerWeights(l))
+                << "threads=" << threads << " layer=" << l;
+    }
+}
+
+TEST(Parallel, PipelineBitwiseIdenticalAcrossWidths)
+{
+    // Small but real compile + threshold tune; MITHRA_SCALE is latched
+    // so the sizes are set through PipelineOptions instead.
+    core::PipelineOptions options;
+    options.compileDatasetCount = 6;
+    options.npuTrainSamples = 1500;
+    options.classifierTuples = 20000;
+    const core::Pipeline pipeline(options);
+    const core::QualitySpec spec;
+
+    const auto compileOnce = [&] {
+        const auto workload = pipeline.compile("inversek2j");
+        const auto threshold = pipeline.tuneThreshold(workload, spec);
+        return std::make_tuple(workload.npuTrainMse,
+                               workload.fullApproxLossMean,
+                               threshold.threshold,
+                               threshold.successLowerBound,
+                               threshold.successes, threshold.trials);
+    };
+
+    ThreadCountGuard guard(1);
+    const auto serial = compileOnce();
+    setParallelThreadCount(4);
+    const auto parallel = compileOnce();
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel));
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel));
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel));
+    EXPECT_EQ(std::get<3>(serial), std::get<3>(parallel));
+    EXPECT_EQ(std::get<4>(serial), std::get<4>(parallel));
+    EXPECT_EQ(std::get<5>(serial), std::get<5>(parallel));
+}
+
+} // namespace
