@@ -9,8 +9,7 @@
  * shrinks dataset counts/sizes for smoke runs.
  */
 
-#ifndef MITHRA_BENCH_COMMON_HH
-#define MITHRA_BENCH_COMMON_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,4 +64,3 @@ prefetchSuite(core::ExperimentRunner &runner,
 
 } // namespace mithra::bench
 
-#endif // MITHRA_BENCH_COMMON_HH

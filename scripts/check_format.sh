@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Check (default) or fix (--fix) C++ formatting with clang-format,
+# using the repo-root .clang-format. Exits 0 with a notice when
+# clang-format is not installed, so local builds in minimal containers
+# are never blocked; CI installs clang-format and gets the real check.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+mode=check
+if [ "${1:-}" = "--fix" ]; then
+    mode=fix
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping format check" >&2
+    exit 0
+fi
+
+files=$(find src bench tests tools examples \
+        \( -name '*.cc' -o -name '*.cpp' -o -name '*.hh' \
+           -o -name '*.hpp' -o -name '*.h' \) -type f | sort)
+
+if [ "$mode" = fix ]; then
+    # shellcheck disable=SC2086
+    clang-format -i $files
+    echo "check_format: reformatted $(echo "$files" | wc -l) file(s)"
+    exit 0
+fi
+
+status=0
+for f in $files; do
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "check_format: needs formatting: $f" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_format: $(echo "$files" | wc -l) file(s) clean"
+else
+    echo "check_format: run scripts/check_format.sh --fix" >&2
+fi
+exit "$status"

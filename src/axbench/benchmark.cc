@@ -4,7 +4,7 @@
 #include <cmath>
 #include <functional>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::axbench
 {

@@ -12,8 +12,7 @@
  * per-invocation outputs — without re-running the kernels.
  */
 
-#ifndef MITHRA_AXBENCH_BENCHMARK_HH
-#define MITHRA_AXBENCH_BENCHMARK_HH
+#pragma once
 
 #include <memory>
 #include <span>
@@ -177,4 +176,3 @@ std::uint64_t validationSeed(const std::string &benchmark,
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_BENCHMARK_HH

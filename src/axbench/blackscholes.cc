@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 
@@ -180,8 +180,8 @@ FinalOutput
 Blackscholes::recompose(const Dataset &, const InvocationTrace &trace,
                         const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     FinalOutput out;
     out.elements.reserve(trace.count());
     for (std::size_t i = 0; i < trace.count(); ++i) {

@@ -9,8 +9,7 @@
  * (paper Table I).
  */
 
-#ifndef MITHRA_AXBENCH_BLACKSCHOLES_HH
-#define MITHRA_AXBENCH_BLACKSCHOLES_HH
+#pragma once
 
 #include "axbench/benchmark.hh"
 
@@ -43,4 +42,3 @@ class Blackscholes final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_BLACKSCHOLES_HH

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 
@@ -166,8 +166,8 @@ FinalOutput
 Fft::recompose(const Dataset &dataset, const InvocationTrace &trace,
                const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     const auto &ds = dynamic_cast<const FftDataset &>(dataset);
     const std::size_t n = ds.signal.size();
 

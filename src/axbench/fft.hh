@@ -11,8 +11,7 @@
  * spectrum.
  */
 
-#ifndef MITHRA_AXBENCH_FFT_HH
-#define MITHRA_AXBENCH_FFT_HH
+#pragma once
 
 #include "axbench/benchmark.hh"
 
@@ -45,4 +44,3 @@ class Fft final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_FFT_HH

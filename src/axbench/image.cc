@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::axbench
 {
@@ -11,20 +11,20 @@ namespace mithra::axbench
 Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
     : w(width), h(height), data(width * height, fill)
 {
-    MITHRA_ASSERT(width > 0 && height > 0, "degenerate image");
+    MITHRA_EXPECTS(width > 0 && height > 0, "degenerate image");
 }
 
 std::uint8_t
 Image::at(std::size_t x, std::size_t y) const
 {
-    MITHRA_ASSERT(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
+    MITHRA_EXPECTS(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
     return data[y * w + x];
 }
 
 void
 Image::set(std::size_t x, std::size_t y, std::uint8_t value)
 {
-    MITHRA_ASSERT(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
+    MITHRA_EXPECTS(x < w && y < h, "pixel out of range: (", x, ",", y, ")");
     data[y * w + x] = value;
 }
 

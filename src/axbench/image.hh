@@ -9,8 +9,7 @@
  * tractable on one core; callers can scale it up.
  */
 
-#ifndef MITHRA_AXBENCH_IMAGE_HH
-#define MITHRA_AXBENCH_IMAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -58,4 +57,3 @@ Image generateScene(std::uint64_t seed, const SceneParams &params);
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_IMAGE_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 
@@ -131,8 +131,8 @@ FinalOutput
 InverseK2J::recompose(const Dataset &, const InvocationTrace &trace,
                       const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     FinalOutput out;
     out.elements.reserve(trace.count() * 2);
     for (std::size_t i = 0; i < trace.count(); ++i) {

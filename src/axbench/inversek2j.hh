@@ -8,8 +8,7 @@
  * relative error over the angles (paper Table I).
  */
 
-#ifndef MITHRA_AXBENCH_INVERSEK2J_HH
-#define MITHRA_AXBENCH_INVERSEK2J_HH
+#pragma once
 
 #include "axbench/benchmark.hh"
 
@@ -49,4 +48,3 @@ class InverseK2J final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_INVERSEK2J_HH

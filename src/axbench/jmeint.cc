@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
 
@@ -465,8 +465,8 @@ FinalOutput
 Jmeint::recompose(const Dataset &, const InvocationTrace &trace,
                   const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     FinalOutput out;
     out.elements.reserve(trace.count());
     for (std::size_t i = 0; i < trace.count(); ++i) {

@@ -9,8 +9,7 @@
  * metric is miss rate (paper Table I).
  */
 
-#ifndef MITHRA_AXBENCH_JMEINT_HH
-#define MITHRA_AXBENCH_JMEINT_HH
+#pragma once
 
 #include "axbench/benchmark.hh"
 
@@ -43,4 +42,3 @@ class Jmeint final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_JMEINT_HH

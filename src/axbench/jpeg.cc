@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "axbench/jpeg_codec.hh"
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/scale.hh"
 
 namespace mithra::axbench
@@ -134,8 +134,8 @@ FinalOutput
 Jpeg::recompose(const Dataset &dataset, const InvocationTrace &trace,
                 const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     const auto &ds = dynamic_cast<const JpegDataset &>(dataset);
     const auto table = jpeg::quantTable(quality);
     const std::size_t perRow = ds.blocksPerRow();

@@ -11,11 +11,12 @@
  * (partially) approximated encoding.
  */
 
-#ifndef MITHRA_AXBENCH_JPEG_HH
-#define MITHRA_AXBENCH_JPEG_HH
+#pragma once
 
 #include <memory>
 #include <mutex>
+// Keyed lookup cache only — never iterated, so hash order is
+// harmless. mithra-lint: allow(no-unordered)
 #include <unordered_map>
 
 #include "axbench/benchmark.hh"
@@ -72,6 +73,8 @@ class Jpeg final : public Benchmark
         bool hasApprox = false;
     };
     mutable std::mutex cacheMutex;
+    // Inserted and looked up by trace key, never iterated; hash order
+    // cannot leak into results. mithra-lint: allow(no-unordered)
     mutable std::unordered_map<std::uint64_t,
                                std::shared_ptr<DecodedBlocks>>
         decodeCache;
@@ -79,4 +82,3 @@ class Jpeg final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_JPEG_HH

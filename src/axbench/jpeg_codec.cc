@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/contracts.hh"
+
 namespace mithra::axbench::jpeg
 {
 
@@ -22,8 +24,8 @@ zigzagOrder()
 std::array<int, blockSize>
 quantTable(int quality)
 {
-    MITHRA_ASSERT(quality >= 1 && quality <= 100,
-                  "JPEG quality out of range: ", quality);
+    MITHRA_EXPECTS(quality >= 1 && quality <= 100,
+                   "JPEG quality out of range: ", quality);
     // ITU-T T.81 Annex K luminance table.
     static const int base[blockSize] = {
         16, 11, 10, 16, 24,  40,  51,  61,

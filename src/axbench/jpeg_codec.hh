@@ -15,8 +15,7 @@
  * region of the application.
  */
 
-#ifndef MITHRA_AXBENCH_JPEG_CODEC_HH
-#define MITHRA_AXBENCH_JPEG_CODEC_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -203,4 +202,3 @@ std::vector<std::array<int, blockSize>> entropyDecode(
 
 } // namespace mithra::axbench::jpeg
 
-#endif // MITHRA_AXBENCH_JPEG_CODEC_HH

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::axbench
 {
@@ -44,10 +44,10 @@ std::vector<double>
 elementErrors(QualityMetric metric, const FinalOutput &reference,
               const FinalOutput &candidate)
 {
-    MITHRA_ASSERT(reference.elements.size() == candidate.elements.size(),
-                  "output element count mismatch: ",
-                  reference.elements.size(), " vs ",
-                  candidate.elements.size());
+    MITHRA_EXPECTS(reference.elements.size() == candidate.elements.size(),
+                   "output element count mismatch: ",
+                   reference.elements.size(), " vs ",
+                   candidate.elements.size());
     const std::size_t n = reference.elements.size();
     std::vector<double> errors(n);
 

@@ -13,8 +13,7 @@
  *    8-bit range, in percent (jpeg, sobel).
  */
 
-#ifndef MITHRA_AXBENCH_QUALITY_HH
-#define MITHRA_AXBENCH_QUALITY_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -56,4 +55,3 @@ std::vector<double> elementErrors(QualityMetric metric,
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_QUALITY_HH

@@ -3,8 +3,7 @@
  * Benchmark registry: name -> factory for the six paper benchmarks.
  */
 
-#ifndef MITHRA_AXBENCH_REGISTRY_HH
-#define MITHRA_AXBENCH_REGISTRY_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -26,4 +25,3 @@ std::vector<std::unique_ptr<Benchmark>> makeAllBenchmarks();
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_REGISTRY_HH

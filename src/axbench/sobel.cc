@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/scale.hh"
 
 namespace mithra::axbench
@@ -109,8 +109,8 @@ FinalOutput
 Sobel::recompose(const Dataset &, const InvocationTrace &trace,
                  const std::vector<std::uint8_t> &useAccel) const
 {
-    MITHRA_ASSERT(useAccel.size() == trace.count(),
-                  "decision vector size mismatch");
+    MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                   "decision vector size mismatch");
     FinalOutput out;
     out.elements.reserve(trace.count());
     for (std::size_t i = 0; i < trace.count(); ++i) {

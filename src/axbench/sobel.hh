@@ -8,8 +8,7 @@
  * (paper Table I).
  */
 
-#ifndef MITHRA_AXBENCH_SOBEL_HH
-#define MITHRA_AXBENCH_SOBEL_HH
+#pragma once
 
 #include "axbench/benchmark.hh"
 #include "axbench/image.hh"
@@ -43,4 +42,3 @@ class Sobel final : public Benchmark
 
 } // namespace mithra::axbench
 
-#endif // MITHRA_AXBENCH_SOBEL_HH

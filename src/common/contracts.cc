@@ -1,0 +1,17 @@
+#include "common/contracts.hh"
+
+#include <cstdlib>
+
+namespace mithra::detail
+{
+
+void
+contractFailure(const char *kind, const char *condition, const char *file,
+                int line, const std::string &message)
+{
+    emitMessage(kind, concat("`", condition, "' violated at ", file, ":",
+                             line, ": ", message));
+    std::abort();
+}
+
+} // namespace mithra::detail

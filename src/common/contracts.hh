@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Contract-checking macros for the whole library.
+ *
+ * Three macros express the three kinds of executable contracts; all of
+ * them take a condition plus a streamed explanation (message and
+ * offending values):
+ *
+ *  MITHRA_EXPECTS(cond, ...) — a *precondition*: the caller handed us
+ *      arguments or state outside the documented domain.
+ *  MITHRA_ENSURES(cond, ...) — a *postcondition*: we are about to
+ *      return a result that violates our own documented guarantee.
+ *  MITHRA_ASSERT(cond, ...)  — an *internal invariant*: intermediate
+ *      state that must hold if the code is correct.
+ *
+ * A failed contract reports kind, condition, file:line and the
+ * formatted message, then aborts (so death tests and core dumps both
+ * work). Checks compile to nothing under NDEBUG unless MITHRA_CHECKED
+ * is defined non-zero; the build system keeps MITHRA_CHECKED=1 on by
+ * default (option MITHRA_CHECKED in CMake) because classifier and
+ * simulator state is cheap to check relative to the modeled work.
+ * `-DMITHRA_CHECKED=OFF` produces a maximum-speed release build with
+ * every contract compiled out.
+ *
+ * When compiled out, the condition and message are still parsed (as
+ * unevaluated operands), so variables used only in contracts do not
+ * trigger -Wunused warnings and cannot bit-rot.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/logging.hh"
+
+#if !defined(NDEBUG) || (defined(MITHRA_CHECKED) && MITHRA_CHECKED)
+#define MITHRA_CHECKS_ENABLED 1
+#else
+#define MITHRA_CHECKS_ENABLED 0
+#endif
+
+namespace mithra::detail
+{
+
+/** Report a failed contract (kind/condition/location) and abort. */
+[[noreturn]] void contractFailure(const char *kind, const char *condition,
+                                  const char *file, int line,
+                                  const std::string &message);
+
+} // namespace mithra::detail
+
+#if MITHRA_CHECKS_ENABLED
+#define MITHRA_CONTRACT_(kind, cond, ...)                                   \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mithra::detail::contractFailure(                              \
+                kind, #cond, __FILE__, __LINE__,                            \
+                ::mithra::detail::concat(__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+#else
+#define MITHRA_CONTRACT_(kind, cond, ...)                                   \
+    do {                                                                    \
+        (void)sizeof((cond) ? 1 : 0);                                       \
+        (void)sizeof(::mithra::detail::concat(__VA_ARGS__));                \
+    } while (0)
+#endif
+
+/** Check an internal invariant; see file comment for semantics. */
+#define MITHRA_ASSERT(cond, ...)                                            \
+    MITHRA_CONTRACT_("invariant", cond, __VA_ARGS__)
+
+/** Check a caller-facing precondition; see file comment for semantics. */
+#define MITHRA_EXPECTS(cond, ...)                                           \
+    MITHRA_CONTRACT_("precondition", cond, __VA_ARGS__)
+
+/** Check a result postcondition; see file comment for semantics. */
+#define MITHRA_ENSURES(cond, ...)                                           \
+    MITHRA_CONTRACT_("postcondition", cond, __VA_ARGS__)

@@ -10,8 +10,7 @@
  * inform() — progress / status messages.
  */
 
-#ifndef MITHRA_COMMON_LOGGING_HH
-#define MITHRA_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdlib>
 #include <sstream>
@@ -80,17 +79,3 @@ bool informEnabled();
 
 } // namespace mithra
 
-/**
- * Assert an internal invariant with a formatted explanation. Active in
- * all build types: classifier and simulator state is cheap to check
- * relative to the modeled work.
- */
-#define MITHRA_ASSERT(cond, ...)                                            \
-    do {                                                                    \
-        if (!(cond)) {                                                      \
-            ::mithra::panic("assertion `", #cond, "' failed at ",           \
-                            __FILE__, ":", __LINE__, ": ", __VA_ARGS__);    \
-        }                                                                   \
-    } while (0)
-
-#endif // MITHRA_COMMON_LOGGING_HH

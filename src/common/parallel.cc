@@ -52,7 +52,7 @@ class ThreadPool
 
     void setWidth(std::size_t threads)
     {
-        MITHRA_ASSERT(threads >= 1, "thread count must be positive");
+        MITHRA_EXPECTS(threads >= 1, "thread count must be positive");
         std::lock_guard<std::mutex> lock(configMutex);
         if (threads == configuredWidth)
             return;
@@ -90,6 +90,10 @@ class ThreadPool
         executeChunks();
         waitForCompletion();
 
+        MITHRA_ENSURES(job.doneChunks.load(std::memory_order_acquire)
+                           == job.chunkCount,
+                       "pool retired ", job.doneChunks.load(),
+                       " of ", job.chunkCount, " chunks");
         for (auto &error : job.errors) {
             if (error)
                 std::rethrow_exception(error);

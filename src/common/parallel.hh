@@ -33,15 +33,14 @@
  * generator.
  */
 
-#ifndef MITHRA_COMMON_PARALLEL_HH
-#define MITHRA_COMMON_PARALLEL_HH
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra
 {
@@ -93,7 +92,7 @@ parallelForChunks(std::size_t begin, std::size_t end, std::size_t grain,
 {
     if (end <= begin)
         return;
-    MITHRA_ASSERT(grain > 0, "parallel grain must be positive");
+    MITHRA_EXPECTS(grain > 0, "parallel grain must be positive");
     const std::size_t chunkCount = (end - begin + grain - 1) / grain;
     auto body = [&](std::size_t chunk) {
         const std::size_t chunkBegin = begin + chunk * grain;
@@ -135,7 +134,7 @@ parallelMapReduce(std::size_t begin, std::size_t end, std::size_t grain,
 {
     if (end <= begin)
         return init;
-    MITHRA_ASSERT(grain > 0, "parallel grain must be positive");
+    MITHRA_EXPECTS(grain > 0, "parallel grain must be positive");
     const std::size_t chunkCount = (end - begin + grain - 1) / grain;
     std::vector<T> partials(chunkCount);
     auto body = [&](std::size_t chunk) {
@@ -156,4 +155,3 @@ parallelMapReduce(std::size_t begin, std::size_t end, std::size_t grain,
 
 } // namespace mithra
 
-#endif // MITHRA_COMMON_PARALLEL_HH

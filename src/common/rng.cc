@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra
 {
@@ -68,7 +68,7 @@ double
 Rng::uniform()
 {
     // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -80,7 +80,7 @@ Rng::uniform(double lo, double hi)
 std::uint64_t
 Rng::nextBelow(std::uint64_t bound)
 {
-    MITHRA_ASSERT(bound > 0, "nextBelow needs a positive bound");
+    MITHRA_EXPECTS(bound > 0, "nextBelow needs a positive bound");
     // Rejection sampling to avoid modulo bias.
     const std::uint64_t threshold = -bound % bound;
     for (;;) {
@@ -122,7 +122,7 @@ Rng::lognormal(double mu, double sigma)
 double
 Rng::exponential(double rate)
 {
-    MITHRA_ASSERT(rate > 0.0, "exponential needs a positive rate");
+    MITHRA_EXPECTS(rate > 0.0, "exponential needs a positive rate");
     return -std::log(1.0 - uniform()) / rate;
 }
 

@@ -14,8 +14,7 @@
  * implemented here so results are bit-identical across platforms.
  */
 
-#ifndef MITHRA_COMMON_RNG_HH
-#define MITHRA_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -88,4 +87,3 @@ class Rng
 
 } // namespace mithra
 
-#endif // MITHRA_COMMON_RNG_HH

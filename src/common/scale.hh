@@ -9,8 +9,7 @@
  * harness can be smoke-tested quickly.
  */
 
-#ifndef MITHRA_COMMON_SCALE_HH
-#define MITHRA_COMMON_SCALE_HH
+#pragma once
 
 #include <cstddef>
 
@@ -31,4 +30,3 @@ std::size_t numValidationDatasets();
 
 } // namespace mithra
 
-#endif // MITHRA_COMMON_SCALE_HH

@@ -8,8 +8,7 @@
  * cached invocation traces.
  */
 
-#ifndef MITHRA_COMMON_VEC_HH
-#define MITHRA_COMMON_VEC_HH
+#pragma once
 
 #include <vector>
 
@@ -24,4 +23,3 @@ using VecBatch = std::vector<Vec>;
 
 } // namespace mithra
 
-#endif // MITHRA_COMMON_VEC_HH

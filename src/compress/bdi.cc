@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::compress
 {
@@ -65,7 +65,11 @@ tryBaseDelta(const std::array<std::uint8_t, lineBytes> &line,
     for (std::size_t w = 0; w < words; ++w) {
         const auto value = signExtend(readWord(line, w * baseWidth,
                                                baseWidth), baseWidth);
-        const std::int64_t delta = value - base;
+        // Unsigned subtraction: 8-byte words can differ by more than
+        // int64 can hold, and mod-2^64 deltas round-trip exactly.
+        const auto delta = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(value)
+            - static_cast<std::uint64_t>(base));
         if (!fitsSigned(delta, deltaWidth))
             return false;
         deltas[w] = delta;
@@ -167,7 +171,7 @@ decompressLine(const BdiLine &line)
       case BdiEncoding::Zeros:
         return out;
       case BdiEncoding::Repeated: {
-        MITHRA_ASSERT(line.payload.size() == 8, "bad repeated payload");
+        MITHRA_EXPECTS(line.payload.size() == 8, "bad repeated payload");
         for (std::size_t w = 0; w < lineBytes / 8; ++w) {
             std::copy(line.payload.begin(), line.payload.end(),
                       out.begin() + static_cast<std::ptrdiff_t>(w * 8));
@@ -175,7 +179,7 @@ decompressLine(const BdiLine &line)
         return out;
       }
       case BdiEncoding::Uncompressed:
-        MITHRA_ASSERT(line.payload.size() == lineBytes, "bad raw payload");
+        MITHRA_EXPECTS(line.payload.size() == lineBytes, "bad raw payload");
         std::copy(line.payload.begin(), line.payload.end(), out.begin());
         return out;
       default:
@@ -190,12 +194,12 @@ decompressLine(const BdiLine &line)
             break;
         }
     }
-    MITHRA_ASSERT(spec, "unhandled BDI encoding in decompressLine");
+    MITHRA_EXPECTS(spec, "unhandled BDI encoding in decompressLine");
 
     const std::size_t words = lineBytes / spec->baseWidth;
-    MITHRA_ASSERT(line.payload.size()
-                      == spec->baseWidth + words * spec->deltaWidth,
-                  "bad base+delta payload size");
+    MITHRA_EXPECTS(line.payload.size()
+                       == spec->baseWidth + words * spec->deltaWidth,
+                   "bad base+delta payload size");
 
     std::uint64_t baseRaw = 0;
     for (std::size_t i = 0; i < spec->baseWidth; ++i)
@@ -209,10 +213,11 @@ decompressLine(const BdiLine &line)
             deltaRaw |= static_cast<std::uint64_t>(line.payload[offset + i])
                 << (8 * i);
         }
-        const std::int64_t value = base
-            + signExtend(deltaRaw, spec->deltaWidth);
-        writeWord(out, w * spec->baseWidth, spec->baseWidth,
-                  static_cast<std::uint64_t>(value));
+        // Mirror the encoder's mod-2^64 arithmetic (see tryBaseDelta).
+        const std::uint64_t value = static_cast<std::uint64_t>(base)
+            + static_cast<std::uint64_t>(
+                  signExtend(deltaRaw, spec->deltaWidth));
+        writeWord(out, w * spec->baseWidth, spec->baseWidth, value);
     }
     return out;
 }
@@ -248,6 +253,9 @@ compressBuffer(const std::vector<std::uint8_t> &bytes)
         std::memcpy(line.data(), bytes.data() + offset, n);
         out.lines.push_back(compressLine(line));
     }
+    MITHRA_ENSURES(out.lines.size()
+                       == (bytes.size() + lineBytes - 1) / lineBytes,
+                   "line count does not cover the input buffer");
     return out;
 }
 
@@ -260,7 +268,14 @@ decompressBuffer(const BdiBuffer &buffer)
         const auto raw = decompressLine(line);
         out.insert(out.end(), raw.begin(), raw.end());
     }
+    MITHRA_EXPECTS(buffer.originalBytes <= out.size()
+                       || buffer.lines.empty(),
+                   "buffer metadata claims ", buffer.originalBytes,
+                   " bytes but lines decode to ", out.size());
     out.resize(buffer.originalBytes);
+    MITHRA_ENSURES(out.size() == buffer.originalBytes,
+                   "round-trip size mismatch: ", out.size(), " vs ",
+                   buffer.originalBytes);
     return out;
 }
 

@@ -15,8 +15,7 @@
  * low-latency hardware the paper assumes.
  */
 
-#ifndef MITHRA_COMPRESS_BDI_HH
-#define MITHRA_COMPRESS_BDI_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -95,4 +94,3 @@ std::size_t decompressCycles(BdiEncoding encoding);
 
 } // namespace mithra::compress
 
-#endif // MITHRA_COMPRESS_BDI_HH

@@ -1,6 +1,6 @@
 #include "core/classifier.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::core
 {
@@ -18,14 +18,14 @@ Classifier::observe(const Vec &, float)
 OracleClassifier::OracleClassifier(float threshold)
     : errorThreshold(threshold)
 {
-    MITHRA_ASSERT(threshold >= 0.0f, "negative oracle threshold");
+    MITHRA_EXPECTS(threshold >= 0.0f, "negative oracle threshold");
 }
 
 void
 OracleClassifier::beginDataset(const axbench::InvocationTrace &trace)
 {
-    MITHRA_ASSERT(trace.hasApproximations(),
-                  "oracle needs the accelerator outputs in the trace");
+    MITHRA_EXPECTS(trace.hasApproximations(),
+                   "oracle needs the accelerator outputs in the trace");
     currentTrace = &trace;
 }
 

@@ -9,8 +9,7 @@
  * binary (and saved/restored on context switches).
  */
 
-#ifndef MITHRA_CORE_CLASSIFIER_HH
-#define MITHRA_CORE_CLASSIFIER_HH
+#pragma once
 
 #include <string>
 
@@ -127,4 +126,3 @@ class RandomFilterClassifier final : public Classifier
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_CLASSIFIER_HH

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/scale.hh"
 

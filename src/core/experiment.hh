@@ -16,8 +16,7 @@
  * are never mixed across scales.
  */
 
-#ifndef MITHRA_CORE_EXPERIMENT_HH
-#define MITHRA_CORE_EXPERIMENT_HH
+#pragma once
 
 #include <map>
 #include <optional>
@@ -186,4 +185,3 @@ class ExperimentRunner
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_EXPERIMENT_HH

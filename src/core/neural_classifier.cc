@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "npu/trainer.hh"
@@ -118,8 +118,8 @@ NeuralClassifier
 NeuralClassifier::train(const TrainingData &data,
                         const NeuralClassifierOptions &options)
 {
-    MITHRA_ASSERT(!data.rawInputs.empty(), "no training samples");
-    MITHRA_ASSERT(!options.hiddenSizes.empty(), "no candidate topologies");
+    MITHRA_EXPECTS(!data.rawInputs.empty(), "no training samples");
+    MITHRA_EXPECTS(!options.hiddenSizes.empty(), "no candidate topologies");
 
     npu::LinearScaler scaler;
     scaler.fit(data.rawInputs);

@@ -11,8 +11,7 @@
  * cycles/energy are charged on every call.
  */
 
-#ifndef MITHRA_CORE_NEURAL_CLASSIFIER_HH
-#define MITHRA_CORE_NEURAL_CLASSIFIER_HH
+#pragma once
 
 #include "core/classifier.hh"
 #include "core/training_data.hh"
@@ -89,4 +88,3 @@ class NeuralClassifier final : public Classifier
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_NEURAL_CLASSIFIER_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "axbench/registry.hh"
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"

@@ -13,8 +13,7 @@
  * classifier trainers consume.
  */
 
-#ifndef MITHRA_CORE_PIPELINE_HH
-#define MITHRA_CORE_PIPELINE_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -156,4 +155,3 @@ class Pipeline
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_PIPELINE_HH

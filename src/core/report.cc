@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::core
 {
@@ -58,7 +58,7 @@ fmtCount(double value)
 TablePrinter::TablePrinter(std::vector<std::string> headersIn)
     : headers(std::move(headersIn))
 {
-    MITHRA_ASSERT(!headers.empty(), "table needs at least one column");
+    MITHRA_EXPECTS(!headers.empty(), "table needs at least one column");
 }
 
 void

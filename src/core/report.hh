@@ -4,8 +4,7 @@
  * harness binaries that regenerate the paper's tables and figures.
  */
 
-#ifndef MITHRA_CORE_REPORT_HH
-#define MITHRA_CORE_REPORT_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -42,4 +41,3 @@ void printBanner(const std::string &title);
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_REPORT_HH

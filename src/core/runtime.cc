@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/scale.hh"
@@ -60,7 +60,7 @@ DesignEvaluation
 Evaluator::evaluate(Classifier &classifier,
                     const ValidationSet &validation) const
 {
-    MITHRA_ASSERT(!validation.entries.empty(), "empty validation set");
+    MITHRA_EXPECTS(!validation.entries.empty(), "empty validation set");
     const auto &bench = *workload.benchmark;
 
     DesignEvaluation eval;

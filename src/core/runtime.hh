@@ -15,8 +15,7 @@
  * precise baseline, and false positives/negatives against the oracle.
  */
 
-#ifndef MITHRA_CORE_RUNTIME_HH
-#define MITHRA_CORE_RUNTIME_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -127,4 +126,3 @@ class Evaluator
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_RUNTIME_HH

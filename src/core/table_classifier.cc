@@ -1,6 +1,6 @@
 #include "core/table_classifier.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "compress/bdi.hh"
 
 namespace mithra::core
@@ -18,7 +18,7 @@ TableClassifier
 TableClassifier::train(const TrainingData &data,
                        const TableClassifierOptions &options)
 {
-    MITHRA_ASSERT(!data.rawInputs.empty(), "no training tuples");
+    MITHRA_EXPECTS(!data.rawInputs.empty(), "no training tuples");
     hw::InputQuantizer quantizer;
     quantizer.calibrate(data.rawInputs, options.quantizerBits);
     auto tuples = data.quantized(quantizer);

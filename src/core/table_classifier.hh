@@ -8,8 +8,7 @@
  * errors, and the cycle/energy overheads the system simulator charges.
  */
 
-#ifndef MITHRA_CORE_TABLE_CLASSIFIER_HH
-#define MITHRA_CORE_TABLE_CLASSIFIER_HH
+#pragma once
 
 #include "core/classifier.hh"
 #include "core/training_data.hh"
@@ -82,4 +81,3 @@ class TableClassifier final : public Classifier
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_TABLE_CLASSIFIER_HH

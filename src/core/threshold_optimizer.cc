@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "stats/clopper_pearson.hh"
 
@@ -30,20 +30,20 @@ ThresholdProblem::makeEntry(const axbench::Benchmark &benchmark,
 ThresholdOptimizer::ThresholdOptimizer(const QualitySpec &spec)
     : qualitySpec(spec)
 {
-    MITHRA_ASSERT(spec.maxQualityLossPct > 0.0,
-                  "quality loss target must be positive");
-    MITHRA_ASSERT(spec.confidence > 0.0 && spec.confidence < 1.0,
-                  "confidence must be in (0, 1)");
-    MITHRA_ASSERT(spec.successRate > 0.0 && spec.successRate <= 1.0,
-                  "success rate must be in (0, 1]");
+    MITHRA_EXPECTS(spec.maxQualityLossPct > 0.0,
+                   "quality loss target must be positive");
+    MITHRA_EXPECTS(spec.confidence > 0.0 && spec.confidence < 1.0,
+                   "confidence must be in (0, 1)");
+    MITHRA_EXPECTS(spec.successRate > 0.0 && spec.successRate <= 1.0,
+                   "success rate must be in (0, 1]");
 }
 
 ThresholdResult
 ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
                              double threshold) const
 {
-    MITHRA_ASSERT(problem.benchmark, "problem has no benchmark");
-    MITHRA_ASSERT(!problem.entries.empty(), "problem has no datasets");
+    MITHRA_EXPECTS(problem.benchmark, "problem has no benchmark");
+    MITHRA_EXPECTS(!problem.entries.empty(), "problem has no datasets");
 
     // Each compile dataset's instrumented run is independent: recompose
     // and quality-loss work touch only that entry, and the integer
@@ -286,7 +286,7 @@ ThresholdOptimizer::optimizeIterative(const ThresholdProblem &problem,
                                       double initial, double delta,
                                       std::size_t maxSteps) const
 {
-    MITHRA_ASSERT(delta > 0.0, "delta must be positive");
+    MITHRA_EXPECTS(delta > 0.0, "delta must be positive");
 
     // Algorithm 1: adjust th by +/- delta until the success rate
     // straddles S between consecutive thresholds.

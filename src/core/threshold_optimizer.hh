@@ -13,8 +13,7 @@
  * datasets.
  */
 
-#ifndef MITHRA_CORE_THRESHOLD_OPTIMIZER_HH
-#define MITHRA_CORE_THRESHOLD_OPTIMIZER_HH
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -171,4 +170,3 @@ class MultiFunctionOptimizer
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_THRESHOLD_OPTIMIZER_HH

@@ -1,6 +1,6 @@
 #include "core/training_data.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/rng.hh"
 
 namespace mithra::core
@@ -22,8 +22,8 @@ TrainingData
 buildTrainingData(const ThresholdProblem &problem, double threshold,
                   std::size_t maxTuples, std::uint64_t seed)
 {
-    MITHRA_ASSERT(!problem.entries.empty(), "no compile datasets");
-    MITHRA_ASSERT(maxTuples > 0, "maxTuples must be positive");
+    MITHRA_EXPECTS(!problem.entries.empty(), "no compile datasets");
+    MITHRA_EXPECTS(maxTuples > 0, "maxTuples must be positive");
 
     // Total invocations across the compile sets.
     std::size_t total = 0;

@@ -10,8 +10,7 @@
  * the neural design consumes the raw input vectors.
  */
 
-#ifndef MITHRA_CORE_TRAINING_DATA_HH
-#define MITHRA_CORE_TRAINING_DATA_HH
+#pragma once
 
 #include <cstdint>
 
@@ -50,4 +49,3 @@ TrainingData buildTrainingData(const ThresholdProblem &problem,
 
 } // namespace mithra::core
 
-#endif // MITHRA_CORE_TRAINING_DATA_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <bit>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 
 namespace mithra::hw
@@ -11,8 +11,8 @@ namespace mithra::hw
 
 DecisionTable::DecisionTable(unsigned indexBits)
 {
-    MITHRA_ASSERT(indexBits >= 4 && indexBits <= 24,
-                  "unreasonable table index width: ", indexBits);
+    MITHRA_EXPECTS(indexBits >= 4 && indexBits <= 24,
+                   "unreasonable table index width: ", indexBits);
     numEntries = std::size_t{1} << indexBits;
     words.assign(numEntries / 64, 0);
 }
@@ -20,21 +20,21 @@ DecisionTable::DecisionTable(unsigned indexBits)
 bool
 DecisionTable::bit(std::uint32_t index) const
 {
-    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    MITHRA_EXPECTS(index < numEntries, "table index out of range: ", index);
     return (words[index / 64] >> (index % 64)) & 1;
 }
 
 void
 DecisionTable::setBit(std::uint32_t index)
 {
-    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    MITHRA_EXPECTS(index < numEntries, "table index out of range: ", index);
     words[index / 64] |= std::uint64_t{1} << (index % 64);
 }
 
 void
 DecisionTable::clearBit(std::uint32_t index)
 {
-    MITHRA_ASSERT(index < numEntries, "table index out of range: ", index);
+    MITHRA_EXPECTS(index < numEntries, "table index out of range: ", index);
     words[index / 64] &= ~(std::uint64_t{1} << (index % 64));
 }
 
@@ -62,8 +62,8 @@ DecisionTable::toBytes() const
 DecisionTable
 DecisionTable::fromBytes(const std::vector<std::uint8_t> &bytes)
 {
-    MITHRA_ASSERT(!bytes.empty() && (bytes.size() & (bytes.size() - 1)) == 0,
-                  "table byte size must be a power of two");
+    MITHRA_EXPECTS(!bytes.empty() && (bytes.size() & (bytes.size() - 1)) == 0,
+                   "table byte size must be a power of two");
     unsigned bits = 0;
     while ((std::size_t{1} << bits) < bytes.size() * 8)
         ++bits;
@@ -76,15 +76,18 @@ DecisionTable::fromBytes(const std::vector<std::uint8_t> &bytes)
         }
         table.words[w] = word;
     }
+    MITHRA_ENSURES(table.entries() == bytes.size() * 8,
+                   "entry count does not round-trip: ", table.entries(),
+                   " from ", bytes.size(), " bytes");
     return table;
 }
 
 unsigned
 TableGeometry::indexBits() const
 {
-    MITHRA_ASSERT(tableBytes >= 2 && (tableBytes & (tableBytes - 1)) == 0,
-                  "table size must be a power-of-two byte count, got ",
-                  tableBytes);
+    MITHRA_EXPECTS(tableBytes >= 2 && (tableBytes & (tableBytes - 1)) == 0,
+                   "table size must be a power-of-two byte count, got ",
+                   tableBytes);
     unsigned bits = 0;
     while ((std::size_t{1} << bits) < tableBytes * 8)
         ++bits;
@@ -95,13 +98,13 @@ TableEnsemble::TableEnsemble(const TableGeometry &geometry,
                              std::vector<std::size_t> ids)
     : geom(geometry), configIds(std::move(ids))
 {
-    MITHRA_ASSERT(configIds.size() == geom.numTables,
-                  "need one MISR configuration per table");
+    MITHRA_EXPECTS(configIds.size() == geom.numTables,
+                   "need one MISR configuration per table");
     const unsigned bits = geom.indexBits();
     const auto &pool = misrConfigPool();
     for (std::size_t id : configIds) {
-        MITHRA_ASSERT(id < pool.size(), "MISR pool index out of range: ",
-                      id);
+        MITHRA_EXPECTS(id < pool.size(), "MISR pool index out of range: ",
+                       id);
         tables.emplace_back(bits);
         misrs.emplace_back(pool[id], bits);
     }
@@ -198,7 +201,7 @@ TableEnsemble
 trainGreedyEnsemble(const TableGeometry &geometry,
                     const std::vector<TrainingTuple> &tuples)
 {
-    MITHRA_ASSERT(!tuples.empty(), "cannot train an ensemble on no data");
+    MITHRA_EXPECTS(!tuples.empty(), "cannot train an ensemble on no data");
     const unsigned bits = geometry.indexBits();
     const auto &pool = misrConfigPool();
 

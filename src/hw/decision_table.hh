@@ -11,8 +11,7 @@
  * configurations — a boosting-like combination of weak learners.
  */
 
-#ifndef MITHRA_HW_DECISION_TABLE_HH
-#define MITHRA_HW_DECISION_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -167,4 +166,3 @@ TableEnsemble trainGreedyEnsemble(const TableGeometry &geometry,
 
 } // namespace mithra::hw
 
-#endif // MITHRA_HW_DECISION_TABLE_HH

@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::hw
 {
@@ -38,8 +38,8 @@ misrConfigPool()
 Misr::Misr(const MisrConfig &config, unsigned indexBits)
     : cfg(config), bits(indexBits)
 {
-    MITHRA_ASSERT(indexBits >= 4 && indexBits <= 24,
-                  "unreasonable MISR width: ", indexBits);
+    MITHRA_EXPECTS(indexBits >= 4 && indexBits <= 24,
+                   "unreasonable MISR width: ", indexBits);
     mask = (std::uint32_t{1} << bits) - 1;
     reset();
 }
@@ -88,6 +88,8 @@ Misr::hash(const std::vector<std::uint8_t> &codes) const
     std::uint32_t local = cfg.seed & mask;
     for (std::uint8_t code : codes)
         local = stepState(local, code);
+    MITHRA_ENSURES(local <= mask, "signature ", local,
+                   " escaped the register width");
     return local;
 }
 

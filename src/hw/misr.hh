@@ -17,8 +17,7 @@
  * compiler greedily picks which configuration drives each table.
  */
 
-#ifndef MITHRA_HW_MISR_HH
-#define MITHRA_HW_MISR_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -92,4 +91,3 @@ class Misr
 
 } // namespace mithra::hw
 
-#endif // MITHRA_HW_MISR_HH

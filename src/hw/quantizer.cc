@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::hw
 {
@@ -12,7 +12,7 @@ namespace mithra::hw
 unsigned
 InputQuantizer::defaultBits(std::size_t width)
 {
-    MITHRA_ASSERT(width > 0, "zero-width quantizer");
+    MITHRA_EXPECTS(width > 0, "zero-width quantizer");
     // Keep the distinct-pattern space (2^(bits*width)) around 2^8: the
     // multi-table OR-ensemble behaves like a Bloom filter over the
     // distinct patterns labeled "precise", and its false-positive rate
@@ -33,7 +33,7 @@ InputQuantizer::defaultBits(std::size_t width)
 void
 InputQuantizer::calibrate(const VecBatch &inputs, unsigned bitsPerElement)
 {
-    MITHRA_ASSERT(!inputs.empty(), "cannot calibrate from no inputs");
+    MITHRA_EXPECTS(!inputs.empty(), "cannot calibrate from no inputs");
     const std::size_t n = inputs.front().size();
     codeBits = bitsPerElement ? bitsPerElement : defaultBits(n);
     MITHRA_ASSERT(codeBits >= 1 && codeBits <= 8,
@@ -43,8 +43,8 @@ InputQuantizer::calibrate(const VecBatch &inputs, unsigned bitsPerElement)
     highs.assign(n, std::numeric_limits<float>::lowest());
 
     for (const auto &vec : inputs) {
-        MITHRA_ASSERT(vec.size() == n, "ragged input batch: ", vec.size(),
-                      " vs ", n);
+        MITHRA_EXPECTS(vec.size() == n, "ragged input batch: ", vec.size(),
+                       " vs ", n);
         for (std::size_t i = 0; i < n; ++i) {
             lows[i] = std::min(lows[i], vec[i]);
             highs[i] = std::max(highs[i], vec[i]);
@@ -65,20 +65,20 @@ InputQuantizer::InputQuantizer(std::vector<float> lowsIn,
     : lows(std::move(lowsIn)), highs(std::move(highsIn)),
       codeBits(bitsPerElement)
 {
-    MITHRA_ASSERT(lows.size() == highs.size(),
-                  "mismatched quantizer bounds");
-    MITHRA_ASSERT(codeBits >= 1 && codeBits <= 8,
-                  "code width out of range: ", codeBits);
+    MITHRA_EXPECTS(lows.size() == highs.size(),
+                   "mismatched quantizer bounds");
+    MITHRA_EXPECTS(codeBits >= 1 && codeBits <= 8,
+                   "code width out of range: ", codeBits);
     for (std::size_t i = 0; i < lows.size(); ++i)
-        MITHRA_ASSERT(highs[i] > lows[i], "empty range at element ", i);
+        MITHRA_EXPECTS(highs[i] > lows[i], "empty range at element ", i);
 }
 
 std::vector<std::uint8_t>
 InputQuantizer::quantize(const Vec &input) const
 {
-    MITHRA_ASSERT(input.size() == lows.size(),
-                  "input width ", input.size(), " != calibrated width ",
-                  lows.size());
+    MITHRA_EXPECTS(input.size() == lows.size(),
+                   "input width ", input.size(), " != calibrated width ",
+                   lows.size());
     const float levels = static_cast<float>((1u << codeBits) - 1);
     std::vector<std::uint8_t> codes(input.size());
     for (std::size_t i = 0; i < input.size(); ++i) {

@@ -10,8 +10,7 @@
  * (saved/restored on context switch alongside the NPU config).
  */
 
-#ifndef MITHRA_HW_QUANTIZER_HH
-#define MITHRA_HW_QUANTIZER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -77,4 +76,3 @@ class InputQuantizer
 
 } // namespace mithra::hw
 
-#endif // MITHRA_HW_QUANTIZER_HH

@@ -4,7 +4,7 @@
 #include <limits>
 #include <memory>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::npu
 {
@@ -13,21 +13,21 @@ LinearScaler::LinearScaler(std::vector<float> lowsIn,
                            std::vector<float> highsIn)
     : lows(std::move(lowsIn)), highs(std::move(highsIn))
 {
-    MITHRA_ASSERT(lows.size() == highs.size(),
-                  "mismatched scaler bounds");
+    MITHRA_EXPECTS(lows.size() == highs.size(),
+                   "mismatched scaler bounds");
     for (std::size_t i = 0; i < lows.size(); ++i)
-        MITHRA_ASSERT(highs[i] > lows[i], "empty range at element ", i);
+        MITHRA_EXPECTS(highs[i] > lows[i], "empty range at element ", i);
 }
 
 void
 LinearScaler::fit(const VecBatch &batch)
 {
-    MITHRA_ASSERT(!batch.empty(), "cannot fit a scaler to no data");
+    MITHRA_EXPECTS(!batch.empty(), "cannot fit a scaler to no data");
     const std::size_t n = batch.front().size();
     lows.assign(n, std::numeric_limits<float>::max());
     highs.assign(n, std::numeric_limits<float>::lowest());
     for (const auto &vec : batch) {
-        MITHRA_ASSERT(vec.size() == n, "ragged batch in scaler fit");
+        MITHRA_EXPECTS(vec.size() == n, "ragged batch in scaler fit");
         for (std::size_t i = 0; i < n; ++i) {
             lows[i] = std::min(lows[i], vec[i]);
             highs[i] = std::max(highs[i], vec[i]);
@@ -42,7 +42,7 @@ LinearScaler::fit(const VecBatch &batch)
 Vec
 LinearScaler::toUnit(const Vec &raw) const
 {
-    MITHRA_ASSERT(raw.size() == lows.size(), "scaler width mismatch");
+    MITHRA_EXPECTS(raw.size() == lows.size(), "scaler width mismatch");
     Vec unit(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
         const float t = (raw[i] - lows[i]) / (highs[i] - lows[i]);
@@ -54,7 +54,7 @@ LinearScaler::toUnit(const Vec &raw) const
 Vec
 LinearScaler::fromUnit(const Vec &unit) const
 {
-    MITHRA_ASSERT(unit.size() == lows.size(), "scaler width mismatch");
+    MITHRA_EXPECTS(unit.size() == lows.size(), "scaler width mismatch");
     Vec raw(unit.size());
     for (std::size_t i = 0; i < unit.size(); ++i)
         raw[i] = lows[i] + unit[i] * (highs[i] - lows[i]);
@@ -66,16 +66,16 @@ Approximator::trainToMimic(const Topology &topology, const VecBatch &inputs,
                            const VecBatch &outputs,
                            const TrainerOptions &options)
 {
-    MITHRA_ASSERT(!topology.empty(), "empty topology");
-    MITHRA_ASSERT(inputs.size() == outputs.size(),
-                  "inputs/outputs size mismatch");
-    MITHRA_ASSERT(!inputs.empty(), "no training samples");
-    MITHRA_ASSERT(topology.front() == inputs.front().size(),
-                  "topology input width ", topology.front(),
-                  " != sample width ", inputs.front().size());
-    MITHRA_ASSERT(topology.back() == outputs.front().size(),
-                  "topology output width ", topology.back(),
-                  " != sample width ", outputs.front().size());
+    MITHRA_EXPECTS(!topology.empty(), "empty topology");
+    MITHRA_EXPECTS(inputs.size() == outputs.size(),
+                   "inputs/outputs size mismatch");
+    MITHRA_EXPECTS(!inputs.empty(), "no training samples");
+    MITHRA_EXPECTS(topology.front() == inputs.front().size(),
+                   "topology input width ", topology.front(),
+                   " != sample width ", inputs.front().size());
+    MITHRA_EXPECTS(topology.back() == outputs.front().size(),
+                   "topology output width ", topology.back(),
+                   " != sample width ", outputs.front().size());
 
     inputScaler.fit(inputs);
     outputScaler.fit(outputs);
@@ -106,10 +106,10 @@ Approximator
 Approximator::fromParts(LinearScaler inputScalerIn,
                         LinearScaler outputScalerIn, Mlp netIn)
 {
-    MITHRA_ASSERT(inputScalerIn.width() == netIn.topology().front(),
-                  "input scaler width mismatch");
-    MITHRA_ASSERT(outputScalerIn.width() == netIn.topology().back(),
-                  "output scaler width mismatch");
+    MITHRA_EXPECTS(inputScalerIn.width() == netIn.topology().front(),
+                   "input scaler width mismatch");
+    MITHRA_EXPECTS(outputScalerIn.width() == netIn.topology().back(),
+                   "output scaler width mismatch");
     Approximator out;
     out.inputScaler = std::move(inputScalerIn);
     out.outputScaler = std::move(outputScalerIn);
@@ -120,7 +120,7 @@ Approximator::fromParts(LinearScaler inputScalerIn,
 Vec
 Approximator::invoke(const Vec &input) const
 {
-    MITHRA_ASSERT(net, "Approximator used before training");
+    MITHRA_EXPECTS(net, "Approximator used before training");
     const Vec unitOut = net->forward(inputScaler.toUnit(input));
     Vec band(unitOut.size());
     const float span = 1.0f - 2.0f * outputMargin;

@@ -10,8 +10,7 @@
  * a benchmark invokes in place of its safe-to-approximate function.
  */
 
-#ifndef MITHRA_NPU_APPROXIMATOR_HH
-#define MITHRA_NPU_APPROXIMATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -94,4 +93,3 @@ class Approximator
 
 } // namespace mithra::npu
 
-#endif // MITHRA_NPU_APPROXIMATOR_HH

@@ -1,6 +1,6 @@
 #include "npu/cost_model.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::npu
 {
@@ -8,7 +8,7 @@ namespace mithra::npu
 NpuCostModel::NpuCostModel(const NpuParams &params)
     : npuParams(params)
 {
-    MITHRA_ASSERT(npuParams.numPes > 0, "NPU needs at least one PE");
+    MITHRA_EXPECTS(npuParams.numPes > 0, "NPU needs at least one PE");
 }
 
 std::size_t

@@ -15,8 +15,7 @@
  * relative magnitude versus the core model in sim/core_model.
  */
 
-#ifndef MITHRA_NPU_COST_MODEL_HH
-#define MITHRA_NPU_COST_MODEL_HH
+#pragma once
 
 #include <cstddef>
 
@@ -80,4 +79,3 @@ class NpuCostModel
 
 } // namespace mithra::npu
 
-#endif // MITHRA_NPU_COST_MODEL_HH

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::npu
 {
@@ -32,10 +32,10 @@ void
 forwardTrace(const Mlp &mlp, const Vec &input, ForwardScratch &scratch)
 {
     const auto &topo = mlp.topology();
-    MITHRA_ASSERT(input.size() == topo.front(), "MLP input width ",
-                  input.size(), " != ", topo.front());
-    MITHRA_ASSERT(scratch.activations.size() == topo.size(),
-                  "scratch not prepared for this topology");
+    MITHRA_EXPECTS(input.size() == topo.front(), "MLP input width ",
+                   input.size(), " != ", topo.front());
+    MITHRA_EXPECTS(scratch.activations.size() == topo.size(),
+                   "scratch not prepared for this topology");
     std::copy(input.begin(), input.end(),
               scratch.activations.front().begin());
 
@@ -58,9 +58,9 @@ forwardTrace(const Mlp &mlp, const Vec &input, ForwardScratch &scratch)
 Mlp::Mlp(Topology topology)
     : topo(std::move(topology))
 {
-    MITHRA_ASSERT(topo.size() >= 2, "an MLP needs at least two layers");
+    MITHRA_EXPECTS(topo.size() >= 2, "an MLP needs at least two layers");
     for (std::size_t width : topo)
-        MITHRA_ASSERT(width > 0, "zero-width MLP layer");
+        MITHRA_EXPECTS(width > 0, "zero-width MLP layer");
     for (std::size_t l = 1; l < topo.size(); ++l)
         weightsPerLayer.emplace_back(topo[l] * (topo[l - 1] + 1), 0.0f);
 }
@@ -74,8 +74,8 @@ Mlp::activate(float x)
 Vec
 Mlp::forward(const Vec &input) const
 {
-    MITHRA_ASSERT(input.size() == topo.front(), "MLP input width ",
-                  input.size(), " != ", topo.front());
+    MITHRA_EXPECTS(input.size() == topo.front(), "MLP input width ",
+                   input.size(), " != ", topo.front());
     Vec current = input;
     Vec next;
     for (std::size_t l = 1; l < topo.size(); ++l) {
@@ -125,9 +125,9 @@ Mlp::sigmoidsPerForward() const
 float
 Mlp::weight(std::size_t layer, std::size_t to, std::size_t from) const
 {
-    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     const std::size_t in = topo[layer - 1];
-    MITHRA_ASSERT(to < topo[layer] && from <= in, "bad weight index");
+    MITHRA_EXPECTS(to < topo[layer] && from <= in, "bad weight index");
     return weightsPerLayer[layer - 1][to * (in + 1) + from];
 }
 
@@ -135,23 +135,23 @@ void
 Mlp::setWeight(std::size_t layer, std::size_t to, std::size_t from,
                float value)
 {
-    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     const std::size_t in = topo[layer - 1];
-    MITHRA_ASSERT(to < topo[layer] && from <= in, "bad weight index");
+    MITHRA_EXPECTS(to < topo[layer] && from <= in, "bad weight index");
     weightsPerLayer[layer - 1][to * (in + 1) + from] = value;
 }
 
 std::vector<float> &
 Mlp::layerWeights(std::size_t layer)
 {
-    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     return weightsPerLayer[layer - 1];
 }
 
 const std::vector<float> &
 Mlp::layerWeights(std::size_t layer) const
 {
-    MITHRA_ASSERT(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     return weightsPerLayer[layer - 1];
 }
 

@@ -9,8 +9,7 @@
  * activations; weights are trained offline by npu/trainer.
  */
 
-#ifndef MITHRA_NPU_MLP_HH
-#define MITHRA_NPU_MLP_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -110,4 +109,3 @@ void forwardTrace(const Mlp &mlp, const Vec &input,
 
 } // namespace mithra::npu
 
-#endif // MITHRA_NPU_MLP_HH

@@ -3,7 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::npu
 {

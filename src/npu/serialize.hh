@@ -11,8 +11,7 @@
  * (floats are stored in hex-float form).
  */
 
-#ifndef MITHRA_NPU_SERIALIZE_HH
-#define MITHRA_NPU_SERIALIZE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -48,4 +47,3 @@ Approximator loadApproximatorFile(const std::string &path);
 
 } // namespace mithra::npu
 
-#endif // MITHRA_NPU_SERIALIZE_HH

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 
@@ -126,10 +126,14 @@ double
 train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
       const TrainerOptions &options)
 {
-    MITHRA_ASSERT(inputs.size() == targets.size(),
-                  "inputs/targets size mismatch");
-    MITHRA_ASSERT(!inputs.empty(), "cannot train on an empty dataset");
-    MITHRA_ASSERT(options.batchSize > 0, "batch size must be positive");
+    MITHRA_EXPECTS(inputs.size() == targets.size(),
+                   "inputs/targets size mismatch");
+    MITHRA_EXPECTS(!inputs.empty(), "cannot train on an empty dataset");
+    MITHRA_EXPECTS(options.batchSize > 0, "batch size must be positive");
+    MITHRA_EXPECTS(options.learningRate > 0.0f
+                       && std::isfinite(options.learningRate),
+                   "learning rate must be positive and finite, got ",
+                   options.learningRate);
 
     const auto &topo = mlp.topology();
     Rng rng(options.seed ^ 0x7261696e6572ULL);
@@ -210,6 +214,9 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
 
         epochMse = squaredErrorSum
             / static_cast<double>(std::max<std::size_t>(elementCount, 1));
+        MITHRA_ENSURES(std::isfinite(epochMse),
+                       "training diverged: non-finite MSE after epoch ",
+                       epoch, " (learning rate ", learningRate, ")");
         if (options.targetMse > 0.0 && epochMse < options.targetMse)
             break;
         learningRate *= options.lrDecay;
@@ -221,8 +228,8 @@ double
 meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
                  const VecBatch &targets)
 {
-    MITHRA_ASSERT(inputs.size() == targets.size(),
-                  "inputs/targets size mismatch");
+    MITHRA_EXPECTS(inputs.size() == targets.size(),
+                   "inputs/targets size mismatch");
     if (inputs.empty())
         return 0.0;
 

@@ -7,8 +7,7 @@
  * §IV-C.2). Training is fully deterministic given the seed.
  */
 
-#ifndef MITHRA_NPU_TRAINER_HH
-#define MITHRA_NPU_TRAINER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -54,4 +53,3 @@ double meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
 
 } // namespace mithra::npu
 
-#endif // MITHRA_NPU_TRAINER_HH

@@ -1,6 +1,6 @@
 #include "sim/core_model.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::sim
 {
@@ -8,7 +8,7 @@ namespace mithra::sim
 CoreModel::CoreModel(const CoreParams &params)
     : coreParams(params)
 {
-    MITHRA_ASSERT(coreParams.ilpFactor > 0.0, "ILP factor must be > 0");
+    MITHRA_EXPECTS(coreParams.ilpFactor > 0.0, "ILP factor must be > 0");
 }
 
 double

@@ -11,8 +11,7 @@
  * extracting parallelism from real dependency chains.
  */
 
-#ifndef MITHRA_SIM_CORE_MODEL_HH
-#define MITHRA_SIM_CORE_MODEL_HH
+#pragma once
 
 #include "sim/opcount.hh"
 
@@ -74,4 +73,3 @@ class CoreModel
 
 } // namespace mithra::sim
 
-#endif // MITHRA_SIM_CORE_MODEL_HH

@@ -11,8 +11,7 @@
  * Nehalem-like cycles and energy.
  */
 
-#ifndef MITHRA_SIM_OPCOUNT_HH
-#define MITHRA_SIM_OPCOUNT_HH
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -234,4 +233,3 @@ fabs(Counted<T> x)
 
 } // namespace mithra::sim
 
-#endif // MITHRA_SIM_OPCOUNT_HH

@@ -1,6 +1,6 @@
 #include "sim/system_sim.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::sim
 {
@@ -8,21 +8,21 @@ namespace mithra::sim
 double
 speedup(const RunTotals &baseline, const RunTotals &other)
 {
-    MITHRA_ASSERT(other.cycles > 0.0, "speedup versus zero cycles");
+    MITHRA_EXPECTS(other.cycles > 0.0, "speedup versus zero cycles");
     return baseline.cycles / other.cycles;
 }
 
 double
 energyReduction(const RunTotals &baseline, const RunTotals &other)
 {
-    MITHRA_ASSERT(other.energyPj > 0.0, "energy reduction versus zero");
+    MITHRA_EXPECTS(other.energyPj > 0.0, "energy reduction versus zero");
     return baseline.energyPj / other.energyPj;
 }
 
 double
 edpImprovement(const RunTotals &baseline, const RunTotals &other)
 {
-    MITHRA_ASSERT(other.edp() > 0.0, "EDP improvement versus zero");
+    MITHRA_EXPECTS(other.edp() > 0.0, "EDP improvement versus zero");
     return baseline.edp() / other.edp();
 }
 

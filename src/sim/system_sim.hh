@@ -18,8 +18,7 @@
  * invocation.
  */
 
-#ifndef MITHRA_SIM_SYSTEM_SIM_HH
-#define MITHRA_SIM_SYSTEM_SIM_HH
+#pragma once
 
 #include <cstddef>
 
@@ -119,4 +118,3 @@ class SystemSimulator
 
 } // namespace mithra::sim
 
-#endif // MITHRA_SIM_SYSTEM_SIM_HH

@@ -1,6 +1,6 @@
 #include "stats/clopper_pearson.hh"
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 #include "stats/special_functions.hh"
 
 namespace mithra::stats
@@ -12,11 +12,11 @@ namespace
 void
 checkArgs(std::size_t successes, std::size_t trials, double confidence)
 {
-    MITHRA_ASSERT(trials > 0, "Clopper-Pearson needs at least one trial");
-    MITHRA_ASSERT(successes <= trials, "successes (", successes,
-                  ") exceed trials (", trials, ")");
-    MITHRA_ASSERT(confidence > 0.0 && confidence < 1.0,
-                  "confidence must be in (0, 1), got ", confidence);
+    MITHRA_EXPECTS(trials > 0, "Clopper-Pearson needs at least one trial");
+    MITHRA_EXPECTS(successes <= trials, "successes (", successes,
+                   ") exceed trials (", trials, ")");
+    MITHRA_EXPECTS(confidence > 0.0 && confidence < 1.0,
+                   "confidence must be in (0, 1), got ", confidence);
 }
 
 } // namespace
@@ -30,10 +30,13 @@ clopperPearsonLower(std::size_t successes, std::size_t trials,
         return 0.0;
     const double alpha = 1.0 - confidence;
     // Lower bound is the alpha quantile of Beta(k, n - k + 1).
-    return regIncompleteBetaInv(static_cast<double>(successes),
-                                static_cast<double>(trials - successes)
-                                    + 1.0,
-                                alpha);
+    const double lower =
+        regIncompleteBetaInv(static_cast<double>(successes),
+                             static_cast<double>(trials - successes) + 1.0,
+                             alpha);
+    MITHRA_ENSURES(lower >= 0.0 && lower <= 1.0,
+                   "lower bound escaped [0, 1]: ", lower);
+    return lower;
 }
 
 double
@@ -45,9 +48,13 @@ clopperPearsonUpper(std::size_t successes, std::size_t trials,
         return 1.0;
     const double alpha = 1.0 - confidence;
     // Upper bound is the (1 - alpha) quantile of Beta(k + 1, n - k).
-    return regIncompleteBetaInv(static_cast<double>(successes) + 1.0,
-                                static_cast<double>(trials - successes),
-                                1.0 - alpha);
+    const double upper =
+        regIncompleteBetaInv(static_cast<double>(successes) + 1.0,
+                             static_cast<double>(trials - successes),
+                             1.0 - alpha);
+    MITHRA_ENSURES(upper >= 0.0 && upper <= 1.0,
+                   "upper bound escaped [0, 1]: ", upper);
+    return upper;
 }
 
 ProportionInterval
@@ -56,15 +63,20 @@ clopperPearsonInterval(std::size_t successes, std::size_t trials,
 {
     // Two-sided interval: split the tail mass alpha across both sides.
     const double oneSidedConfidence = 1.0 - (1.0 - confidence) / 2.0;
-    return {clopperPearsonLower(successes, trials, oneSidedConfidence),
-            clopperPearsonUpper(successes, trials, oneSidedConfidence)};
+    ProportionInterval interval{
+        clopperPearsonLower(successes, trials, oneSidedConfidence),
+        clopperPearsonUpper(successes, trials, oneSidedConfidence)};
+    MITHRA_ENSURES(interval.lower <= interval.upper,
+                   "interval inverted: [", interval.lower, ", ",
+                   interval.upper, "]");
+    return interval;
 }
 
 std::size_t
 requiredSuccesses(std::size_t trials, double targetRate, double confidence)
 {
-    MITHRA_ASSERT(targetRate >= 0.0 && targetRate <= 1.0,
-                  "target success rate out of range: ", targetRate);
+    MITHRA_EXPECTS(targetRate >= 0.0 && targetRate <= 1.0,
+                   "target success rate out of range: ", targetRate);
     // clopperPearsonLower is monotone in successes; binary search.
     std::size_t lo = 0;
     std::size_t hi = trials;

@@ -10,8 +10,7 @@
  * conservative, exactly as the paper requires.
  */
 
-#ifndef MITHRA_STATS_CLOPPER_PEARSON_HH
-#define MITHRA_STATS_CLOPPER_PEARSON_HH
+#pragma once
 
 #include <cstddef>
 
@@ -57,4 +56,3 @@ std::size_t requiredSuccesses(std::size_t trials, double targetRate,
 
 } // namespace mithra::stats
 
-#endif // MITHRA_STATS_CLOPPER_PEARSON_HH

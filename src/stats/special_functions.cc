@@ -3,7 +3,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::stats
 {
@@ -11,7 +11,7 @@ namespace mithra::stats
 double
 lnGamma(double x)
 {
-    MITHRA_ASSERT(x > 0.0, "lnGamma defined for positive x, got ", x);
+    MITHRA_EXPECTS(x > 0.0, "lnGamma defined for positive x, got ", x);
     return std::lgamma(x);
 }
 
@@ -31,6 +31,9 @@ namespace
 double
 betaContinuedFraction(double a, double b, double x)
 {
+    MITHRA_EXPECTS(a > 0.0 && b > 0.0 && x > 0.0 && x < 1.0,
+                   "continued fraction outside its domain: a=", a,
+                   " b=", b, " x=", x);
     constexpr int maxIterations = 300;
     constexpr double epsilon = 3.0e-14;
     constexpr double tiny = 1.0e-300;
@@ -69,11 +72,18 @@ betaContinuedFraction(double a, double b, double x)
         d = 1.0 / d;
         const double del = d * c;
         h *= del;
-        if (std::fabs(del - 1.0) < epsilon)
+        if (std::fabs(del - 1.0) < epsilon) {
+            MITHRA_ENSURES(std::isfinite(h),
+                           "Lentz iteration produced a non-finite value "
+                           "(a=", a, " b=", b, " x=", x, ")");
             return h;
+        }
     }
     warn("betaContinuedFraction did not converge (a=", a, " b=", b,
          " x=", x, ")");
+    MITHRA_ENSURES(std::isfinite(h),
+                   "Lentz iteration diverged to a non-finite value "
+                   "(a=", a, " b=", b, " x=", x, ")");
     return h;
 }
 
@@ -82,7 +92,7 @@ betaContinuedFraction(double a, double b, double x)
 double
 regIncompleteBeta(double a, double b, double x)
 {
-    MITHRA_ASSERT(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    MITHRA_EXPECTS(a > 0.0 && b > 0.0, "beta parameters must be positive");
     if (x <= 0.0)
         return 0.0;
     if (x >= 1.0)
@@ -101,7 +111,7 @@ regIncompleteBeta(double a, double b, double x)
 double
 regIncompleteBetaInv(double a, double b, double p)
 {
-    MITHRA_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range: ", p);
+    MITHRA_EXPECTS(p >= 0.0 && p <= 1.0, "probability out of range: ", p);
     if (p <= 0.0)
         return 0.0;
     if (p >= 1.0)
@@ -136,14 +146,15 @@ regIncompleteBetaInv(double a, double b, double p)
         }
         x = next;
     }
+    MITHRA_ENSURES(x >= 0.0 && x <= 1.0, "quantile escaped [0, 1]: ", x);
     return x;
 }
 
 double
 binomialCdf(long k, long n, double p)
 {
-    MITHRA_ASSERT(n >= 0 && k <= n, "bad binomial arguments k=", k,
-                  " n=", n);
+    MITHRA_EXPECTS(n >= 0 && k <= n, "bad binomial arguments k=", k,
+                   " n=", n);
     if (k < 0)
         return 0.0;
     if (k >= n)
@@ -156,7 +167,7 @@ binomialCdf(long k, long n, double p)
 double
 fQuantile(double p, double d1, double d2)
 {
-    MITHRA_ASSERT(d1 > 0.0 && d2 > 0.0, "F dof must be positive");
+    MITHRA_EXPECTS(d1 > 0.0 && d2 > 0.0, "F dof must be positive");
     // If X ~ F(d1, d2) then d1*X / (d1*X + d2) ~ Beta(d1/2, d2/2).
     const double z = regIncompleteBetaInv(d1 / 2.0, d2 / 2.0, p);
     if (z >= 1.0)

@@ -10,8 +10,7 @@
  * library has no dependency on external math packages.
  */
 
-#ifndef MITHRA_STATS_SPECIAL_FUNCTIONS_HH
-#define MITHRA_STATS_SPECIAL_FUNCTIONS_HH
+#pragma once
 
 namespace mithra::stats
 {
@@ -42,4 +41,3 @@ double fQuantile(double p, double d1, double d2);
 
 } // namespace mithra::stats
 
-#endif // MITHRA_STATS_SPECIAL_FUNCTIONS_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/contracts.hh"
 
 namespace mithra::stats
 {
@@ -38,7 +38,7 @@ geomean(const std::vector<double> &xs)
         return 0.0;
     double logSum = 0.0;
     for (double x : xs) {
-        MITHRA_ASSERT(x > 0.0, "geomean needs positive samples, got ", x);
+        MITHRA_EXPECTS(x > 0.0, "geomean needs positive samples, got ", x);
         logSum += std::log(x);
     }
     return std::exp(logSum / static_cast<double>(xs.size()));
@@ -47,22 +47,22 @@ geomean(const std::vector<double> &xs)
 double
 minValue(const std::vector<double> &xs)
 {
-    MITHRA_ASSERT(!xs.empty(), "minValue of empty sample");
+    MITHRA_EXPECTS(!xs.empty(), "minValue of empty sample");
     return *std::min_element(xs.begin(), xs.end());
 }
 
 double
 maxValue(const std::vector<double> &xs)
 {
-    MITHRA_ASSERT(!xs.empty(), "maxValue of empty sample");
+    MITHRA_EXPECTS(!xs.empty(), "maxValue of empty sample");
     return *std::max_element(xs.begin(), xs.end());
 }
 
 double
 percentile(std::vector<double> xs, double p)
 {
-    MITHRA_ASSERT(!xs.empty(), "percentile of empty sample");
-    MITHRA_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    MITHRA_EXPECTS(!xs.empty(), "percentile of empty sample");
+    MITHRA_EXPECTS(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
     std::sort(xs.begin(), xs.end());
     const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
@@ -74,7 +74,7 @@ percentile(std::vector<double> xs, double p)
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
     : sorted(std::move(samples))
 {
-    MITHRA_ASSERT(!sorted.empty(), "CDF of empty sample");
+    MITHRA_EXPECTS(!sorted.empty(), "CDF of empty sample");
     std::sort(sorted.begin(), sorted.end());
 }
 
@@ -89,7 +89,7 @@ EmpiricalCdf::fractionAtOrBelow(double x) const
 double
 EmpiricalCdf::quantile(double p) const
 {
-    MITHRA_ASSERT(p >= 0.0 && p <= 1.0, "quantile prob out of range: ", p);
+    MITHRA_EXPECTS(p >= 0.0 && p <= 1.0, "quantile prob out of range: ", p);
     if (p <= 0.0)
         return sorted.front();
     const auto rank = static_cast<std::size_t>(
@@ -100,7 +100,7 @@ EmpiricalCdf::quantile(double p) const
 std::vector<std::pair<double, double>>
 EmpiricalCdf::series(std::size_t points) const
 {
-    MITHRA_ASSERT(points >= 2, "a CDF series needs at least two points");
+    MITHRA_EXPECTS(points >= 2, "a CDF series needs at least two points");
     std::vector<std::pair<double, double>> out;
     out.reserve(points);
     const double lo = sorted.front();

@@ -4,8 +4,7 @@
  * harness (Figure 1 CDF plots, geometric-mean speedups, percentiles).
  */
 
-#ifndef MITHRA_STATS_SUMMARY_HH
-#define MITHRA_STATS_SUMMARY_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -68,4 +67,3 @@ class EmpiricalCdf
 
 } // namespace mithra::stats
 
-#endif // MITHRA_STATS_SUMMARY_HH

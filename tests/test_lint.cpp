@@ -1,0 +1,319 @@
+/**
+ * @file
+ * mithra-lint rule tests: each rule is fed a known-bad snippet and
+ * must fire with the right rule id and file:line, and a known-good
+ * variant must stay clean. Snippets live in raw strings, which the
+ * lint tokenizer strips — so this file itself lints clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+using mithra::lint::Diagnostic;
+using mithra::lint::lintSource;
+using mithra::lint::policyForPath;
+
+/** All diagnostics for `source` at a src/ library path. */
+std::vector<Diagnostic>
+lintAt(const std::string &path, const std::string &source)
+{
+    return lintSource(path, source);
+}
+
+bool
+fired(const std::vector<Diagnostic> &diagnostics,
+      const std::string &rule, std::size_t line)
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [&](const Diagnostic &d) {
+                           return d.rule == rule && d.line == line;
+                       });
+}
+
+bool
+firedRule(const std::vector<Diagnostic> &diagnostics,
+          const std::string &rule)
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [&](const Diagnostic &d) {
+                           return d.rule == rule;
+                       });
+}
+
+/** A minimal clean library file all bad snippets are derived from. */
+const char *cleanSource = R"cpp(#pragma once
+
+namespace mithra
+{
+int answer() { return 42; }
+} // namespace mithra
+)cpp";
+
+TEST(Lint, CleanFilePasses)
+{
+    EXPECT_TRUE(lintAt("src/core/clean.hh", cleanSource).empty());
+}
+
+TEST(Lint, UnseededRandFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(#pragma once
+namespace mithra
+{
+int roll() { return std::rand() % 6; }
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-rand", 4));
+}
+
+TEST(Lint, SrandFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+namespace mithra
+{
+void reseed(unsigned s) { srand(s); }
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-rand", 4));
+}
+
+TEST(Lint, RandomDeviceFiresOutsideRngImpl)
+{
+    const std::string source = R"cpp(#pragma once
+#include <random>
+namespace mithra
+{
+std::random_device entropy;
+} // namespace mithra
+)cpp";
+    EXPECT_TRUE(fired(lintAt("src/core/bad.hh", source),
+                      "no-random-device", 5));
+    // The sanctioned implementation is exempt by path.
+    EXPECT_FALSE(firedRule(lintAt("src/common/rng.cc", source),
+                           "no-random-device"));
+}
+
+TEST(Lint, WallClockTimeSeedFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+namespace mithra
+{
+long stamp() { return time(nullptr); }
+long stamp0() { return std::time(0); }
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-time-seed", 4));
+    EXPECT_TRUE(fired(diagnostics, "no-time-seed", 5));
+}
+
+TEST(Lint, TimeWithRealArgumentDoesNotFire)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+long stamp(long *out) { return time(out); }
+long runtime() { return 7; }
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-time-seed"));
+}
+
+TEST(Lint, UnorderedContainerFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.hh", R"cpp(#pragma once
+#include <unordered_map>
+namespace mithra
+{
+std::unordered_map<int, int> histogram;
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-unordered", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-unordered", 5));
+}
+
+TEST(Lint, UnorderedAllowAnnotationSuppresses)
+{
+    const auto diagnostics = lintAt("src/core/ok.hh", R"cpp(#pragma once
+// lookup-only cache: mithra-lint: allow(no-unordered)
+#include <unordered_map>
+namespace mithra
+{
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-unordered"));
+}
+
+TEST(Lint, FloatInStatsFires)
+{
+    const std::string source = R"cpp(
+namespace mithra::stats
+{
+float half() { return 0.5f; }
+} // namespace mithra::stats
+)cpp";
+    const auto diagnostics = lintAt("src/stats/bad.cc", source);
+    EXPECT_TRUE(fired(diagnostics, "no-float-in-stats", 4));
+    // Same code outside src/stats is not double-only.
+    EXPECT_FALSE(firedRule(lintAt("src/npu/ok.cc", source),
+                           "no-float-in-stats"));
+}
+
+TEST(Lint, HexLiteralSuffixIsNotAFloat)
+{
+    const auto diagnostics = lintAt("src/stats/ok.cc", R"cpp(
+namespace mithra::stats
+{
+unsigned mask() { return 0x2F; }
+double scaled() { return 0x1.0p-53; }
+} // namespace mithra::stats
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-float-in-stats"));
+}
+
+TEST(Lint, MissingPragmaOnceFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.hh", R"cpp(
+#ifndef BAD_HH
+#define BAD_HH
+namespace mithra
+{
+} // namespace mithra
+#endif
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "pragma-once", 2));
+}
+
+TEST(Lint, PragmaOnceAfterDocCommentPasses)
+{
+    const auto diagnostics = lintAt("src/core/ok.hh", R"cpp(/**
+ * @file doc comment first is fine.
+ */
+#pragma once
+namespace mithra
+{
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "pragma-once"));
+}
+
+TEST(Lint, MissingNamespaceFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+int looseFunction() { return 1; }
+)cpp");
+    EXPECT_TRUE(firedRule(diagnostics, "namespace-mithra"));
+}
+
+TEST(Lint, NestedNamespacePasses)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra::axbench::jpeg
+{
+int ok() { return 1; }
+} // namespace mithra::axbench::jpeg
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "namespace-mithra"));
+}
+
+TEST(Lint, IostreamInLibraryFires)
+{
+    const std::string source = R"cpp(
+#include <iostream>
+#include <cstdio>
+namespace mithra
+{
+void shout() { std::cerr << "x"; std::fprintf(stderr, "x"); }
+} // namespace mithra
+)cpp";
+    const auto diagnostics = lintAt("src/core/bad.cc", source);
+    EXPECT_TRUE(fired(diagnostics, "no-iostream", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-iostream", 6));
+    // logging.cc is the sanctioned output path.
+    EXPECT_FALSE(firedRule(lintAt("src/common/logging.cc", source),
+                           "no-iostream"));
+    // Harness code (tests/, bench/) may print freely.
+    EXPECT_FALSE(firedRule(lintAt("tests/ok.cpp", source),
+                           "no-iostream"));
+}
+
+TEST(Lint, NakedAssertFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+#include <cassert>
+namespace mithra
+{
+void check(int x) { assert(x > 0); }
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-naked-assert", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-naked-assert", 5));
+}
+
+TEST(Lint, ContractMacrosAndStaticAssertPass)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+void check(int x)
+{
+    MITHRA_ASSERT(x > 0, "x must be positive, got ", x);
+    static_assert(sizeof(int) >= 4);
+}
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-naked-assert"));
+}
+
+TEST(Lint, ViolationsInsideStringsAndCommentsIgnored)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+// std::rand() in a comment is documentation, not a call.
+const char *hint = "never call srand() or std::random_device";
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-rand"));
+    EXPECT_FALSE(firedRule(diagnostics, "no-random-device"));
+}
+
+TEST(Lint, DiagnosticFormatHasFileAndLine)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+namespace mithra
+{
+int roll() { return rand(); }
+} // namespace mithra
+)cpp");
+    ASSERT_TRUE(firedRule(diagnostics, "no-rand"));
+    const auto &d = *std::find_if(diagnostics.begin(),
+                                  diagnostics.end(),
+                                  [](const Diagnostic &x) {
+                                      return x.rule == "no-rand";
+                                  });
+    const std::string rendered = mithra::lint::formatDiagnostic(d);
+    EXPECT_NE(rendered.find("src/core/bad.cc:4"), std::string::npos);
+    EXPECT_NE(rendered.find("[no-rand]"), std::string::npos);
+}
+
+TEST(Lint, PolicySelection)
+{
+    EXPECT_TRUE(policyForPath("src/stats/summary.cc").doubleOnly);
+    EXPECT_FALSE(policyForPath("src/npu/mlp.cc").doubleOnly);
+    EXPECT_TRUE(policyForPath("bench/fig01_error_cdf.cpp").determinism);
+    EXPECT_FALSE(policyForPath("bench/fig01_error_cdf.cpp")
+                     .libraryHygiene);
+    EXPECT_TRUE(policyForPath("/abs/repo/src/hw/misr.cc")
+                    .libraryHygiene);
+    EXPECT_TRUE(policyForPath("src/common/rng.cc").rngImpl);
+    EXPECT_TRUE(policyForPath("src/common/logging.hh").loggingImpl);
+}
+
+} // namespace

@@ -1,0 +1,531 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace mithra::lint
+{
+
+namespace
+{
+
+enum class TokenKind
+{
+    Identifier,
+    Number,
+    Punct,
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    std::size_t line;
+};
+
+/** Tokens plus the (line, rule) suppression annotations found. */
+struct ScanResult
+{
+    std::vector<Token> tokens;
+    std::vector<std::pair<std::size_t, std::string>> allows;
+};
+
+bool
+identifierStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identifierChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Collect `mithra-lint: allow(<rule>)` annotations from a comment. */
+void
+parseAllows(const std::string &comment, std::size_t line,
+            ScanResult &result)
+{
+    static const std::string marker = "mithra-lint: allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(marker, at)) != std::string::npos) {
+        const std::size_t open = at + marker.size();
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            return;
+        result.allows.emplace_back(line,
+                                   comment.substr(open, close - open));
+        at = close;
+    }
+}
+
+/** True when `prefix` marks the upcoming `"` as a raw string. */
+bool
+rawStringPrefix(const std::string &prefix)
+{
+    return prefix == "R" || prefix == "LR" || prefix == "uR"
+        || prefix == "UR" || prefix == "u8R";
+}
+
+/** True when `prefix` marks the upcoming `"` as an encoded string. */
+bool
+encodedStringPrefix(const std::string &prefix)
+{
+    return prefix == "L" || prefix == "u" || prefix == "U"
+        || prefix == "u8";
+}
+
+/** Skip a quoted literal (string or char) starting at src[i]. */
+std::size_t
+skipQuoted(const std::string &src, std::size_t i, char quote,
+           std::size_t &line)
+{
+    ++i; // opening quote
+    while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+            if (src[i + 1] == '\n')
+                ++line;
+            i += 2;
+            continue;
+        }
+        if (src[i] == '\n')
+            ++line; // ill-formed, but keep line numbers sane
+        if (src[i] == quote)
+            return i + 1;
+        ++i;
+    }
+    return i;
+}
+
+/** Skip a raw string R"delim( ... )delim" starting at the quote. */
+std::size_t
+skipRawString(const std::string &src, std::size_t i, std::size_t &line)
+{
+    ++i; // opening quote
+    std::string delim;
+    while (i < src.size() && src[i] != '(')
+        delim.push_back(src[i++]);
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src.find(closer, i);
+    const std::size_t stop =
+        end == std::string::npos ? src.size() : end + closer.size();
+    line += static_cast<std::size_t>(
+        std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                   src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+    return stop;
+}
+
+/**
+ * Tokenize C++ source: comments and literals are stripped (comments
+ * feed the annotation list), identifiers and numbers keep their text,
+ * punctuation is emitted one character at a time.
+ */
+ScanResult
+scan(const std::string &src)
+{
+    ScanResult result;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    const std::size_t n = src.size();
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const std::size_t eol = src.find('\n', i);
+            const std::size_t stop = eol == std::string::npos ? n : eol;
+            parseAllows(src.substr(i, stop - i), line, result);
+            i = stop;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const std::size_t end = src.find("*/", i + 2);
+            const std::size_t stop =
+                end == std::string::npos ? n : end + 2;
+            const std::string body = src.substr(i, stop - i);
+            parseAllows(body, line, result);
+            line += static_cast<std::size_t>(
+                std::count(body.begin(), body.end(), '\n'));
+            i = stop;
+            continue;
+        }
+        if (c == '"') {
+            i = skipQuoted(src, i, '"', line);
+            continue;
+        }
+        if (c == '\'') {
+            i = skipQuoted(src, i, '\'', line);
+            continue;
+        }
+        if (identifierStart(c)) {
+            std::size_t j = i;
+            while (j < n && identifierChar(src[j]))
+                ++j;
+            std::string text = src.substr(i, j - i);
+            if (j < n && src[j] == '"' && rawStringPrefix(text)) {
+                i = skipRawString(src, j, line);
+                continue;
+            }
+            if (j < n && src[j] == '"' && encodedStringPrefix(text)) {
+                i = skipQuoted(src, j, '"', line);
+                continue;
+            }
+            if (j < n && src[j] == '\'' && encodedStringPrefix(text)) {
+                i = skipQuoted(src, j, '\'', line);
+                continue;
+            }
+            result.tokens.push_back(
+                {TokenKind::Identifier, std::move(text), line});
+            i = j;
+            continue;
+        }
+        const bool numberStart =
+            std::isdigit(static_cast<unsigned char>(c))
+            || (c == '.' && i + 1 < n
+                && std::isdigit(static_cast<unsigned char>(src[i + 1])));
+        if (numberStart) {
+            std::size_t j = i;
+            while (j < n) {
+                const char d = src[j];
+                if (identifierChar(d) || d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                // Exponent signs: 1e+3, 0x1p-5.
+                if ((d == '+' || d == '-') && j > i) {
+                    const char prev = src[j - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p'
+                        || prev == 'P') {
+                        ++j;
+                        continue;
+                    }
+                }
+                break;
+            }
+            result.tokens.push_back(
+                {TokenKind::Number, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        result.tokens.push_back({TokenKind::Punct, std::string(1, c),
+                                 line});
+        ++i;
+    }
+    return result;
+}
+
+/** Forward-slashed copy of `path` for substring policy matching. */
+std::string
+normalized(const std::string &path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+bool
+pathContains(const std::string &path, const std::string &piece)
+{
+    return path.find(piece) != std::string::npos;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size()
+        && text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix)
+        == 0;
+}
+
+/** Rule-firing context shared by the individual checks. */
+struct Linter
+{
+    const std::string &path;
+    const PathPolicy &policy;
+    const ScanResult &scanned;
+    std::vector<Diagnostic> diagnostics;
+
+    bool suppressed(std::size_t line, const std::string &rule) const
+    {
+        for (const auto &[allowLine, allowRule] : scanned.allows) {
+            if (allowRule == rule
+                && (allowLine == line || allowLine + 1 == line)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void report(std::size_t line, std::string rule, std::string message)
+    {
+        if (suppressed(line, rule))
+            return;
+        diagnostics.push_back(
+            {path, line, std::move(rule), std::move(message)});
+    }
+};
+
+const Token *
+tokenAt(const std::vector<Token> &tokens, std::size_t index)
+{
+    return index < tokens.size() ? &tokens[index] : nullptr;
+}
+
+/** time() with no argument or a constant-zero/null argument. */
+bool
+isWallClockSeed(const std::vector<Token> &tokens, std::size_t i)
+{
+    const Token *open = tokenAt(tokens, i + 1);
+    if (!open || open->kind != TokenKind::Punct || open->text != "(")
+        return false;
+    const Token *arg = tokenAt(tokens, i + 2);
+    if (!arg)
+        return false;
+    if (arg->kind == TokenKind::Punct && arg->text == ")")
+        return true;
+    const bool nullArg =
+        (arg->kind == TokenKind::Number && arg->text == "0")
+        || (arg->kind == TokenKind::Identifier
+            && (arg->text == "NULL" || arg->text == "nullptr"));
+    if (!nullArg)
+        return false;
+    const Token *close = tokenAt(tokens, i + 3);
+    return close && close->kind == TokenKind::Punct
+        && close->text == ")";
+}
+
+/** Float literal: non-hex numeric token with an f/F suffix. */
+bool
+isFloatLiteral(const std::string &text)
+{
+    if (text.size() < 2)
+        return false;
+    if (text[0] == '0' && (text[1] == 'x' || text[1] == 'X'))
+        return false;
+    const char last = text.back();
+    return last == 'f' || last == 'F';
+}
+
+void
+checkHeaderHygiene(Linter &lint)
+{
+    const auto &tokens = lint.scanned.tokens;
+    const Token *hash = tokenAt(tokens, 0);
+    const Token *pragma = tokenAt(tokens, 1);
+    const Token *once = tokenAt(tokens, 2);
+    const bool ok = hash && hash->text == "#" && pragma
+        && pragma->text == "pragma" && once && once->text == "once";
+    if (!ok) {
+        lint.report(hash ? hash->line : 1, "pragma-once",
+                    "header must open with `#pragma once` before any "
+                    "other content");
+    }
+}
+
+void
+checkNamespace(Linter &lint)
+{
+    const auto &tokens = lint.scanned.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind == TokenKind::Identifier
+            && tokens[i].text == "namespace"
+            && tokens[i + 1].kind == TokenKind::Identifier
+            && tokens[i + 1].text == "mithra") {
+            return;
+        }
+    }
+    lint.report(1, "namespace-mithra",
+                "library code must live in namespace mithra");
+}
+
+void
+checkTokens(Linter &lint)
+{
+    static const std::set<std::string> bannedRand = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+    };
+    static const std::set<std::string> bannedStreams = {
+        "iostream", "cout", "cerr", "clog", "fprintf",
+    };
+
+    const auto &tokens = lint.scanned.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+
+        if (lint.policy.determinism && t.kind == TokenKind::Identifier) {
+            if (bannedRand.count(t.text)) {
+                lint.report(t.line, "no-rand",
+                            "`" + t.text
+                                + "' is not seedable/reproducible; use "
+                                  "mithra::Rng (common/rng.hh)");
+            }
+            if (t.text == "random_device" && !lint.policy.rngImpl) {
+                lint.report(t.line, "no-random-device",
+                            "std::random_device is nondeterministic; "
+                            "entropy may only enter through "
+                            "common/rng.*");
+            }
+            if (t.text == "time" && isWallClockSeed(tokens, i)) {
+                lint.report(t.line, "no-time-seed",
+                            "wall-clock time() makes runs "
+                            "unreproducible; derive seeds from "
+                            "experiment configuration");
+            }
+        }
+
+        if (lint.policy.libraryHygiene
+            && t.kind == TokenKind::Identifier) {
+            if (t.text.rfind("unordered_", 0) == 0) {
+                lint.report(t.line, "no-unordered",
+                            "`" + t.text
+                                + "' iterates in hash order, which is "
+                                  "not deterministic across platforms; "
+                                  "use an ordered container or annotate "
+                                  "a lookup-only use with "
+                                  "`mithra-lint: allow(no-unordered)'");
+            }
+            if (bannedStreams.count(t.text) && !lint.policy.loggingImpl) {
+                lint.report(t.line, "no-iostream",
+                            "library code reports through "
+                            "common/logging.hh, not `" + t.text + "'");
+            }
+            if (t.text == "cassert") {
+                lint.report(t.line, "no-naked-assert",
+                            "<cassert> is banned; use the contract "
+                            "macros in common/contracts.hh");
+            }
+            if (t.text == "assert") {
+                const Token *next = tokenAt(tokens, i + 1);
+                if (next && next->kind == TokenKind::Punct
+                    && (next->text == "(" || next->text == ".")) {
+                    lint.report(t.line, "no-naked-assert",
+                                "naked assert() compiles out under "
+                                "NDEBUG and carries no message; use "
+                                "MITHRA_ASSERT / MITHRA_EXPECTS / "
+                                "MITHRA_ENSURES");
+                }
+            }
+        }
+
+        if (lint.policy.doubleOnly) {
+            if (t.kind == TokenKind::Identifier && t.text == "float") {
+                lint.report(t.line, "no-float-in-stats",
+                            "src/stats is a double-only substrate; "
+                            "float narrows the guarantee arithmetic");
+            }
+            if (t.kind == TokenKind::Number
+                && isFloatLiteral(t.text)) {
+                lint.report(t.line, "no-float-in-stats",
+                            "float literal `" + t.text
+                                + "' in src/stats; spell it as a "
+                                  "double");
+            }
+        }
+    }
+}
+
+} // namespace
+
+PathPolicy
+policyForPath(const std::string &path)
+{
+    const std::string p = normalized(path);
+    PathPolicy policy;
+
+    const bool inSrc = pathContains(p, "src/");
+    const bool inBench = pathContains(p, "bench/");
+    const bool inTests = pathContains(p, "tests/");
+
+    policy.determinism = inSrc || inBench || inTests;
+    policy.libraryHygiene = inSrc;
+    policy.doubleOnly = pathContains(p, "src/stats/");
+    policy.headerHygiene = endsWith(p, ".hh") || endsWith(p, ".hpp")
+        || endsWith(p, ".h");
+    policy.rngImpl = pathContains(p, "src/common/rng.");
+    policy.loggingImpl = pathContains(p, "src/common/logging.");
+    return policy;
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &source)
+{
+    const PathPolicy policy = policyForPath(path);
+    const ScanResult scanned = scan(source);
+    Linter lint{path, policy, scanned, {}};
+
+    if (policy.headerHygiene)
+        checkHeaderHygiene(lint);
+    if (policy.libraryHygiene)
+        checkNamespace(lint);
+    checkTokens(lint);
+
+    std::stable_sort(lint.diagnostics.begin(), lint.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.line < b.line;
+                     });
+    return std::move(lint.diagnostics);
+}
+
+std::vector<Diagnostic>
+lintFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {{path, 0, "io-error", "cannot read file"}};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintSource(path, buffer.str());
+}
+
+std::vector<std::string>
+collectFiles(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    const fs::path rootPath(root);
+    if (fs::is_regular_file(rootPath)) {
+        files.push_back(rootPath.generic_string());
+        return files;
+    }
+    if (!fs::is_directory(rootPath))
+        return files;
+    static const std::set<std::string> extensions = {
+        ".cc", ".cpp", ".hh", ".hpp", ".h",
+    };
+    for (const auto &entry :
+         fs::recursive_directory_iterator(rootPath)) {
+        if (!entry.is_regular_file())
+            continue;
+        if (extensions.count(entry.path().extension().string()))
+            files.push_back(entry.path().generic_string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &diagnostic)
+{
+    std::ostringstream os;
+    os << diagnostic.file << ":" << diagnostic.line << ": error: ["
+       << diagnostic.rule << "] " << diagnostic.message;
+    return os.str();
+}
+
+} // namespace mithra::lint

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * mithra-lint — token-level enforcement of MITHRA-specific invariants.
+ *
+ * The library's headline claim is a *statistical guarantee*, and that
+ * guarantee rests on properties no compiler flag checks for us:
+ * deterministic randomness, a double-only statistics substrate, and
+ * contract-checked subsystems. This linter token-scans the tree and
+ * turns violations of those properties into hard errors.
+ *
+ * Rule catalog (rule ids are what `mithra-lint: allow(<rule>)`
+ * annotations name):
+ *
+ *  no-rand           std::rand / srand / rand_r / drand48: unseeded or
+ *                    process-global generators break reproducibility.
+ *                    Use common/rng.hh (Rng, rngStream).
+ *  no-random-device  std::random_device is nondeterministic by design;
+ *                    only common/rng.* may touch entropy sources.
+ *  no-time-seed      argless time() / time(nullptr) / time(0): wall
+ *                    clock seeding makes runs unreproducible.
+ *  no-unordered      unordered_* containers iterate in a hash-dependent
+ *                    order, which silently varies across libstdc++
+ *                    versions; reduction paths must use ordered
+ *                    containers. Lookup-only caches may annotate.
+ *  no-float-in-stats src/stats is a double-only substrate (the
+ *                    Clopper–Pearson machinery is validated at double
+ *                    precision); float types or literals are banned.
+ *  pragma-once       headers open with `#pragma once` (before any
+ *                    non-comment content).
+ *  namespace-mithra  every library file declares namespace mithra.
+ *  no-iostream       library code reports through common/logging.hh;
+ *                    iostream / fprintf elsewhere bypasses the
+ *                    inform() gate benchmarks rely on.
+ *  no-naked-assert   assert() vanishes under NDEBUG with no message;
+ *                    use MITHRA_ASSERT / MITHRA_EXPECTS /
+ *                    MITHRA_ENSURES from common/contracts.hh.
+ *
+ * Which rules apply depends on the path (see policyForPath): the
+ * determinism rules cover src/, bench/ and tests/; the library-hygiene
+ * rules cover src/ only; the float ban covers src/stats only.
+ * common/rng.* is exempt from no-random-device and common/logging.*
+ * from no-iostream — they are the sanctioned implementations.
+ *
+ * A `// mithra-lint: allow(<rule>)` comment suppresses that rule on
+ * its own line and the following line.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mithra::lint
+{
+
+/** One rule violation, anchored to a file and line. */
+struct Diagnostic
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Which rule groups apply to a file, derived from its path. */
+struct PathPolicy
+{
+    /** rand / random_device / time rules (src, bench, tests). */
+    bool determinism = false;
+    /** unordered / namespace / iostream / assert rules (src only). */
+    bool libraryHygiene = false;
+    /** float ban (src/stats only). */
+    bool doubleOnly = false;
+    /** `#pragma once` requirement (every header scanned). */
+    bool headerHygiene = false;
+    /** Sanctioned entropy implementation (common/rng.*). */
+    bool rngImpl = false;
+    /** Sanctioned output implementation (common/logging.*). */
+    bool loggingImpl = false;
+};
+
+/** Derive the rule policy from a (relative or absolute) path. */
+PathPolicy policyForPath(const std::string &path);
+
+/**
+ * Lint one translation unit. `path` selects the policy and labels the
+ * diagnostics; `source` is the file content. Returns all violations in
+ * line order.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &source);
+
+/** Lint a file on disk (reads it, then defers to lintSource). */
+std::vector<Diagnostic> lintFile(const std::string &path);
+
+/**
+ * Recursively collect the lintable files (.cc / .cpp / .hh / .hpp /
+ * .h) under `root` in sorted order; a regular file is returned as-is.
+ */
+std::vector<std::string> collectFiles(const std::string &root);
+
+/** Render one diagnostic as "file:line: error: [rule] message". */
+std::string formatDiagnostic(const Diagnostic &diagnostic);
+
+} // namespace mithra::lint

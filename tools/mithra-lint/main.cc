@@ -1,0 +1,56 @@
+/**
+ * @file
+ * mithra-lint driver: `mithra-lint <file-or-dir>...` lints every
+ * C++ source under the given roots and exits nonzero on any
+ * violation. See lint.hh for the rule catalog.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mithra::lint;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mithra-lint <file-or-dir>...\n"
+                     "Lints .cc/.cpp/.hh files for MITHRA invariant "
+                     "violations; exits 1 on any finding.\n");
+        return 2;
+    }
+
+    std::size_t fileCount = 0;
+    std::size_t violationCount = 0;
+    for (int arg = 1; arg < argc; ++arg) {
+        const std::vector<std::string> files = collectFiles(argv[arg]);
+        if (files.empty()) {
+            std::fprintf(stderr,
+                         "mithra-lint: warning: nothing to lint under "
+                         "`%s'\n",
+                         argv[arg]);
+            continue;
+        }
+        for (const std::string &file : files) {
+            ++fileCount;
+            for (const Diagnostic &d : lintFile(file)) {
+                std::fprintf(stderr, "%s\n",
+                             formatDiagnostic(d).c_str());
+                ++violationCount;
+            }
+        }
+    }
+
+    if (violationCount) {
+        std::fprintf(stderr, "mithra-lint: %zu violation(s) in %zu "
+                             "file(s) scanned\n",
+                     violationCount, fileCount);
+        return 1;
+    }
+    std::fprintf(stderr, "mithra-lint: %zu file(s) clean\n", fileCount);
+    return 0;
+}
