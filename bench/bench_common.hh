@@ -11,14 +11,40 @@
 
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "axbench/registry.hh"
 #include "core/experiment.hh"
+#include "telemetry/run_report.hh"
 
 namespace mithra::bench
 {
+
+/**
+ * Emit the machine-readable run report every harness binary writes
+ * alongside its console table: BENCH_<name>.json in $MITHRA_REPORT_DIR
+ * (default: the working directory), schema-versioned, carrying the
+ * binary's headline metrics plus the full telemetry stats and span
+ * registries. run_benches.sh fails the suite when a binary exits
+ * without its report.
+ */
+inline void
+writeBenchReport(
+    const std::string &name,
+    const std::vector<std::pair<std::string, double>> &metrics = {})
+{
+    telemetry::RunReport report(name);
+    for (const auto &[key, value] : metrics)
+        report.addMetric(key, value);
+    const std::string path = report.write();
+    // stderr, so machine-readable stdout (--benchmark_format=json)
+    // stays parseable.
+    if (!path.empty())
+        std::fprintf(stderr, "\nrun report: %s\n", path.c_str());
+}
 
 /** Quality-loss levels the paper sweeps (percent). */
 inline const std::vector<double> qualityLevels = {2.5, 5.0, 7.5, 10.0};

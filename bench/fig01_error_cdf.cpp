@@ -32,6 +32,7 @@ main()
     core::printBanner("Figure 1: CDF of final element error under full "
                       "approximation");
 
+    std::vector<std::pair<std::string, double>> metrics;
     for (const auto &name : axbench::benchmarkNames()) {
         const auto errors = runner.elementErrorSample(name, 2000000);
         stats::EmpiricalCdf cdf(errors);
@@ -49,9 +50,12 @@ main()
         const double largeTail = 1.0 - cdf.fractionAtOrBelow(10.0);
         std::printf("\n  elements with error > 10%%: %.1f%%\n\n",
                     100.0 * largeTail);
+        metrics.emplace_back(name + ".large_error_tail_pct",
+                             100.0 * largeTail);
     }
 
     std::printf("Paper claim: only a small fraction (0%%-20%%) of output "
                 "elements see large errors.\n");
+    bench::writeBenchReport("fig01_error_cdf", metrics);
     return 0;
 }

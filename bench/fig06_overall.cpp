@@ -40,6 +40,7 @@ main()
                               "geomean energy gain", "mean invocation",
                               "datasets in contract"});
 
+    std::vector<std::pair<std::string, double>> metrics;
     for (double quality : bench::qualityLevels) {
         const auto spec = bench::headlineSpec(quality);
         for (core::Design design : bench::mainDesigns) {
@@ -60,11 +61,21 @@ main()
                           core::fmtPct(100.0 * stats::mean(rates)),
                           std::to_string(successes) + "/"
                               + std::to_string(trials)});
+            if (quality == 5.0) {
+                const std::string prefix = core::designName(design);
+                metrics.emplace_back(prefix + ".speedup_geomean",
+                                     stats::geomean(speedups));
+                metrics.emplace_back(prefix + ".energy_gain_geomean",
+                                     stats::geomean(energies));
+                metrics.emplace_back(prefix + ".invocation_rate_mean",
+                                     stats::mean(rates));
+            }
         }
     }
     table.print();
 
     std::printf("\nPaper @5%%: oracle 3.19x/3.53x, table 2.5x/2.6x, "
                 "neural ~2.5x/+13%% energy; rates 93%%/64%%/73%%.\n");
+    bench::writeBenchReport("fig06_overall", metrics);
     return 0;
 }

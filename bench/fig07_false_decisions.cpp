@@ -34,6 +34,7 @@ main()
 
     core::TablePrinter mean({"quality loss", "design",
                              "false positives", "false negatives"});
+    std::vector<std::pair<std::string, double>> metrics;
     for (double quality : bench::qualityLevels) {
         const auto spec = bench::headlineSpec(quality);
         for (core::Design design :
@@ -48,6 +49,13 @@ main()
                          core::designName(design),
                          core::fmtPct(100.0 * stats::mean(fps)),
                          core::fmtPct(100.0 * stats::mean(fns))});
+            if (quality == 5.0) {
+                const std::string prefix = core::designName(design);
+                metrics.emplace_back(prefix + ".false_positive_mean",
+                                     stats::mean(fps));
+                metrics.emplace_back(prefix + ".false_negative_mean",
+                                     stats::mean(fns));
+            }
         }
     }
     mean.print();
@@ -66,5 +74,6 @@ main()
                     core::fmtPct(100.0 * net.eval.falseNegativeRate)});
     }
     per.print();
+    bench::writeBenchReport("fig07_false_decisions", metrics);
     return 0;
 }

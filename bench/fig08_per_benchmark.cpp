@@ -40,6 +40,7 @@ main(int argc, char **argv)
                       + (noOnline ? " (ablation: online updates off)"
                                   : ""));
 
+    std::vector<std::pair<std::string, double>> metrics;
     for (const auto &name : axbench::benchmarkNames()) {
         std::printf("%s\n", name.c_str());
         core::TablePrinter table({"quality loss", "design", "speedup",
@@ -60,10 +61,17 @@ main(int argc, char **argv)
                      core::fmtPct(100.0 * record.eval.invocationRate),
                      std::to_string(record.eval.successes) + "/"
                          + std::to_string(record.eval.trials)});
+                if (quality == 5.0) {
+                    metrics.emplace_back(
+                        name + "." + core::designName(design)
+                            + ".speedup",
+                        record.eval.speedup);
+                }
             }
         }
         table.print();
         std::printf("\n");
     }
+    bench::writeBenchReport("fig08_per_benchmark", metrics);
     return 0;
 }

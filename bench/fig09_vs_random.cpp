@@ -138,5 +138,11 @@ main()
                 stats::mean(tableEnergyGain),
                 stats::mean(neuralSpeedupGain),
                 stats::mean(neuralEnergyGain));
+    bench::writeBenchReport(
+        "fig09_vs_random",
+        {{"table.speedup_gain_mean", stats::mean(tableSpeedupGain)},
+         {"table.energy_gain_mean", stats::mean(tableEnergyGain)},
+         {"neural.speedup_gain_mean", stats::mean(neuralSpeedupGain)},
+         {"neural.energy_gain_mean", stats::mean(neuralEnergyGain)}});
     return 0;
 }

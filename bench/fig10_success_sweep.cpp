@@ -41,6 +41,7 @@ main()
     core::TablePrinter table({"success rate", "oracle EDP gain",
                               "table EDP gain", "neural EDP gain",
                               "mean invocation (oracle)"});
+    std::vector<std::pair<std::string, double>> metrics;
     for (double successRate : successRates) {
         auto spec = bench::headlineSpec();
         spec.successRate = successRate;
@@ -62,10 +63,18 @@ main()
                       core::fmtRatio(stats::geomean(tableEdp)),
                       core::fmtRatio(stats::geomean(neuralEdp)),
                       core::fmtPct(100.0 * stats::mean(rates))});
+        const std::string prefix =
+            "success_" + std::to_string(
+                static_cast<int>(100.0 * successRate));
+        metrics.emplace_back(prefix + ".table_edp_geomean",
+                             stats::geomean(tableEdp));
+        metrics.emplace_back(prefix + ".neural_edp_geomean",
+                             stats::geomean(neuralEdp));
     }
     table.print();
 
     std::printf("\nHigher statistical guarantees come at a higher "
                 "price (paper §V-B.1).\n");
+    bench::writeBenchReport("fig10_success_sweep", metrics);
     return 0;
 }

@@ -130,5 +130,6 @@ main(int argc, char **argv)
         runBitsAblation(runner);
     else
         runGeometrySweep(runner);
+    bench::writeBenchReport("fig11_pareto");
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "common/rng.hh"
 #include "compress/bdi.hh"
 #include "hw/decision_table.hh"
@@ -118,4 +119,16 @@ BENCHMARK(BM_GreedyEnsembleTraining)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the binary can emit its run report
+// after the benchmarks finish.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::writeBenchReport("micro_classifier");
+    return 0;
+}

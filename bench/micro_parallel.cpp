@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "axbench/registry.hh"
+#include "bench_common.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -37,6 +38,14 @@ using namespace mithra;
 
 namespace
 {
+
+/** family -> speedup at the widest pool, for the run report. */
+std::map<std::string, double> &
+reportSpeedups()
+{
+    static std::map<std::string, double> speedups;
+    return speedups;
+}
 
 /** {1, 2, 4, hw} deduplicated and ascending. */
 std::vector<std::size_t>
@@ -84,10 +93,12 @@ reportCounters(benchmark::State &state, const std::string &family,
     state.counters["pool_threads"] =
         benchmark::Counter(static_cast<double>(threads));
     const auto it = baselines.find(family);
-    state.counters["speedup_vs_1thread"] = benchmark::Counter(
-        it != baselines.end() && meanSeconds > 0.0
-            ? it->second / meanSeconds
-            : 0.0);
+    const double speedup = it != baselines.end() && meanSeconds > 0.0
+        ? it->second / meanSeconds
+        : 0.0;
+    state.counters["speedup_vs_1thread"] = benchmark::Counter(speedup);
+    // Widths run ascending, so the last write is the widest pool.
+    reportSpeedups()[family + ".speedup_vs_1thread"] = speedup;
 }
 
 constexpr const char *benchName = "inversek2j";
@@ -206,5 +217,9 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    std::vector<std::pair<std::string, double>> metrics(
+        reportSpeedups().begin(), reportSpeedups().end());
+    bench::writeBenchReport("micro_parallel", metrics);
     return 0;
 }

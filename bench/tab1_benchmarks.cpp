@@ -31,6 +31,7 @@ main()
     const char *paperError[] = {"6.03%", "7.22%", "7.50%", "17.69%",
                                 "7.00%", "9.96%"};
     std::size_t row = 0;
+    std::vector<std::pair<std::string, double>> metrics;
     for (const auto &name : axbench::benchmarkNames()) {
         const auto facts = runner.workloadFacts(name);
         table.addRow({name, facts.domain, facts.metricName,
@@ -38,7 +39,10 @@ main()
                       std::to_string(facts.invocationsPerDataset),
                       core::fmtPct(facts.fullApproxLossMean, 2),
                       paperError[row++]});
+        metrics.emplace_back(name + ".full_approx_loss_pct",
+                             facts.fullApproxLossMean);
     }
     table.print();
+    bench::writeBenchReport("tab1_benchmarks", metrics);
     return 0;
 }

@@ -38,6 +38,7 @@ main()
     const char *paperNeural[] = {"0.57 KB", "0.10 KB", "0.10 KB",
                                  "1.47 KB", "0.79 KB", "0.22 KB"};
     std::size_t row = 0;
+    double tableBytesTotal = 0.0, neuralBytesTotal = 0.0;
     for (const auto &name : axbench::benchmarkNames()) {
         const auto tableRec =
             runner.run(name, spec, core::Design::Table);
@@ -47,10 +48,16 @@ main()
                       paperTable[row], neuralRec.topology,
                       core::fmtKb(neuralRec.compressedBytes),
                       paperNeural[row]});
+        tableBytesTotal += tableRec.compressedBytes;
+        neuralBytesTotal += neuralRec.compressedBytes;
         ++row;
     }
     table.print();
     std::printf("\nUncompressed table design: 8 tables x 0.5 KB = 4 KB "
                 "(Pareto optimal, see fig11).\n");
+    bench::writeBenchReport(
+        "tab2_classifier_sizes",
+        {{"table.compressed_bytes_total", tableBytesTotal},
+         {"neural.config_bytes_total", neuralBytesTotal}});
     return 0;
 }

@@ -137,5 +137,9 @@ main()
                 stats::mean(neuralSlowdowns));
     std::printf("A co-designed hardware-software solution is necessary "
                 "for quality control.\n");
+    bench::writeBenchReport(
+        "tab3_sw_slowdown",
+        {{"table.sw_slowdown_mean", stats::mean(tableSlowdowns)},
+         {"neural.sw_slowdown_mean", stats::mean(neuralSlowdowns)}});
     return 0;
 }

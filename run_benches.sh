@@ -1,8 +1,35 @@
 #!/bin/sh
-# Runs every table/figure harness binary. Results are memoized in
-# $MITHRA_CACHE (default .mithra-cache.tsv), so re-runs are fast.
-set -x
+# Runs every table/figure harness binary and collects the
+# machine-readable run report each one must emit. Results are memoized
+# in $MITHRA_CACHE (default .mithra-cache.tsv), so re-runs are fast.
+#
+# Reports land as BENCH_<binary>.json in the repo root (override with
+# MITHRA_REPORT_DIR). A binary that fails, or exits without writing its
+# report, fails the whole run.
+set -u
+
+report_dir="${MITHRA_REPORT_DIR:-.}"
+failed=0
+
 for b in build/bench/*; do
     [ -x "$b" ] || continue
-    "$b" || echo "BENCH FAILED: $b"
+    [ -d "$b" ] && continue
+    name=$(basename "$b")
+    echo "==> $name"
+    if ! "$b"; then
+        echo "BENCH FAILED: $name" >&2
+        failed=1
+        continue
+    fi
+    report="$report_dir/BENCH_$name.json"
+    if [ ! -f "$report" ]; then
+        echo "MISSING RUN REPORT: $name did not write $report" >&2
+        failed=1
+    fi
 done
+
+if [ "$failed" -ne 0 ]; then
+    echo "run_benches.sh: FAILURES (see above)" >&2
+    exit 1
+fi
+echo "run_benches.sh: all benches ran and reported"

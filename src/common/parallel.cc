@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "telemetry/telemetry.hh"
 
 namespace mithra
 {
@@ -115,6 +118,7 @@ class ThreadPool
     {
         const bool wasInside = insideRegion;
         insideRegion = true;
+        std::size_t executed = 0;
         for (;;) {
             const std::size_t chunk =
                 job.nextChunk.fetch_add(1, std::memory_order_relaxed);
@@ -125,6 +129,7 @@ class ThreadPool
             } catch (...) {
                 job.errors[chunk] = std::current_exception();
             }
+            ++executed;
             if (job.doneChunks.fetch_add(1, std::memory_order_release)
                     + 1
                 == job.chunkCount) {
@@ -133,6 +138,22 @@ class ThreadPool
             }
         }
         insideRegion = wasInside;
+
+#if MITHRA_TELEMETRY_ENABLED
+        // Placement accounting: how many chunks this thread pulled off
+        // the cursor. Placement is dynamic (only chunk *identity* is
+        // static), so these are volatile stats — excluded from
+        // deterministic dumps and run reports.
+        if (executed) {
+            telemetry::StatsRegistry::global()
+                .counter("parallel.placement.thread"
+                             + std::to_string(telemetry::threadOrdinal()),
+                         true)
+                .add(static_cast<std::int64_t>(executed));
+        }
+#else
+        (void)executed;
+#endif
     }
 
     void waitForCompletion()
@@ -255,6 +276,12 @@ runChunks(std::size_t chunkCount,
 {
     if (chunkCount == 0)
         return;
+    // Region/chunk accounting. Chunk layout depends only on the range
+    // and the grain — never the pool width — so these counters are
+    // identical at any MITHRA_THREADS and safe for the deterministic
+    // dump (unlike the per-thread placement stats below).
+    MITHRA_COUNT("parallel.regions", 1);
+    MITHRA_COUNT("parallel.chunks", chunkCount);
     // Inline when there is nothing to overlap (one chunk, one thread)
     // or when already inside a region (nested parallelism). Inline
     // execution runs chunks in index order — by the chunking contract

@@ -7,6 +7,7 @@
 #include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/scale.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::core
 {
@@ -308,8 +309,11 @@ ExperimentRunner::run(const std::string &benchmark,
                       const RunOptions &options)
 {
     const std::string key = cacheKey(benchmark, spec, design, options);
-    if (const auto cached = cache.get(key))
+    if (const auto cached = cache.get(key)) {
+        MITHRA_COUNT("core.experiment.cache_hits", 1);
         return parseRecord(*cached);
+    }
+    MITHRA_COUNT("core.experiment.cache_misses", 1);
 
     LoadedWorkload &entry = loaded(benchmark);
     QualityPackage &pkg = package(entry, spec);

@@ -9,6 +9,7 @@
 #include "common/scale.hh"
 #include "sim/core_model.hh"
 #include "stats/clopper_pearson.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::core
 {
@@ -68,6 +69,8 @@ sampleNpuTraining(
 CompiledWorkload
 Pipeline::compile(const std::string &benchmarkName) const
 {
+    MITHRA_SPAN("core.pipeline.compile");
+    MITHRA_COUNT("core.pipeline.compiles", 1);
     CompiledWorkload workload;
     workload.benchmark = axbench::makeBenchmark(benchmarkName);
     const auto &bench = *workload.benchmark;
@@ -82,14 +85,22 @@ Pipeline::compile(const std::string &benchmarkName) const
     // independent across d and fill pre-sized slots in parallel.
     workload.compileDatasets.resize(datasetCount);
     workload.compileTraces.resize(datasetCount);
-    parallelFor(0, datasetCount, 1, [&](std::size_t d) {
-        auto dataset = bench.makeDataset(
-            axbench::compileSeed(benchmarkName, d));
-        workload.compileTraces[d] =
-            std::make_unique<axbench::InvocationTrace>(
-                bench.trace(*dataset));
-        workload.compileDatasets[d] = std::move(dataset);
-    });
+    {
+        MITHRA_SPAN("core.pipeline.dataset_gen");
+        parallelFor(0, datasetCount, 1, [&](std::size_t d) {
+            auto dataset = bench.makeDataset(
+                axbench::compileSeed(benchmarkName, d));
+            workload.compileTraces[d] =
+                std::make_unique<axbench::InvocationTrace>(
+                    bench.trace(*dataset));
+            workload.compileDatasets[d] = std::move(dataset);
+        });
+    }
+    MITHRA_COUNT("core.pipeline.datasets", datasetCount);
+    std::size_t tracedInvocations = 0;
+    for (const auto &trace : workload.compileTraces)
+        tracedInvocations += trace->count();
+    MITHRA_COUNT("core.pipeline.traced_invocations", tracedInvocations);
 
     // Train the accelerator on sampled invocations (the paper's NPU
     // workflow: the compiler collects input/output pairs of the target
@@ -101,30 +112,46 @@ Pipeline::compile(const std::string &benchmarkName) const
     inform("compile[", benchmarkName, "]: training NPU ",
            npu::topologyName(bench.npuTopology()), " on ",
            trainIn.size(), " samples");
-    workload.npuTrainMse = workload.accel.trainToMimic(
-        bench.npuTopology(), trainIn, trainOut,
-        bench.npuTrainerOptions());
+    {
+        MITHRA_SPAN("core.pipeline.npu_train");
+        workload.npuTrainMse = workload.accel.trainToMimic(
+            bench.npuTopology(), trainIn, trainOut,
+            bench.npuTrainerOptions());
+    }
+#if MITHRA_TELEMETRY_ENABLED
+    // Keyed per benchmark: workloads may compile concurrently (the
+    // experiment runner's prefetch), so a shared last-write-wins gauge
+    // would depend on completion order and break the bitwise
+    // thread-count determinism of dumps and run reports.
+    telemetry::StatsRegistry::global()
+        .gauge("core.pipeline.npu_train_mse." + benchmarkName)
+        .set(workload.npuTrainMse);
+#endif
 
     // Attach approximate outputs to every trace and build the
     // threshold problem. Each dataset's attach/entry/loss work only
     // touches its own slot; the loss partials reduce in dataset order.
     workload.problem.benchmark = &bench;
     workload.problem.entries.resize(workload.compileTraces.size());
-    const double lossSum = parallelMapReduce(
-        0, workload.compileTraces.size(), 1, 0.0,
-        [&](std::size_t d) {
-            auto &trace = *workload.compileTraces[d];
-            trace.attachApproximations(workload.accel);
-            workload.problem.entries[d] = ThresholdProblem::makeEntry(
-                bench, *workload.compileDatasets[d], trace);
+    double lossSum = 0.0;
+    {
+        MITHRA_SPAN("core.pipeline.attach");
+        lossSum = parallelMapReduce(
+            0, workload.compileTraces.size(), 1, 0.0,
+            [&](std::size_t d) {
+                auto &trace = *workload.compileTraces[d];
+                trace.attachApproximations(workload.accel);
+                workload.problem.entries[d] = ThresholdProblem::makeEntry(
+                    bench, *workload.compileDatasets[d], trace);
 
-            const auto approxFinal = bench.approxOutput(
-                *workload.compileDatasets[d], trace);
-            return axbench::qualityLoss(
-                bench.metric(),
-                workload.problem.entries[d].preciseFinal, approxFinal);
-        },
-        [](double a, double b) { return a + b; });
+                const auto approxFinal = bench.approxOutput(
+                    *workload.compileDatasets[d], trace);
+                return axbench::qualityLoss(
+                    bench.metric(),
+                    workload.problem.entries[d].preciseFinal, approxFinal);
+            },
+            [](double a, double b) { return a + b; });
+    }
     workload.fullApproxLossMean =
         lossSum / static_cast<double>(workload.compileTraces.size());
 
@@ -162,6 +189,8 @@ ThresholdResult
 Pipeline::tuneThreshold(const CompiledWorkload &workload,
                         const QualitySpec &spec) const
 {
+    MITHRA_SPAN("core.pipeline.threshold_search");
+    MITHRA_COUNT("core.pipeline.threshold_searches", 1);
     const ThresholdOptimizer optimizer(spec);
     return optimizer.optimize(workload.problem);
 }
@@ -242,6 +271,14 @@ calibrationMeasure(const CompiledWorkload &workload,
             return a;
         });
 
+    // Bulk counts after the ordered reduction: thread-count
+    // independent, so safe as deterministic stats.
+    MITHRA_COUNT("core.calibration.measurements", 1);
+    MITHRA_COUNT("core.calibration.datasets_measured", tally.trials);
+    MITHRA_COUNT("core.calibration.dataset_successes", tally.successes);
+    MITHRA_COUNT("core.calibration.invocations_approximated", tally.accel);
+    MITHRA_COUNT("core.calibration.invocations_measured", tally.total);
+
     CalibrationMeasurement out;
     out.successBound = stats::clopperPearsonLower(
         tally.successes, tally.trials, spec.confidence);
@@ -281,12 +318,14 @@ calibrateLoop(const PipelineOptions &options,
               const CompiledWorkload &workload, const QualitySpec &spec,
               double tunedThreshold, TrainFn trainOne)
 {
+    MITHRA_SPAN("core.pipeline.calibration");
     const ThresholdProblem trainProblem = trainingHalf(workload.problem);
     CalibratedClassifier<ClassifierType> out;
     double th = tunedThreshold;
 
     for (std::size_t round = 0; round <= options.maxCalibrationRounds;
          ++round) {
+        MITHRA_COUNT("core.calibration.rounds", 1);
         const TrainingData data = buildTrainingData(
             trainProblem, th, options.classifierTuples, options.seed);
         auto candidate = trainOne(data, round);

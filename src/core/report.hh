@@ -9,15 +9,18 @@
 #include <string>
 #include <vector>
 
+#include "common/format.hh"
+
 namespace mithra::core
 {
 
-/** Format helpers. */
-std::string fmtPct(double value, int decimals = 1);
-std::string fmtRatio(double value, int decimals = 2);
-std::string fmtBytes(double bytes);
-std::string fmtKb(double bytes, int decimals = 2);
-std::string fmtCount(double value);
+// The format helpers moved to common/format.hh (the telemetry dump
+// shares them); re-exported here for the harness binaries.
+using mithra::fmtBytes;
+using mithra::fmtCount;
+using mithra::fmtKb;
+using mithra::fmtPct;
+using mithra::fmtRatio;
 
 /** A simple aligned console table. */
 class TablePrinter

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hh"
 #include "common/parallel.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::hw
 {
@@ -194,6 +195,11 @@ countFalseDecisions(const TableEnsemble &ensemble,
         });
     count.falsePositives = merged.falsePositives;
     count.falseNegatives = merged.falseNegatives;
+    // Bulk counts after the reduction, never per tuple: decidePrecise
+    // is on the micro-bench hot path.
+    MITHRA_COUNT("hw.table.decisions_audited", count.total);
+    MITHRA_COUNT("hw.table.false_positives", count.falsePositives);
+    MITHRA_COUNT("hw.table.false_negatives", count.falseNegatives);
     return count;
 }
 
@@ -202,6 +208,8 @@ trainGreedyEnsemble(const TableGeometry &geometry,
                     const std::vector<TrainingTuple> &tuples)
 {
     MITHRA_EXPECTS(!tuples.empty(), "cannot train an ensemble on no data");
+    MITHRA_SPAN("hw.table.greedy_train");
+    MITHRA_COUNT("hw.table.trainings", 1);
     const unsigned bits = geometry.indexBits();
     const auto &pool = misrConfigPool();
 
@@ -253,6 +261,10 @@ trainGreedyEnsemble(const TableGeometry &geometry,
             candidateErrors[id] = errors;
         });
 
+        // Counted after the parallel region: one eval per unused
+        // configuration, independent of the thread count.
+        MITHRA_COUNT("hw.table.candidate_evals", misrPoolSize - t);
+
         std::size_t bestId = misrPoolSize;
         std::size_t bestErrors = ~std::size_t{0};
         for (std::size_t id = 0; id < misrPoolSize; ++id) {
@@ -281,6 +293,11 @@ trainGreedyEnsemble(const TableGeometry &geometry,
 
     TableEnsemble ensemble(geometry, chosen);
     ensemble.train(tuples);
+    // Occupancy after the conservative fill. Recorded as a histogram
+    // sample, not a gauge: ensembles train concurrently when the
+    // experiment runner prefetches workloads, and a last-write-wins
+    // value would depend on completion order.
+    MITHRA_HIST("hw.table.density", 0.0, 1.0, 20, ensemble.density());
     return ensemble;
 }
 

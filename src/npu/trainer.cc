@@ -5,6 +5,7 @@
 #include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::npu
 {
@@ -135,6 +136,9 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
                    "learning rate must be positive and finite, got ",
                    options.learningRate);
 
+    MITHRA_SPAN("npu.train");
+    MITHRA_COUNT("npu.train.runs", 1);
+
     const auto &topo = mlp.topology();
     Rng rng(options.seed ^ 0x7261696e6572ULL);
 
@@ -160,8 +164,11 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
         double squaredErrorSum = 0.0;
         std::size_t elementCount = 0;
 
+        MITHRA_COUNT("npu.train.epochs", 1);
+        MITHRA_COUNT("npu.train.samples", order.size());
         for (std::size_t start = 0; start < order.size();
              start += options.batchSize) {
+            MITHRA_COUNT("npu.train.gradient_steps", 1);
             const std::size_t end =
                 std::min(start + options.batchSize, order.size());
 
@@ -217,10 +224,19 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
         MITHRA_ENSURES(std::isfinite(epochMse),
                        "training diverged: non-finite MSE after epoch ",
                        epoch, " (learning rate ", learningRate, ")");
+        // Deterministic: the ordered chunk reduction makes epochMse
+        // bitwise identical at any MITHRA_THREADS.
+        MITHRA_HIST("npu.train.epoch_mse", 0.0, 0.25, 25, epochMse);
         if (options.targetMse > 0.0 && epochMse < options.targetMse)
             break;
         learningRate *= options.lrDecay;
     }
+    // No final-MSE gauge here: trainings may run concurrently (the
+    // experiment runner prefetches workloads across the pool), so a
+    // shared last-write-wins value would be completion-order
+    // dependent. The epoch-MSE histogram above already captures the
+    // distribution order-independently, and the pipeline records the
+    // final MSE in a per-benchmark gauge.
     return epochMse;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/system_sim.hh"
 
 #include "common/contracts.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::sim
 {
@@ -35,6 +36,7 @@ SystemSimulator::SystemSimulator(const CoreModel &core,
 RunTotals
 SystemSimulator::baseline(const RegionProfile &profile) const
 {
+    MITHRA_COUNT("sim.runs.baseline", 1);
     const auto n = static_cast<double>(profile.invocationsPerDataset);
     RunTotals totals;
     totals.cycles = profile.otherCyclesPerDataset
@@ -47,6 +49,9 @@ SystemSimulator::baseline(const RegionProfile &profile) const
 RunTotals
 SystemSimulator::fullApprox(const RegionProfile &profile) const
 {
+    MITHRA_COUNT("sim.runs.full_approx", 1);
+    MITHRA_COUNT("sim.invocations.approximated",
+                 profile.invocationsPerDataset);
     const auto n = static_cast<double>(profile.invocationsPerDataset);
     const double idlePj = coreModel.params().picoJoulesPerCycle
         * sysParams.coreIdleEnergyFraction;
@@ -67,6 +72,10 @@ SystemSimulator::run(const RegionProfile &profile,
                   "decision counts (", numAccel, "+", numPrecise,
                   ") do not cover the dataset's ",
                   profile.invocationsPerDataset, " invocations");
+
+    MITHRA_COUNT("sim.runs.classified", 1);
+    MITHRA_COUNT("sim.invocations.approximated", numAccel);
+    MITHRA_COUNT("sim.invocations.fallback", numPrecise);
 
     const auto accel = static_cast<double>(numAccel);
     const auto precise = static_cast<double>(numPrecise);

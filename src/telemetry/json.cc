@@ -1,0 +1,514 @@
+#include "telemetry/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/contracts.hh"
+
+namespace mithra::telemetry
+{
+
+bool
+Json::asBool() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::Bool, "JSON value is not a bool");
+    return boolValue;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::Int, "JSON value is not an integer");
+    return intValue;
+}
+
+double
+Json::asNumber() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::Int || kind_ == Kind::Double,
+                   "JSON value is not a number");
+    return kind_ == Kind::Int ? static_cast<double>(intValue)
+                              : doubleValue;
+}
+
+const std::string &
+Json::asString() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::String, "JSON value is not a string");
+    return stringValue;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::Array, "JSON value is not an array");
+    return arrayValue;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    MITHRA_EXPECTS(kind_ == Kind::Object, "JSON value is not an object");
+    return objectValue;
+}
+
+Json::Object &
+Json::asObject()
+{
+    MITHRA_EXPECTS(kind_ == Kind::Object, "JSON value is not an object");
+    return objectValue;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = objectValue.find(key);
+    return it == objectValue.end() ? nullptr : &it->second;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    MITHRA_EXPECTS(kind_ == Kind::Object,
+                   "operator[] on a non-object JSON value");
+    return objectValue[key];
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return boolValue == other.boolValue;
+      case Kind::Int:
+        return intValue == other.intValue;
+      case Kind::Double:
+        return doubleValue == other.doubleValue;
+      case Kind::String:
+        return stringValue == other.stringValue;
+      case Kind::Array:
+        return arrayValue == other.arrayValue;
+      case Kind::Object:
+        return objectValue == other.objectValue;
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendDouble(std::string &out, double value)
+{
+    MITHRA_EXPECTS(std::isfinite(value),
+                   "JSON cannot represent non-finite number ", value);
+    char buf[40];
+    // Shortest %g form that still round-trips binary64: try 15 and 16
+    // significant digits first, fall back to 17.
+    for (const int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    out += buf;
+    // Keep the Double kind visible on re-parse ("1e2" and "1.5" carry
+    // a decimal marker already; bare "15" would re-parse as Int).
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf))
+        == std::string::npos) {
+        out += ".0";
+    }
+}
+
+void
+dumpValue(const Json &value, std::string &out, int indent, int depth)
+{
+    const auto newline = [&] {
+        if (indent < 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent * depth), ' ');
+    };
+
+    switch (value.kind()) {
+      case Json::Kind::Null:
+        out += "null";
+        return;
+      case Json::Kind::Bool:
+        out += value.asBool() ? "true" : "false";
+        return;
+      case Json::Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value.asInt()));
+        out += buf;
+        return;
+      }
+      case Json::Kind::Double:
+        appendDouble(out, value.asNumber());
+        return;
+      case Json::Kind::String:
+        appendEscaped(out, value.asString());
+        return;
+      case Json::Kind::Array: {
+        const auto &items = value.asArray();
+        if (items.empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        bool first = true;
+        for (const auto &item : items) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            ++depth;
+            newline();
+            --depth;
+            dumpValue(item, out, indent, depth + 1);
+        }
+        newline();
+        out.push_back(']');
+        return;
+      }
+      case Json::Kind::Object: {
+        const auto &members = value.asObject();
+        if (members.empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, member] : members) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            ++depth;
+            newline();
+            --depth;
+            appendEscaped(out, key);
+            out.push_back(':');
+            if (indent >= 0)
+                out.push_back(' ');
+            dumpValue(member, out, indent, depth + 1);
+        }
+        newline();
+        out.push_back('}');
+        return;
+      }
+    }
+}
+
+/** Recursive-descent parser over the document text. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t at = 0;
+    std::string error;
+    std::size_t errorOffset = 0;
+
+    bool fail(const std::string &message)
+    {
+        if (error.empty()) {
+            error = message;
+            errorOffset = at;
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (at < text.size()
+               && (text[at] == ' ' || text[at] == '\t'
+                   || text[at] == '\n' || text[at] == '\r')) {
+            ++at;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (at < text.size() && text[at] == c) {
+            ++at;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool literal(const char *word, Json value, Json &out)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text.compare(at, len, word) != 0)
+            return fail(std::string("expected `") + word + "'");
+        at += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        while (at < text.size()) {
+            const char c = text[at];
+            if (c == '"') {
+                ++at;
+                return true;
+            }
+            if (c == '\\') {
+                if (at + 1 >= text.size())
+                    return fail("dangling escape");
+                const char esc = text[at + 1];
+                at += 2;
+                switch (esc) {
+                  case '"':
+                    out.push_back('"');
+                    break;
+                  case '\\':
+                    out.push_back('\\');
+                    break;
+                  case '/':
+                    out.push_back('/');
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 'b':
+                    out.push_back('\b');
+                    break;
+                  case 'f':
+                    out.push_back('\f');
+                    break;
+                  case 'u': {
+                    if (at + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int d = 0; d < 4; ++d) {
+                        const char h = text[at + static_cast<std::size_t>(d)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    at += 4;
+                    if (code > 0x7f)
+                        return fail("non-ASCII \\u escape unsupported");
+                    out.push_back(static_cast<char>(code));
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out.push_back(c);
+            ++at;
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(Json &out)
+    {
+        const std::size_t start = at;
+        if (at < text.size() && text[at] == '-')
+            ++at;
+        bool isDouble = false;
+        while (at < text.size()) {
+            const char c = text[at];
+            if (c >= '0' && c <= '9') {
+                ++at;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                if (c != '+' && c != '-')
+                    isDouble = true;
+                else if (text[at - 1] != 'e' && text[at - 1] != 'E')
+                    break;
+                ++at;
+            } else {
+                break;
+            }
+        }
+        if (at == start || (at == start + 1 && text[start] == '-'))
+            return fail("malformed number");
+        const std::string token = text.substr(start, at - start);
+        if (isDouble) {
+            out = Json(std::strtod(token.c_str(), nullptr));
+        } else {
+            out = Json(static_cast<std::int64_t>(
+                std::strtoll(token.c_str(), nullptr, 10)));
+        }
+        return true;
+    }
+
+    bool parseValue(Json &out)
+    {
+        skipSpace();
+        if (at >= text.size())
+            return fail("unexpected end of document");
+        const char c = text[at];
+        if (c == '{') {
+            ++at;
+            Json::Object members;
+            skipSpace();
+            if (at < text.size() && text[at] == '}') {
+                ++at;
+                out = Json(std::move(members));
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (members.count(key))
+                    return fail("duplicate object key `" + key + "'");
+                skipSpace();
+                if (!consume(':'))
+                    return false;
+                Json member;
+                if (!parseValue(member))
+                    return false;
+                members.emplace(std::move(key), std::move(member));
+                skipSpace();
+                if (at < text.size() && text[at] == ',') {
+                    ++at;
+                    continue;
+                }
+                break;
+            }
+            if (!consume('}'))
+                return false;
+            out = Json(std::move(members));
+            return true;
+        }
+        if (c == '[') {
+            ++at;
+            Json::Array items;
+            skipSpace();
+            if (at < text.size() && text[at] == ']') {
+                ++at;
+                out = Json(std::move(items));
+                return true;
+            }
+            for (;;) {
+                Json item;
+                if (!parseValue(item))
+                    return false;
+                items.push_back(std::move(item));
+                skipSpace();
+                if (at < text.size() && text[at] == ',') {
+                    ++at;
+                    continue;
+                }
+                break;
+            }
+            if (!consume(']'))
+                return false;
+            out = Json(std::move(items));
+            return true;
+        }
+        if (c == '"') {
+            std::string value;
+            if (!parseString(value))
+                return false;
+            out = Json(std::move(value));
+            return true;
+        }
+        if (c == 't')
+            return literal("true", Json(true), out);
+        if (c == 'f')
+            return literal("false", Json(false), out);
+        if (c == 'n')
+            return literal("null", Json(), out);
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpValue(*this, out, indent, 0);
+    if (indent >= 0)
+        out.push_back('\n');
+    return out;
+}
+
+ParseResult
+parseJson(const std::string &text)
+{
+    Parser parser{text, 0, {}, 0};
+    ParseResult result;
+    if (!parser.parseValue(result.value)) {
+        result.error = parser.error;
+        result.errorOffset = parser.errorOffset;
+        return result;
+    }
+    parser.skipSpace();
+    if (parser.at != text.size()) {
+        result.error = "trailing content after document";
+        result.errorOffset = parser.at;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace mithra::telemetry

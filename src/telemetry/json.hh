@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A minimal JSON value model with a deterministic writer and a strict
+ * parser.
+ *
+ * The telemetry layer emits machine-readable run reports and Chrome
+ * trace files; this header is the only JSON implementation in the
+ * tree. Two properties matter more than generality:
+ *
+ *  - **Deterministic output.** Objects are std::map, so keys serialize
+ *    in sorted order; doubles print with %.17g (shortest form that
+ *    round-trips a binary64 exactly); integers print as integers. The
+ *    same value always serializes to the same bytes.
+ *  - **Round-trip fidelity.** parse(dump(v)) reconstructs v exactly
+ *    for every value this library produces (needed by the schema
+ *    round-trip tests and the report-check tool).
+ *
+ * Not supported (reports never need them): non-finite numbers, \u
+ *  escapes beyond ASCII control characters, duplicate object keys.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mithra::telemetry
+{
+
+/** One JSON value; a tagged union over the seven JSON shapes. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(bool value) : kind_(Kind::Bool), boolValue(value) {}
+    Json(std::int64_t value) : kind_(Kind::Int), intValue(value) {}
+    Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+    Json(std::size_t value)
+        : Json(static_cast<std::int64_t>(value))
+    {
+    }
+    Json(double value) : kind_(Kind::Double), doubleValue(value) {}
+    Json(std::string value)
+        : kind_(Kind::String), stringValue(std::move(value))
+    {
+    }
+    Json(const char *value) : Json(std::string(value)) {}
+    Json(Array value) : kind_(Kind::Array), arrayValue(std::move(value)) {}
+    Json(Object value)
+        : kind_(Kind::Object), objectValue(std::move(value))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** Typed accessors; MITHRA_EXPECTS the kind matches. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Int or Double, widened to double. */
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+    Object &asObject();
+
+    /** Object member lookup; returns nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Object member assignment (converts a Null value to an object). */
+    Json &operator[](const std::string &key);
+
+    bool operator==(const Json &other) const;
+
+    /**
+     * Serialize. `indent` < 0 emits the compact single-line form;
+     * otherwise a pretty form with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolValue = false;
+    std::int64_t intValue = 0;
+    double doubleValue = 0.0;
+    std::string stringValue;
+    Array arrayValue;
+    Object objectValue;
+};
+
+/** Outcome of a parse: a value, or a message anchored to an offset. */
+struct ParseResult
+{
+    Json value;
+    bool ok = false;
+    std::string error;
+    std::size_t errorOffset = 0;
+};
+
+/** Parse a complete JSON document (trailing garbage is an error). */
+ParseResult parseJson(const std::string &text);
+
+} // namespace mithra::telemetry

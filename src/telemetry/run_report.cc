@@ -1,0 +1,157 @@
+#include "telemetry/run_report.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/contracts.hh"
+#include "telemetry/span.hh"
+#include "telemetry/stats.hh"
+
+#ifndef MITHRA_GIT_DESCRIBE
+#define MITHRA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mithra::telemetry
+{
+
+std::string
+gitDescribe()
+{
+    return MITHRA_GIT_DESCRIBE;
+}
+
+namespace
+{
+
+bool
+timingRequestedByEnv()
+{
+    const char *env = std::getenv("MITHRA_REPORT_TIMING");
+    return env && std::string(env) == "1";
+}
+
+std::string
+reportDirectory()
+{
+    if (const char *dir = std::getenv("MITHRA_REPORT_DIR"); dir && *dir)
+        return dir;
+    return ".";
+}
+
+} // namespace
+
+RunReport::RunReport(std::string runName)
+    : reportName(std::move(runName))
+{
+    MITHRA_EXPECTS(!reportName.empty(), "run report needs a name");
+}
+
+void
+RunReport::addMetric(const std::string &key, double value)
+{
+    metrics[key] = Json(value);
+}
+
+void
+RunReport::addMetric(const std::string &key, std::int64_t value)
+{
+    metrics[key] = Json(value);
+}
+
+void
+RunReport::addMetric(const std::string &key, const std::string &value)
+{
+    metrics[key] = Json(value);
+}
+
+Json
+RunReport::toJson() const
+{
+    const bool includeTimes = timingForced || timingRequestedByEnv();
+    Json::Object document;
+    document.emplace("schema", Json(reportSchemaName));
+    document.emplace("schemaVersion", Json(reportSchemaVersion));
+    document.emplace("name", Json(reportName));
+    document.emplace("gitDescribe", Json(gitDescribe()));
+    document.emplace("metrics", Json(metrics));
+    // Volatile stats ride with the (equally nondeterministic) timing.
+    document.emplace("stats",
+                     StatsRegistry::global().toJson(includeTimes));
+    document.emplace("spans",
+                     SpanRegistry::global().toJson(includeTimes));
+    return Json(std::move(document));
+}
+
+std::string
+RunReport::write() const
+{
+    const std::string path =
+        reportDirectory() + "/BENCH_" + reportName + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("cannot write run report ", path);
+        return "";
+    }
+    out << toJson().dump(1);
+    out.close();
+    if (out.fail()) {
+        warn("short write on run report ", path);
+        return "";
+    }
+    if (tracingEnabled())
+        flushTrace();
+    return path;
+}
+
+std::string
+validateReport(const Json &document)
+{
+    if (document.kind() != Json::Kind::Object)
+        return "document is not a JSON object";
+
+    const Json *schema = document.find("schema");
+    if (!schema || schema->kind() != Json::Kind::String)
+        return "missing `schema' string";
+    if (schema->asString() != reportSchemaName) {
+        return "unexpected schema `" + schema->asString() + "' (want `"
+            + reportSchemaName + "')";
+    }
+
+    const Json *version = document.find("schemaVersion");
+    if (!version || version->kind() != Json::Kind::Int)
+        return "missing `schemaVersion' integer";
+    if (version->asInt() != reportSchemaVersion) {
+        return "schemaVersion " + std::to_string(version->asInt())
+            + " does not match supported version "
+            + std::to_string(reportSchemaVersion);
+    }
+
+    const Json *name = document.find("name");
+    if (!name || name->kind() != Json::Kind::String
+        || name->asString().empty()) {
+        return "missing `name' string";
+    }
+
+    if (const Json *git = document.find("gitDescribe");
+        !git || git->kind() != Json::Kind::String) {
+        return "missing `gitDescribe' string";
+    }
+
+    for (const char *section : {"metrics", "stats", "spans"}) {
+        const Json *value = document.find(section);
+        if (!value || value->kind() != Json::Kind::Object)
+            return std::string("missing `") + section + "' object";
+    }
+
+    const Json &stats = *document.find("stats");
+    for (const char *section : {"counters", "gauges", "histograms"}) {
+        const Json *value = stats.find(section);
+        if (!value || value->kind() != Json::Kind::Object) {
+            return std::string("missing `stats.") + section
+                + "' object";
+        }
+    }
+    return "";
+}
+
+} // namespace mithra::telemetry

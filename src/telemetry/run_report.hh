@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Versioned machine-readable run reports.
+ *
+ * Every bench/ binary emits a `BENCH_<name>.json` next to its console
+ * table; these files seed the perf-trajectory data the ROADMAP
+ * expects. The document layout (schema version reportSchemaVersion):
+ *
+ *     {
+ *       "schema": "mithra-run-report",
+ *       "schemaVersion": 1,
+ *       "name": "<binary name>",
+ *       "gitDescribe": "<git describe --always --dirty at configure>",
+ *       "metrics": { "<key>": <number|string>, ... },
+ *       "stats":   { "counters": {...}, "gauges": {...},
+ *                    "histograms": {...} },
+ *       "spans":   { "<span>": {"calls": N[, "wall_ns", "cpu_ns"]} }
+ *     }
+ *
+ * Reports are deterministic by default: sorted keys, round-tripping
+ * number formatting, and no wall-clock data — span timing is included
+ * only when MITHRA_REPORT_TIMING=1 is set (or includeTiming(true) is
+ * called), because times would break the bitwise MITHRA_THREADS=1 vs
+ * N comparison the telemetry tests rely on.
+ *
+ * Output directory: $MITHRA_REPORT_DIR, defaulting to the working
+ * directory.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.hh"
+
+namespace mithra::telemetry
+{
+
+/** Version of the report layout; bump on breaking changes. */
+constexpr std::int64_t reportSchemaVersion = 1;
+
+/** Value of the "schema" discriminator field. */
+inline const char *const reportSchemaName = "mithra-run-report";
+
+/** The `git describe` string baked in at configure time. */
+std::string gitDescribe();
+
+/** Builder for one run report. */
+class RunReport
+{
+  public:
+    /** `runName` is the emitting binary, e.g. "fig06_overall". */
+    explicit RunReport(std::string runName);
+
+    /** Attach one scalar result (sorted into "metrics"). */
+    void addMetric(const std::string &key, double value);
+    void addMetric(const std::string &key, std::int64_t value);
+    void addMetric(const std::string &key, const std::string &value);
+
+    /** Force span wall/CPU times into the report (nondeterministic). */
+    void includeTiming(bool include) { timingForced = include; }
+
+    /** The full document, snapshotting the global registries. */
+    Json toJson() const;
+
+    /**
+     * Serialize to "<dir>/BENCH_<name>.json" where <dir> is
+     * $MITHRA_REPORT_DIR or "."; also flushes the Chrome trace when
+     * tracing is on. Returns the path written (empty on I/O failure).
+     */
+    std::string write() const;
+
+    const std::string &name() const { return reportName; }
+
+  private:
+    std::string reportName;
+    Json::Object metrics;
+    bool timingForced = false;
+};
+
+/**
+ * Validate a parsed document against the schema: discriminator,
+ * version, and required sections. Returns an empty string when valid,
+ * else a description of the first problem.
+ */
+std::string validateReport(const Json &document);
+
+} // namespace mithra::telemetry

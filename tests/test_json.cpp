@@ -1,0 +1,157 @@
+/**
+ * @file
+ * telemetry/json tests: deterministic serialization (sorted keys,
+ * round-tripping doubles, Int/Double kind preservation) and the strict
+ * parser (duplicate keys, trailing content, malformed escapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/json.hh"
+
+namespace
+{
+
+using mithra::telemetry::Json;
+using mithra::telemetry::parseJson;
+
+TEST(Json, ScalarKindsAndAccessors)
+{
+    EXPECT_EQ(Json().kind(), Json::Kind::Null);
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_EQ(Json(std::int64_t{-7}).asInt(), -7);
+    EXPECT_DOUBLE_EQ(Json(2.5).asNumber(), 2.5);
+    EXPECT_EQ(Json("text").asString(), "text");
+    // asNumber widens Int transparently.
+    EXPECT_DOUBLE_EQ(Json(std::int64_t{3}).asNumber(), 3.0);
+}
+
+TEST(Json, CompactDumpSortsObjectKeys)
+{
+    Json value;
+    value["zebra"] = Json(std::int64_t{1});
+    value["alpha"] = Json(std::int64_t{2});
+    value["mid"] = Json(std::int64_t{3});
+    EXPECT_EQ(value.dump(), R"({"alpha":2,"mid":3,"zebra":1})");
+}
+
+TEST(Json, PrettyDumpIsStable)
+{
+    Json value;
+    value["a"] = Json(Json::Array{Json(std::int64_t{1}),
+                                  Json(std::int64_t{2})});
+    value["b"] = Json("x");
+    EXPECT_EQ(value.dump(1), "{\n \"a\": [\n  1,\n  2\n ],\n"
+                             " \"b\": \"x\"\n}\n");
+}
+
+TEST(Json, DoubleRoundTripsExactly)
+{
+    const double samples[] = {0.1, 1.0 / 3.0, 6.02214076e23,
+                              -2.2250738585072014e-308, 12345.678,
+                              0.0, -0.0, 1e-9};
+    for (const double sample : samples) {
+        const std::string text = Json(sample).dump();
+        const auto parsed = parseJson(text);
+        ASSERT_TRUE(parsed.ok) << text << ": " << parsed.error;
+        EXPECT_EQ(parsed.value.asNumber(), sample) << text;
+    }
+}
+
+TEST(Json, DoubleKindSurvivesRoundTrip)
+{
+    // A double that prints without a fraction must not come back Int.
+    const std::string text = Json(1.0).dump();
+    EXPECT_EQ(text, "1.0");
+    const auto parsed = parseJson(text);
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_EQ(parsed.value.kind(), Json::Kind::Double);
+
+    const auto intParsed = parseJson(Json(std::int64_t{1}).dump());
+    ASSERT_TRUE(intParsed.ok);
+    EXPECT_EQ(intParsed.value.kind(), Json::Kind::Int);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    const std::string nasty = "line\nwith \"quotes\", tab\t, "
+                              "backslash \\ and bell\x07";
+    const auto parsed = parseJson(Json(nasty).dump());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.asString(), nasty);
+}
+
+TEST(Json, NestedDocumentRoundTrip)
+{
+    Json document;
+    document["metrics"]["speedup"] = Json(2.5);
+    document["name"] = Json("fig06");
+    document["tags"] =
+        Json(Json::Array{Json("a"), Json(), Json(false)});
+    const auto parsed = parseJson(document.dump(2));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_TRUE(parsed.value == document);
+}
+
+TEST(Json, FindAndEquality)
+{
+    Json value;
+    value["key"] = Json(std::int64_t{9});
+    ASSERT_NE(value.find("key"), nullptr);
+    EXPECT_EQ(value.find("key")->asInt(), 9);
+    EXPECT_EQ(value.find("absent"), nullptr);
+    EXPECT_FALSE(Json(std::int64_t{1}) == Json(1.0)); // kinds differ
+}
+
+TEST(Json, ParserRejectsDuplicateKeys)
+{
+    const auto parsed = parseJson(R"({"a":1,"a":2})");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("duplicate"), std::string::npos);
+}
+
+TEST(Json, ParserRejectsTrailingContent)
+{
+    const auto parsed = parseJson("{} []");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("trailing"), std::string::npos);
+}
+
+TEST(Json, ParserRejectsMalformedDocuments)
+{
+    const char *broken[] = {
+        "",         "{",         "[1,",       "\"open",
+        "{\"a\"1}", "tru",       "01x",       "{\"a\":\"\\q\"}",
+        "nan",      "{\"a\":}",
+    };
+    for (const char *text : broken)
+        EXPECT_FALSE(parseJson(text).ok) << text;
+}
+
+TEST(Json, ParserAcceptsNumbersAndLiterals)
+{
+    const auto parsed =
+        parseJson(R"([0, -3, 2.5, 1e3, -1.5e-2, true, false, null])");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const auto &items = parsed.value.asArray();
+    ASSERT_EQ(items.size(), 8u);
+    EXPECT_EQ(items[0].asInt(), 0);
+    EXPECT_EQ(items[1].asInt(), -3);
+    EXPECT_DOUBLE_EQ(items[2].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(items[3].asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(items[4].asNumber(), -0.015);
+    EXPECT_TRUE(items[5].asBool());
+    EXPECT_FALSE(items[6].asBool());
+    EXPECT_EQ(items[7].kind(), Json::Kind::Null);
+}
+
+TEST(Json, ParserReportsErrorOffset)
+{
+    const auto parsed = parseJson("[1, )");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.errorOffset, 4u);
+}
+
+} // namespace

@@ -284,6 +284,74 @@ const char *hint = "never call srand() or std::random_device";
     EXPECT_FALSE(firedRule(diagnostics, "no-random-device"));
 }
 
+TEST(Lint, RawTimingFiresInLibraryCode)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+#include <chrono>
+#include <ctime>
+namespace mithra
+{
+double now()
+{
+    timespec ts;
+    clock_gettime(0, &ts);
+    gettimeofday(nullptr, nullptr);
+    timespec_get(&ts, 1);
+    return static_cast<double>(clock());
+}
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-raw-timing", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-raw-timing", 9));
+    EXPECT_TRUE(fired(diagnostics, "no-raw-timing", 10));
+    EXPECT_TRUE(fired(diagnostics, "no-raw-timing", 11));
+    EXPECT_TRUE(fired(diagnostics, "no-raw-timing", 12));
+}
+
+TEST(Lint, RawTimingExemptionsAndAllows)
+{
+    const char *source = R"cpp(
+namespace mithra
+{
+double now()
+{
+    timespec ts;
+    clock_gettime(0, &ts);
+    return static_cast<double>(ts.tv_sec);
+}
+} // namespace mithra
+)cpp";
+    // The telemetry layer is the sanctioned timing implementation.
+    EXPECT_FALSE(firedRule(lintAt("src/telemetry/span.cc", source),
+                           "no-raw-timing"));
+    // Harness code (bench/, tests/) may time freely.
+    EXPECT_FALSE(firedRule(lintAt("bench/micro_parallel.cpp", source),
+                           "no-raw-timing"));
+    EXPECT_FALSE(firedRule(lintAt("tests/test_parallel.cpp", source),
+                           "no-raw-timing"));
+    // An allow() annotation suppresses the rule on the next line.
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+// mithra-lint: allow(no-raw-timing)
+long jiffies() { return clock(); }
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-raw-timing"));
+}
+
+TEST(Lint, ClockIdentifierWithoutCallDoesNotFire)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+struct CoreParams { double clock = 2.0e9; };
+double hz(const CoreParams &p) { return p.clock; }
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-raw-timing"));
+}
+
 TEST(Lint, DiagnosticFormatHasFileAndLine)
 {
     const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
@@ -314,6 +382,8 @@ TEST(Lint, PolicySelection)
                     .libraryHygiene);
     EXPECT_TRUE(policyForPath("src/common/rng.cc").rngImpl);
     EXPECT_TRUE(policyForPath("src/common/logging.hh").loggingImpl);
+    EXPECT_TRUE(policyForPath("src/telemetry/span.cc").timingImpl);
+    EXPECT_FALSE(policyForPath("src/core/pipeline.cc").timingImpl);
 }
 
 } // namespace

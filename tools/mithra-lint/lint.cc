@@ -420,6 +420,29 @@ checkTokens(Linter &lint)
                                 "MITHRA_ENSURES");
                 }
             }
+            if (!lint.policy.timingImpl) {
+                static const std::set<std::string> bannedTiming = {
+                    "chrono", "clock_gettime", "gettimeofday",
+                    "timespec_get",
+                };
+                if (bannedTiming.count(t.text)) {
+                    lint.report(t.line, "no-raw-timing",
+                                "`" + t.text
+                                    + "' is ad-hoc timing; library code "
+                                      "times through MITHRA_SPAN "
+                                      "(telemetry/span.hh)");
+                }
+                if (t.text == "clock") {
+                    const Token *next = tokenAt(tokens, i + 1);
+                    if (next && next->kind == TokenKind::Punct
+                        && next->text == "(") {
+                        lint.report(t.line, "no-raw-timing",
+                                    "clock() is ad-hoc timing; library "
+                                    "code times through MITHRA_SPAN "
+                                    "(telemetry/span.hh)");
+                    }
+                }
+            }
         }
 
         if (lint.policy.doubleOnly) {
@@ -458,6 +481,7 @@ policyForPath(const std::string &path)
         || endsWith(p, ".h");
     policy.rngImpl = pathContains(p, "src/common/rng.");
     policy.loggingImpl = pathContains(p, "src/common/logging.");
+    policy.timingImpl = pathContains(p, "src/telemetry/");
     return policy;
 }
 

@@ -34,12 +34,19 @@
  *  no-naked-assert   assert() vanishes under NDEBUG with no message;
  *                    use MITHRA_ASSERT / MITHRA_EXPECTS /
  *                    MITHRA_ENSURES from common/contracts.hh.
+ *  no-raw-timing     std::chrono / clock_gettime / gettimeofday /
+ *                    timespec_get / clock() in library code: ad-hoc
+ *                    timing bypasses the telemetry layer and leaks
+ *                    nondeterministic values into results. Time through
+ *                    MITHRA_SPAN (telemetry/span.hh).
  *
  * Which rules apply depends on the path (see policyForPath): the
  * determinism rules cover src/, bench/ and tests/; the library-hygiene
- * rules cover src/ only; the float ban covers src/stats only.
- * common/rng.* is exempt from no-random-device and common/logging.*
- * from no-iostream — they are the sanctioned implementations.
+ * rules cover src/ only; the float ban covers src/stats only; the raw
+ * timing ban covers src/ only (bench/ and tests/ may time freely).
+ * common/rng.* is exempt from no-random-device, common/logging.* from
+ * no-iostream, and src/telemetry/ from no-raw-timing — they are the
+ * sanctioned implementations.
  *
  * A `// mithra-lint: allow(<rule>)` comment suppresses that rule on
  * its own line and the following line.
@@ -78,6 +85,8 @@ struct PathPolicy
     bool rngImpl = false;
     /** Sanctioned output implementation (common/logging.*). */
     bool loggingImpl = false;
+    /** Sanctioned timing implementation (src/telemetry/). */
+    bool timingImpl = false;
 };
 
 /** Derive the rule policy from a (relative or absolute) path. */

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * report-check — validator for MITHRA run reports.
+ *
+ * `report-check <BENCH_*.json>...` parses each file and checks it
+ * against the mithra-run-report schema (telemetry/run_report.hh):
+ * schema name and version, required sections, and section kinds. CI
+ * runs it over every report the bench binaries emit, so a
+ * schema-breaking change fails before the artifacts are uploaded.
+ * Exits 1 on the first class of failure found (all files are still
+ * checked and reported).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hh"
+#include "telemetry/run_report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mithra::telemetry;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: report-check <BENCH_*.json>...\n"
+                     "Validates MITHRA run reports against schema "
+                     "version %lld; exits 1 on any failure.\n",
+                     static_cast<long long>(reportSchemaVersion));
+        return 2;
+    }
+
+    std::size_t failures = 0;
+    for (int arg = 1; arg < argc; ++arg) {
+        const std::string path = argv[arg];
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "report-check: %s: cannot read\n",
+                         path.c_str());
+            ++failures;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+
+        const ParseResult parsed = parseJson(buffer.str());
+        if (!parsed.ok) {
+            std::fprintf(stderr,
+                         "report-check: %s: JSON parse error at offset "
+                         "%zu: %s\n",
+                         path.c_str(), parsed.errorOffset,
+                         parsed.error.c_str());
+            ++failures;
+            continue;
+        }
+
+        const std::string problem = validateReport(parsed.value);
+        if (!problem.empty()) {
+            std::fprintf(stderr, "report-check: %s: %s\n", path.c_str(),
+                         problem.c_str());
+            ++failures;
+            continue;
+        }
+        std::fprintf(stderr, "report-check: %s: ok (%s, v%lld)\n",
+                     path.c_str(),
+                     parsed.value.find("name")->asString().c_str(),
+                     static_cast<long long>(
+                         parsed.value.find("schemaVersion")->asInt()));
+    }
+
+    if (failures) {
+        std::fprintf(stderr, "report-check: %zu of %d report(s) failed\n",
+                     failures, argc - 1);
+        return 1;
+    }
+    std::fprintf(stderr, "report-check: %d report(s) valid\n", argc - 1);
+    return 0;
+}
