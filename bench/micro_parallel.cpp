@@ -27,10 +27,12 @@
 
 #include "axbench/registry.hh"
 #include "bench_common.hh"
+#include "common/kernels/kernels.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/pipeline.hh"
+#include "hw/misr.hh"
 #include "npu/mlp.hh"
 #include "npu/trainer.hh"
 
@@ -173,6 +175,47 @@ BM_NpuTraining(benchmark::State &state)
                    totalSeconds / static_cast<double>(iterations));
 }
 BENCHMARK(BM_NpuTraining)
+    ->Apply(applyThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BatchHashing(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    setParallelThreadCount(threads);
+
+    // Decision-table-training shaped workload: hash a large flat code
+    // batch through one MISR, chunked across the pool. Each chunk is a
+    // contiguous row range, so the result is identical at every width.
+    constexpr std::size_t width = 16;
+    constexpr std::size_t count = 1u << 16;
+    const hw::Misr misr(hw::misrConfigPool()[0], 12);
+    Rng rng(0x68617368u);
+    std::vector<std::uint8_t> codes(width * count);
+    for (auto &code : codes)
+        code = static_cast<std::uint8_t>(rng.nextBelow(256));
+    std::vector<std::uint32_t> signatures(count);
+
+    double totalSeconds = 0.0;
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        parallelForChunks(
+            0, count, 1024,
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+                kernels::misrHashBatch(misr.params(),
+                                       codes.data() + begin * width,
+                                       width, end - begin,
+                                       signatures.data() + begin);
+            });
+        benchmark::DoNotOptimize(signatures.data());
+        totalSeconds += secondsSince(start);
+        ++iterations;
+    }
+    reportCounters(state, "batch_hashing", threads,
+                   totalSeconds / static_cast<double>(iterations));
+}
+BENCHMARK(BM_BatchHashing)
     ->Apply(applyThreadArgs)
     ->Unit(benchmark::kMillisecond);
 

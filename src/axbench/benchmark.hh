@@ -76,6 +76,12 @@ class InvocationTrace
     Vec inputVec(std::size_t i) const;
 
     /**
+     * The whole input stream as one flat row-major buffer of
+     * count() * inputWidth() floats (for batch classifier APIs).
+     */
+    std::span<const float> inputsFlat() const { return inputs; }
+
+    /**
      * Largest |precise - approx| across the output vector of
      * invocation i — the accelerator's local error (paper Eq. 1).
      */

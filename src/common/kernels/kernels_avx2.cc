@@ -1,0 +1,268 @@
+/**
+ * @file
+ * AVX2 backend. The canonical 8-lane dot-product reduction maps 1:1
+ * onto one 8-wide register: the in-register lanes *are* lane[0..7] of
+ * the specification, the 128-bit halves add to m[0..3], and the final
+ * shuffle tree reproduces (m0 + m2) + (m1 + m3) exactly. Multiplies
+ * and adds stay separate instructions — FMA is never emitted — so the
+ * results are bitwise identical to the scalar reference.
+ *
+ * This translation unit is compiled with -mavx2; intrinsics must not
+ * leak outside src/common/kernels/ (lint rule no-intrinsics).
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "common/kernels/kernels_impl.hh"
+
+namespace mithra::kernels::detail
+{
+
+namespace
+{
+
+/** Canonical reduction of one 8-lane accumulator (see kernels.hh). */
+inline float
+reduceLanes(__m256 acc)
+{
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    const __m128 m = _mm_add_ps(lo, hi); // m[k] = lane[k] + lane[k+4]
+    // t0 = m0 + m2, t1 = m1 + m3.
+    const __m128 t = _mm_add_ps(m, _mm_movehl_ps(m, m));
+    // (m0 + m2) + (m1 + m3).
+    const __m128 s =
+        _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    return _mm_cvtss_f32(s);
+}
+
+void
+gemvBiasAvx2(const float *weights, std::size_t stride, const float *bias,
+             const float *input, std::size_t rows, float *out)
+{
+    // Two independent rows per iteration: each keeps its own canonical
+    // accumulator (per-row order unchanged), the pairing only hides
+    // the add latency.
+    std::size_t r = 0;
+    for (; r + 1 < rows; r += 2) {
+        const float *w0 = weights + r * stride;
+        const float *w1 = w0 + stride;
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (std::size_t j = 0; j < stride; j += 8) {
+            const __m256 x = _mm256_load_ps(input + j);
+            acc0 = _mm256_add_ps(
+                acc0, _mm256_mul_ps(_mm256_load_ps(w0 + j), x));
+            acc1 = _mm256_add_ps(
+                acc1, _mm256_mul_ps(_mm256_load_ps(w1 + j), x));
+        }
+        out[r] = reduceLanes(acc0) + bias[r];
+        out[r + 1] = reduceLanes(acc1) + bias[r + 1];
+    }
+    if (r < rows) {
+        const float *w = weights + r * stride;
+        __m256 acc = _mm256_setzero_ps();
+        for (std::size_t j = 0; j < stride; j += 8) {
+            acc = _mm256_add_ps(
+                acc, _mm256_mul_ps(_mm256_load_ps(w + j),
+                                   _mm256_load_ps(input + j)));
+        }
+        out[r] = reduceLanes(acc) + bias[r];
+    }
+}
+
+void
+axpyAvx2(float a, const float *x, float *y, std::size_t n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 vy = _mm256_add_ps(
+            _mm256_loadu_ps(y + i),
+            _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+        _mm256_storeu_ps(y + i, vy);
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addInPlaceAvx2(float *y, const float *x, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(y + i,
+                         _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                       _mm256_loadu_ps(x + i)));
+    }
+    for (; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+sgdMomentumStepAvx2(float momentum, float scale, const float *grad,
+                    float *velocity, float *weights, std::size_t n)
+{
+    const __m256 vm = _mm256_set1_ps(momentum);
+    const __m256 vs = _mm256_set1_ps(scale);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 vel = _mm256_sub_ps(
+            _mm256_mul_ps(vm, _mm256_loadu_ps(velocity + i)),
+            _mm256_mul_ps(vs, _mm256_loadu_ps(grad + i)));
+        _mm256_storeu_ps(velocity + i, vel);
+        _mm256_storeu_ps(
+            weights + i,
+            _mm256_add_ps(_mm256_loadu_ps(weights + i), vel));
+    }
+    for (; i < n; ++i) {
+        velocity[i] = momentum * velocity[i] - scale * grad[i];
+        weights[i] += velocity[i];
+    }
+}
+
+/** Lane-parallel parity of (state & taps): xor-fold to bit 0. */
+inline __m256i
+parity256(__m256i v)
+{
+    v = _mm256_xor_si256(v, _mm256_srli_epi32(v, 16));
+    v = _mm256_xor_si256(v, _mm256_srli_epi32(v, 8));
+    v = _mm256_xor_si256(v, _mm256_srli_epi32(v, 4));
+    v = _mm256_xor_si256(v, _mm256_srli_epi32(v, 2));
+    v = _mm256_xor_si256(v, _mm256_srli_epi32(v, 1));
+    return _mm256_and_si256(v, _mm256_set1_epi32(1));
+}
+
+void
+misrHashBatchAvx2(const MisrParams &p, const std::uint8_t *codes,
+                  std::size_t width, std::size_t count,
+                  std::uint32_t *out)
+{
+    const int rot = static_cast<int>(p.rotate % p.bits);
+    const int invRot = static_cast<int>(p.bits) - rot;
+    const __m256i taps = _mm256_set1_epi32(static_cast<int>(p.taps));
+    const __m256i mask = _mm256_set1_epi32(static_cast<int>(p.mask));
+    const __m256i spread =
+        _mm256_set1_epi32(static_cast<int>(p.spread));
+
+    // 8 invocations advance in lockstep, one register lane each; the
+    // 8-row block is transposed first so each step loads its 8 codes
+    // from one contiguous quadword.
+    std::vector<std::uint8_t> transposed(width * 8);
+    std::size_t base = 0;
+    for (; base + 8 <= count; base += 8) {
+        for (std::size_t lane = 0; lane < 8; ++lane) {
+            const std::uint8_t *row = codes + (base + lane) * width;
+            for (std::size_t j = 0; j < width; ++j)
+                transposed[j * 8 + lane] = row[j];
+        }
+
+        __m256i state =
+            _mm256_set1_epi32(static_cast<int>(p.seed & p.mask));
+        for (std::size_t j = 0; j < width; ++j) {
+            const __m256i feedback =
+                parity256(_mm256_and_si256(state, taps));
+            const __m256i rotated = _mm256_and_si256(
+                _mm256_or_si256(_mm256_slli_epi32(state, rot),
+                                _mm256_srli_epi32(state, invRot)),
+                mask);
+            state = _mm256_xor_si256(rotated, feedback);
+
+            const __m128i packed = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(transposed.data()
+                                                  + j * 8));
+            const __m256i code8 = _mm256_cvtepu8_epi32(packed);
+            const __m256i spreadCode = _mm256_and_si256(
+                _mm256_mullo_epi32(code8, spread), mask);
+            state = _mm256_xor_si256(state, spreadCode);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + base),
+                            state);
+    }
+
+    for (; base < count; ++base)
+        out[base] = misrHashOne(p, codes + base * width, width);
+}
+
+void
+quantizeBatchAvx2(const float *inputs, std::size_t width,
+                  std::size_t count, const float *lows,
+                  const float *highs, std::uint32_t levels,
+                  std::uint8_t *out)
+{
+    const float levelsF = static_cast<float>(levels);
+    const __m256 vLevels = _mm256_set1_ps(levelsF);
+    const __m256 vHalf = _mm256_set1_ps(0.5f);
+    const __m256 vZero = _mm256_setzero_ps();
+    const __m256 vOne = _mm256_set1_ps(1.0f);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = inputs + i * width;
+        std::uint8_t *dst = out + i * width;
+        std::size_t j = 0;
+        for (; j + 8 <= width; j += 8) {
+            const __m256 x = _mm256_loadu_ps(row + j);
+            const __m256 lo = _mm256_loadu_ps(lows + j);
+            const __m256 hi = _mm256_loadu_ps(highs + j);
+            __m256 t = _mm256_div_ps(_mm256_sub_ps(x, lo),
+                                     _mm256_sub_ps(hi, lo));
+            t = _mm256_max_ps(t, vZero);
+            t = _mm256_min_ps(t, vOne);
+            const __m256 scaled = _mm256_floor_ps(
+                _mm256_add_ps(_mm256_mul_ps(t, vLevels), vHalf));
+            const __m256i words = _mm256_cvttps_epi32(scaled);
+            const __m128i lo128 = _mm256_castsi256_si128(words);
+            const __m128i hi128 = _mm256_extracti128_si256(words, 1);
+            const __m128i packed16 = _mm_packus_epi32(lo128, hi128);
+            const __m128i packed8 = _mm_packus_epi16(packed16,
+                                                     packed16);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + j),
+                             packed8);
+        }
+        for (; j < width; ++j)
+            dst[j] = quantizeOne(row[j], lows[j], highs[j], levelsF);
+    }
+}
+
+std::size_t
+lessEqualMaskAvx2(const float *values, std::size_t n, float threshold,
+                  std::uint8_t *out)
+{
+    const __m256 vth = _mm256_set1_ps(threshold);
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 cmp =
+            _mm256_cmp_ps(_mm256_loadu_ps(values + i), vth, _CMP_LE_OQ);
+        const unsigned mask =
+            static_cast<unsigned>(_mm256_movemask_ps(cmp));
+        for (std::size_t k = 0; k < 8; ++k)
+            out[i + k] = static_cast<std::uint8_t>((mask >> k) & 1u);
+        ones += static_cast<std::size_t>(__builtin_popcount(mask));
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t hit = values[i] <= threshold ? 1 : 0;
+        out[i] = hit;
+        ones += hit;
+    }
+    return ones;
+}
+
+} // namespace
+
+const KernelOps &
+avx2Ops()
+{
+    static const KernelOps ops = {
+        gemvBiasAvx2,     axpyAvx2,          addInPlaceAvx2,
+        sgdMomentumStepAvx2, misrHashBatchAvx2, quantizeBatchAvx2,
+        lessEqualMaskAvx2,
+    };
+    return ops;
+}
+
+} // namespace mithra::kernels::detail
+
+#endif // x86

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scalar reference backend. This file *is* the kernel specification:
+ * every SIMD backend must reproduce its outputs bit for bit. It is
+ * compiled with -ffp-contract=off and -fno-tree-vectorize (see the
+ * directory's CMakeLists) so neither FMA contraction nor an
+ * auto-vectorizer can perturb the specified operation order, even
+ * under -DMITHRA_NATIVE=ON.
+ */
+
+#include "common/kernels/kernels_impl.hh"
+
+namespace mithra::kernels::detail
+{
+
+namespace
+{
+
+void
+gemvBiasScalar(const float *weights, std::size_t stride,
+               const float *bias, const float *input, std::size_t rows,
+               float *out)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        out[r] = dot8Reference(weights + r * stride, input, stride)
+            + bias[r];
+    }
+}
+
+void
+axpyScalar(float a, const float *x, float *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addInPlaceScalar(float *y, const float *x, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+sgdMomentumStepScalar(float momentum, float scale, const float *grad,
+                      float *velocity, float *weights, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        velocity[i] = momentum * velocity[i] - scale * grad[i];
+        weights[i] += velocity[i];
+    }
+}
+
+void
+misrHashBatchScalar(const MisrParams &params, const std::uint8_t *codes,
+                    std::size_t width, std::size_t count,
+                    std::uint32_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = misrHashOne(params, codes + i * width, width);
+}
+
+void
+quantizeBatchScalar(const float *inputs, std::size_t width,
+                    std::size_t count, const float *lows,
+                    const float *highs, std::uint32_t levels,
+                    std::uint8_t *out)
+{
+    const float levelsF = static_cast<float>(levels);
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = inputs + i * width;
+        std::uint8_t *codes = out + i * width;
+        for (std::size_t j = 0; j < width; ++j)
+            codes[j] = quantizeOne(row[j], lows[j], highs[j], levelsF);
+    }
+}
+
+std::size_t
+lessEqualMaskScalar(const float *values, std::size_t n, float threshold,
+                    std::uint8_t *out)
+{
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t hit = values[i] <= threshold ? 1 : 0;
+        out[i] = hit;
+        ones += hit;
+    }
+    return ones;
+}
+
+} // namespace
+
+const KernelOps &
+scalarOps()
+{
+    static const KernelOps ops = {
+        gemvBiasScalar,     axpyScalar,          addInPlaceScalar,
+        sgdMomentumStepScalar, misrHashBatchScalar, quantizeBatchScalar,
+        lessEqualMaskScalar,
+    };
+    return ops;
+}
+
+} // namespace mithra::kernels::detail

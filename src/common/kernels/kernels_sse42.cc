@@ -1,0 +1,243 @@
+/**
+ * @file
+ * SSE4.2 backend. The canonical 8-lane dot-product reduction is held
+ * in two 4-wide registers: accA carries lane[0..3], accB lane[4..7],
+ * so `accA + accB` *is* m[0..3] of the specification and the final
+ * shuffle tree reproduces (m0 + m2) + (m1 + m3) exactly. Multiplies
+ * and adds stay separate instructions — no FMA — so results are
+ * bitwise identical to the scalar reference.
+ *
+ * This translation unit is compiled with -msse4.2; intrinsics must not
+ * leak outside src/common/kernels/ (lint rule no-intrinsics).
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "common/kernels/kernels_impl.hh"
+
+namespace mithra::kernels::detail
+{
+
+namespace
+{
+
+/** Canonical reduction of the two 4-lane accumulators. */
+inline float
+reduceLanes(__m128 accA, __m128 accB)
+{
+    const __m128 m = _mm_add_ps(accA, accB); // m[k] = lane[k]+lane[k+4]
+    // t0 = m0 + m2, t1 = m1 + m3.
+    const __m128 t = _mm_add_ps(m, _mm_movehl_ps(m, m));
+    // (m0 + m2) + (m1 + m3).
+    const __m128 s = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    return _mm_cvtss_f32(s);
+}
+
+void
+gemvBiasSse42(const float *weights, std::size_t stride,
+              const float *bias, const float *input, std::size_t rows,
+              float *out)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *w = weights + r * stride;
+        __m128 accA = _mm_setzero_ps();
+        __m128 accB = _mm_setzero_ps();
+        for (std::size_t j = 0; j < stride; j += 8) {
+            accA = _mm_add_ps(accA,
+                              _mm_mul_ps(_mm_load_ps(w + j),
+                                         _mm_load_ps(input + j)));
+            accB = _mm_add_ps(accB,
+                              _mm_mul_ps(_mm_load_ps(w + j + 4),
+                                         _mm_load_ps(input + j + 4)));
+        }
+        out[r] = reduceLanes(accA, accB) + bias[r];
+    }
+}
+
+void
+axpySse42(float a, const float *x, float *y, std::size_t n)
+{
+    const __m128 va = _mm_set1_ps(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 vy = _mm_add_ps(
+            _mm_loadu_ps(y + i), _mm_mul_ps(va, _mm_loadu_ps(x + i)));
+        _mm_storeu_ps(y + i, vy);
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+addInPlaceSse42(float *y, const float *x, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i),
+                                        _mm_loadu_ps(x + i)));
+    }
+    for (; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+sgdMomentumStepSse42(float momentum, float scale, const float *grad,
+                     float *velocity, float *weights, std::size_t n)
+{
+    const __m128 vm = _mm_set1_ps(momentum);
+    const __m128 vs = _mm_set1_ps(scale);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 vel = _mm_sub_ps(
+            _mm_mul_ps(vm, _mm_loadu_ps(velocity + i)),
+            _mm_mul_ps(vs, _mm_loadu_ps(grad + i)));
+        _mm_storeu_ps(velocity + i, vel);
+        _mm_storeu_ps(weights + i,
+                      _mm_add_ps(_mm_loadu_ps(weights + i), vel));
+    }
+    for (; i < n; ++i) {
+        velocity[i] = momentum * velocity[i] - scale * grad[i];
+        weights[i] += velocity[i];
+    }
+}
+
+/** Lane-parallel parity of (state & taps): xor-fold to bit 0. */
+inline __m128i
+parity128(__m128i v)
+{
+    v = _mm_xor_si128(v, _mm_srli_epi32(v, 16));
+    v = _mm_xor_si128(v, _mm_srli_epi32(v, 8));
+    v = _mm_xor_si128(v, _mm_srli_epi32(v, 4));
+    v = _mm_xor_si128(v, _mm_srli_epi32(v, 2));
+    v = _mm_xor_si128(v, _mm_srli_epi32(v, 1));
+    return _mm_and_si128(v, _mm_set1_epi32(1));
+}
+
+void
+misrHashBatchSse42(const MisrParams &p, const std::uint8_t *codes,
+                   std::size_t width, std::size_t count,
+                   std::uint32_t *out)
+{
+    const int rot = static_cast<int>(p.rotate % p.bits);
+    const int invRot = static_cast<int>(p.bits) - rot;
+    const __m128i taps = _mm_set1_epi32(static_cast<int>(p.taps));
+    const __m128i mask = _mm_set1_epi32(static_cast<int>(p.mask));
+    const __m128i spread = _mm_set1_epi32(static_cast<int>(p.spread));
+
+    // 4 invocations per register; the 4-row block is transposed first
+    // so each step loads its codes from one contiguous dword.
+    std::vector<std::uint8_t> transposed(width * 4);
+    std::size_t base = 0;
+    for (; base + 4 <= count; base += 4) {
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+            const std::uint8_t *row = codes + (base + lane) * width;
+            for (std::size_t j = 0; j < width; ++j)
+                transposed[j * 4 + lane] = row[j];
+        }
+
+        __m128i state =
+            _mm_set1_epi32(static_cast<int>(p.seed & p.mask));
+        for (std::size_t j = 0; j < width; ++j) {
+            const __m128i feedback =
+                parity128(_mm_and_si128(state, taps));
+            const __m128i rotated = _mm_and_si128(
+                _mm_or_si128(_mm_slli_epi32(state, rot),
+                             _mm_srli_epi32(state, invRot)),
+                mask);
+            state = _mm_xor_si128(rotated, feedback);
+
+            std::uint32_t packed;
+            __builtin_memcpy(&packed, transposed.data() + j * 4, 4);
+            const __m128i code4 = _mm_cvtepu8_epi32(
+                _mm_cvtsi32_si128(static_cast<int>(packed)));
+            const __m128i spreadCode = _mm_and_si128(
+                _mm_mullo_epi32(code4, spread), mask);
+            state = _mm_xor_si128(state, spreadCode);
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + base),
+                         state);
+    }
+
+    for (; base < count; ++base)
+        out[base] = misrHashOne(p, codes + base * width, width);
+}
+
+void
+quantizeBatchSse42(const float *inputs, std::size_t width,
+                   std::size_t count, const float *lows,
+                   const float *highs, std::uint32_t levels,
+                   std::uint8_t *out)
+{
+    const float levelsF = static_cast<float>(levels);
+    const __m128 vLevels = _mm_set1_ps(levelsF);
+    const __m128 vHalf = _mm_set1_ps(0.5f);
+    const __m128 vZero = _mm_setzero_ps();
+    const __m128 vOne = _mm_set1_ps(1.0f);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const float *row = inputs + i * width;
+        std::uint8_t *dst = out + i * width;
+        std::size_t j = 0;
+        for (; j + 4 <= width; j += 4) {
+            const __m128 x = _mm_loadu_ps(row + j);
+            const __m128 lo = _mm_loadu_ps(lows + j);
+            const __m128 hi = _mm_loadu_ps(highs + j);
+            __m128 t =
+                _mm_div_ps(_mm_sub_ps(x, lo), _mm_sub_ps(hi, lo));
+            t = _mm_max_ps(t, vZero);
+            t = _mm_min_ps(t, vOne);
+            const __m128 scaled = _mm_floor_ps(
+                _mm_add_ps(_mm_mul_ps(t, vLevels), vHalf));
+            const __m128i words = _mm_cvttps_epi32(scaled);
+            const __m128i packed16 = _mm_packus_epi32(words, words);
+            const __m128i packed8 = _mm_packus_epi16(packed16,
+                                                     packed16);
+            const int dword = _mm_cvtsi128_si32(packed8);
+            __builtin_memcpy(dst + j, &dword, 4);
+        }
+        for (; j < width; ++j)
+            dst[j] = quantizeOne(row[j], lows[j], highs[j], levelsF);
+    }
+}
+
+std::size_t
+lessEqualMaskSse42(const float *values, std::size_t n, float threshold,
+                   std::uint8_t *out)
+{
+    const __m128 vth = _mm_set1_ps(threshold);
+    std::size_t ones = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 cmp = _mm_cmple_ps(_mm_loadu_ps(values + i), vth);
+        const unsigned mask =
+            static_cast<unsigned>(_mm_movemask_ps(cmp));
+        for (std::size_t k = 0; k < 4; ++k)
+            out[i + k] = static_cast<std::uint8_t>((mask >> k) & 1u);
+        ones += static_cast<std::size_t>(__builtin_popcount(mask));
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t hit = values[i] <= threshold ? 1 : 0;
+        out[i] = hit;
+        ones += hit;
+    }
+    return ones;
+}
+
+} // namespace
+
+const KernelOps &
+sse42Ops()
+{
+    static const KernelOps ops = {
+        gemvBiasSse42,     axpySse42,          addInPlaceSse42,
+        sgdMomentumStepSse42, misrHashBatchSse42, quantizeBatchSse42,
+        lessEqualMaskSse42,
+    };
+    return ops;
+}
+
+} // namespace mithra::kernels::detail
+
+#endif // x86

@@ -11,6 +11,22 @@ Classifier::beginDataset(const axbench::InvocationTrace &)
 }
 
 void
+Classifier::decideBatch(const float *inputs, std::size_t width,
+                        std::size_t count, std::size_t beginIndex,
+                        std::uint8_t *out)
+{
+    // Reference semantics: one decidePrecise() per row, in ascending
+    // index order so order-sensitive classifiers (the random filter
+    // consumes one RNG draw per call) see the same stream as the
+    // scalar loop they replace.
+    Vec input;
+    for (std::size_t i = 0; i < count; ++i) {
+        input.assign(inputs + i * width, inputs + (i + 1) * width);
+        out[i] = decidePrecise(input, beginIndex + i) ? 1 : 0;
+    }
+}
+
+void
 Classifier::observe(const Vec &, float)
 {
 }

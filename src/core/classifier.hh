@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "axbench/benchmark.hh"
@@ -46,6 +47,20 @@ class Classifier
      */
     virtual bool decidePrecise(const Vec &input,
                                std::size_t invocationIndex) = 0;
+
+    /**
+     * Decide `count` consecutive invocations whose inputs are stored
+     * row-major in one flat buffer of `width` floats each, starting at
+     * dataset position `beginIndex`: out[i] = 1 when invocation
+     * beginIndex + i must run precise. Exactly equal to calling
+     * decidePrecise() per row in ascending index order (the default
+     * does just that, so order-sensitive designs like the random
+     * filter keep their per-invocation stream); batch-capable designs
+     * override it with vectorized kernels.
+     */
+    virtual void decideBatch(const float *inputs, std::size_t width,
+                             std::size_t count, std::size_t beginIndex,
+                             std::uint8_t *out);
 
     /**
      * Online feedback: the runtime sporadically samples the true

@@ -6,6 +6,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "npu/trainer.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::core
 {
@@ -93,9 +94,17 @@ holdoutAccuracy(const npu::Mlp &net, const npu::LinearScaler &scaler,
 {
     if (inputs.empty())
         return 0.0;
+    // One scratch and unit buffer for the whole scan: the candidate
+    // selection loop calls this once per topology, so the per-forward
+    // allocations of Mlp::forward()/toUnit() would dominate.
+    npu::ForwardScratch scratch;
+    scratch.prepare(net.topology());
+    Vec unit(scaler.width());
     std::size_t correct = 0;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-        const Vec out = net.forward(scaler.toUnit(inputs[i]));
+        scaler.toUnitInto(inputs[i], unit.data());
+        npu::forwardTrace(net, unit, scratch);
+        const auto out = scratch.output();
         const bool precise = out[0] > out[1];
         if (precise == (labels[i] != 0))
             ++correct;
@@ -200,8 +209,31 @@ NeuralClassifier::train(const TrainingData &data,
 bool
 NeuralClassifier::decidePrecise(const Vec &input, std::size_t)
 {
-    const Vec out = net.forward(inputScaler.toUnit(input));
-    return out[0] > out[1];
+    std::uint8_t decision = 0;
+    decideBatch(input.data(), input.size(), 1, 0, &decision);
+    return decision != 0;
+}
+
+void
+NeuralClassifier::decideBatch(const float *inputs, std::size_t width,
+                              std::size_t count, std::size_t,
+                              std::uint8_t *out)
+{
+    MITHRA_EXPECTS(width == inputScaler.width(), "input width ", width,
+                   " != scaler width ", inputScaler.width());
+    // thread_local: calibration measures held-out datasets in parallel
+    // with one shared classifier instance.
+    thread_local Vec unit;
+    thread_local npu::ForwardScratch scratch;
+    unit.resize(width);
+    scratch.prepare(net.topology());
+    for (std::size_t i = 0; i < count; ++i) {
+        inputScaler.toUnitInto({inputs + i * width, width}, unit.data());
+        npu::forwardTrace(net, unit, scratch);
+        const auto activation = scratch.output();
+        out[i] = activation[0] > activation[1] ? 1 : 0;
+    }
+    MITHRA_COUNT("npu.eval.macs", count * net.macsPerForward());
 }
 
 sim::ClassifierCost

@@ -68,6 +68,9 @@ class NeuralClassifier final : public Classifier
     std::string kind() const override { return "neural"; }
     bool decidePrecise(const Vec &input,
                        std::size_t invocationIndex) override;
+    void decideBatch(const float *inputs, std::size_t width,
+                     std::size_t count, std::size_t beginIndex,
+                     std::uint8_t *out) override;
     sim::ClassifierCost cost() const override;
     std::size_t configSizeBytes() const override;
 

@@ -248,11 +248,19 @@ calibrationMeasure(const CompiledWorkload &workload,
             classifier.beginDataset(trace);
             std::vector<std::uint8_t> decisions(trace.count(), 0);
             Tally one;
-            for (std::size_t i = 0; i < trace.count(); ++i) {
-                const bool precise = !classifier.approximationEnabled()
-                    || classifier.decidePrecise(trace.inputVec(i), i);
-                decisions[i] = precise ? 0 : 1;
-                one.accel += precise ? 0 : 1;
+            if (classifier.approximationEnabled()) {
+                // One batch call over the trace's flat input buffer:
+                // the table and neural designs vectorize inside
+                // decideBatch (fail-closed classifiers keep every
+                // decision at 0 = precise).
+                std::vector<std::uint8_t> precise(trace.count());
+                classifier.decideBatch(trace.inputsFlat().data(),
+                                       trace.inputWidth(), trace.count(),
+                                       0, precise.data());
+                for (std::size_t i = 0; i < trace.count(); ++i) {
+                    decisions[i] = precise[i] ? 0 : 1;
+                    one.accel += precise[i] ? 0u : 1u;
+                }
             }
             one.total = trace.count();
             const auto final = workload.benchmark->recompose(

@@ -34,6 +34,20 @@ TableClassifier::decidePrecise(const Vec &input, std::size_t)
 }
 
 void
+TableClassifier::decideBatch(const float *inputs, std::size_t width,
+                             std::size_t count, std::size_t,
+                             std::uint8_t *out)
+{
+    MITHRA_EXPECTS(width == quantizer.width(), "input width ", width,
+                   " != calibrated width ", quantizer.width());
+    // Quantize the whole slice in one kernel call, then let each table
+    // hash the batch lane-parallel inside decideBatch.
+    std::vector<std::uint8_t> codes(width * count);
+    quantizer.quantizeBatch(inputs, count, codes.data());
+    ensemble.decideBatch(codes.data(), width, count, out);
+}
+
+void
 TableClassifier::observe(const Vec &input, float actualError)
 {
     if (!onlineUpdatesEnabled)

@@ -50,6 +50,9 @@ class TableClassifier final : public Classifier
     std::string kind() const override { return "table"; }
     bool decidePrecise(const Vec &input,
                        std::size_t invocationIndex) override;
+    void decideBatch(const float *inputs, std::size_t width,
+                     std::size_t count, std::size_t beginIndex,
+                     std::uint8_t *out) override;
     void observe(const Vec &input, float actualError) override;
     sim::ClassifierCost cost() const override;
     std::size_t configSizeBytes() const override;

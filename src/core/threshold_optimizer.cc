@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hh"
+#include "common/kernels/kernels.hh"
 #include "common/parallel.hh"
 #include "stats/clopper_pearson.hh"
 
@@ -61,15 +62,13 @@ ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
             const auto &entry = problem.entries[e];
             std::vector<std::uint8_t> decisions(entry.trace->count(), 0);
             Tally one;
-            for (std::size_t i = 0; i < entry.trace->count(); ++i) {
-                // Instrumented run (Algorithm 1 step 2): invoke the
-                // accelerator only when its local error is within th.
-                if (entry.errors[i]
-                    <= static_cast<float>(threshold)) {
-                    decisions[i] = 1;
-                    ++one.accelerated;
-                }
-            }
+            // Instrumented run (Algorithm 1 step 2): invoke the
+            // accelerator only when its local error is within th. The
+            // compare is one vectorized sweep over the error array —
+            // this sits inside the bisection's hottest loop.
+            one.accelerated = kernels::lessEqualMask(
+                entry.errors.data(), entry.errors.size(),
+                static_cast<float>(threshold), decisions.data());
             one.total = entry.trace->count();
 
             const auto final = problem.benchmark->recompose(
@@ -201,14 +200,10 @@ MultiFunctionOptimizer::evaluate(const MultiFunctionProblem &problem,
             Tally one;
             for (std::size_t f = 0; f < entry.traces.size(); ++f) {
                 decisions[f].assign(entry.traces[f]->count(), 0);
-                for (std::size_t i = 0; i < entry.traces[f]->count();
-                     ++i) {
-                    if (entry.errors[f][i]
-                        <= static_cast<float>(thresholds[f])) {
-                        decisions[f][i] = 1;
-                        ++one.accelerated;
-                    }
-                }
+                one.accelerated += kernels::lessEqualMask(
+                    entry.errors[f].data(), entry.errors[f].size(),
+                    static_cast<float>(thresholds[f]),
+                    decisions[f].data());
                 one.total += entry.traces[f]->count();
             }
             const auto final = entry.recompose(decisions);

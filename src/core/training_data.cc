@@ -1,5 +1,7 @@
 #include "core/training_data.hh"
 
+#include <algorithm>
+
 #include "common/contracts.hh"
 #include "common/rng.hh"
 
@@ -58,11 +60,30 @@ buildTrainingData(const ThresholdProblem &problem, double threshold,
 std::vector<hw::TrainingTuple>
 TrainingData::quantized(const hw::InputQuantizer &quantizer) const
 {
-    std::vector<hw::TrainingTuple> tuples;
-    tuples.reserve(rawInputs.size());
-    for (std::size_t i = 0; i < rawInputs.size(); ++i)
-        tuples.push_back({quantizer.quantize(rawInputs[i]),
-                          labels[i] != 0});
+    // Stage every sampled input into one flat row-major buffer so the
+    // quantizer runs as a single batched kernel sweep, then split the
+    // codes back into per-tuple vectors for the ensemble trainer.
+    const std::size_t width = quantizer.width();
+    const std::size_t n = rawInputs.size();
+    std::vector<float> flat(width * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        MITHRA_EXPECTS(rawInputs[i].size() == width,
+                       "ragged training input at tuple ", i);
+        std::copy(rawInputs[i].begin(), rawInputs[i].end(),
+                  flat.begin() + static_cast<std::ptrdiff_t>(i * width));
+    }
+    std::vector<std::uint8_t> codes(width * n);
+    quantizer.quantizeBatch(flat.data(), n, codes.data());
+
+    std::vector<hw::TrainingTuple> tuples(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto begin =
+            codes.begin() + static_cast<std::ptrdiff_t>(i * width);
+        tuples[i].codes.assign(begin,
+                               begin
+                                   + static_cast<std::ptrdiff_t>(width));
+        tuples[i].precise = labels[i] != 0;
+    }
     return tuples;
 }
 

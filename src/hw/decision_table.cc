@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/contracts.hh"
+#include "common/kernels/kernels.hh"
 #include "common/parallel.hh"
 #include "telemetry/telemetry.hh"
 
@@ -112,7 +113,7 @@ TableEnsemble::TableEnsemble(const TableGeometry &geometry,
 }
 
 bool
-TableEnsemble::decidePrecise(const std::vector<std::uint8_t> &codes) const
+TableEnsemble::decidePrecise(std::span<const std::uint8_t> codes) const
 {
     // All MISRs hash in parallel in hardware; the combining gate fires
     // "precise" only when every table's entry agrees. Because training
@@ -130,10 +131,29 @@ TableEnsemble::decidePrecise(const std::vector<std::uint8_t> &codes) const
 }
 
 void
-TableEnsemble::markPrecise(const std::vector<std::uint8_t> &codes)
+TableEnsemble::markPrecise(std::span<const std::uint8_t> codes)
 {
     for (std::size_t t = 0; t < tables.size(); ++t)
         tables[t].setBit(misrs[t].hash(codes));
+}
+
+void
+TableEnsemble::decideBatch(const std::uint8_t *codes, std::size_t width,
+                           std::size_t count, std::uint8_t *out) const
+{
+    if (count == 0)
+        return;
+    std::fill(out, out + count, std::uint8_t{1});
+    std::vector<std::uint32_t> signatures(count);
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+        kernels::misrHashBatch(misrs[t].params(), codes, width, count,
+                               signatures.data());
+        const DecisionTable &table = tables[t];
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!table.bit(signatures[i]))
+                out[i] = 0;
+        }
+    }
 }
 
 void
@@ -171,30 +191,54 @@ TableEnsemble::density() const
                  : 0.0;
 }
 
+namespace
+{
+
+/** Flatten equal-width tuple codes into one row-major buffer. */
+std::vector<std::uint8_t>
+flattenCodes(const std::vector<TrainingTuple> &tuples, std::size_t width)
+{
+    std::vector<std::uint8_t> flat(width * tuples.size());
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        MITHRA_EXPECTS(tuples[i].codes.size() == width,
+                       "ragged tuple codes at tuple ", i);
+        std::copy(tuples[i].codes.begin(), tuples[i].codes.end(),
+                  flat.begin() + static_cast<std::ptrdiff_t>(i * width));
+    }
+    return flat;
+}
+
+} // namespace
+
 FalseDecisionCount
 countFalseDecisions(const TableEnsemble &ensemble,
                     const std::vector<TrainingTuple> &tuples)
 {
     FalseDecisionCount count;
     count.total = tuples.size();
-    const auto perTuple = [&](std::size_t i) {
-        FalseDecisionCount one;
-        const bool precise = ensemble.decidePrecise(tuples[i].codes);
-        if (precise && !tuples[i].precise)
-            one.falsePositives = 1;
-        else if (!precise && tuples[i].precise)
-            one.falseNegatives = 1;
-        return one;
-    };
-    const auto merged = parallelMapReduce(
-        0, tuples.size(), 8192, FalseDecisionCount{}, perTuple,
-        [](FalseDecisionCount a, FalseDecisionCount b) {
-            a.falsePositives += b.falsePositives;
-            a.falseNegatives += b.falseNegatives;
-            return a;
+    if (tuples.empty())
+        return count;
+
+    // One flat code buffer; each parallel chunk batch-classifies its
+    // slice (the MISRs hash lane-parallel inside decideBatch).
+    const std::size_t width = tuples.front().codes.size();
+    const std::vector<std::uint8_t> flat = flattenCodes(tuples, width);
+    std::vector<std::uint8_t> decisions(tuples.size());
+    constexpr std::size_t grain = 8192;
+    parallelForChunks(
+        0, tuples.size(), grain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+            ensemble.decideBatch(flat.data() + begin * width, width,
+                                 end - begin,
+                                 decisions.data() + begin);
         });
-    count.falsePositives = merged.falsePositives;
-    count.falseNegatives = merged.falseNegatives;
+
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        if (decisions[i] && !tuples[i].precise)
+            ++count.falsePositives;
+        else if (!decisions[i] && tuples[i].precise)
+            ++count.falseNegatives;
+    }
     // Bulk counts after the reduction, never per tuple: decidePrecise
     // is on the micro-bench hot path.
     MITHRA_COUNT("hw.table.decisions_audited", count.total);
@@ -215,13 +259,16 @@ trainGreedyEnsemble(const TableGeometry &geometry,
 
     // Hash every tuple under every pool configuration once; the greedy
     // search below then only manipulates precomputed indices. Each of
-    // the 16 configurations hashes independently across the pool.
+    // the 16 configurations batch-hashes the same flat code buffer
+    // (lane-parallel inside, config-parallel across the pool).
+    const std::size_t width = tuples.front().codes.size();
+    const std::vector<std::uint8_t> flat = flattenCodes(tuples, width);
     std::vector<std::vector<std::uint32_t>> indices(misrPoolSize);
     parallelFor(0, misrPoolSize, 1, [&](std::size_t id) {
         const Misr misr(pool[id], bits);
-        indices[id].reserve(tuples.size());
-        for (const auto &tuple : tuples)
-            indices[id].push_back(misr.hash(tuple.codes));
+        indices[id].resize(tuples.size());
+        kernels::misrHashBatch(misr.params(), flat.data(), width,
+                               tuples.size(), indices[id].data());
     });
 
     // Decision of the ensemble built so far, per tuple. With the

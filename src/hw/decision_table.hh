@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hw/misr.hh"
@@ -98,14 +99,23 @@ class TableEnsemble
      * Classify one invocation.
      * @return true when the precise function must run (any table hits).
      */
-    bool decidePrecise(const std::vector<std::uint8_t> &codes) const;
+    bool decidePrecise(std::span<const std::uint8_t> codes) const;
+
+    /**
+     * Classify `count` invocations of `width` codes each, stored
+     * row-major in one flat buffer: out[i] = 1 when invocation i must
+     * run precise. Exactly equal to decidePrecise() per row, but each
+     * table hashes the whole batch through kernels::misrHashBatch.
+     */
+    void decideBatch(const std::uint8_t *codes, std::size_t width,
+                     std::size_t count, std::uint8_t *out) const;
 
     /**
      * Conservative training step: mark this input as precise in every
      * table (paper §IV-C.1; aliasing keeps the entry 1 even when other
      * aliased inputs are accelerable).
      */
-    void markPrecise(const std::vector<std::uint8_t> &codes);
+    void markPrecise(std::span<const std::uint8_t> codes);
 
     /** Train from scratch over a tuple set (entries start at 0). */
     void train(const std::vector<TrainingTuple> &tuples);

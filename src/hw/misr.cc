@@ -81,7 +81,7 @@ Misr::signature() const
 }
 
 std::uint32_t
-Misr::hash(const std::vector<std::uint8_t> &codes) const
+Misr::hash(std::span<const std::uint8_t> codes) const
 {
     // Same register sequence as reset(); shiftIn()...; signature(),
     // but on a local register so the call has no shared state.
@@ -91,6 +91,19 @@ Misr::hash(const std::vector<std::uint8_t> &codes) const
     MITHRA_ENSURES(local <= mask, "signature ", local,
                    " escaped the register width");
     return local;
+}
+
+kernels::MisrParams
+Misr::params() const
+{
+    kernels::MisrParams p;
+    p.taps = cfg.taps;
+    p.spread = cfg.spread;
+    p.seed = cfg.seed;
+    p.mask = mask;
+    p.rotate = cfg.rotate;
+    p.bits = bits;
+    return p;
 }
 
 } // namespace mithra::hw

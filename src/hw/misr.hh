@@ -21,7 +21,9 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
+#include <span>
+
+#include "common/kernels/kernels.hh"
 
 namespace mithra::hw
 {
@@ -71,12 +73,19 @@ class Misr
      * Convenience: hash a whole invocation's codes in one call. Pure —
      * it runs the register sequence on a local copy of the state, so
      * concurrent hashes through one Misr are safe (the ensemble's
-     * decision path is hammered from parallel loops).
+     * decision path is hammered from parallel loops). Accepts any
+     * contiguous code range, e.g. one row of a flat batch buffer.
      */
-    std::uint32_t hash(const std::vector<std::uint8_t> &codes) const;
+    std::uint32_t hash(std::span<const std::uint8_t> codes) const;
 
     /** Signature width in bits. */
     unsigned indexBits() const { return bits; }
+
+    /**
+     * This wiring flattened for kernels::misrHashBatch, which produces
+     * exactly the hash() sequence one lane per invocation.
+     */
+    kernels::MisrParams params() const;
 
   private:
     /** One register step: feedback, rotate, spread-in one code. */

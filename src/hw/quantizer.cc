@@ -1,10 +1,10 @@
 #include "hw/quantizer.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "common/contracts.hh"
+#include "common/kernels/kernels.hh"
 
 namespace mithra::hw
 {
@@ -79,15 +79,18 @@ InputQuantizer::quantize(const Vec &input) const
     MITHRA_EXPECTS(input.size() == lows.size(),
                    "input width ", input.size(), " != calibrated width ",
                    lows.size());
-    const float levels = static_cast<float>((1u << codeBits) - 1);
     std::vector<std::uint8_t> codes(input.size());
-    for (std::size_t i = 0; i < input.size(); ++i) {
-        const float span = highs[i] - lows[i];
-        float t = (input[i] - lows[i]) / span;
-        t = std::clamp(t, 0.0f, 1.0f);
-        codes[i] = static_cast<std::uint8_t>(std::lround(t * levels));
-    }
+    quantizeBatch(input.data(), 1, codes.data());
     return codes;
+}
+
+void
+InputQuantizer::quantizeBatch(const float *inputs, std::size_t count,
+                              std::uint8_t *out) const
+{
+    const std::uint32_t levels = (1u << codeBits) - 1;
+    kernels::quantizeBatch(inputs, lows.size(), count, lows.data(),
+                           highs.data(), levels, out);
 }
 
 } // namespace mithra::hw

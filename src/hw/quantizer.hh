@@ -56,6 +56,16 @@ class InputQuantizer
     /** Quantize one input vector to one code per element (clamping). */
     std::vector<std::uint8_t> quantize(const Vec &input) const;
 
+    /**
+     * Quantize `count` input rows of width() floats each (row-major
+     * flat buffer) into `out` through kernels::quantizeBatch. Exactly
+     * equal to quantize() per row; the canonical rounding is
+     * floor(t * levels + 0.5), identical to round-half-up for every
+     * representable value in range.
+     */
+    void quantizeBatch(const float *inputs, std::size_t count,
+                       std::uint8_t *out) const;
+
     /** Number of calibrated element positions. */
     std::size_t width() const { return lows.size(); }
 

@@ -42,13 +42,19 @@ LinearScaler::fit(const VecBatch &batch)
 Vec
 LinearScaler::toUnit(const Vec &raw) const
 {
-    MITHRA_EXPECTS(raw.size() == lows.size(), "scaler width mismatch");
     Vec unit(raw.size());
+    toUnitInto(raw, unit.data());
+    return unit;
+}
+
+void
+LinearScaler::toUnitInto(std::span<const float> raw, float *out) const
+{
+    MITHRA_EXPECTS(raw.size() == lows.size(), "scaler width mismatch");
     for (std::size_t i = 0; i < raw.size(); ++i) {
         const float t = (raw[i] - lows[i]) / (highs[i] - lows[i]);
-        unit[i] = std::clamp(t, 0.0f, 1.0f);
+        out[i] = std::clamp(t, 0.0f, 1.0f);
     }
-    return unit;
 }
 
 Vec
@@ -121,7 +127,16 @@ Vec
 Approximator::invoke(const Vec &input) const
 {
     MITHRA_EXPECTS(net, "Approximator used before training");
-    const Vec unitOut = net->forward(inputScaler.toUnit(input));
+    // Thread-local scratch: invoke() runs concurrently from the
+    // pipeline's parallel attach loop, and must stay allocation free
+    // apart from the returned vector.
+    thread_local Vec unitInput;
+    thread_local ForwardScratch scratch;
+    unitInput.resize(inputScaler.width());
+    inputScaler.toUnitInto(input, unitInput.data());
+    scratch.prepare(net->topology());
+    forwardTrace(*net, unitInput, scratch);
+    const std::span<const float> unitOut = scratch.output();
     Vec band(unitOut.size());
     const float span = 1.0f - 2.0f * outputMargin;
     for (std::size_t i = 0; i < unitOut.size(); ++i) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "common/vec.hh"
 #include "npu/mlp.hh"
@@ -36,6 +37,12 @@ class LinearScaler
 
     /** Map raw values into [0, 1] element-wise (clamped). */
     Vec toUnit(const Vec &raw) const;
+
+    /**
+     * toUnit() into a caller-owned buffer of at least width() floats
+     * (allocation-free hot path; `out` may not alias `raw`).
+     */
+    void toUnitInto(std::span<const float> raw, float *out) const;
 
     /** Map unit-range values back to raw units. */
     Vec fromUnit(const Vec &unit) const;

@@ -1,7 +1,6 @@
 #include "npu/mlp.hh"
 
 #include <cmath>
-#include <sstream>
 
 #include "common/contracts.hh"
 
@@ -11,47 +10,51 @@ namespace mithra::npu
 std::string
 topologyName(const Topology &topology)
 {
-    std::ostringstream os;
+    // Hot logging/telemetry label path: plain append, no ostringstream.
+    std::string name;
+    name.reserve(topology.size() * 4);
     for (std::size_t i = 0; i < topology.size(); ++i) {
         if (i)
-            os << "->";
-        os << topology[i];
+            name += "->";
+        name += std::to_string(topology[i]);
     }
-    return os.str();
+    return name;
 }
 
 void
 ForwardScratch::prepare(const Topology &topology)
 {
-    activations.resize(topology.size());
+    if (widths == topology)
+        return;
+    widths = topology;
+    activations.assign(topology.size(), kernels::AlignedVec());
     for (std::size_t l = 0; l < topology.size(); ++l)
-        activations[l].resize(topology[l]);
+        activations[l].assign(kernels::paddedSize(topology[l]), 0.0f);
 }
 
 void
-forwardTrace(const Mlp &mlp, const Vec &input, ForwardScratch &scratch)
+forwardTrace(const Mlp &mlp, std::span<const float> input,
+             ForwardScratch &scratch)
 {
     const auto &topo = mlp.topology();
     MITHRA_EXPECTS(input.size() == topo.front(), "MLP input width ",
                    input.size(), " != ", topo.front());
-    MITHRA_EXPECTS(scratch.activations.size() == topo.size(),
+    MITHRA_EXPECTS(scratch.widths == topo,
                    "scratch not prepared for this topology");
     std::copy(input.begin(), input.end(),
               scratch.activations.front().begin());
 
     for (std::size_t l = 1; l < topo.size(); ++l) {
-        const std::size_t in = topo[l - 1];
         const std::size_t out = topo[l];
-        const auto &weights = mlp.layerWeights(l);
-        const Vec &prev = scratch.activations[l - 1];
-        Vec &next = scratch.activations[l];
-        for (std::size_t o = 0; o < out; ++o) {
-            const float *row = &weights[o * (in + 1)];
-            float sum = row[in]; // bias
-            for (std::size_t i = 0; i < in; ++i)
-                sum += row[i] * prev[i];
-            next[o] = Mlp::activate(sum);
-        }
+        const kernels::AlignedVec &prev = scratch.activations[l - 1];
+        kernels::AlignedVec &next = scratch.activations[l];
+        kernels::gemvBias(mlp.layerWeights(l).data(),
+                          mlp.layerStride(l), mlp.layerBias(l).data(),
+                          prev.data(), out, next.data());
+        // Sigmoid stays scalar std::exp in every path; gemvBias wrote
+        // exactly `out` floats, so the padding lanes remain +0.0f.
+        for (std::size_t o = 0; o < out; ++o)
+            next[o] = Mlp::activate(next[o]);
     }
 }
 
@@ -61,8 +64,11 @@ Mlp::Mlp(Topology topology)
     MITHRA_EXPECTS(topo.size() >= 2, "an MLP needs at least two layers");
     for (std::size_t width : topo)
         MITHRA_EXPECTS(width > 0, "zero-width MLP layer");
-    for (std::size_t l = 1; l < topo.size(); ++l)
-        weightsPerLayer.emplace_back(topo[l] * (topo[l - 1] + 1), 0.0f);
+    for (std::size_t l = 1; l < topo.size(); ++l) {
+        weightsPerLayer.emplace_back(
+            topo[l] * kernels::paddedSize(topo[l - 1]), 0.0f);
+        biasPerLayer.emplace_back(topo[l], 0.0f);
+    }
 }
 
 float
@@ -74,33 +80,21 @@ Mlp::activate(float x)
 Vec
 Mlp::forward(const Vec &input) const
 {
-    MITHRA_EXPECTS(input.size() == topo.front(), "MLP input width ",
-                   input.size(), " != ", topo.front());
-    Vec current = input;
-    Vec next;
-    for (std::size_t l = 1; l < topo.size(); ++l) {
-        const std::size_t in = topo[l - 1];
-        const std::size_t out = topo[l];
-        const auto &weights = weightsPerLayer[l - 1];
-        next.assign(out, 0.0f);
-        for (std::size_t o = 0; o < out; ++o) {
-            const float *row = &weights[o * (in + 1)];
-            float sum = row[in]; // bias
-            for (std::size_t i = 0; i < in; ++i)
-                sum += row[i] * current[i];
-            next[o] = activate(sum);
-        }
-        current.swap(next);
-    }
-    return current;
+    // One padded scratch per thread: repeat forwards through the same
+    // topology allocate nothing but the returned vector.
+    thread_local ForwardScratch scratch;
+    scratch.prepare(topo);
+    forwardTrace(*this, input, scratch);
+    const std::span<const float> out = scratch.output();
+    return Vec(out.begin(), out.end());
 }
 
 std::size_t
 Mlp::weightCount() const
 {
     std::size_t count = 0;
-    for (const auto &layer : weightsPerLayer)
-        count += layer.size();
+    for (std::size_t l = 1; l < topo.size(); ++l)
+        count += topo[l] * (topo[l - 1] + 1);
     return count;
 }
 
@@ -128,7 +122,9 @@ Mlp::weight(std::size_t layer, std::size_t to, std::size_t from) const
     MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     const std::size_t in = topo[layer - 1];
     MITHRA_EXPECTS(to < topo[layer] && from <= in, "bad weight index");
-    return weightsPerLayer[layer - 1][to * (in + 1) + from];
+    if (from == in)
+        return biasPerLayer[layer - 1][to];
+    return weightsPerLayer[layer - 1][to * layerStride(layer) + from];
 }
 
 void
@@ -138,21 +134,46 @@ Mlp::setWeight(std::size_t layer, std::size_t to, std::size_t from,
     MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     const std::size_t in = topo[layer - 1];
     MITHRA_EXPECTS(to < topo[layer] && from <= in, "bad weight index");
-    weightsPerLayer[layer - 1][to * (in + 1) + from] = value;
+    if (from == in)
+        biasPerLayer[layer - 1][to] = value;
+    else
+        weightsPerLayer[layer - 1][to * layerStride(layer) + from] =
+            value;
 }
 
-std::vector<float> &
+std::size_t
+Mlp::layerStride(std::size_t layer) const
+{
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    return kernels::paddedSize(topo[layer - 1]);
+}
+
+kernels::AlignedVec &
 Mlp::layerWeights(std::size_t layer)
 {
     MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     return weightsPerLayer[layer - 1];
 }
 
-const std::vector<float> &
+const kernels::AlignedVec &
 Mlp::layerWeights(std::size_t layer) const
 {
     MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
     return weightsPerLayer[layer - 1];
+}
+
+std::vector<float> &
+Mlp::layerBias(std::size_t layer)
+{
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    return biasPerLayer[layer - 1];
+}
+
+const std::vector<float> &
+Mlp::layerBias(std::size_t layer) const
+{
+    MITHRA_EXPECTS(layer >= 1 && layer < topo.size(), "bad layer ", layer);
+    return biasPerLayer[layer - 1];
 }
 
 } // namespace mithra::npu

@@ -7,14 +7,24 @@
  * function, per Esmaeilzadeh et al. MICRO'12) and MITHRA's neural
  * classifier (paper §IV-B). Fully connected layers with sigmoid
  * activations; weights are trained offline by npu/trainer.
+ *
+ * Storage is the kernels layer's padded SoA layout: each layer's
+ * weight matrix is out × layerStride(l) floats, the stride rounded up
+ * to 8-float lanes, rows 32-byte aligned, padding lanes pinned at
+ * +0.0f (the trainer's element-wise updates provably keep them there).
+ * Biases live in a separate per-layer array, added after the canonical
+ * 8-lane dot product — every forward MAC runs through
+ * kernels::gemvBias and is bitwise identical across kernel backends.
  */
 
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/kernels/kernels.hh"
 #include "common/vec.hh"
 
 namespace mithra::npu
@@ -30,20 +40,27 @@ class Mlp;
 
 /**
  * Caller-owned per-layer activation buffers for one forward pass
- * (input included as layer 0). prepare() sizes the buffers once; a
- * scratch prepared for a topology can then run any number of
- * forwardTrace() passes with zero allocations — the trainer keeps one
- * per parallel chunk so the whole epoch loop is allocation free.
+ * (input included as layer 0). Buffers are lane-padded and aligned so
+ * they can feed kernels::gemvBias directly; padding lanes stay 0.0f.
+ * prepare() sizes the buffers once (and is a no-op when already
+ * prepared for the same topology); a prepared scratch runs any number
+ * of forwardTrace() passes with zero allocations — the trainer keeps
+ * one per parallel chunk so the whole epoch loop is allocation free.
  */
 struct ForwardScratch
 {
-    std::vector<Vec> activations;
+    std::vector<kernels::AlignedVec> activations;
+    /** Logical (unpadded) width of each activation plane. */
+    std::vector<std::size_t> widths;
 
     /** Size the buffers for one network topology. */
     void prepare(const Topology &topology);
 
     /** Network output of the last forwardTrace() pass. */
-    const Vec &output() const { return activations.back(); }
+    std::span<const float> output() const
+    {
+        return {activations.back().data(), widths.back()};
+    }
 };
 
 /** A fully connected sigmoid MLP. */
@@ -59,7 +76,7 @@ class Mlp
     /** The layer widths. */
     const Topology &topology() const { return topo; }
 
-    /** Number of weights including biases. */
+    /** Number of weights including biases (logical, unpadded). */
     std::size_t weightCount() const;
 
     /** Multiply-accumulate operations per forward pass. */
@@ -82,9 +99,23 @@ class Mlp
     void setWeight(std::size_t layer, std::size_t to, std::size_t from,
                    float value);
 
-    /** Flat mutable access for the trainer's inner loop. */
-    std::vector<float> &layerWeights(std::size_t layer);
-    const std::vector<float> &layerWeights(std::size_t layer) const;
+    /**
+     * Lane-padded row stride (in floats) of layer `layer`'s weight
+     * matrix: paddedSize(fan-in).
+     */
+    std::size_t layerStride(std::size_t layer) const;
+
+    /**
+     * Flat mutable access to layer `layer`'s padded weight matrix
+     * (out × layerStride(layer), bias excluded). Writers must keep the
+     * padding lanes at +0.0f — the kernels rely on it.
+     */
+    kernels::AlignedVec &layerWeights(std::size_t layer);
+    const kernels::AlignedVec &layerWeights(std::size_t layer) const;
+
+    /** Layer `layer`'s bias vector (one float per output neuron). */
+    std::vector<float> &layerBias(std::size_t layer);
+    const std::vector<float> &layerBias(std::size_t layer) const;
 
     /** Sigmoid activation used by every neuron. */
     static float activate(float x);
@@ -92,20 +123,22 @@ class Mlp
   private:
     Topology topo;
     /**
-     * weightsPerLayer[l] holds layer l+1's matrix, row-major:
-     * out × (in + 1), the last column being the bias.
+     * weightsPerLayer[l] holds layer l+1's matrix in the padded SoA
+     * layout: out × paddedSize(in), padding lanes zero.
      */
-    std::vector<std::vector<float>> weightsPerLayer;
+    std::vector<kernels::AlignedVec> weightsPerLayer;
+    /** biasPerLayer[l] holds layer l+1's biases (out floats). */
+    std::vector<std::vector<float>> biasPerLayer;
 };
 
 /**
  * Forward pass recording every layer's activations into `scratch`
  * (prepared for this network's topology). Allocation free; the
  * backpropagation inner loop and the bulk evaluation paths use this
- * instead of Mlp::forward().
+ * instead of Mlp::forward(). `input` needs no padding or alignment —
+ * it is staged into the scratch's padded input plane.
  */
-void forwardTrace(const Mlp &mlp, const Vec &input,
+void forwardTrace(const Mlp &mlp, std::span<const float> input,
                   ForwardScratch &scratch);
 
 } // namespace mithra::npu
-

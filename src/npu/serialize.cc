@@ -69,12 +69,18 @@ saveMlp(std::ostream &out, const Mlp &mlp)
     for (std::size_t width : topo)
         out << ' ' << width;
     out << '\n';
+    // On-disk format is the logical row-major layout, bias last per
+    // row — independent of the in-memory padded SoA storage.
     for (std::size_t l = 1; l < topo.size(); ++l) {
-        const auto &weights = mlp.layerWeights(l);
-        for (std::size_t w = 0; w < weights.size(); ++w) {
-            if (w)
-                out << ' ';
-            writeFloat(out, weights[w]);
+        const std::size_t in = topo[l - 1];
+        bool first = true;
+        for (std::size_t o = 0; o < topo[l]; ++o) {
+            for (std::size_t from = 0; from <= in; ++from) {
+                if (!first)
+                    out << ' ';
+                first = false;
+                writeFloat(out, mlp.weight(l, o, from));
+            }
         }
         out << '\n';
     }
@@ -93,9 +99,10 @@ loadMlp(std::istream &in)
 
     Mlp mlp(topo);
     for (std::size_t l = 1; l < topo.size(); ++l) {
-        auto &weights = mlp.layerWeights(l);
-        for (auto &w : weights)
-            w = readFloat(in);
+        const std::size_t fanIn = topo[l - 1];
+        for (std::size_t o = 0; o < topo[l]; ++o)
+            for (std::size_t from = 0; from <= fanIn; ++from)
+                mlp.setWeight(l, o, from, readFloat(in));
     }
     return mlp;
 }

@@ -1,8 +1,10 @@
 #include "npu/trainer.hh"
 
 #include <cmath>
+#include <span>
 
 #include "common/contracts.hh"
+#include "common/kernels/kernels.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "telemetry/telemetry.hh"
@@ -19,8 +21,17 @@ initWeights(Mlp &mlp, std::uint64_t seed)
         const auto fanIn = static_cast<double>(topo[l - 1] + 1);
         const double bound = std::sqrt(3.0 / fanIn);
         auto &weights = mlp.layerWeights(l);
-        for (auto &w : weights)
-            w = static_cast<float>(rng.uniform(-bound, bound));
+        auto &bias = mlp.layerBias(l);
+        const std::size_t stride = mlp.layerStride(l);
+        const std::size_t in = topo[l - 1];
+        // Draw order matches the historical row-major bias-last flat
+        // layout, so a given seed still produces the same network.
+        for (std::size_t o = 0; o < topo[l]; ++o) {
+            float *row = &weights[o * stride];
+            for (std::size_t i = 0; i < in; ++i)
+                row[i] = static_cast<float>(rng.uniform(-bound, bound));
+            bias[o] = static_cast<float>(rng.uniform(-bound, bound));
+        }
     }
 }
 
@@ -44,7 +55,10 @@ struct ChunkWorkspace
 {
     ForwardScratch scratch;
     std::vector<Vec> deltas;
-    std::vector<std::vector<float>> gradient;
+    /** Per-layer weight gradient, padded SoA like the weights. */
+    std::vector<kernels::AlignedVec> gradient;
+    /** Per-layer bias gradient. */
+    std::vector<std::vector<float>> biasGradient;
     double squaredErrorSum = 0.0;
     std::size_t elementCount = 0;
 
@@ -54,9 +68,11 @@ struct ChunkWorkspace
         scratch.prepare(topo);
         deltas.resize(topo.size() - 1);
         gradient.resize(topo.size() - 1);
+        biasGradient.resize(topo.size() - 1);
         for (std::size_t l = 1; l < topo.size(); ++l) {
             deltas[l - 1].assign(topo[l], 0.0f);
             gradient[l - 1].assign(mlp.layerWeights(l).size(), 0.0f);
+            biasGradient[l - 1].assign(topo[l], 0.0f);
         }
     }
 
@@ -64,6 +80,8 @@ struct ChunkWorkspace
     {
         for (auto &layerGrad : gradient)
             std::fill(layerGrad.begin(), layerGrad.end(), 0.0f);
+        for (auto &layerBiasGrad : biasGradient)
+            std::fill(layerBiasGrad.begin(), layerBiasGrad.end(), 0.0f);
         squaredErrorSum = 0.0;
         elementCount = 0;
     }
@@ -76,7 +94,7 @@ accumulateSample(const Mlp &mlp, const Vec &input, const Vec &target,
 {
     const auto &topo = mlp.topology();
     forwardTrace(mlp, input, ws.scratch);
-    const Vec &output = ws.scratch.output();
+    const std::span<const float> output = ws.scratch.output();
     MITHRA_ASSERT(target.size() == output.size(),
                   "target width mismatch");
 
@@ -89,34 +107,40 @@ accumulateSample(const Mlp &mlp, const Vec &input, const Vec &target,
     }
     ws.elementCount += output.size();
 
-    // Hidden layer deltas, back to front.
+    // Hidden layer deltas, back to front. The column walk over the
+    // next layer's matrix is strided and stays scalar; the sum order
+    // is unchanged from the original implementation.
     for (std::size_t l = last; l-- > 1;) {
         const std::size_t width = topo[l];
         const std::size_t nextWidth = topo[l + 1];
         const auto &nextWeights = mlp.layerWeights(l + 1);
-        const Vec &act = ws.scratch.activations[l];
+        const std::size_t nextStride = mlp.layerStride(l + 1);
+        const kernels::AlignedVec &act = ws.scratch.activations[l];
         for (std::size_t h = 0; h < width; ++h) {
             float sum = 0.0f;
             for (std::size_t o = 0; o < nextWidth; ++o) {
-                sum += nextWeights[o * (width + 1) + h]
+                sum += nextWeights[o * nextStride + h]
                     * ws.deltas[l][o];
             }
             ws.deltas[l - 1][h] = sum * act[h] * (1.0f - act[h]);
         }
     }
 
-    // Accumulate gradients.
+    // Accumulate gradients: one axpy per output neuron over the full
+    // padded row. prev's padding lanes are +0.0f, so the gradient's
+    // padding stays +0.0f (delta * 0 contributes a signed zero and
+    // +0 + ±0 == +0 under round-to-nearest).
     for (std::size_t l = 1; l < topo.size(); ++l) {
-        const std::size_t in = topo[l - 1];
         const std::size_t out = topo[l];
-        const Vec &prev = ws.scratch.activations[l - 1];
+        const std::size_t stride = mlp.layerStride(l);
+        const kernels::AlignedVec &prev = ws.scratch.activations[l - 1];
         auto &layerGrad = ws.gradient[l - 1];
+        auto &layerBiasGrad = ws.biasGradient[l - 1];
         for (std::size_t o = 0; o < out; ++o) {
             const float delta = ws.deltas[l - 1][o];
-            float *row = &layerGrad[o * (in + 1)];
-            for (std::size_t i = 0; i < in; ++i)
-                row[i] += delta * prev[i];
-            row[in] += delta;
+            kernels::axpy(delta, prev.data(), &layerGrad[o * stride],
+                          stride);
+            layerBiasGrad[o] += delta;
         }
     }
 }
@@ -142,13 +166,18 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
     const auto &topo = mlp.topology();
     Rng rng(options.seed ^ 0x7261696e6572ULL);
 
-    // Momentum velocity and the reduced gradient, same shape as the
-    // weights; all buffers are reserved once, before the epoch loop.
-    std::vector<std::vector<float>> velocity;
-    std::vector<std::vector<float>> gradient;
+    // Momentum velocity and the reduced gradient, same (padded) shape
+    // as the weights plus separate bias arrays; all buffers are
+    // reserved once, before the epoch loop.
+    std::vector<kernels::AlignedVec> velocity;
+    std::vector<kernels::AlignedVec> gradient;
+    std::vector<std::vector<float>> biasVelocity;
+    std::vector<std::vector<float>> biasGradient;
     for (std::size_t l = 1; l < topo.size(); ++l) {
         velocity.emplace_back(mlp.layerWeights(l).size(), 0.0f);
         gradient.emplace_back(mlp.layerWeights(l).size(), 0.0f);
+        biasVelocity.emplace_back(topo[l], 0.0f);
+        biasGradient.emplace_back(topo[l], 0.0f);
     }
 
     const std::size_t chunksPerBatch =
@@ -171,6 +200,10 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
             MITHRA_COUNT("npu.train.gradient_steps", 1);
             const std::size_t end =
                 std::min(start + options.batchSize, order.size());
+            // Bulk MAC accounting (forward + gradient accumulation);
+            // the kernels themselves never count per call.
+            MITHRA_COUNT("npu.train.macs",
+                         (end - start) * 2 * mlp.macsPerForward());
 
             // Data-parallel minibatch: every chunk accumulates into
             // its own gradient buffer against the frozen weights.
@@ -192,30 +225,40 @@ train(Mlp &mlp, const VecBatch &inputs, const VecBatch &targets,
                 (end - start + sampleGrain - 1) / sampleGrain;
             for (auto &layerGrad : gradient)
                 std::fill(layerGrad.begin(), layerGrad.end(), 0.0f);
+            for (auto &layerBiasGrad : biasGradient)
+                std::fill(layerBiasGrad.begin(), layerBiasGrad.end(),
+                          0.0f);
             for (std::size_t chunk = 0; chunk < usedChunks; ++chunk) {
                 const ChunkWorkspace &ws = workspaces[chunk];
                 squaredErrorSum += ws.squaredErrorSum;
                 elementCount += ws.elementCount;
                 for (std::size_t l = 0; l < gradient.size(); ++l) {
-                    auto &layerGrad = gradient[l];
-                    const auto &chunkGrad = ws.gradient[l];
-                    for (std::size_t w = 0; w < layerGrad.size(); ++w)
-                        layerGrad[w] += chunkGrad[w];
+                    kernels::addInPlace(gradient[l].data(),
+                                        ws.gradient[l].data(),
+                                        gradient[l].size());
+                    kernels::addInPlace(biasGradient[l].data(),
+                                        ws.biasGradient[l].data(),
+                                        biasGradient[l].size());
                 }
             }
 
-            // Apply the momentum SGD update for this minibatch.
+            // Apply the momentum SGD update for this minibatch. The
+            // gradient's padding lanes are +0.0f, so velocity and
+            // weight padding stay +0.0f too.
             const float scale = learningRate
                 / static_cast<float>(end - start);
             for (std::size_t l = 1; l < topo.size(); ++l) {
                 auto &weights = mlp.layerWeights(l);
-                auto &vel = velocity[l - 1];
-                const auto &layerGrad = gradient[l - 1];
-                for (std::size_t w = 0; w < weights.size(); ++w) {
-                    vel[w] = options.momentum * vel[w]
-                        - scale * layerGrad[w];
-                    weights[w] += vel[w];
-                }
+                kernels::sgdMomentumStep(
+                    options.momentum, scale, gradient[l - 1].data(),
+                    velocity[l - 1].data(), weights.data(),
+                    weights.size());
+                auto &bias = mlp.layerBias(l);
+                kernels::sgdMomentumStep(
+                    options.momentum, scale,
+                    biasGradient[l - 1].data(),
+                    biasVelocity[l - 1].data(), bias.data(),
+                    bias.size());
             }
         }
 
@@ -255,6 +298,8 @@ meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
         std::size_t count = 0;
     };
 
+    MITHRA_COUNT("npu.eval.macs",
+                 inputs.size() * mlp.macsPerForward());
     constexpr std::size_t grain = 512;
     const std::size_t chunks = (inputs.size() + grain - 1) / grain;
     std::vector<Partial> partials(chunks);
@@ -266,7 +311,7 @@ meanSquaredError(const Mlp &mlp, const VecBatch &inputs,
             Partial partial;
             for (std::size_t i = begin; i < end; ++i) {
                 forwardTrace(mlp, inputs[i], scratch);
-                const Vec &out = scratch.output();
+                const std::span<const float> out = scratch.output();
                 for (std::size_t o = 0; o < out.size(); ++o) {
                     const double err = static_cast<double>(out[o])
                         - targets[i][o];

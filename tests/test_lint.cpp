@@ -352,6 +352,66 @@ double hz(const CoreParams &p) { return p.clock; }
     EXPECT_FALSE(firedRule(diagnostics, "no-raw-timing"));
 }
 
+TEST(Lint, IntrinsicsOutsideKernelsFire)
+{
+    const std::string source = R"cpp(
+#include <immintrin.h>
+namespace mithra
+{
+float sum8(const float *x)
+{
+    __m256 v = _mm256_loadu_ps(x);
+    __m128 lo = _mm256_castps256_ps128(v);
+    (void)lo;
+    return _mm_cvtss_f32(_mm_setzero_ps());
+}
+} // namespace mithra
+)cpp";
+    const auto diagnostics = lintAt("src/npu/bad.cc", source);
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 7));
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 8));
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 10));
+    // Harness code is not exempt: bench/ and tests/ must also go
+    // through the dispatched kernels API.
+    EXPECT_TRUE(firedRule(lintAt("bench/micro_bad.cpp", source),
+                          "no-intrinsics"));
+    EXPECT_TRUE(firedRule(lintAt("tests/test_bad.cpp", source),
+                          "no-intrinsics"));
+    // The kernels layer is the sanctioned home.
+    EXPECT_FALSE(
+        firedRule(lintAt("src/common/kernels/kernels_avx2.cc", source),
+                  "no-intrinsics"));
+}
+
+TEST(Lint, IntrinsicHeaderVariantsFire)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+#include <xmmintrin.h>
+#include <x86intrin.h>
+#include <arm_neon.h>
+namespace mithra
+{
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 2));
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 3));
+    EXPECT_TRUE(fired(diagnostics, "no-intrinsics", 4));
+}
+
+TEST(Lint, NonIntrinsicIdentifiersPass)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+int _mmap_like = 0;
+int immintrinsically = 1;
+bool cpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-intrinsics"));
+}
+
 TEST(Lint, DiagnosticFormatHasFileAndLine)
 {
     const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
@@ -384,6 +444,9 @@ TEST(Lint, PolicySelection)
     EXPECT_TRUE(policyForPath("src/common/logging.hh").loggingImpl);
     EXPECT_TRUE(policyForPath("src/telemetry/span.cc").timingImpl);
     EXPECT_FALSE(policyForPath("src/core/pipeline.cc").timingImpl);
+    EXPECT_TRUE(policyForPath("src/common/kernels/kernels_sse42.cc")
+                    .kernelsImpl);
+    EXPECT_FALSE(policyForPath("src/common/parallel.hh").kernelsImpl);
 }
 
 } // namespace

@@ -309,6 +309,34 @@ isWallClockSeed(const std::vector<Token> &tokens, std::size_t i)
         && close->text == ")";
 }
 
+/** SIMD intrinsic header names (what `#include <x.h>` tokenizes to). */
+bool
+isIntrinsicHeader(const std::string &text)
+{
+    static const std::set<std::string> headers = {
+        "immintrin", "x86intrin",  "x86gprintrin", "xmmintrin",
+        "emmintrin", "pmmintrin",  "tmmintrin",    "smmintrin",
+        "nmmintrin", "wmmintrin",  "ammintrin",    "arm_neon",
+        "arm_sve",
+    };
+    return headers.count(text) != 0;
+}
+
+/** Vector types, _mm* intrinsic calls and ia32 builtins. */
+bool
+isIntrinsicIdentifier(const std::string &text)
+{
+    static const std::set<std::string> prefixes = {
+        "_mm_",    "_mm256_", "_mm512_",         "__m64",
+        "__m128",  "__m256",  "__m512",          "__builtin_ia32_",
+    };
+    for (const std::string &prefix : prefixes) {
+        if (text.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 /** Float literal: non-hex numeric token with an f/F suffix. */
 bool
 isFloatLiteral(const std::string &text)
@@ -385,6 +413,16 @@ checkTokens(Linter &lint)
                             "wall-clock time() makes runs "
                             "unreproducible; derive seeds from "
                             "experiment configuration");
+            }
+            if (!lint.policy.kernelsImpl
+                && (isIntrinsicHeader(t.text)
+                    || isIntrinsicIdentifier(t.text))) {
+                lint.report(t.line, "no-intrinsics",
+                            "`" + t.text
+                                + "': SIMD intrinsics are contained in "
+                                  "src/common/kernels/; call the "
+                                  "dispatched kernels:: API so every "
+                                  "backend stays bitwise identical");
             }
         }
 
@@ -482,6 +520,7 @@ policyForPath(const std::string &path)
     policy.rngImpl = pathContains(p, "src/common/rng.");
     policy.loggingImpl = pathContains(p, "src/common/logging.");
     policy.timingImpl = pathContains(p, "src/telemetry/");
+    policy.kernelsImpl = pathContains(p, "src/common/kernels/");
     return policy;
 }
 

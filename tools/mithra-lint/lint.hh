@@ -39,14 +39,21 @@
  *                    timing bypasses the telemetry layer and leaks
  *                    nondeterministic values into results. Time through
  *                    MITHRA_SPAN (telemetry/span.hh).
+ *  no-intrinsics     SIMD intrinsic headers (<immintrin.h> and kin),
+ *                    vector types (__m128/__m256/__m512) and _mm*
+ *                    intrinsic calls are contained in
+ *                    src/common/kernels/ — everything else calls the
+ *                    runtime-dispatched kernels:: API, which keeps all
+ *                    backends bitwise identical and centrally tested.
  *
  * Which rules apply depends on the path (see policyForPath): the
  * determinism rules cover src/, bench/ and tests/; the library-hygiene
  * rules cover src/ only; the float ban covers src/stats only; the raw
- * timing ban covers src/ only (bench/ and tests/ may time freely).
- * common/rng.* is exempt from no-random-device, common/logging.* from
- * no-iostream, and src/telemetry/ from no-raw-timing — they are the
- * sanctioned implementations.
+ * timing ban covers src/ only (bench/ and tests/ may time freely); the
+ * intrinsics ban covers src/, bench/ and tests/. common/rng.* is
+ * exempt from no-random-device, common/logging.* from no-iostream,
+ * src/telemetry/ from no-raw-timing, and src/common/kernels/ from
+ * no-intrinsics — they are the sanctioned implementations.
  *
  * A `// mithra-lint: allow(<rule>)` comment suppresses that rule on
  * its own line and the following line.
@@ -87,6 +94,8 @@ struct PathPolicy
     bool loggingImpl = false;
     /** Sanctioned timing implementation (src/telemetry/). */
     bool timingImpl = false;
+    /** Sanctioned SIMD intrinsics home (src/common/kernels/). */
+    bool kernelsImpl = false;
 };
 
 /** Derive the rule policy from a (relative or absolute) path. */

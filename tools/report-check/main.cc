@@ -2,10 +2,14 @@
  * @file
  * report-check — validator for MITHRA run reports.
  *
- * `report-check <BENCH_*.json>...` parses each file and checks it
- * against the mithra-run-report schema (telemetry/run_report.hh):
- * schema name and version, required sections, and section kinds. CI
- * runs it over every report the bench binaries emit, so a
+ * `report-check [--require <metric>]... <BENCH_*.json>...` parses each
+ * file and checks it against the mithra-run-report schema
+ * (telemetry/run_report.hh): schema name and version, required
+ * sections, and section kinds. Each repeatable `--require <metric>`
+ * additionally demands that every checked report carries that key in
+ * its "metrics" section — CI uses this to pin headline metrics (e.g.
+ * the kernel speedups) so a bench refactor cannot silently drop them.
+ * CI runs it over every report the bench binaries emit, so a
  * schema-breaking change fails before the artifacts are uploaded.
  * Exits 1 on the first class of failure found (all files are still
  * checked and reported).
@@ -15,6 +19,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "telemetry/json.hh"
 #include "telemetry/run_report.hh"
@@ -24,18 +29,37 @@ main(int argc, char **argv)
 {
     using namespace mithra::telemetry;
 
-    if (argc < 2) {
+    std::vector<std::string> required;
+    std::vector<std::string> paths;
+    for (int arg = 1; arg < argc; ++arg) {
+        const std::string text = argv[arg];
+        if (text == "--require") {
+            if (arg + 1 >= argc) {
+                std::fprintf(stderr,
+                             "report-check: --require needs a metric "
+                             "name\n");
+                return 2;
+            }
+            required.emplace_back(argv[++arg]);
+            continue;
+        }
+        paths.push_back(text);
+    }
+
+    if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: report-check <BENCH_*.json>...\n"
+                     "usage: report-check [--require <metric>]... "
+                     "<BENCH_*.json>...\n"
                      "Validates MITHRA run reports against schema "
-                     "version %lld; exits 1 on any failure.\n",
+                     "version %lld; exits 1 on any failure. Each "
+                     "--require <metric> (repeatable) demands that key "
+                     "in every report's \"metrics\" section.\n",
                      static_cast<long long>(reportSchemaVersion));
         return 2;
     }
 
     std::size_t failures = 0;
-    for (int arg = 1; arg < argc; ++arg) {
-        const std::string path = argv[arg];
+    for (const std::string &path : paths) {
         std::ifstream in(path, std::ios::binary);
         if (!in) {
             std::fprintf(stderr, "report-check: %s: cannot read\n",
@@ -64,6 +88,22 @@ main(int argc, char **argv)
             ++failures;
             continue;
         }
+
+        bool missingMetric = false;
+        const Json *metrics = parsed.value.find("metrics");
+        for (const std::string &key : required) {
+            if (!metrics || !metrics->find(key)) {
+                std::fprintf(stderr,
+                             "report-check: %s: required metric `%s' "
+                             "is missing\n",
+                             path.c_str(), key.c_str());
+                missingMetric = true;
+            }
+        }
+        if (missingMetric) {
+            ++failures;
+            continue;
+        }
         std::fprintf(stderr, "report-check: %s: ok (%s, v%lld)\n",
                      path.c_str(),
                      parsed.value.find("name")->asString().c_str(),
@@ -72,10 +112,12 @@ main(int argc, char **argv)
     }
 
     if (failures) {
-        std::fprintf(stderr, "report-check: %zu of %d report(s) failed\n",
-                     failures, argc - 1);
+        std::fprintf(stderr,
+                     "report-check: %zu of %zu report(s) failed\n",
+                     failures, paths.size());
         return 1;
     }
-    std::fprintf(stderr, "report-check: %d report(s) valid\n", argc - 1);
+    std::fprintf(stderr, "report-check: %zu report(s) valid\n",
+                 paths.size());
     return 0;
 }
