@@ -100,6 +100,13 @@ class PolarBenchmark final : public axbench::Benchmark
         return out;
     }
 
+    Vec targetFunction(const Vec &input) const override
+    {
+        const float r = std::hypot(input[0], input[1]);
+        const float theta = std::atan2(input[1], input[0]);
+        return {r, theta};
+    }
+
     axbench::BenchmarkCosts measureCosts() const override
     {
         // hypot + atan2 dominate: ~2 transcendental + a few ALU ops.

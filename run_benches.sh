@@ -28,6 +28,27 @@ for b in build/bench/*; do
     fi
 done
 
+# Schema-validate every collected report. The drift/watchdog harness
+# must additionally publish its headline detection-latency metric —
+# a fig12 run that never measured a 2-sigma detection is a regression
+# even if the binary exited cleanly.
+check="build/tools/report-check/report-check"
+if [ -x "$check" ]; then
+    if ! "$check" "$report_dir"/BENCH_*.json; then
+        echo "REPORT SCHEMA CHECK FAILED" >&2
+        failed=1
+    fi
+    if ! "$check" --require watchdog.detect_latency_mean_2sigma \
+        --require watchdog.control_trips \
+        --require watchdog.two_sigma_misses \
+        "$report_dir/BENCH_fig12_drift_watchdog.json"; then
+        echo "WATCHDOG HEADLINE METRICS MISSING" >&2
+        failed=1
+    fi
+else
+    echo "note: $check not built; skipping report validation" >&2
+fi
+
 if [ "$failed" -ne 0 ]; then
     echo "run_benches.sh: FAILURES (see above)" >&2
     exit 1

@@ -160,6 +160,16 @@ class Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const = 0;
 
+    /**
+     * Evaluate the safe-to-approximate target function on one raw
+     * input vector — the same kernel trace() invokes, exposed point-
+     * wise. Lets harnesses obtain ground truth for inputs that never
+     * appeared in any dataset: the drift injector shifts cached
+     * inputs off the compile-time distribution and needs fresh
+     * precise outputs for them.
+     */
+    virtual Vec targetFunction(const Vec &input) const = 0;
+
     /** Convenience: the all-precise final output. */
     FinalOutput preciseOutput(const Dataset &dataset,
                               const InvocationTrace &trace) const;

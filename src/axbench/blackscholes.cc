@@ -227,4 +227,13 @@ Blackscholes::measureCosts() const
     return costs;
 }
 
+Vec
+Blackscholes::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == 6,
+                   "blackscholes takes 6 inputs, got ", input.size());
+    return {priceOption<float>(input[0], input[1], input[2], input[3],
+                               input[4], input[5])};
+}
+
 } // namespace mithra::axbench

@@ -35,6 +35,7 @@ class Blackscholes final : public Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const override;
     BenchmarkCosts measureCosts() const override;
+    Vec targetFunction(const Vec &input) const override;
 
     /** Options per dataset (paper: 4096 data points). */
     static std::size_t optionsPerDataset();

@@ -1,0 +1,104 @@
+#include "axbench/drift.hh"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hh"
+#include "common/rng.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mithra::axbench
+{
+
+namespace
+{
+
+/**
+ * Fixed pseudo-random sign pattern for DriftSpec::scrambleSigns.
+ * Uses a middle output bit: over consecutive dimension indices the
+ * generator's low bit alternates almost perfectly, which would
+ * reproduce exactly the checkerboard this pattern exists to avoid.
+ */
+bool
+shiftSignIsNegative(std::size_t dimension)
+{
+    std::uint64_t state =
+        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(dimension) + 1);
+    return (splitMix64(state) >> 24 & 1) != 0;
+}
+
+} // namespace
+
+InputMoments
+measureInputMoments(const InvocationTrace &trace)
+{
+    MITHRA_EXPECTS(trace.count() > 0, "cannot measure an empty trace");
+    const std::size_t width = trace.inputWidth();
+    const auto count = static_cast<double>(trace.count());
+
+    InputMoments moments;
+    moments.mean.assign(width, 0.0);
+    moments.stddev.assign(width, 0.0);
+
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto input = trace.input(i);
+        for (std::size_t d = 0; d < width; ++d)
+            moments.mean[d] += static_cast<double>(input[d]);
+    }
+    for (std::size_t d = 0; d < width; ++d)
+        moments.mean[d] /= count;
+
+    for (std::size_t i = 0; i < trace.count(); ++i) {
+        const auto input = trace.input(i);
+        for (std::size_t d = 0; d < width; ++d) {
+            const double delta =
+                static_cast<double>(input[d]) - moments.mean[d];
+            moments.stddev[d] += delta * delta;
+        }
+    }
+    for (std::size_t d = 0; d < width; ++d)
+        moments.stddev[d] = std::sqrt(moments.stddev[d] / count);
+
+    return moments;
+}
+
+InvocationTrace
+driftTrace(const Benchmark &bench, const npu::Approximator &accel,
+           const InvocationTrace &source, const InputMoments &moments,
+           const DriftSpec &spec)
+{
+    MITHRA_SPAN("axbench.drift.trace");
+    MITHRA_EXPECTS(moments.width() == source.inputWidth(),
+                   "moments width ", moments.width(),
+                   " does not match trace input width ",
+                   source.inputWidth());
+    MITHRA_EXPECTS(spec.spread > 0.0,
+                   "spread must be positive, got ", spec.spread);
+
+    InvocationTrace drifted(source.inputWidth(), source.outputWidth());
+    Vec input(source.inputWidth());
+    for (std::size_t i = 0; i < source.count(); ++i) {
+        const auto raw = source.input(i);
+        for (std::size_t d = 0; d < input.size(); ++d) {
+            const double sigma = moments.stddev[d];
+            if (sigma == 0.0) {
+                // A constant dimension has no scale to drift by.
+                input[d] = raw[d];
+                continue;
+            }
+            const double sign =
+                spec.scrambleSigns && shiftSignIsNegative(d) ? -1.0
+                                                             : 1.0;
+            const double centered =
+                static_cast<double>(raw[d]) - moments.mean[d];
+            input[d] = static_cast<float>(
+                moments.mean[d] + spec.spread * centered
+                + sign * spec.shiftSigma * sigma);
+        }
+        drifted.append(input, bench.targetFunction(input));
+    }
+    drifted.attachApproximations(accel);
+    return drifted;
+}
+
+} // namespace mithra::axbench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Input-distribution drift injection.
+ *
+ * The offline certificate holds for the distribution the compile
+ * datasets were drawn from; the watchdog exists for the day the
+ * serving distribution walks away from it. This module manufactures
+ * that day on demand: it measures the per-dimension input moments of
+ * a reference trace and rebuilds the trace with every input moved
+ * through an affine drift
+ *
+ *     x'_d = mean_d + spread * (x_d - mean_d) + shift * sigma_d
+ *
+ * so `shift` is a mean shift in per-dimension standard deviations
+ * (the "2-sigma drift" of the experiments) and `spread` widens or
+ * narrows the distribution around its mean. Precise outputs are
+ * recomputed through Benchmark::targetFunction and approximate
+ * outputs through the trained accelerator, so the drifted trace
+ * carries real errors — whatever the NPU actually does out of
+ * distribution, not a synthetic error model.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "axbench/benchmark.hh"
+
+namespace mithra::axbench
+{
+
+/** Per-dimension first and second moments of a trace's inputs. */
+struct InputMoments
+{
+    std::vector<double> mean;
+    std::vector<double> stddev;
+
+    std::size_t width() const { return mean.size(); }
+};
+
+/** Measure per-dimension input moments over one trace. */
+InputMoments measureInputMoments(const InvocationTrace &trace);
+
+/** One drift condition. */
+struct DriftSpec
+{
+    /** Mean shift in units of the per-dimension stddev. */
+    double shiftSigma = 0.0;
+    /** Multiplier on the spread around the mean (1 = unchanged). */
+    double spread = 1.0;
+    /**
+     * Scramble the shift's sign across dimensions with a fixed
+     * pseudo-random pattern (SplitMix64 of the dimension index).
+     * A uniform shift is invisible to translation-invariant kernels,
+     * and a strictly alternating one lands in the null space of
+     * symmetric stencils (sobel's gradient kernels cancel an even/odd
+     * checkerboard exactly); a scrambled pattern deforms the input
+     * with no such blind spot.
+     */
+    bool scrambleSigns = false;
+
+    bool identity() const { return shiftSigma == 0.0 && spread == 1.0; }
+};
+
+/**
+ * Rebuild `source` under `spec`: drift every input relative to
+ * `moments`, recompute precise outputs with bench.targetFunction()
+ * and attach the accelerator's approximations for the drifted inputs.
+ * A dimension with zero spread in the reference trace (constant
+ * input) is left unshifted — there is no scale to drift by.
+ */
+InvocationTrace driftTrace(const Benchmark &bench,
+                           const npu::Approximator &accel,
+                           const InvocationTrace &source,
+                           const InputMoments &moments,
+                           const DriftSpec &spec);
+
+} // namespace mithra::axbench

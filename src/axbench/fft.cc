@@ -244,4 +244,15 @@ Fft::measureCosts() const
     return costs;
 }
 
+Vec
+Fft::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == 1,
+                   "fft takes 1 input (the twiddle angle), got ",
+                   input.size());
+    float re, im;
+    twiddle<float>(input[0], re, im);
+    return {re, im};
+}
+
 } // namespace mithra::axbench

@@ -37,6 +37,7 @@ class Fft final : public Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const override;
     BenchmarkCosts measureCosts() const override;
+    Vec targetFunction(const Vec &input) const override;
 
     /** Transform length (paper: 2048 points; power of two). */
     static std::size_t transformSize();

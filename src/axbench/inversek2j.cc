@@ -176,4 +176,15 @@ InverseK2J::measureCosts() const
     return costs;
 }
 
+Vec
+InverseK2J::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == 2,
+                   "inversek2j takes 2 inputs (x, y), got ",
+                   input.size());
+    float theta1, theta2;
+    inverseK2J<float>(input[0], input[1], theta1, theta2);
+    return {theta1, theta2};
+}
+
 } // namespace mithra::axbench

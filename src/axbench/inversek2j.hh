@@ -38,6 +38,7 @@ class InverseK2J final : public Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const override;
     BenchmarkCosts measureCosts() const override;
+    Vec targetFunction(const Vec &input) const override;
 
     /** Coordinates per dataset (paper: 10000 (x, y) points). */
     static std::size_t pointsPerDataset();

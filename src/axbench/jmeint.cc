@@ -513,4 +513,17 @@ Jmeint::measureCosts() const
     return costs;
 }
 
+Vec
+Jmeint::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == 18,
+                   "jmeint takes 18 inputs (two triangles), got ",
+                   input.size());
+    float vertices[18];
+    for (std::size_t i = 0; i < 18; ++i)
+        vertices[i] = input[i];
+    const bool hit = triTriIntersect<float>(vertices);
+    return hit ? Vec{1.0f, 0.0f} : Vec{0.0f, 1.0f};
+}
+
 } // namespace mithra::axbench

@@ -32,6 +32,7 @@ class Jmeint final : public Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const override;
     BenchmarkCosts measureCosts() const override;
+    Vec targetFunction(const Vec &input) const override;
 
     /** Triangle pairs per dataset (paper: 10000 pairs). */
     static std::size_t pairsPerDataset();

@@ -225,4 +225,19 @@ Jpeg::measureCosts() const
     return costs;
 }
 
+Vec
+Jpeg::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == jpeg::blockSize,
+                   "jpeg takes one 8x8 block (", jpeg::blockSize,
+                   " inputs), got ", input.size());
+    const auto table = jpeg::quantTable(quality);
+    float pixels[jpeg::blockSize];
+    for (std::size_t i = 0; i < jpeg::blockSize; ++i)
+        pixels[i] = input[i];
+    float coeffs[jpeg::blockSize];
+    jpeg::blockDctQuantize<float>(pixels, table, coeffs);
+    return Vec(coeffs, coeffs + jpeg::blockSize);
+}
+
 } // namespace mithra::axbench

@@ -173,4 +173,16 @@ Sobel::measureCosts() const
     return costs;
 }
 
+Vec
+Sobel::targetFunction(const Vec &input) const
+{
+    MITHRA_EXPECTS(input.size() == 9,
+                   "sobel takes a 3x3 window (9 inputs), got ",
+                   input.size());
+    float window[9];
+    for (std::size_t i = 0; i < 9; ++i)
+        window[i] = input[i];
+    return {sobelWindow<float>(window)};
+}
+
 } // namespace mithra::axbench

@@ -35,6 +35,7 @@ class Sobel final : public Benchmark
         const Dataset &dataset, const InvocationTrace &trace,
         const std::vector<std::uint8_t> &useAccel) const override;
     BenchmarkCosts measureCosts() const override;
+    Vec targetFunction(const Vec &input) const override;
 
     /** Image edge length (paper: 512; default here: 128, scalable). */
     static std::size_t imageEdge();

@@ -208,6 +208,16 @@ ExperimentRunner::cacheKey(const std::string &benchmark,
        << experimentScale() << ":d"
        << pipeline.options().compileDatasetCount << ":x"
        << pipeline.options().seed;
+    // The watchdog changes what an evaluation measures (audit runs
+    // feed the cost model), so a watchdog-enabled run must never
+    // share a cache line with a plain one. Watchdog-off keeps the
+    // legacy key, so existing caches stay valid.
+    const watchdog::WatchdogOptions wd = watchdog::WatchdogOptions::fromEnv();
+    if (wd.enabled) {
+        os << ":wd" << wd.baseAuditRate << ',' << wd.suspectAuditRate
+           << ',' << wd.degradedAuditRate << ',' << wd.maxViolationRate
+           << ',' << wd.confidence << ',' << wd.seed;
+    }
     return os.str();
 }
 
@@ -228,6 +238,29 @@ const CompiledWorkload &
 ExperimentRunner::workload(const std::string &benchmark)
 {
     return loaded(benchmark).workload;
+}
+
+QualityPackage &
+ExperimentRunner::qualityPackage(const std::string &benchmark,
+                                 const QualitySpec &spec)
+{
+    auto &entry = loaded(benchmark);
+    return package(entry, spec);
+}
+
+TableClassifier &
+ExperimentRunner::tunedTableClassifier(const std::string &benchmark,
+                                       const QualitySpec &spec)
+{
+    auto &entry = loaded(benchmark);
+    QualityPackage &pkg = package(entry, spec);
+    if (!pkg.table) {
+        auto tuned = pipeline.tuneTable(entry.workload, spec,
+                                        pkg.threshold,
+                                        TableClassifierOptions{});
+        pkg.table = std::move(tuned.classifier);
+    }
+    return *pkg.table;
 }
 
 void
@@ -317,8 +350,10 @@ ExperimentRunner::run(const std::string &benchmark,
 
     LoadedWorkload &entry = loaded(benchmark);
     QualityPackage &pkg = package(entry, spec);
+    EvaluationOptions evalOptions;
+    evalOptions.watchdog = watchdog::WatchdogOptions::fromEnv();
     const Evaluator evaluator(entry.workload, spec,
-                              pkg.threshold.threshold);
+                              pkg.threshold.threshold, evalOptions);
 
     ExperimentRecord record;
     record.threshold = pkg.threshold.threshold;

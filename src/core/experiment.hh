@@ -155,6 +155,25 @@ class ExperimentRunner
     /** Access the lazily compiled workload (tests/diagnostics). */
     const CompiledWorkload &workload(const std::string &benchmark);
 
+    /**
+     * The tuned quality package for one (benchmark, spec) pair,
+     * compiling and tuning on first use. Harnesses that drive the
+     * runtime directly (the watchdog drills) read the tuned threshold
+     * and trained classifiers from here instead of re-deriving them.
+     */
+    QualityPackage &qualityPackage(const std::string &benchmark,
+                                   const QualitySpec &spec);
+
+    /**
+     * The calibrated default-geometry table classifier for one
+     * (benchmark, spec) pair, training it on first use. run() only
+     * fills the package's classifier on a cache miss; harnesses that
+     * need the classifier itself (not the cached evaluation) call
+     * this.
+     */
+    TableClassifier &tunedTableClassifier(const std::string &benchmark,
+                                          const QualitySpec &spec);
+
     const PipelineOptions &pipelineOptions() const
     {
         return pipeline.options();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/contracts.hh"
 #include "common/parallel.hh"
@@ -9,6 +10,7 @@
 #include "common/scale.hh"
 #include "stats/clopper_pearson.hh"
 #include "stats/summary.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithra::core
 {
@@ -71,6 +73,15 @@ Evaluator::evaluate(Classifier &classifier,
     std::vector<double> losses;
     losses.reserve(eval.trials);
 
+    // The watchdog treats the validation suite as one long deployment
+    // stream: state and audit indices persist across datasets. The
+    // whole decision loop below is serial, so the audit schedule (a
+    // pure function of seed and stream index) is independent of
+    // MITHRA_THREADS.
+    std::optional<watchdog::Watchdog> dog;
+    if (options.watchdog.enabled)
+        dog.emplace(options.watchdog, threshold);
+
     std::size_t accelTotal = 0;
     std::size_t invocationTotal = 0;
     std::size_t falsePositives = 0;
@@ -83,10 +94,27 @@ Evaluator::evaluate(Classifier &classifier,
 
         decisions.assign(trace.count(), 0);
         std::size_t numAccel = 0;
+        std::size_t auditPreciseRuns = 0;
+        std::size_t shadowAccelRuns = 0;
         for (std::size_t i = 0; i < trace.count(); ++i) {
             const Vec input = trace.inputVec(i);
-            const bool precise = !classifier.approximationEnabled()
+            bool precise = !classifier.approximationEnabled()
                 || classifier.decidePrecise(input, i);
+
+            if (dog) {
+                // The watchdog may overrule the classifier (DEGRADED
+                // forces the precise path) and may schedule an audit,
+                // served here from the trace's cached true error.
+                const watchdog::Routing routing = dog->route(!precise);
+                if (routing.auditPrecise)
+                    ++auditPreciseRuns;
+                if (routing.auditShadowAccel)
+                    ++shadowAccelRuns;
+                if (routing.audited())
+                    dog->reportAudit(trace.maxAbsError(i));
+                precise = !routing.useAccel;
+            }
+
             decisions[i] = precise ? 0 : 1;
             numAccel += precise ? 0 : 1;
 
@@ -117,13 +145,19 @@ Evaluator::evaluate(Classifier &classifier,
         if (loss <= spec.maxQualityLossPct)
             ++eval.successes;
 
-        // Cost accounting for this dataset.
-        const auto totals = systemSim.run(workload.profile,
-                                          classifier.cost(), numAccel,
-                                          trace.count() - numAccel);
+        // Cost accounting for this dataset. Audits are not free: an
+        // audited accelerated invocation also runs the precise
+        // function, and a DEGRADED shadow audit also runs the (gated)
+        // accelerator. They are charged as overhead on top of run()
+        // because they duplicate work without changing routing.
+        const auto totals = systemSim.run(
+            workload.profile, classifier.cost(), numAccel,
+            trace.count() - numAccel);
+        const auto audit = systemSim.auditOverhead(
+            workload.profile, auditPreciseRuns, shadowAccelRuns);
         const auto baseline = systemSim.baseline(workload.profile);
-        eval.totals.cycles += totals.cycles;
-        eval.totals.energyPj += totals.energyPj;
+        eval.totals.cycles += totals.cycles + audit.cycles;
+        eval.totals.energyPj += totals.energyPj + audit.energyPj;
         eval.baselineTotals.cycles += baseline.cycles;
         eval.baselineTotals.energyPj += baseline.energyPj;
     }
@@ -149,6 +183,12 @@ Evaluator::evaluate(Classifier &classifier,
                                                 eval.totals);
     eval.edpImprovement = sim::edpImprovement(eval.baselineTotals,
                                               eval.totals);
+    if (dog) {
+        eval.watchdogEnabled = true;
+        eval.watchdog = dog->snapshot();
+        MITHRA_GAUGE_SET("watchdog.final_state",
+                         static_cast<double>(eval.watchdog.state));
+    }
     return eval;
 }
 

@@ -22,6 +22,7 @@
 
 #include "core/classifier.hh"
 #include "core/pipeline.hh"
+#include "core/watchdog/watchdog.hh"
 
 namespace mithra::core
 {
@@ -56,6 +57,14 @@ struct EvaluationOptions
     /** Fraction of invocations whose true error is sampled online. */
     double onlineSampleRate = 0.01;
     std::uint64_t seed = 0xe7a1;
+    /**
+     * Runtime guarantee watchdog (disabled by default, in which case
+     * evaluation is bit-for-bit identical to a watchdog-less build).
+     * Audits are charged to the cost model: an audited accelerated
+     * invocation also pays for a precise run, and a DEGRADED shadow
+     * audit also pays for an accelerator run.
+     */
+    watchdog::WatchdogOptions watchdog{};
 };
 
 /** Everything measured for one (classifier, quality spec) pair. */
@@ -83,6 +92,14 @@ struct DesignEvaluation
     /** Raw totals (summed over the validation sets). */
     sim::RunTotals totals{};
     sim::RunTotals baselineTotals{};
+    /**
+     * Watchdog state at the end of the run. Deliberately NOT part of
+     * the experiment cache serialization (the cache format predates
+     * the watchdog and cached records are watchdog-less evaluations);
+     * valid only when watchdogEnabled.
+     */
+    bool watchdogEnabled = false;
+    watchdog::Snapshot watchdog{};
 };
 
 /** Measures classifiers over a validation set. */

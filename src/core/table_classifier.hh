@@ -65,6 +65,8 @@ class TableClassifier final : public Classifier
     double density() const { return ensemble.density(); }
     /** The underlying hardware ensemble (tests/diagnostics). */
     const hw::TableEnsemble &hardware() const { return ensemble; }
+    /** Mutable ensemble access (fault injection harness). */
+    hw::TableEnsemble &mutableHardware() { return ensemble; }
     /** Threshold used for labels and online updates. */
     double threshold() const { return errorThreshold; }
     /** Online updates applied so far. */

@@ -132,6 +132,9 @@ class TableEnsemble
     /** Access a table (diagnostics/tests). */
     const DecisionTable &table(std::size_t i) const { return tables[i]; }
 
+    /** Mutable table access (fault injection harness). */
+    DecisionTable &mutableTable(std::size_t i) { return tables[i]; }
+
     /** Concatenated raw bytes of all tables (for BDI compression). */
     std::vector<std::uint8_t> toBytes() const;
 

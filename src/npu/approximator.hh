@@ -16,6 +16,7 @@
 #include <memory>
 #include <span>
 
+#include "common/contracts.hh"
 #include "common/vec.hh"
 #include "npu/mlp.hh"
 #include "npu/trainer.hh"
@@ -79,6 +80,18 @@ class Approximator
 
     /** The underlying network. */
     const Mlp &network() const { return *net; }
+
+    /**
+     * Mutable access to the underlying network — for the fault
+     * injection harness, which flips weight bits to model accelerator
+     * decay. Requires trained().
+     */
+    Mlp &mutableNetwork()
+    {
+        MITHRA_EXPECTS(net != nullptr,
+                       "no network to mutate before training");
+        return *net;
+    }
 
     /** True after trainToMimic succeeded. */
     bool trained() const { return net != nullptr; }

@@ -1,0 +1,79 @@
+#include "sim/fault_injection.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.hh"
+#include "common/rng.hh"
+
+namespace mithra::sim
+{
+
+FaultReport
+flipMlpWeightBits(npu::Mlp &network, std::size_t faults,
+                  std::uint64_t seed)
+{
+    const auto &topo = network.topology();
+    MITHRA_EXPECTS(topo.size() >= 2, "network needs at least 2 layers");
+
+    FaultReport report;
+    report.requested = faults;
+
+    Rng rng(rngStream(seed, 0x9a17ULL));
+    for (std::size_t f = 0; f < faults; ++f) {
+        // Pick a layer, neuron and fan-in edge (bias = fan-in slot).
+        const std::size_t layer =
+            1 + rng.nextBelow(static_cast<std::uint64_t>(topo.size() - 1));
+        const std::size_t to =
+            rng.nextBelow(static_cast<std::uint64_t>(topo[layer]));
+        const std::size_t fanIn = topo[layer - 1];
+        const std::size_t from =
+            rng.nextBelow(static_cast<std::uint64_t>(fanIn + 1));
+
+        const float old = network.weight(layer, to, from);
+        // Flip one of the low 31 bits (sign flips are invisible for
+        // near-zero weights; mantissa/exponent flips model real SRAM
+        // upsets in magnitude).
+        const auto bit = static_cast<std::uint32_t>(rng.nextBelow(31));
+        const std::uint32_t raw = std::bit_cast<std::uint32_t>(old);
+        float flipped = std::bit_cast<float>(raw ^ (1u << bit));
+        if (!std::isfinite(flipped)) {
+            // The exponent flipped into the inf/NaN band: model the
+            // cell as stuck at zero so the corrupted network keeps
+            // producing finite (auditable) outputs.
+            flipped = 0.0f;
+            ++report.stuckAtZero;
+        }
+        network.setWeight(layer, to, from, flipped);
+        ++report.flipped;
+    }
+    return report;
+}
+
+FaultReport
+corruptTableBits(hw::TableEnsemble &ensemble, std::size_t faults,
+                 std::uint64_t seed)
+{
+    const auto &geom = ensemble.geometry();
+    MITHRA_EXPECTS(geom.numTables >= 1, "ensemble has no tables");
+
+    FaultReport report;
+    report.requested = faults;
+
+    Rng rng(rngStream(seed, 0x7ab1eULL));
+    for (std::size_t f = 0; f < faults; ++f) {
+        const std::size_t t =
+            rng.nextBelow(static_cast<std::uint64_t>(geom.numTables));
+        auto &table = ensemble.mutableTable(t);
+        const auto index = static_cast<std::uint32_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(table.entries())));
+        if (table.bit(index))
+            table.clearBit(index);
+        else
+            table.setBit(index);
+        ++report.flipped;
+    }
+    return report;
+}
+
+} // namespace mithra::sim

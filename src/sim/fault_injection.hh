@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware fault injection for the watchdog's drills.
+ *
+ * The watchdog guards against two decay channels the offline
+ * certificate cannot see: the accelerator itself rotting (NPU weight
+ * memory upsets) and the quality-control hardware rotting (MISR
+ * decision-table bit flips). This module injects both, deterministic
+ * under a seed so every drill is reproducible bit-for-bit:
+ *
+ *  - flipMlpWeightBits() flips single bits in randomly chosen NPU
+ *    weights. A flip that would turn the weight non-finite (an
+ *    exponent flip into the inf/NaN band) is modeled as a
+ *    stuck-at-zero cell instead, so the corrupted network still
+ *    produces finite-but-wrong outputs — the regime the watchdog's
+ *    error audits can actually measure.
+ *  - corruptTableBits() flips decision bits in a table ensemble.
+ *    Clearing a 1 makes the classifier approve inputs it was trained
+ *    to redirect (quality faults); setting a 0 redirects accelerable
+ *    inputs (pure cost faults). Both directions are injected.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/decision_table.hh"
+#include "npu/mlp.hh"
+
+namespace mithra::sim
+{
+
+/** Result of one injection pass. */
+struct FaultReport
+{
+    /** Faults requested. */
+    std::size_t requested = 0;
+    /** Bits actually flipped. */
+    std::size_t flipped = 0;
+    /** Weight flips downgraded to stuck-at-zero (non-finite result). */
+    std::size_t stuckAtZero = 0;
+};
+
+/**
+ * Flip `faults` random single bits across the network's weights
+ * (biases included). Deterministic under (network topology, seed).
+ */
+FaultReport flipMlpWeightBits(npu::Mlp &network, std::size_t faults,
+                              std::uint64_t seed);
+
+/**
+ * Flip `faults` random decision bits across the ensemble's tables.
+ * Deterministic under (geometry, seed).
+ */
+FaultReport corruptTableBits(hw::TableEnsemble &ensemble,
+                             std::size_t faults, std::uint64_t seed);
+
+} // namespace mithra::sim

@@ -1,0 +1,112 @@
+#include "stats/sequential_bound.hh"
+
+#include <cmath>
+
+#include "common/contracts.hh"
+#include "stats/clopper_pearson.hh"
+
+namespace mithra::stats
+{
+
+double
+sequentialAlphaAtLook(double alpha, std::size_t look)
+{
+    MITHRA_EXPECTS(alpha > 0.0 && alpha < 1.0,
+                   "alpha must be in (0, 1), got ", alpha);
+    // 6 / pi^2 normalizes sum 1/(j+1)^2 to 1 (Basel series).
+    constexpr double baselNorm = 0.60792710185402662866;
+    const double rank = static_cast<double>(look) + 1.0;
+    return alpha * baselNorm / (rank * rank);
+}
+
+SequentialBinomialBound::SequentialBinomialBound(
+    const SequentialBoundOptions &options)
+    : opts(options), nextLook(options.firstLook)
+{
+    MITHRA_EXPECTS(opts.confidence > 0.0 && opts.confidence < 1.0,
+                   "confidence must be in (0, 1), got ", opts.confidence);
+    MITHRA_EXPECTS(opts.firstLook >= 1,
+                   "the first look needs at least one observation");
+    MITHRA_EXPECTS(opts.lookGrowth > 1.0,
+                   "look growth must exceed 1, got ", opts.lookGrowth);
+}
+
+namespace
+{
+
+SequentialBoundOptions
+defaultScheduleAt(double confidence)
+{
+    SequentialBoundOptions options;
+    options.confidence = confidence;
+    return options;
+}
+
+} // namespace
+
+SequentialBinomialBound::SequentialBinomialBound(double confidenceIn)
+    : SequentialBinomialBound(defaultScheduleAt(confidenceIn))
+{
+}
+
+void
+SequentialBinomialBound::record(bool success)
+{
+    ++numObservations;
+    if (success)
+        ++numSuccesses;
+    if (numObservations >= nextLook)
+        takeLook();
+}
+
+void
+SequentialBinomialBound::takeLook()
+{
+    const double alpha = 1.0 - opts.confidence;
+    const double lookAlpha = sequentialAlphaAtLook(alpha, numLooks);
+    // Two-sided look: alpha_j / 2 per tail, both bounds valid at once.
+    const double sideConfidence = 1.0 - lookAlpha / 2.0;
+
+    const double upper = clopperPearsonUpper(numSuccesses,
+                                             numObservations,
+                                             sideConfidence);
+    const double lower = clopperPearsonLower(numSuccesses,
+                                             numObservations,
+                                             sideConfidence);
+
+    // Intersect with the envelope: bounds only ever tighten. A valid
+    // envelope cannot invert; if sampling noise drives the new
+    // interval past the old envelope the truth is outside one of them
+    // (probability < alpha) — keep the envelope consistent regardless.
+    if (upper < upperEnvelope)
+        upperEnvelope = upper;
+    if (lower > lowerEnvelope)
+        lowerEnvelope = lower;
+    if (lowerEnvelope > upperEnvelope)
+        lowerEnvelope = upperEnvelope;
+
+    ++numLooks;
+    // Next look at ceil(n * growth), strictly advancing.
+    const double scaled = static_cast<double>(numObservations)
+        * opts.lookGrowth;
+    const std::size_t next = static_cast<std::size_t>(std::ceil(scaled));
+    nextLook = next > numObservations ? next : numObservations + 1;
+
+    MITHRA_ENSURES(upperEnvelope >= 0.0 && upperEnvelope <= 1.0
+                       && lowerEnvelope >= 0.0 && lowerEnvelope <= 1.0,
+                   "envelope escaped [0, 1]: [", lowerEnvelope, ", ",
+                   upperEnvelope, "]");
+}
+
+void
+SequentialBinomialBound::reset()
+{
+    numObservations = 0;
+    numSuccesses = 0;
+    numLooks = 0;
+    nextLook = opts.firstLook;
+    upperEnvelope = 1.0;
+    lowerEnvelope = 0.0;
+}
+
+} // namespace mithra::stats

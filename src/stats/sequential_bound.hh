@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sequential (anytime-valid) Clopper–Pearson bounds on a binomial
+ * proportion.
+ *
+ * The offline certification (clopper_pearson.hh) looks at the data
+ * exactly once, so a single exact interval at confidence beta is
+ * valid. A runtime monitor cannot do that: it checks the bound after
+ * every audited invocation, and a fixed-confidence interval that is
+ * consulted repeatedly will eventually lie — with enough looks, some
+ * look strays outside the interval even when the true rate never
+ * moved (the classic "peeking" problem of sequential testing).
+ *
+ * SequentialBinomialBound restores the guarantee with alpha spending
+ * over a geometric look schedule: the total error budget
+ * alpha = 1 - confidence is split across looks j = 0, 1, 2, ... as
+ *
+ *     alpha_j = alpha * (6 / pi^2) / (j + 1)^2       (sums to alpha)
+ *
+ * and looks are taken only when the observation count reaches
+ * n_j = ceil(firstLook * lookGrowth^j). Each look computes a two-sided
+ * Clopper–Pearson interval at confidence 1 - alpha_j (alpha_j / 2 per
+ * side) and intersects it with the running envelope. By the union
+ * bound, the envelope covers the true proportion at *every* point of
+ * the sequence simultaneously with probability >= confidence — the
+ * watchdog may consult it after any audit without invalidating it.
+ *
+ * The bounds only tighten at looks; between looks the envelope is
+ * constant, which is what makes the schedule cheap (O(1) amortized
+ * incomplete-beta inversions per audit).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace mithra::stats
+{
+
+/** Knobs for the sequential bound's look schedule. */
+struct SequentialBoundOptions
+{
+    /** Total coverage of the envelope over the whole sequence. */
+    double confidence = 0.95;
+    /** Observations at which the first look is taken. */
+    std::size_t firstLook = 8;
+    /** Geometric growth factor between look sample sizes (> 1). */
+    double lookGrowth = 1.5;
+};
+
+/**
+ * An anytime-valid confidence envelope on a Bernoulli success
+ * probability, built from Clopper–Pearson intervals with alpha
+ * spending (see the file comment). "Success" here is whatever the
+ * caller counts — the watchdog counts quality *violations*.
+ */
+class SequentialBinomialBound
+{
+  public:
+    explicit SequentialBinomialBound(
+        const SequentialBoundOptions &options = SequentialBoundOptions{});
+
+    /** Convenience: default schedule at the given confidence. */
+    explicit SequentialBinomialBound(double confidence);
+
+    /** Record one observation; takes a look when the schedule says. */
+    void record(bool success);
+
+    /** Observations recorded so far. */
+    std::size_t observations() const { return numObservations; }
+
+    /** Successes recorded so far. */
+    std::size_t successes() const { return numSuccesses; }
+
+    /** Looks (envelope refinements) taken so far. */
+    std::size_t looksTaken() const { return numLooks; }
+
+    /** Observation count that triggers the next look. */
+    std::size_t nextLookAt() const { return nextLook; }
+
+    /**
+     * Anytime-valid upper bound on the success probability: with
+     * probability >= confidence the true probability is below this at
+     * every point of the sequence. 1 until the first look.
+     */
+    double upperBound() const { return upperEnvelope; }
+
+    /** Anytime-valid lower bound (0 until the first look). */
+    double lowerBound() const { return lowerEnvelope; }
+
+    /** Total confidence the envelope is built for. */
+    double confidence() const { return opts.confidence; }
+
+    /** Forget everything; the look schedule restarts too. */
+    void reset();
+
+  private:
+    /** Intersect the envelope with this look's CP interval. */
+    void takeLook();
+
+    SequentialBoundOptions opts;
+    std::size_t numObservations = 0;
+    std::size_t numSuccesses = 0;
+    std::size_t numLooks = 0;
+    std::size_t nextLook = 0;
+    double upperEnvelope = 1.0;
+    double lowerEnvelope = 0.0;
+};
+
+/**
+ * The per-look error budget: alpha * (6 / pi^2) / (look + 1)^2 for
+ * look = 0, 1, 2, ... — a convergent series summing to alpha, spent
+ * fastest on the early looks where detection latency matters most.
+ * Exposed so tests can cross-check the envelope per look.
+ */
+double sequentialAlphaAtLook(double alpha, std::size_t look);
+
+} // namespace mithra::stats

@@ -71,6 +71,12 @@ class FakeBenchmark final : public axbench::Benchmark
     {
         return {};
     }
+
+    Vec targetFunction(const Vec &) const override
+    {
+        // Fake precise outputs are fixed at 1.0 (see FakeProblem).
+        return {1.0f};
+    }
 };
 
 /**
