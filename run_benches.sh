@@ -45,6 +45,16 @@ if [ -x "$check" ]; then
         echo "WATCHDOG HEADLINE METRICS MISSING" >&2
         failed=1
     fi
+    # The sharded decision-loop bench must publish its throughput and
+    # merge-cost headline metrics — a run that never timed the routed
+    # decision stream is a regression even if the binary exited cleanly.
+    if ! "$check" --require runtime.decisions_per_sec \
+        --require runtime.shard_count \
+        --require runtime.merge_overhead_pct \
+        "$report_dir/BENCH_micro_runtime.json"; then
+        echo "RUNTIME THROUGHPUT METRICS MISSING" >&2
+        failed=1
+    fi
 else
     echo "note: $check not built; skipping report validation" >&2
 fi

@@ -57,6 +57,9 @@ InvocationTrace::attachApproximations(const npu::Approximator &accel)
                       + static_cast<std::ptrdiff_t>(i * outWidth));
     }
     approximated = true;
+    localErrors.resize(numInvocations);
+    for (std::size_t i = 0; i < numInvocations; ++i)
+        localErrors[i] = computeError(i);
 }
 
 void
@@ -71,6 +74,7 @@ InvocationTrace::appendWithApprox(const Vec &input, const Vec &preciseOut,
     approxOuts.insert(approxOuts.end(), approxOut.begin(),
                       approxOut.end());
     approximated = true;
+    localErrors.push_back(computeError(numInvocations - 1));
 }
 
 std::span<const float>
@@ -103,7 +107,7 @@ InvocationTrace::inputVec(std::size_t i) const
 }
 
 float
-InvocationTrace::maxAbsError(std::size_t i) const
+InvocationTrace::computeError(std::size_t i) const
 {
     const auto precise = preciseOutput(i);
     const auto approx = approxOutput(i);
@@ -111,6 +115,21 @@ InvocationTrace::maxAbsError(std::size_t i) const
     for (std::size_t o = 0; o < outWidth; ++o)
         worst = std::max(worst, std::fabs(precise[o] - approx[o]));
     return worst;
+}
+
+float
+InvocationTrace::maxAbsError(std::size_t i) const
+{
+    MITHRA_ASSERT(approximated, "no approximations attached yet");
+    MITHRA_ASSERT(i < numInvocations, "trace index out of range: ", i);
+    return localErrors[i];
+}
+
+std::span<const float>
+InvocationTrace::maxAbsErrors() const
+{
+    MITHRA_ASSERT(approximated, "no approximations attached yet");
+    return localErrors;
 }
 
 npu::TrainerOptions

@@ -84,10 +84,17 @@ class InvocationTrace
     /**
      * Largest |precise - approx| across the output vector of
      * invocation i — the accelerator's local error (paper Eq. 1).
+     * Precomputed when the approximations attach, so this is one load
+     * on the runtime decision loop's accounting path.
      */
     float maxAbsError(std::size_t i) const;
 
+    /** All count() local errors as one flat buffer (batch loops). */
+    std::span<const float> maxAbsErrors() const;
+
   private:
+    float computeError(std::size_t i) const;
+
     std::size_t inWidth;
     std::size_t outWidth;
     std::uint64_t uniqueId;
@@ -96,6 +103,8 @@ class InvocationTrace
     std::vector<float> inputs;
     std::vector<float> preciseOuts;
     std::vector<float> approxOuts;
+    /** localErrors[i] = max-abs error of invocation i (cached). */
+    std::vector<float> localErrors;
 };
 
 /** Measured cost profile of one benchmark (op-count driven). */

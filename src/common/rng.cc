@@ -18,6 +18,23 @@ splitMix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+bool
+indexedBernoulli(std::uint64_t seed, std::uint64_t index, double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    // One SplitMix64 draw keyed by (seed, index). Multiplying the
+    // index by the golden-ratio increment before mixing decorrelates
+    // consecutive indices; comparing against p * 2^64 makes the event
+    // set monotone in p (see the header).
+    std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t draw = splitMix64(state);
+    const double scaled = p * 18446744073709551616.0; // 2^64
+    return static_cast<double>(draw) < scaled;
+}
+
 Rng
 rngStream(std::uint64_t seed, std::uint64_t stream)
 {

@@ -25,6 +25,19 @@ namespace mithra
 /** SplitMix64 step: expands a 64-bit state into a stream of values. */
 std::uint64_t splitMix64(std::uint64_t &state);
 
+/**
+ * Counter-based Bernoulli draw: true with probability `p`, as a pure
+ * function of (seed, index) through one SplitMix64 step. Because the
+ * draw depends only on the pair — never on call order, thread count or
+ * how a stream is sharded — schedules built on it (watchdog audits,
+ * online error sampling, random filtering) are bitwise identical no
+ * matter how the index space is partitioned. The draw is compared
+ * against p * 2^64, so for a fixed (seed, index) the outcome is
+ * monotone in p: raising the rate only adds events, it never
+ * unschedules one.
+ */
+bool indexedBernoulli(std::uint64_t seed, std::uint64_t index, double p);
+
 class Rng;
 
 /**

@@ -16,9 +16,7 @@ Classifier::decideBatch(const float *inputs, std::size_t width,
                         std::uint8_t *out)
 {
     // Reference semantics: one decidePrecise() per row, in ascending
-    // index order so order-sensitive classifiers (the random filter
-    // consumes one RNG draw per call) see the same stream as the
-    // scalar loop they replace.
+    // index order — exactly the scalar loop this batch call replaces.
     Vec input;
     for (std::size_t i = 0; i < count; ++i) {
         input.assign(inputs + i * width, inputs + (i + 1) * width);
@@ -52,6 +50,23 @@ OracleClassifier::decidePrecise(const Vec &, std::size_t invocationIndex)
     return currentTrace->maxAbsError(invocationIndex) > errorThreshold;
 }
 
+void
+OracleClassifier::decideBatch(const float *, std::size_t,
+                              std::size_t count, std::size_t beginIndex,
+                              std::uint8_t *out)
+{
+    MITHRA_ASSERT(currentTrace, "oracle used without beginDataset");
+    // The oracle ignores the inputs entirely: it reads the cached true
+    // errors, so the batch path skips the per-row Vec copies of the
+    // default implementation.
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = currentTrace->maxAbsError(beginIndex + i)
+                > errorThreshold
+            ? 1
+            : 0;
+    }
+}
+
 sim::ClassifierCost
 OracleClassifier::cost() const
 {
@@ -60,16 +75,42 @@ OracleClassifier::cost() const
 
 RandomFilterClassifier::RandomFilterClassifier(double preciseFraction,
                                                std::uint64_t seed)
-    : fraction(preciseFraction), rng(seed)
+    : fraction(preciseFraction), baseSeed(seed), datasetSeed(seed)
 {
     MITHRA_ASSERT(preciseFraction >= 0.0 && preciseFraction <= 1.0,
                   "precise fraction out of range: ", preciseFraction);
 }
 
-bool
-RandomFilterClassifier::decidePrecise(const Vec &, std::size_t)
+void
+RandomFilterClassifier::beginDataset(const axbench::InvocationTrace &)
 {
-    return rng.bernoulli(fraction);
+    // A fresh SplitMix64 stream per dataset keeps consecutive datasets
+    // decorrelated while the schedule stays a pure function of
+    // (seed, dataset ordinal, invocation index).
+    ++datasetOrdinal;
+    std::uint64_t state =
+        baseSeed ^ (datasetOrdinal * 0x632be59bd9b4e019ULL);
+    datasetSeed = splitMix64(state);
+}
+
+bool
+RandomFilterClassifier::decidePrecise(const Vec &,
+                                      std::size_t invocationIndex)
+{
+    return indexedBernoulli(datasetSeed, invocationIndex, fraction);
+}
+
+void
+RandomFilterClassifier::decideBatch(const float *, std::size_t,
+                                    std::size_t count,
+                                    std::size_t beginIndex,
+                                    std::uint8_t *out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = indexedBernoulli(datasetSeed, beginIndex + i, fraction)
+            ? 1
+            : 0;
+    }
 }
 
 sim::ClassifierCost

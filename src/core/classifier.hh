@@ -54,9 +54,17 @@ class Classifier
      * dataset position `beginIndex`: out[i] = 1 when invocation
      * beginIndex + i must run precise. Exactly equal to calling
      * decidePrecise() per row in ascending index order (the default
-     * does just that, so order-sensitive designs like the random
-     * filter keep their per-invocation stream); batch-capable designs
-     * override it with vectorized kernels.
+     * does just that); batch-capable designs override it with
+     * vectorized kernels.
+     *
+     * Sharded-runtime contract: between beginDataset() and the next
+     * observe(), decisions must be a pure function of (input, index) —
+     * the sharded evaluator batches disjoint index ranges from
+     * concurrent shards, so a classifier whose decision stream depends
+     * on call order (a shared mutating RNG, say) would lose the
+     * bitwise-reproducibility guarantee. Pseudo-random designs derive
+     * per-decision draws from indexedBernoulli (common/rng.hh)
+     * instead, exactly like the watchdog's audit schedule.
      */
     virtual void decideBatch(const float *inputs, std::size_t width,
                              std::size_t count, std::size_t beginIndex,
@@ -104,6 +112,9 @@ class OracleClassifier final : public Classifier
     void beginDataset(const axbench::InvocationTrace &trace) override;
     bool decidePrecise(const Vec &input,
                        std::size_t invocationIndex) override;
+    void decideBatch(const float *inputs, std::size_t width,
+                     std::size_t count, std::size_t beginIndex,
+                     std::uint8_t *out) override;
     sim::ClassifierCost cost() const override;
     std::size_t configSizeBytes() const override { return 0; }
 
@@ -118,6 +129,11 @@ class OracleClassifier final : public Classifier
  * Input-oblivious baseline: routes a fixed fraction of invocations to
  * the precise function at random (paper §V-B.1, "comparison with
  * random filtering").
+ *
+ * The draw is counter-based — a pure function of (seed, dataset
+ * ordinal, invocation index) through indexedBernoulli — so the
+ * decision stream honours the sharded-runtime contract: any index
+ * partition at any thread count reproduces the same decisions.
  */
 class RandomFilterClassifier final : public Classifier
 {
@@ -129,14 +145,21 @@ class RandomFilterClassifier final : public Classifier
     RandomFilterClassifier(double preciseFraction, std::uint64_t seed);
 
     std::string kind() const override { return "random"; }
+    void beginDataset(const axbench::InvocationTrace &trace) override;
     bool decidePrecise(const Vec &input,
                        std::size_t invocationIndex) override;
+    void decideBatch(const float *inputs, std::size_t width,
+                     std::size_t count, std::size_t beginIndex,
+                     std::uint8_t *out) override;
     sim::ClassifierCost cost() const override;
     std::size_t configSizeBytes() const override { return 8; }
 
   private:
     double fraction;
-    Rng rng;
+    std::uint64_t baseSeed;
+    /** Per-dataset schedule seed (advanced by beginDataset). */
+    std::uint64_t datasetSeed;
+    std::uint64_t datasetOrdinal = 0;
 };
 
 } // namespace mithra::core

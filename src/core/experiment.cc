@@ -199,7 +199,10 @@ ExperimentRunner::cacheKey(const std::string &benchmark,
 {
     std::ostringstream os;
     os.precision(10);
-    os << "v5:" << benchmark << ':' << specKey(spec) << ':'
+    // v6: the sharded decision loop moved online observations to
+    // dataset boundaries, so evaluations are not bit-comparable with
+    // v5 records even at one shard.
+    os << "v6:" << benchmark << ':' << specKey(spec) << ':'
        << designName(design) << ':' << options.geometry.numTables << 'x'
        << options.geometry.tableBytes << ':' << options.quantizerBits
        << ':' << (options.onlineUpdates ? 1 : 0)
@@ -210,13 +213,17 @@ ExperimentRunner::cacheKey(const std::string &benchmark,
        << pipeline.options().seed;
     // The watchdog changes what an evaluation measures (audit runs
     // feed the cost model), so a watchdog-enabled run must never
-    // share a cache line with a plain one. Watchdog-off keeps the
-    // legacy key, so existing caches stay valid.
+    // share a cache line with a plain one. The shard count joins the
+    // suffix because each shard owns an independently seeded watchdog:
+    // with the watchdog on, MITHRA_SHARDS is semantic configuration.
+    // Watchdog-off evaluations are shard-invariant, so they share one
+    // key at any shard count.
     const watchdog::WatchdogOptions wd = watchdog::WatchdogOptions::fromEnv();
     if (wd.enabled) {
         os << ":wd" << wd.baseAuditRate << ',' << wd.suspectAuditRate
            << ',' << wd.degradedAuditRate << ',' << wd.maxViolationRate
-           << ',' << wd.confidence << ',' << wd.seed;
+           << ',' << wd.confidence << ',' << wd.seed << ",n"
+           << defaultShardCount();
     }
     return os.str();
 }

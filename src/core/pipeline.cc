@@ -263,10 +263,10 @@ calibrationMeasure(const CompiledWorkload &workload,
                 }
             }
             one.total = trace.count();
-            const auto final = workload.benchmark->recompose(
+            const auto recomposed = workload.benchmark->recompose(
                 *entry.dataset, trace, decisions);
             const double loss = axbench::qualityLoss(
-                workload.benchmark->metric(), entry.preciseFinal, final);
+                workload.benchmark->metric(), entry.preciseFinal, recomposed);
             one.successes = loss <= spec.maxQualityLossPct ? 1 : 0;
             one.trials = 1;
             return one;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
+#include <string>
 
 #include "common/contracts.hh"
 #include "common/parallel.hh"
@@ -58,6 +58,21 @@ Evaluator::Evaluator(const CompiledWorkload &workloadIn,
 {
 }
 
+namespace
+{
+
+/** "runtime.shard007.audits" — zero-padded so report rows sort. */
+std::string
+shardCounterName(std::size_t shard, const char *stat)
+{
+    std::string id = std::to_string(shard);
+    while (id.size() < 3)
+        id.insert(id.begin(), '0');
+    return "runtime.shard" + id + "." + stat;
+}
+
+} // namespace
+
 DesignEvaluation
 Evaluator::evaluate(Classifier &classifier,
                     const ValidationSet &validation) const
@@ -69,78 +84,100 @@ Evaluator::evaluate(Classifier &classifier,
     eval.kind = classifier.kind();
     eval.trials = validation.entries.size();
 
-    Rng sampler(options.seed ^ 0x0b5e7feULL);
+    const std::size_t shardCount =
+        options.shards ? options.shards : defaultShardCount();
+    eval.sharded.shardCount = shardCount;
+    eval.sharded.shards.resize(shardCount);
+    MITHRA_GAUGE_SET("runtime.shards",
+                     static_cast<double>(shardCount));
+
     std::vector<double> losses;
     losses.reserve(eval.trials);
 
     // The watchdog treats the validation suite as one long deployment
-    // stream: state and audit indices persist across datasets. The
-    // whole decision loop below is serial, so the audit schedule (a
-    // pure function of seed and stream index) is independent of
-    // MITHRA_THREADS.
-    std::optional<watchdog::Watchdog> dog;
-    if (options.watchdog.enabled)
-        dog.emplace(options.watchdog, threshold);
+    // stream split into shardCount substreams: each shard owns a
+    // watchdog whose state and audit schedule persist across datasets.
+    // The per-shard envelopes run at the split confidence (alpha / N)
+    // so the merged envelope holds at the configured confidence.
+    std::vector<watchdog::Watchdog> dogs;
+    if (options.watchdog.enabled) {
+        eval.sharded.shardConfidence = stats::splitConfidence(
+            options.watchdog.confidence, shardCount);
+        dogs.reserve(shardCount);
+        for (std::size_t k = 0; k < shardCount; ++k) {
+            watchdog::WatchdogOptions perShard = options.watchdog;
+            perShard.confidence = eval.sharded.shardConfidence;
+            perShard.seed = shardSeed(options.watchdog.seed, k);
+            dogs.emplace_back(perShard, threshold);
+        }
+    }
 
     std::size_t accelTotal = 0;
     std::size_t invocationTotal = 0;
     std::size_t falsePositives = 0;
     std::size_t falseNegatives = 0;
 
+    DecisionLoopOptions loop;
+    loop.oracleThreshold = threshold;
+    loop.onlineSampleRate = options.onlineSampleRate;
+    loop.sampleSeed = options.seed ^ 0x0b5e7feULL;
+    loop.blockSize = options.batchBlock;
+
     std::vector<std::uint8_t> decisions;
+    std::vector<ShardTally> tallies;
     for (const auto &entry : validation.entries) {
         const auto &trace = *entry.trace;
         classifier.beginDataset(trace);
 
         decisions.assign(trace.count(), 0);
+        const ShardPlan plan(trace.count(), shardCount);
+        runShardedDecisions(classifier, trace, plan, dogs, loop,
+                            decisions.data(), tallies);
+
+        // Slot-ordered merge of the per-shard tallies: the fold order
+        // is shard 0, 1, ... regardless of which worker finished
+        // first, so the totals are independent of thread count.
         std::size_t numAccel = 0;
         std::size_t auditPreciseRuns = 0;
         std::size_t shadowAccelRuns = 0;
-        for (std::size_t i = 0; i < trace.count(); ++i) {
-            const Vec input = trace.inputVec(i);
-            bool precise = !classifier.approximationEnabled()
-                || classifier.decidePrecise(input, i);
+        for (std::size_t k = 0; k < shardCount; ++k) {
+            const ShardTally &tally = tallies[k];
+            numAccel += tally.accelerated;
+            falsePositives += tally.falsePositives;
+            falseNegatives += tally.falseNegatives;
+            auditPreciseRuns += tally.auditPreciseRuns;
+            shadowAccelRuns += tally.shadowAccelRuns;
 
-            if (dog) {
-                // The watchdog may overrule the classifier (DEGRADED
-                // forces the precise path) and may schedule an audit,
-                // served here from the trace's cached true error.
-                const watchdog::Routing routing = dog->route(!precise);
-                if (routing.auditPrecise)
-                    ++auditPreciseRuns;
-                if (routing.auditShadowAccel)
-                    ++shadowAccelRuns;
-                if (routing.audited())
-                    dog->reportAudit(trace.maxAbsError(i));
-                precise = !routing.useAccel;
-            }
+            ShardReport &report = eval.sharded.shards[k];
+            report.invocations += tally.invocations;
+            report.accelerated += tally.accelerated;
+            report.falsePositives += tally.falsePositives;
+            report.falseNegatives += tally.falseNegatives;
+        }
 
-            decisions[i] = precise ? 0 : 1;
-            numAccel += precise ? 0 : 1;
-
-            // Oracle comparison for false-decision accounting.
-            const bool oraclePrecise =
-                trace.maxAbsError(i) > static_cast<float>(threshold);
-            if (precise && !oraclePrecise)
-                ++falsePositives;
-            else if (!precise && oraclePrecise)
-                ++falseNegatives;
-
-            // Sporadic online sampling: run both paths, report the
-            // true error (paper §IV-C.1).
-            if (options.onlineSampleRate > 0.0
-                && sampler.bernoulli(options.onlineSampleRate)) {
-                classifier.observe(input, trace.maxAbsError(i));
+        // Deferred online observations (paper §IV-C.1): the schedule
+        // picked the indices inside the sharded loop; the mutating
+        // observe() calls run here, serially, in ascending stream
+        // order — identical for any shard partition and thread count.
+        if (options.onlineSampleRate > 0.0) {
+            for (std::size_t k = 0; k < shardCount; ++k) {
+                for (const std::size_t i : tallies[k].sampledIndices) {
+                    classifier.observe(trace.inputVec(i),
+                                       trace.maxAbsError(i));
+                }
             }
         }
 
         accelTotal += numAccel;
         invocationTotal += trace.count();
+        // The sampling schedule indexes the concatenated validation
+        // stream, so the next dataset continues where this one ended.
+        loop.streamOffset += trace.count();
 
-        const auto final = bench.recompose(*entry.dataset, trace,
-                                           decisions);
+        const auto recomposed = bench.recompose(*entry.dataset, trace,
+                                                decisions);
         const double loss = axbench::qualityLoss(
-            bench.metric(), entry.preciseFinal, final);
+            bench.metric(), entry.preciseFinal, recomposed);
         losses.push_back(loss);
         if (loss <= spec.maxQualityLossPct)
             ++eval.successes;
@@ -150,17 +187,17 @@ Evaluator::evaluate(Classifier &classifier,
         // function, and a DEGRADED shadow audit also runs the (gated)
         // accelerator. They are charged as overhead on top of run()
         // because they duplicate work without changing routing.
-        const auto totals = systemSim.run(
+        auto totals = systemSim.run(
             workload.profile, classifier.cost(), numAccel,
             trace.count() - numAccel);
-        const auto audit = systemSim.auditOverhead(
+        totals += systemSim.auditOverhead(
             workload.profile, auditPreciseRuns, shadowAccelRuns);
-        const auto baseline = systemSim.baseline(workload.profile);
-        eval.totals.cycles += totals.cycles + audit.cycles;
-        eval.totals.energyPj += totals.energyPj + audit.energyPj;
-        eval.baselineTotals.cycles += baseline.cycles;
-        eval.baselineTotals.energyPj += baseline.energyPj;
+        eval.totals += totals;
+        eval.baselineTotals += systemSim.baseline(workload.profile);
     }
+
+    MITHRA_COUNT("runtime.decisions", invocationTotal);
+    MITHRA_COUNT("runtime.accel", accelTotal);
 
     eval.meanQualityLoss = stats::mean(losses);
     eval.p99QualityLoss = stats::percentile(losses, 99.0);
@@ -183,9 +220,41 @@ Evaluator::evaluate(Classifier &classifier,
                                                 eval.totals);
     eval.edpImprovement = sim::edpImprovement(eval.baselineTotals,
                                               eval.totals);
-    if (dog) {
+    if (!dogs.empty()) {
         eval.watchdogEnabled = true;
-        eval.watchdog = dog->snapshot();
+        mergeShardEvidence(dogs, options.watchdog.confidence,
+                           eval.sharded);
+
+        // The legacy snapshot becomes the slot-ordered sum of the
+        // per-shard snapshots, with the worst state and the merged
+        // envelope — so existing report surfaces keep working.
+        watchdog::Snapshot combined;
+        combined.state = eval.sharded.combinedState;
+        combined.violationLowerBound =
+            eval.sharded.violationEnvelope.lower;
+        combined.violationUpperBound =
+            eval.sharded.violationEnvelope.upper;
+        for (std::size_t k = 0; k < shardCount; ++k) {
+            const watchdog::Snapshot &snap =
+                eval.sharded.shards[k].watchdog;
+            combined.invocations += snap.invocations;
+            combined.audits += snap.audits;
+            combined.violations += snap.violations;
+            combined.suspectEntries += snap.suspectEntries;
+            combined.trips += snap.trips;
+            combined.recoveries += snap.recoveries;
+            combined.forcedPrecise += snap.forcedPrecise;
+            combined.epochAudits += snap.epochAudits;
+            combined.epochViolations += snap.epochViolations;
+            if (snap.firstTripAt < combined.firstTripAt)
+                combined.firstTripAt = snap.firstTripAt;
+
+            MITHRA_COUNT_DYNAMIC(shardCounterName(k, "audits"),
+                                 snap.audits);
+            MITHRA_COUNT_DYNAMIC(shardCounterName(k, "violations"),
+                                 snap.violations);
+        }
+        eval.watchdog = combined;
         MITHRA_GAUGE_SET("watchdog.final_state",
                          static_cast<double>(eval.watchdog.state));
     }
@@ -218,6 +287,11 @@ Evaluator::evaluateFullApprox(const ValidationSet &validation) const
         bool decidePrecise(const Vec &, std::size_t) override
         {
             return false;
+        }
+        void decideBatch(const float *, std::size_t, std::size_t count,
+                         std::size_t, std::uint8_t *out) override
+        {
+            std::fill(out, out + count, std::uint8_t{0});
         }
         sim::ClassifierCost cost() const override { return {}; }
         std::size_t configSizeBytes() const override { return 0; }

@@ -13,6 +13,12 @@
  * quality loss per dataset with Clopper–Pearson bounds, accelerator
  * invocation rate, speedup / energy reduction / EDP against the
  * precise baseline, and false positives/negatives against the oracle.
+ *
+ * The decision loop itself is sharded and batch-first (core/shard.hh):
+ * each dataset's invocation stream splits into MITHRA_SHARDS
+ * deterministic contiguous shards that decide via
+ * Classifier::decideBatch() and run concurrently, with slot-ordered
+ * evidence merging. See DESIGN.md §12 for the determinism contract.
  */
 
 #pragma once
@@ -22,6 +28,7 @@
 
 #include "core/classifier.hh"
 #include "core/pipeline.hh"
+#include "core/shard.hh"
 #include "core/watchdog/watchdog.hh"
 
 namespace mithra::core
@@ -57,6 +64,18 @@ struct EvaluationOptions
     /** Fraction of invocations whose true error is sampled online. */
     double onlineSampleRate = 0.01;
     std::uint64_t seed = 0xe7a1;
+    /**
+     * Shards each dataset's invocation stream is split into; 0 means
+     * defaultShardCount() (the MITHRA_SHARDS environment variable,
+     * falling back to the parallel substrate's thread count). With the
+     * watchdog off the result is bitwise identical for any value; with
+     * the watchdog on the shard count is semantic configuration (each
+     * shard owns an independently seeded watchdog) and joins the
+     * experiment cache key.
+     */
+    std::size_t shards = 0;
+    /** Invocations per decideBatch() block inside a shard. */
+    std::size_t batchBlock = 512;
     /**
      * Runtime guarantee watchdog (disabled by default, in which case
      * evaluation is bit-for-bit identical to a watchdog-less build).
@@ -100,6 +119,13 @@ struct DesignEvaluation
      */
     bool watchdogEnabled = false;
     watchdog::Snapshot watchdog{};
+    /**
+     * The sharded engine's report: per-shard tallies and, with the
+     * watchdog on, the merged evidence (envelope intersection at the
+     * split alpha). Like the watchdog snapshot, NOT part of the
+     * experiment cache serialization.
+     */
+    ShardedEvaluation sharded{};
 };
 
 /** Measures classifiers over a validation set. */

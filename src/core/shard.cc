@@ -1,0 +1,234 @@
+#include "core/shard.hh"
+
+#include <cstdlib>
+
+#include "common/contracts.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "stats/clopper_pearson.hh"
+
+namespace mithra::core
+{
+
+ShardPlan::ShardPlan(std::size_t totalInvocations,
+                     std::size_t shardCount)
+    : total(totalInvocations), shards(shardCount)
+{
+    MITHRA_EXPECTS(shards >= 1, "a plan needs at least one shard");
+}
+
+std::size_t
+ShardPlan::begin(std::size_t k) const
+{
+    MITHRA_EXPECTS(k <= shards, "shard index out of range: ", k);
+    const std::size_t base = total / shards;
+    const std::size_t rem = total % shards;
+    return k * base + (k < rem ? k : rem);
+}
+
+std::size_t
+defaultShardCount()
+{
+    const char *env = std::getenv("MITHRA_SHARDS");
+    if (!env)
+        return parallelThreadCount();
+    char *end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || value < 1 || value > 1024)
+        fatal("MITHRA_SHARDS must be an integer in [1, 1024], got `",
+              env, "'");
+    return static_cast<std::size_t>(value);
+}
+
+std::uint64_t
+shardSeed(std::uint64_t baseSeed, std::size_t shard)
+{
+    // One SplitMix64 step over (base ^ golden * (shard + 1)): distinct
+    // shards land in well-separated schedule streams even when the
+    // base seeds are small consecutive integers.
+    std::uint64_t state = baseSeed
+        ^ (0x9e3779b97f4a7c15ULL
+           * (static_cast<std::uint64_t>(shard) + 1));
+    return splitMix64(state);
+}
+
+namespace
+{
+
+/**
+ * The serial accounting pass over one decided block: watchdog
+ * routing/audits, oracle false-decision counts and the online-sampling
+ * schedule, in ascending index order. `decisions` holds decideBatch()
+ * output on entry (1 = precise) and recompose() routing on exit
+ * (1 = accelerate).
+ */
+void
+accountBlock(const float *errors, watchdog::Watchdog *dog,
+             const DecisionLoopOptions &options, std::size_t blockBegin,
+             std::size_t blockEnd, std::uint8_t *decisions,
+             ShardTally &tally)
+{
+    const auto oracleThreshold =
+        static_cast<float>(options.oracleThreshold);
+    for (std::size_t i = blockBegin; i < blockEnd; ++i) {
+        bool precise = decisions[i] != 0;
+
+        if (dog) {
+            // The watchdog may overrule the classifier (DEGRADED
+            // forces the precise path) and may schedule an audit,
+            // served here from the trace's cached true error.
+            const watchdog::Routing routing = dog->route(!precise);
+            if (routing.auditPrecise)
+                ++tally.auditPreciseRuns;
+            if (routing.auditShadowAccel)
+                ++tally.shadowAccelRuns;
+            if (routing.audited())
+                dog->reportAudit(errors[i]);
+            precise = !routing.useAccel;
+        }
+
+        decisions[i] = precise ? 0 : 1;
+        tally.accelerated += precise ? 0 : 1;
+
+        // Oracle comparison for false-decision accounting.
+        const bool oraclePrecise = errors[i] > oracleThreshold;
+        if (precise && !oraclePrecise)
+            ++tally.falsePositives;
+        else if (!precise && oraclePrecise)
+            ++tally.falseNegatives;
+
+        // Sporadic online sampling (paper §IV-C.1): the schedule is a
+        // pure function of (seed, global stream index), so any shard
+        // partition selects the same invocations. The observations
+        // themselves are deferred to the dataset boundary.
+        if (options.onlineSampleRate > 0.0
+            && indexedBernoulli(options.sampleSeed,
+                                options.streamOffset + i,
+                                options.onlineSampleRate)) {
+            tally.sampledIndices.push_back(i);
+        }
+    }
+}
+
+/** Severity order for the combined state (worst wins). */
+int
+stateSeverity(watchdog::State state)
+{
+    switch (state) {
+    case watchdog::State::Healthy:
+        return 0;
+    case watchdog::State::Recovered:
+        return 1;
+    case watchdog::State::Suspect:
+        return 2;
+    case watchdog::State::Degraded:
+        return 3;
+    }
+    return 3;
+}
+
+} // namespace
+
+void
+runShardedDecisions(Classifier &classifier,
+                    const axbench::InvocationTrace &trace,
+                    const ShardPlan &plan,
+                    std::vector<watchdog::Watchdog> &dogs,
+                    const DecisionLoopOptions &options,
+                    std::uint8_t *decisions,
+                    std::vector<ShardTally> &tallies)
+{
+    MITHRA_EXPECTS(plan.total == trace.count(),
+                   "plan covers ", plan.total, " invocations, trace has ",
+                   trace.count());
+    MITHRA_EXPECTS(dogs.empty() || dogs.size() == plan.shards,
+                   "need one watchdog per shard or none, got ",
+                   dogs.size(), " for ", plan.shards, " shards");
+    MITHRA_EXPECTS(options.blockSize >= 1, "empty decision block");
+
+    tallies.assign(plan.shards, ShardTally{});
+    const float *inputs = trace.inputsFlat().data();
+    const float *errors = trace.maxAbsErrors().data();
+    const std::size_t width = trace.inputWidth();
+    const bool approximate = classifier.approximationEnabled();
+
+    parallelFor(0, plan.shards, 1, [&](std::size_t k) {
+        const std::size_t shardBegin = plan.begin(k);
+        const std::size_t shardEnd = plan.end(k);
+        watchdog::Watchdog *dog = dogs.empty() ? nullptr : &dogs[k];
+        ShardTally &tally = tallies[k];
+        tally.invocations = shardEnd - shardBegin;
+
+        for (std::size_t blockBegin = shardBegin;
+             blockBegin < shardEnd; blockBegin += options.blockSize) {
+            const std::size_t blockEnd =
+                blockBegin + options.blockSize < shardEnd
+                ? blockBegin + options.blockSize
+                : shardEnd;
+            const std::size_t count = blockEnd - blockBegin;
+
+            // Batch-decide straight into the decisions buffer (shards
+            // cover disjoint ranges), then run the serial accounting
+            // pass which rewrites it into routing convention.
+            if (approximate) {
+                classifier.decideBatch(inputs + blockBegin * width,
+                                       width, count, blockBegin,
+                                       decisions + blockBegin);
+            } else {
+                // Fail closed: every decision is "precise".
+                for (std::size_t i = 0; i < count; ++i)
+                    decisions[blockBegin + i] = 1;
+            }
+            accountBlock(errors, dog, options, blockBegin, blockEnd,
+                         decisions, tally);
+        }
+    });
+}
+
+void
+mergeShardEvidence(const std::vector<watchdog::Watchdog> &dogs,
+                   double confidence, ShardedEvaluation &out)
+{
+    MITHRA_EXPECTS(!dogs.empty(), "no shard evidence to merge");
+    MITHRA_EXPECTS(out.shards.size() == dogs.size(),
+                   "report has ", out.shards.size(), " shard slots for ",
+                   dogs.size(), " watchdogs");
+
+    out.watchdogEnabled = true;
+    out.shardConfidence = stats::splitConfidence(confidence,
+                                                 dogs.size());
+    out.combinedState = watchdog::State::Healthy;
+    out.violationEnvelope = stats::ProportionEnvelope{};
+
+    std::size_t pooledAudits = 0;
+    std::size_t pooledViolations = 0;
+    for (std::size_t k = 0; k < dogs.size(); ++k) {
+        const watchdog::Snapshot snap = dogs[k].snapshot();
+        out.shards[k].watchdog = snap;
+
+        if (stateSeverity(snap.state)
+            > stateSeverity(out.combinedState))
+            out.combinedState = snap.state;
+
+        const stats::ProportionEnvelope shardEnvelope{
+            snap.violationLowerBound, snap.violationUpperBound};
+        out.violationEnvelope =
+            stats::intersectEnvelopes(out.violationEnvelope,
+                                      shardEnvelope);
+
+        pooledAudits += snap.audits;
+        pooledViolations += snap.violations;
+    }
+
+    if (pooledAudits > 0) {
+        const stats::ProportionInterval pooled =
+            stats::clopperPearsonInterval(pooledViolations, pooledAudits,
+                                          confidence);
+        out.pooledEnvelope = {pooled.lower, pooled.upper};
+    } else {
+        out.pooledEnvelope = stats::ProportionEnvelope{};
+    }
+}
+
+} // namespace mithra::core

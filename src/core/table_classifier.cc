@@ -41,8 +41,11 @@ TableClassifier::decideBatch(const float *inputs, std::size_t width,
     MITHRA_EXPECTS(width == quantizer.width(), "input width ", width,
                    " != calibrated width ", quantizer.width());
     // Quantize the whole slice in one kernel call, then let each table
-    // hash the batch lane-parallel inside decideBatch.
-    std::vector<std::uint8_t> codes(width * count);
+    // hash the batch lane-parallel inside decideBatch. The scratch is
+    // thread_local so concurrent shards (core/shard.hh) never share it
+    // and block-sized calls cost no allocation after warm-up.
+    static thread_local std::vector<std::uint8_t> codes;
+    codes.resize(width * count);
     quantizer.quantizeBatch(inputs, count, codes.data());
     ensemble.decideBatch(codes.data(), width, count, out);
 }

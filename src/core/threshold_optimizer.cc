@@ -71,10 +71,10 @@ ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
                 static_cast<float>(threshold), decisions.data());
             one.total = entry.trace->count();
 
-            const auto final = problem.benchmark->recompose(
+            const auto recomposed = problem.benchmark->recompose(
                 *entry.dataset, *entry.trace, decisions);
             const double loss = axbench::qualityLoss(
-                problem.benchmark->metric(), entry.preciseFinal, final);
+                problem.benchmark->metric(), entry.preciseFinal, recomposed);
             one.successes = loss <= qualitySpec.maxQualityLossPct ? 1 : 0;
             return one;
         },
@@ -206,9 +206,9 @@ MultiFunctionOptimizer::evaluate(const MultiFunctionProblem &problem,
                     decisions[f].data());
                 one.total += entry.traces[f]->count();
             }
-            const auto final = entry.recompose(decisions);
+            const auto recomposed = entry.recompose(decisions);
             const double loss = axbench::qualityLoss(
-                problem.metric, entry.preciseFinal, final);
+                problem.metric, entry.preciseFinal, recomposed);
             one.successes = loss <= qualitySpec.maxQualityLossPct ? 1 : 0;
             return one;
         },

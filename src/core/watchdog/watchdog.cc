@@ -121,18 +121,10 @@ bool
 Watchdog::auditScheduled(std::uint64_t seed, std::uint64_t index,
                          double rate)
 {
-    if (rate <= 0.0)
-        return false;
-    if (rate >= 1.0)
-        return true;
-    // One SplitMix64 draw keyed by (seed, index): the schedule depends
-    // only on the pair, never on call order or thread count. Comparing
-    // the draw against rate * 2^64 makes the schedule monotone in the
+    // The counter-based draw depends only on (seed, index), never on
+    // call order or thread count, and its event set is monotone in the
     // rate — a higher rate's audit set is a superset of a lower one's.
-    std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ULL;
-    const std::uint64_t draw = splitMix64(state);
-    const double scaled = rate * 18446744073709551616.0; // 2^64
-    return static_cast<double>(draw) < scaled;
+    return indexedBernoulli(seed, index, rate);
 }
 
 double

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/contracts.hh"
 #include "common/kernels/kernels.hh"
@@ -144,15 +145,53 @@ TableEnsemble::decideBatch(const std::uint8_t *codes, std::size_t width,
     if (count == 0)
         return;
     std::fill(out, out + count, std::uint8_t{1});
-    std::vector<std::uint32_t> signatures(count);
-    for (std::size_t t = 0; t < tables.size(); ++t) {
-        kernels::misrHashBatch(misrs[t].params(), codes, width, count,
-                               signatures.data());
-        const DecisionTable &table = tables[t];
-        for (std::size_t i = 0; i < count; ++i) {
-            if (!table.bit(signatures[i]))
-                out[i] = 0;
+
+    // The combining gate is an AND: once any table clears a row it can
+    // never read precise again, so later tables only need to hash the
+    // rows still alive. Table 0 sees the full batch; survivors are
+    // compacted (codes and origin index side by side) and shrink fast
+    // when most of the stream is accelerable, which is exactly the
+    // regime the runtime loop runs in. Bitwise identical to hashing
+    // every row through every table. Scratch is thread_local because
+    // concurrent shards (core/shard.hh) decide blocks in parallel.
+    static thread_local std::vector<std::uint32_t> signatures;
+    static thread_local std::vector<std::uint8_t> packed;
+    static thread_local std::vector<std::uint32_t> origin;
+    signatures.resize(count);
+
+    kernels::misrHashBatch(misrs[0].params(), codes, width, count,
+                           signatures.data());
+    packed.resize(count * width);
+    origin.resize(count);
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (tables[0].bit(signatures[i])) {
+            std::memcpy(packed.data() + live * width, codes + i * width,
+                        width);
+            origin[live++] = static_cast<std::uint32_t>(i);
+        } else {
+            out[i] = 0;
         }
+    }
+
+    for (std::size_t t = 1; t < tables.size() && live > 0; ++t) {
+        kernels::misrHashBatch(misrs[t].params(), packed.data(), width,
+                               live, signatures.data());
+        const DecisionTable &table = tables[t];
+        std::size_t kept = 0;
+        for (std::size_t j = 0; j < live; ++j) {
+            if (table.bit(signatures[j])) {
+                if (kept != j) {
+                    std::memmove(packed.data() + kept * width,
+                                 packed.data() + j * width, width);
+                    origin[kept] = origin[j];
+                }
+                ++kept;
+            } else {
+                out[origin[j]] = 0;
+            }
+        }
+        live = kept;
     }
 }
 

@@ -68,6 +68,19 @@ struct RunTotals
 
     /** Energy-delay product (pJ * cycles). */
     double edp() const { return cycles * energyPj; }
+
+    /**
+     * Accumulate another total. Callers that fold per-shard or
+     * per-dataset partials must do so in slot order (shard 0, 1, ...)
+     * so the floating-point association — and therefore the result —
+     * is independent of thread count.
+     */
+    RunTotals &operator+=(const RunTotals &other)
+    {
+        cycles += other.cycles;
+        energyPj += other.energyPj;
+        return *this;
+    }
 };
 
 /** Ratio helpers used throughout the evaluation. */

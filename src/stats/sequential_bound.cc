@@ -109,4 +109,24 @@ SequentialBinomialBound::reset()
     lowerEnvelope = 0.0;
 }
 
+double
+splitConfidence(double confidence, std::size_t parts)
+{
+    MITHRA_EXPECTS(confidence > 0.0 && confidence < 1.0,
+                   "confidence must be in (0, 1), got ", confidence);
+    MITHRA_EXPECTS(parts > 0, "confidence split over zero parts");
+    const double alpha = 1.0 - confidence;
+    return 1.0 - alpha / static_cast<double>(parts);
+}
+
+ProportionEnvelope
+intersectEnvelopes(const ProportionEnvelope &a,
+                   const ProportionEnvelope &b)
+{
+    ProportionEnvelope merged;
+    merged.lower = a.lower > b.lower ? a.lower : b.lower;
+    merged.upper = a.upper < b.upper ? a.upper : b.upper;
+    return merged;
+}
+
 } // namespace mithra::stats

@@ -115,4 +115,41 @@ class SequentialBinomialBound
  */
 double sequentialAlphaAtLook(double alpha, std::size_t look);
 
+/**
+ * A [lower, upper] confidence envelope on one proportion — the value
+ * pair a SequentialBinomialBound (or a plain Clopper–Pearson interval)
+ * exposes, detached from its counts so envelopes from independent
+ * monitors can be combined.
+ */
+struct ProportionEnvelope
+{
+    double lower = 0.0;
+    double upper = 1.0;
+
+    /** True when the envelope still contains at least one value. */
+    bool valid() const { return lower <= upper; }
+};
+
+/**
+ * The confidence each of `parts` parallel monitors must individually
+ * carry so that, by the union bound, all of them cover simultaneously
+ * with at least `confidence`: 1 - (1 - confidence) / parts. This is
+ * the alpha split the sharded runtime applies — each shard's
+ * sequential envelope spends alpha / N, and the intersection of the
+ * per-shard envelopes keeps the deployment-wide guarantee.
+ */
+double splitConfidence(double confidence, std::size_t parts);
+
+/**
+ * Intersection of two envelopes on the *same* underlying proportion
+ * (e.g. per-shard envelopes of one stationary deployment stream).
+ * Each envelope covers with its own confidence; by the union bound
+ * the intersection covers with 1 - sum of the alphas. An empty
+ * intersection (lower > upper) is itself statistical evidence that
+ * the shards do not share one proportion — the caller decides what to
+ * do with it; this function just reports the clipped interval.
+ */
+ProportionEnvelope intersectEnvelopes(const ProportionEnvelope &a,
+                                      const ProportionEnvelope &b);
+
 } // namespace mithra::stats

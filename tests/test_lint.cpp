@@ -412,6 +412,79 @@ bool cpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
     EXPECT_FALSE(firedRule(diagnostics, "no-intrinsics"));
 }
 
+TEST(Lint, KeywordIdentifierFires)
+{
+    const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(
+namespace mithra
+{
+int compute();
+void f()
+{
+    const auto final = compute();
+    int override = final + 1;
+    (void)override;
+}
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-keyword-identifier", 7));
+    EXPECT_TRUE(fired(diagnostics, "no-keyword-identifier", 8));
+}
+
+TEST(Lint, SpecifierPositionsDoNotFire)
+{
+    const auto diagnostics = lintAt("src/core/ok.hh", R"cpp(#pragma once
+namespace mithra
+{
+class Base
+{
+  public:
+    virtual ~Base() = default;
+    virtual int get() const = 0;
+    virtual int move() = 0;
+    virtual int quiet() noexcept = 0;
+};
+class X final : public Base
+{
+  public:
+    int get() const override { return 1; }
+    int move() && final override { return 2; }
+    int quiet() noexcept override { return 3; }
+};
+struct Y final
+{
+};
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-keyword-identifier"));
+}
+
+TEST(Lint, KeywordIdentifierIsLibraryOnly)
+{
+    // tests/ and bench/ may shadow the contextual keywords (gtest
+    // fixtures sometimes do); only library code is held to the rule.
+    const auto diagnostics = lintAt("tests/test_x.cpp", R"cpp(
+void f()
+{
+    int final = 1;
+    (void)final;
+}
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-keyword-identifier"));
+}
+
+TEST(Lint, KeywordIdentifierAllowAnnotationSuppresses)
+{
+    const auto diagnostics = lintAt("src/core/ok.cc", R"cpp(
+namespace mithra
+{
+int compute();
+// legacy name: mithra-lint: allow(no-keyword-identifier)
+const auto final = compute();
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-keyword-identifier"));
+}
+
 TEST(Lint, DiagnosticFormatHasFileAndLine)
 {
     const auto diagnostics = lintAt("src/core/bad.cc", R"cpp(

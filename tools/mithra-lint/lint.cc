@@ -349,6 +349,40 @@ isFloatLiteral(const std::string &text)
     return last == 'f' || last == 'F';
 }
 
+/**
+ * True when the `final` / `override` token at index i sits in a
+ * position the grammar reserves for the contextual keyword — a
+ * virt-specifier after a member-function declarator (`void f() const
+ * override final;`, ref-qualified or noexcept variants included) or a
+ * class-head (`class X final : ...`, `struct Y final {`). Everything
+ * else is the token used as an identifier.
+ */
+bool
+isSpecifierPosition(const std::vector<Token> &tokens, std::size_t i)
+{
+    if (i > 0) {
+        const Token &prev = tokens[i - 1];
+        if (prev.kind == TokenKind::Punct
+            && (prev.text == ")" || prev.text == "&"
+                || prev.text == "&&"))
+            return true;
+        if (prev.kind == TokenKind::Identifier
+            && (prev.text == "const" || prev.text == "noexcept"
+                || prev.text == "override" || prev.text == "final"))
+            return true;
+    }
+    const Token *next = tokenAt(tokens, i + 1);
+    if (next && next->kind == TokenKind::Punct
+        && (next->text == ":" || next->text == "{"))
+        return true;
+    // A following `override`/`final` is the specifier list continuing
+    // (`final override`), not two identifiers in a row.
+    if (next && next->kind == TokenKind::Identifier
+        && (next->text == "override" || next->text == "final"))
+        return true;
+    return false;
+}
+
 void
 checkHeaderHygiene(Linter &lint)
 {
@@ -428,6 +462,14 @@ checkTokens(Linter &lint)
 
         if (lint.policy.libraryHygiene
             && t.kind == TokenKind::Identifier) {
+            if ((t.text == "final" || t.text == "override")
+                && !isSpecifierPosition(tokens, i)) {
+                lint.report(t.line, "no-keyword-identifier",
+                            "`" + t.text
+                                + "' is a contextual keyword; naming a "
+                                  "variable after it confuses readers "
+                                  "and tooling — pick another name");
+            }
             if (t.text.rfind("unordered_", 0) == 0) {
                 lint.report(t.line, "no-unordered",
                             "`" + t.text

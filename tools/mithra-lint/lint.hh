@@ -45,10 +45,19 @@
  *                    src/common/kernels/ — everything else calls the
  *                    runtime-dispatched kernels:: API, which keeps all
  *                    backends bitwise identical and centrally tested.
+ *  no-keyword-identifier
+ *                    `final' and `override' used as identifiers
+ *                    (`const auto final = ...'): they are contextual
+ *                    keywords, and naming variables after them
+ *                    confuses readers, tooling and future
+ *                    refactorings. Virt-specifier and class-head
+ *                    positions (`void f() override', `class X final')
+ *                    are of course allowed.
  *
  * Which rules apply depends on the path (see policyForPath): the
  * determinism rules cover src/, bench/ and tests/; the library-hygiene
- * rules cover src/ only; the float ban covers src/stats only; the raw
+ * rules (including no-keyword-identifier) cover src/ only; the float
+ * ban covers src/stats only; the raw
  * timing ban covers src/ only (bench/ and tests/ may time freely); the
  * intrinsics ban covers src/, bench/ and tests/. common/rng.* is
  * exempt from no-random-device, common/logging.* from no-iostream,
