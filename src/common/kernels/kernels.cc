@@ -14,10 +14,10 @@
 #include "common/kernels/kernels.hh"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "common/kernels/kernels_impl.hh"
 #include "common/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -63,8 +63,8 @@ parseBackendName(const char *name)
 Backend
 selectStartupBackend()
 {
-    const char *request = std::getenv("MITHRA_KERNELS");
-    if (request == nullptr || *request == '\0')
+    const char *request = env::text("MITHRA_KERNELS");
+    if (request == nullptr)
         return bestSupportedBackend();
     const Backend backend = parseBackendName(request);
     if (!backendSupported(backend)) {

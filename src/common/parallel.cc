@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/env_registry.hh"
 #include "telemetry/telemetry.hh"
 
 namespace mithra
@@ -21,17 +21,8 @@ thread_local bool insideRegion = false;
 std::size_t
 defaultThreadCount()
 {
-    const char *env = std::getenv("MITHRA_THREADS");
-    if (!env) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        return hw ? hw : 1;
-    }
-    char *end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || value < 1 || value > 1024)
-        fatal("MITHRA_THREADS must be an integer in [1, 1024], got `",
-              env, "'");
-    return static_cast<std::size_t>(value);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return env::countIn("MITHRA_THREADS", 1, 1024, hw ? hw : 1);
 }
 
 /**
@@ -145,10 +136,13 @@ class ThreadPool
         // static), so these are volatile stats — excluded from
         // deterministic dumps and run reports.
         if (executed) {
-            telemetry::StatsRegistry::global()
-                .counter("parallel.placement.thread"
-                             + std::to_string(telemetry::threadOrdinal()),
-                         true)
+            // The thread-ordinal key is registered volatile (the
+            // `true` argument), so it never reaches deterministic
+            // dumps. mithra-analyze: allow(taint-flow)
+            telemetry::StatsRegistry::global().counter(
+                    "parallel.placement.thread"
+                        + std::to_string(telemetry::threadOrdinal()),
+                    true)
                 .add(static_cast<std::int64_t>(executed));
         }
 #else

@@ -1,8 +1,8 @@
 #include "common/scale.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env_registry.hh"
 #include "common/logging.hh"
 
 namespace mithra
@@ -11,18 +11,9 @@ namespace mithra
 double
 experimentScale()
 {
-    static const double scale = [] {
-        const char *env = std::getenv("MITHRA_SCALE");
-        if (!env)
-            return 1.0;
-        char *end = nullptr;
-        double value = std::strtod(env, &end);
-        if (end == env || value <= 0.0 || value > 100.0) {
-            fatal("MITHRA_SCALE must be a float in (0, 100], got `",
-                  env, "'");
-        }
-        return value;
-    }();
+    static const double scale = env::realIn(
+        "MITHRA_SCALE", 0.0, 100.0, 1.0, /*openLow=*/true,
+        /*openHigh=*/false);
     return scale;
 }
 

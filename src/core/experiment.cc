@@ -1,10 +1,10 @@
 #include "core/experiment.hh"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "common/parallel.hh"
 #include "common/scale.hh"
 #include "telemetry/telemetry.hh"
@@ -89,9 +89,7 @@ namespace
 std::string
 cachePath()
 {
-    if (const char *env = std::getenv("MITHRA_CACHE"))
-        return env;
-    return ".mithra-cache.tsv";
+    return env::text("MITHRA_CACHE", ".mithra-cache.tsv");
 }
 
 std::string

@@ -1,8 +1,7 @@
 #include "core/shard.hh"
 
-#include <cstdlib>
-
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -30,15 +29,8 @@ ShardPlan::begin(std::size_t k) const
 std::size_t
 defaultShardCount()
 {
-    const char *env = std::getenv("MITHRA_SHARDS");
-    if (!env)
-        return parallelThreadCount();
-    char *end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || value < 1 || value > 1024)
-        fatal("MITHRA_SHARDS must be an integer in [1, 1024], got `",
-              env, "'");
-    return static_cast<std::size_t>(value);
+    return env::countIn("MITHRA_SHARDS", 1, 1024,
+                        parallelThreadCount());
 }
 
 std::uint64_t

@@ -1,8 +1,7 @@
 #include "core/watchdog/watchdog.hh"
 
-#include <cstdlib>
-
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "telemetry/telemetry.hh"
@@ -32,39 +31,15 @@ WatchdogOptions::fromEnv()
 {
     WatchdogOptions options;
 
-    if (const char *env = std::getenv("MITHRA_WATCHDOG"))
-        options.enabled = env[0] != '\0' && env[0] != '0';
-
-    const auto parseRate = [](const char *name, double lo,
-                              double hi, double fallback) {
-        const char *env = std::getenv(name);
-        if (!env)
-            return fallback;
-        char *end = nullptr;
-        double value = std::strtod(env, &end);
-        if (end == env || value <= lo || value >= hi) {
-            fatal(name, " must be a float in (", lo, ", ", hi,
-                  "), got `", env, "'");
-        }
-        return value;
-    };
-
-    options.baseAuditRate = parseRate("MITHRA_WATCHDOG_RATE", 0.0, 1.0,
-                                      options.baseAuditRate);
+    options.enabled = env::flag("MITHRA_WATCHDOG", options.enabled);
+    options.baseAuditRate = env::realIn("MITHRA_WATCHDOG_RATE", 0.0,
+                                        1.0, options.baseAuditRate);
     options.maxViolationRate =
-        parseRate("MITHRA_WATCHDOG_MAX_VIOLATION", 0.0, 1.0,
-                  options.maxViolationRate);
-    options.confidence = parseRate("MITHRA_WATCHDOG_CONFIDENCE", 0.0,
-                                   1.0, options.confidence);
-
-    if (const char *env = std::getenv("MITHRA_WATCHDOG_SEED")) {
-        char *end = nullptr;
-        unsigned long long value = std::strtoull(env, &end, 0);
-        if (end == env || *end != '\0')
-            fatal("MITHRA_WATCHDOG_SEED must be an integer, got `",
-                  env, "'");
-        options.seed = static_cast<std::uint64_t>(value);
-    }
+        env::realIn("MITHRA_WATCHDOG_MAX_VIOLATION", 0.0, 1.0,
+                    options.maxViolationRate);
+    options.confidence = env::realIn("MITHRA_WATCHDOG_CONFIDENCE", 0.0,
+                                     1.0, options.confidence);
+    options.seed = env::seed("MITHRA_WATCHDOG_SEED", options.seed);
 
     return options;
 }

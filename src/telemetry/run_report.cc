@@ -1,9 +1,9 @@
 #include "telemetry/run_report.hh"
 
-#include <cstdlib>
 #include <fstream>
 
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "telemetry/span.hh"
 #include "telemetry/stats.hh"
 
@@ -26,16 +26,13 @@ namespace
 bool
 timingRequestedByEnv()
 {
-    const char *env = std::getenv("MITHRA_REPORT_TIMING");
-    return env && std::string(env) == "1";
+    return env::flag("MITHRA_REPORT_TIMING");
 }
 
 std::string
 reportDirectory()
 {
-    if (const char *dir = std::getenv("MITHRA_REPORT_DIR"); dir && *dir)
-        return dir;
-    return ".";
+    return env::text("MITHRA_REPORT_DIR", ".");
 }
 
 } // namespace

@@ -1,11 +1,11 @@
 #include "telemetry/span.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <ctime>
 #include <fstream>
 
 #include "common/contracts.hh"
+#include "common/env_registry.hh"
 #include "common/format.hh"
 #include "telemetry/stats.hh"
 
@@ -59,7 +59,7 @@ flushTraceAtExit()
 
 /** Read MITHRA_TRACE once, before main's first span. */
 [[maybe_unused]] const bool traceEnvApplied = [] {
-    if (const char *path = std::getenv("MITHRA_TRACE"); path && *path)
+    if (const char *path = env::text("MITHRA_TRACE"))
         setTracePath(path);
     return true;
 }();

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Pass 3 — parallel-capture race heuristic.
+ *
+ * The deterministic parallel substrate promises bitwise-identical
+ * results at any MITHRA_THREADS; a lambda handed to parallelFor that
+ * writes an unstriped by-reference capture breaks that promise (and
+ * usually the memory model too). tsan catches such races *when a test
+ * provokes the interleaving*; this pass flags them statically on every
+ * run. Writes are allowed when the target is a lambda local or
+ * parameter, a per-slot indexed write, declared std::atomic in the TU,
+ * or preceded by a mutex guard in the same body. Nested parallel
+ * calls are analyzed with the enclosing lambda's parameters and locals
+ * in scope — the substrate runs nested regions inline on the calling
+ * worker, so outer-indexed writes stay single-writer.
+ */
+
+#include "analyze.hh"
+
+#include <set>
+
+#include "lex.hh"
+
+namespace mithra::analyze
+{
+
+namespace
+{
+
+using lex::ScanResult;
+using lex::Token;
+using lex::TokenKind;
+
+bool
+isPunct(const Token &token, const char *text)
+{
+    return token.kind == TokenKind::Punct && token.text == text;
+}
+
+bool
+isIdent(const Token &token)
+{
+    return token.kind == TokenKind::Identifier;
+}
+
+bool
+isParallelEntry(const std::string &name)
+{
+    return name == "parallelFor" || name == "parallelForChunks"
+        || name == "parallelMapReduce";
+}
+
+std::size_t
+matchForward(const std::vector<Token> &tokens, std::size_t open)
+{
+    const std::string &openText = tokens[open].text;
+    const std::string closeText = openText == "(" ? ")"
+        : openText == "["                         ? "]"
+                                                  : "}";
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (isPunct(tokens[i], openText.c_str()))
+            ++depth;
+        else if (isPunct(tokens[i], closeText.c_str()) && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+/** Names declared std::atomic<...> (or atomic_*) anywhere in the TU. */
+std::set<std::string>
+atomicNames(const std::vector<Token> &tokens)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!isIdent(tokens[i])
+            || tokens[i].text.rfind("atomic", 0) != 0)
+            continue;
+        std::size_t n = i + 1;
+        if (n < tokens.size() && isPunct(tokens[n], "<")) {
+            int depth = 0;
+            for (; n < tokens.size(); ++n) {
+                if (isPunct(tokens[n], "<"))
+                    ++depth;
+                else if (isPunct(tokens[n], ">") && --depth == 0)
+                    break;
+            }
+            ++n;
+        }
+        if (n < tokens.size() && isIdent(tokens[n]))
+            names.insert(tokens[n].text);
+    }
+    return names;
+}
+
+/** Parsed capture list of one lambda. */
+struct CaptureList
+{
+    bool defaultRef = false;          ///< `[&]` or `[&, ...]`
+    std::set<std::string> byRef;      ///< explicit `&name`
+    std::set<std::string> byValue;    ///< `name`, `name = ...`, `*this`
+};
+
+CaptureList
+parseCaptures(const std::vector<Token> &tokens, std::size_t open,
+              std::size_t close)
+{
+    CaptureList captures;
+    bool pendingRef = false;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const Token &t = tokens[i];
+        if (isPunct(t, "&")) {
+            // `[&]` / `[&,` is a default; `&name` is explicit.
+            if (i + 1 >= close || isPunct(tokens[i + 1], ","))
+                captures.defaultRef = true;
+            else
+                pendingRef = true;
+            continue;
+        }
+        if (isIdent(t)) {
+            if (pendingRef)
+                captures.byRef.insert(t.text);
+            else
+                captures.byValue.insert(t.text);
+            // `name = init` captures by value: skip the initializer.
+            if (i + 1 < close && isPunct(tokens[i + 1], "=")) {
+                int depth = 0;
+                for (++i; i < close; ++i) {
+                    if (isPunct(tokens[i], "(")
+                        || isPunct(tokens[i], "[")
+                        || isPunct(tokens[i], "{"))
+                        ++depth;
+                    else if (isPunct(tokens[i], ")")
+                             || isPunct(tokens[i], "]")
+                             || isPunct(tokens[i], "}"))
+                        --depth;
+                    else if (depth == 0 && isPunct(tokens[i], ","))
+                        break;
+                }
+                --i;
+            }
+        }
+        if (isPunct(t, ","))
+            pendingRef = false;
+    }
+    return captures;
+}
+
+/** Parameter names between the lambda's `(` and `)`. */
+std::set<std::string>
+parseParams(const std::vector<Token> &tokens, std::size_t open,
+            std::size_t close)
+{
+    std::set<std::string> params;
+    std::string last;
+    int depth = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const Token &t = tokens[i];
+        if (isPunct(t, "(") || isPunct(t, "<") || isPunct(t, "["))
+            ++depth;
+        else if (isPunct(t, ")") || isPunct(t, ">")
+                 || isPunct(t, "]"))
+            --depth;
+        if (depth != 0)
+            continue;
+        if (isIdent(t)) {
+            last = t.text;
+        } else if (isPunct(t, ",") || isPunct(t, "=")) {
+            if (!last.empty())
+                params.insert(last);
+            last.clear();
+            if (isPunct(t, "=")) {
+                // Skip default argument to the next top-level comma.
+                for (++i; i < close; ++i) {
+                    if (isPunct(tokens[i], "(")
+                        || isPunct(tokens[i], "<"))
+                        ++depth;
+                    else if (isPunct(tokens[i], ")")
+                             || isPunct(tokens[i], ">"))
+                        --depth;
+                    else if (depth == 0 && isPunct(tokens[i], ","))
+                        break;
+                }
+                --i;
+            }
+        }
+    }
+    if (!last.empty())
+        params.insert(last);
+    return params;
+}
+
+/** Heuristic body-local declarations: `Type name =`, `Type name;`,
+ *  `Type name{`, and range-for `Type name :`. */
+std::set<std::string>
+parseLocals(const std::vector<Token> &tokens, std::size_t begin,
+            std::size_t end)
+{
+    std::set<std::string> locals;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+        if (!isIdent(tokens[i]))
+            continue;
+        const Token &prev = tokens[i - 1];
+        const bool typedPrev = isIdent(prev) || isPunct(prev, "&")
+            || isPunct(prev, "*") || isPunct(prev, ">");
+        if (!typedPrev)
+            continue;
+        if (isIdent(prev)
+            && (prev.text == "return" || prev.text == "co_return"
+                || prev.text == "delete" || prev.text == "new"))
+            continue;
+        if (i + 1 >= end)
+            continue;
+        const Token &next = tokens[i + 1];
+        const bool declLike = isPunct(next, "=") || isPunct(next, ";")
+            || isPunct(next, "{")
+            || (isPunct(next, ":")
+                && !(i + 2 < end && isPunct(tokens[i + 2], ":")));
+        if (!declLike)
+            continue;
+        // `a == b` / `a <= b`: `=` here is half of a comparison.
+        if (isPunct(next, "=") && i + 2 < end
+            && isPunct(tokens[i + 2], "="))
+            continue;
+        locals.insert(tokens[i].text);
+    }
+    return locals;
+}
+
+/** Mutex-guard declarations make later writes in the body ordered. */
+bool
+guardBefore(const std::vector<Token> &tokens, std::size_t begin,
+            std::size_t until)
+{
+    static const std::set<std::string> guards = {
+        "lock_guard", "scoped_lock", "unique_lock", "shared_lock",
+    };
+    for (std::size_t i = begin; i < until; ++i) {
+        if (isIdent(tokens[i]) && guards.count(tokens[i].text))
+            return true;
+    }
+    return false;
+}
+
+/** A write target: the base identifier of the postfix chain ending
+ *  just before `op`, plus whether any index on the chain mentions a
+ *  name from `slotNames`. */
+struct WriteTarget
+{
+    std::string base;
+    std::size_t baseIndex = 0;
+    bool slotIndexed = false;
+};
+
+bool
+resolveTarget(const std::vector<Token> &tokens, std::size_t op,
+              const std::set<std::string> &slotNames,
+              WriteTarget &out)
+{
+    std::size_t i = op; // one past the end of the chain, walking left
+    bool sawIndex = false;
+    while (i > 0) {
+        const Token &t = tokens[i - 1];
+        if (isPunct(t, "]")) {
+            // Match back to the `[`, scanning the index expression.
+            int depth = 0;
+            std::size_t j = i - 1;
+            for (;; --j) {
+                if (isPunct(tokens[j], "]"))
+                    ++depth;
+                else if (isPunct(tokens[j], "[") && --depth == 0)
+                    break;
+                else if (isIdent(tokens[j])
+                         && slotNames.count(tokens[j].text))
+                    sawIndex = true;
+                if (j == 0)
+                    return false;
+            }
+            i = j;
+            continue;
+        }
+        if (isPunct(t, ".")) {
+            --i;
+            continue;
+        }
+        if (isPunct(t, ">") && i >= 2 && isPunct(tokens[i - 2], "-")) {
+            i -= 2;
+            continue;
+        }
+        if (isIdent(t)) {
+            // Possibly more chain to the left (`a.b`, `a->b`, `a[i].b`).
+            if (i >= 2
+                && (isPunct(tokens[i - 2], ".")
+                    || isPunct(tokens[i - 2], "]")
+                    || (isPunct(tokens[i - 2], ">") && i >= 3
+                        && isPunct(tokens[i - 3], "-")))) {
+                --i;
+                continue;
+            }
+            out.base = t.text;
+            out.baseIndex = i - 1;
+            out.slotIndexed = sawIndex;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+struct Context
+{
+    const SourceFile *file;
+    const std::vector<Token> *tokens;
+    const std::vector<lex::Annotation> *allows;
+    std::set<std::string> atomics;
+    std::vector<Diagnostic> *diagnostics;
+};
+
+void analyzeCallSpan(const Context &ctx, std::size_t begin,
+                     std::size_t end, std::set<std::string> slotNames);
+
+/** Analyze one lambda body for writes to shared by-ref captures.
+ *  `slotNames` carries the enclosing lambdas' params/locals for nested
+ *  parallel regions (which run inline, hence single-writer). */
+void
+analyzeBody(const Context &ctx, std::size_t bodyBegin,
+            std::size_t bodyEnd, const CaptureList &captures,
+            std::set<std::string> slotNames)
+{
+    const std::vector<Token> &tokens = *ctx.tokens;
+
+    // Record writes before descending: nested parallel call spans are
+    // skipped here and analyzed recursively with our slots in scope.
+    std::vector<std::pair<std::size_t, std::size_t>> nested;
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
+        if (isIdent(tokens[i]) && isParallelEntry(tokens[i].text)
+            && i + 1 < bodyEnd && isPunct(tokens[i + 1], "(")) {
+            const std::size_t close = matchForward(tokens, i + 1);
+            nested.emplace_back(i + 1, close);
+            i = close;
+        }
+    }
+
+    const auto inNested = [&](std::size_t i) {
+        for (const auto &span : nested)
+            if (i > span.first && i < span.second)
+                return true;
+        return false;
+    };
+
+    const auto sharedWrite = [&](const WriteTarget &target) {
+        if (slotNames.count(target.base))
+            return false; // local or parameter
+        if (!captures.defaultRef && !captures.byRef.count(target.base))
+            return false; // not captured by reference
+        if (captures.byValue.count(target.base))
+            return false; // value copy, private to the lambda
+        if (target.slotIndexed)
+            return false; // per-slot striped write
+        if (ctx.atomics.count(target.base))
+            return false;
+        if (guardBefore(tokens, bodyBegin, target.baseIndex))
+            return false;
+        return true;
+    };
+
+    const auto report = [&](const WriteTarget &target,
+                            const char *what) {
+        const std::size_t line = tokens[target.baseIndex].line;
+        if (lex::suppressed(*ctx.allows, "mithra-analyze",
+                            "capture-race", line))
+            return;
+        ctx.diagnostics->push_back(
+            {ctx.file->shown(), line, "capture-race",
+             std::string(what) + " to by-reference capture `"
+                 + target.base
+                 + "' in a parallel lambda — use a per-slot array "
+                   "indexed by the lambda parameter, an atomic, or a "
+                   "mutex"});
+    };
+
+    for (std::size_t i = bodyBegin + 1; i < bodyEnd; ++i) {
+        if (inNested(i))
+            continue;
+        const Token &t = tokens[i];
+        WriteTarget target;
+        if (isPunct(t, "=")) {
+            // Exclude ==, !=, <=, >= halves and compound second chars.
+            if (i + 1 < bodyEnd && isPunct(tokens[i + 1], "="))
+                continue;
+            const Token &prev = tokens[i - 1];
+            if (isPunct(prev, "=") || isPunct(prev, "<")
+                || isPunct(prev, ">") || isPunct(prev, "!"))
+                continue;
+            std::size_t opStart = i;
+            if (prev.kind == TokenKind::Punct && prev.text.size() == 1
+                && std::string("+-*/%&|^").find(prev.text)
+                    != std::string::npos)
+                opStart = i - 1; // compound assignment
+            if (!resolveTarget(tokens, opStart, slotNames, target))
+                continue;
+            if (sharedWrite(target))
+                report(target,
+                       opStart == i ? "assignment" : "compound write");
+            continue;
+        }
+        if ((isPunct(t, "+") && i + 1 < bodyEnd
+             && isPunct(tokens[i + 1], "+"))
+            || (isPunct(t, "-") && i + 1 < bodyEnd
+                && isPunct(tokens[i + 1], "-"))) {
+            // Skip the middle of `+++`-like runs (never valid anyway)
+            // and make sure this is the operator's first token.
+            if (i > bodyBegin && tokens[i - 1].text == t.text
+                && tokens[i - 1].kind == TokenKind::Punct)
+                continue;
+            // Post-increment: chain ends before the operator.
+            if (resolveTarget(tokens, i, slotNames, target)
+                && sharedWrite(target)) {
+                report(target, "increment/decrement");
+                i += 1;
+                continue;
+            }
+            // Pre-increment: target follows the operator.
+            std::size_t n = i + 2;
+            if (n < bodyEnd && isIdent(tokens[n])) {
+                // Walk the chain rightward to its end to reuse
+                // resolveTarget: find the end of `a.b[c]` style chain.
+                std::size_t endOfChain = n;
+                while (endOfChain + 1 < bodyEnd) {
+                    const Token &nt = tokens[endOfChain + 1];
+                    if (isPunct(nt, ".")) {
+                        endOfChain += 2;
+                    } else if (isPunct(nt, "-") && endOfChain + 2 < bodyEnd
+                               && isPunct(tokens[endOfChain + 2], ">")) {
+                        endOfChain += 3;
+                    } else if (isPunct(nt, "[")) {
+                        endOfChain = matchForward(tokens, endOfChain + 1);
+                    } else {
+                        break;
+                    }
+                }
+                if (resolveTarget(tokens, endOfChain + 1, slotNames,
+                                  target)
+                    && sharedWrite(target))
+                    report(target, "increment/decrement");
+            }
+            i += 1;
+            continue;
+        }
+    }
+
+    // Descend into nested parallel calls with our names in scope.
+    for (const auto &span : nested)
+        analyzeCallSpan(ctx, span.first, span.second, slotNames);
+}
+
+/** Analyze every by-ref lambda inside one parallel call's argument
+ *  span `(begin .. end)`. */
+void
+analyzeCallSpan(const Context &ctx, std::size_t begin, std::size_t end,
+                std::set<std::string> slotNames)
+{
+    const std::vector<Token> &tokens = *ctx.tokens;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+        if (!isPunct(tokens[i], "["))
+            continue;
+        // A capture list directly follows `(`, `,` or the span start;
+        // anything else (`x[i]`) is a subscript.
+        const Token &prev = tokens[i - 1];
+        if (!(isPunct(prev, "(") || isPunct(prev, ",")))
+            continue;
+        const std::size_t closeBracket = matchForward(tokens, i);
+        if (closeBracket >= end)
+            break;
+        const CaptureList captures =
+            parseCaptures(tokens, i, closeBracket);
+        if (!captures.defaultRef && captures.byRef.empty()) {
+            i = closeBracket;
+            continue;
+        }
+        // Optional parameter list, then optional specifiers / trailing
+        // return, then the body.
+        std::size_t cursor = closeBracket + 1;
+        std::set<std::string> params;
+        if (cursor < end && isPunct(tokens[cursor], "(")) {
+            const std::size_t closeParen = matchForward(tokens, cursor);
+            params = parseParams(tokens, cursor, closeParen);
+            cursor = closeParen + 1;
+        }
+        while (cursor < end && !isPunct(tokens[cursor], "{"))
+            ++cursor;
+        if (cursor >= end)
+            break;
+        const std::size_t bodyEnd = matchForward(tokens, cursor);
+        std::set<std::string> slots = slotNames;
+        slots.insert(params.begin(), params.end());
+        const std::set<std::string> locals =
+            parseLocals(tokens, cursor, bodyEnd);
+        slots.insert(locals.begin(), locals.end());
+        analyzeBody(ctx, cursor, bodyEnd, captures, slots);
+        i = bodyEnd;
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkCaptures(const SourceFile &file)
+{
+    std::vector<Diagnostic> diagnostics;
+    const ScanResult scanned = lex::scan(file.source);
+    const std::vector<Token> &tokens = scanned.tokens;
+
+    Context ctx;
+    ctx.file = &file;
+    ctx.tokens = &tokens;
+    ctx.allows = &scanned.allows;
+    ctx.atomics = atomicNames(tokens);
+    ctx.diagnostics = &diagnostics;
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (!isIdent(tokens[i]) || !isParallelEntry(tokens[i].text)
+            || !isPunct(tokens[i + 1], "("))
+            continue;
+        const std::size_t close = matchForward(tokens, i + 1);
+        analyzeCallSpan(ctx, i + 1, close, {});
+        i = close;
+    }
+
+    return diagnostics;
+}
+
+} // namespace mithra::analyze

@@ -1,12 +1,13 @@
 #include "lint.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <utility>
+
+#include "lex.hh"
 
 namespace mithra::lint
 {
@@ -14,219 +15,11 @@ namespace mithra::lint
 namespace
 {
 
-enum class TokenKind
-{
-    Identifier,
-    Number,
-    Punct,
-};
-
-struct Token
-{
-    TokenKind kind;
-    std::string text;
-    std::size_t line;
-};
-
-/** Tokens plus the (line, rule) suppression annotations found. */
-struct ScanResult
-{
-    std::vector<Token> tokens;
-    std::vector<std::pair<std::size_t, std::string>> allows;
-};
-
-bool
-identifierStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-identifierChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Collect `mithra-lint: allow(<rule>)` annotations from a comment. */
-void
-parseAllows(const std::string &comment, std::size_t line,
-            ScanResult &result)
-{
-    static const std::string marker = "mithra-lint: allow(";
-    std::size_t at = 0;
-    while ((at = comment.find(marker, at)) != std::string::npos) {
-        const std::size_t open = at + marker.size();
-        const std::size_t close = comment.find(')', open);
-        if (close == std::string::npos)
-            return;
-        result.allows.emplace_back(line,
-                                   comment.substr(open, close - open));
-        at = close;
-    }
-}
-
-/** True when `prefix` marks the upcoming `"` as a raw string. */
-bool
-rawStringPrefix(const std::string &prefix)
-{
-    return prefix == "R" || prefix == "LR" || prefix == "uR"
-        || prefix == "UR" || prefix == "u8R";
-}
-
-/** True when `prefix` marks the upcoming `"` as an encoded string. */
-bool
-encodedStringPrefix(const std::string &prefix)
-{
-    return prefix == "L" || prefix == "u" || prefix == "U"
-        || prefix == "u8";
-}
-
-/** Skip a quoted literal (string or char) starting at src[i]. */
-std::size_t
-skipQuoted(const std::string &src, std::size_t i, char quote,
-           std::size_t &line)
-{
-    ++i; // opening quote
-    while (i < src.size()) {
-        if (src[i] == '\\' && i + 1 < src.size()) {
-            if (src[i + 1] == '\n')
-                ++line;
-            i += 2;
-            continue;
-        }
-        if (src[i] == '\n')
-            ++line; // ill-formed, but keep line numbers sane
-        if (src[i] == quote)
-            return i + 1;
-        ++i;
-    }
-    return i;
-}
-
-/** Skip a raw string R"delim( ... )delim" starting at the quote. */
-std::size_t
-skipRawString(const std::string &src, std::size_t i, std::size_t &line)
-{
-    ++i; // opening quote
-    std::string delim;
-    while (i < src.size() && src[i] != '(')
-        delim.push_back(src[i++]);
-    const std::string closer = ")" + delim + "\"";
-    const std::size_t end = src.find(closer, i);
-    const std::size_t stop =
-        end == std::string::npos ? src.size() : end + closer.size();
-    line += static_cast<std::size_t>(
-        std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
-                   src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
-    return stop;
-}
-
-/**
- * Tokenize C++ source: comments and literals are stripped (comments
- * feed the annotation list), identifiers and numbers keep their text,
- * punctuation is emitted one character at a time.
- */
-ScanResult
-scan(const std::string &src)
-{
-    ScanResult result;
-    std::size_t i = 0;
-    std::size_t line = 1;
-    const std::size_t n = src.size();
-
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            const std::size_t eol = src.find('\n', i);
-            const std::size_t stop = eol == std::string::npos ? n : eol;
-            parseAllows(src.substr(i, stop - i), line, result);
-            i = stop;
-            continue;
-        }
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            const std::size_t end = src.find("*/", i + 2);
-            const std::size_t stop =
-                end == std::string::npos ? n : end + 2;
-            const std::string body = src.substr(i, stop - i);
-            parseAllows(body, line, result);
-            line += static_cast<std::size_t>(
-                std::count(body.begin(), body.end(), '\n'));
-            i = stop;
-            continue;
-        }
-        if (c == '"') {
-            i = skipQuoted(src, i, '"', line);
-            continue;
-        }
-        if (c == '\'') {
-            i = skipQuoted(src, i, '\'', line);
-            continue;
-        }
-        if (identifierStart(c)) {
-            std::size_t j = i;
-            while (j < n && identifierChar(src[j]))
-                ++j;
-            std::string text = src.substr(i, j - i);
-            if (j < n && src[j] == '"' && rawStringPrefix(text)) {
-                i = skipRawString(src, j, line);
-                continue;
-            }
-            if (j < n && src[j] == '"' && encodedStringPrefix(text)) {
-                i = skipQuoted(src, j, '"', line);
-                continue;
-            }
-            if (j < n && src[j] == '\'' && encodedStringPrefix(text)) {
-                i = skipQuoted(src, j, '\'', line);
-                continue;
-            }
-            result.tokens.push_back(
-                {TokenKind::Identifier, std::move(text), line});
-            i = j;
-            continue;
-        }
-        const bool numberStart =
-            std::isdigit(static_cast<unsigned char>(c))
-            || (c == '.' && i + 1 < n
-                && std::isdigit(static_cast<unsigned char>(src[i + 1])));
-        if (numberStart) {
-            std::size_t j = i;
-            while (j < n) {
-                const char d = src[j];
-                if (identifierChar(d) || d == '.' || d == '\'') {
-                    ++j;
-                    continue;
-                }
-                // Exponent signs: 1e+3, 0x1p-5.
-                if ((d == '+' || d == '-') && j > i) {
-                    const char prev = src[j - 1];
-                    if (prev == 'e' || prev == 'E' || prev == 'p'
-                        || prev == 'P') {
-                        ++j;
-                        continue;
-                    }
-                }
-                break;
-            }
-            result.tokens.push_back(
-                {TokenKind::Number, src.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        result.tokens.push_back({TokenKind::Punct, std::string(1, c),
-                                 line});
-        ++i;
-    }
-    return result;
-}
+// The scanner itself lives in lex.{hh,cc}, shared with mithra-analyze.
+using lex::ScanResult;
+using lex::Token;
+using lex::TokenKind;
+using lex::scan;
 
 /** Forward-slashed copy of `path` for substring policy matching. */
 std::string
@@ -260,20 +53,9 @@ struct Linter
     const ScanResult &scanned;
     std::vector<Diagnostic> diagnostics;
 
-    bool suppressed(std::size_t line, const std::string &rule) const
-    {
-        for (const auto &[allowLine, allowRule] : scanned.allows) {
-            if (allowRule == rule
-                && (allowLine == line || allowLine + 1 == line)) {
-                return true;
-            }
-        }
-        return false;
-    }
-
     void report(std::size_t line, std::string rule, std::string message)
     {
-        if (suppressed(line, rule))
+        if (lex::suppressed(scanned.allows, "mithra-lint", rule, line))
             return;
         diagnostics.push_back(
             {path, line, std::move(rule), std::move(message)});
@@ -410,6 +192,13 @@ checkNamespace(Linter &lint)
             && tokens[i + 1].text == "mithra") {
             return;
         }
+    }
+    // A file-level property: an allow anywhere in the file suppresses
+    // it (the annotation usually lives in the file doc comment).
+    for (const lex::Annotation &allow : lint.scanned.allows) {
+        if (allow.tool == "mithra-lint"
+            && allow.rule == "namespace-mithra")
+            return;
     }
     lint.report(1, "namespace-mithra",
                 "library code must live in namespace mithra");
