@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Throughput microbenchmark of the MITHRA service's batched certified
+ * /invoke endpoint: how many routed-and-certified invocations per
+ * second a live server sustains over a real loopback socket, and what
+ * the HTTP shell costs relative to calling the model engine directly.
+ *
+ * Headline metrics (gated by tools/report-check --require in
+ * run_benches.sh and the CI service job):
+ *
+ *   service.invocations_per_sec        end-to-end over HTTP
+ *   service.direct_invocations_per_sec Model::invoke() in-process
+ *   service.http_overhead_pct          shell cost vs the direct path
+ *   service.batch_rows                 rows per /invoke request
+ *
+ * The compile job runs through the real JobManager; only the steady
+ * /invoke stream is timed.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/contracts.hh"
+#include "common/logging.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+
+using namespace mithra;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+constexpr std::size_t batchRows = 4096;
+constexpr std::size_t batchCount = 32;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    const std::string benchmark = "inversek2j";
+
+    service::ServerOptions options;
+    options.port = 0; // ephemeral
+    service::Server server(options);
+    server.start();
+
+    // Compile/train through the real job queue, polling in-process.
+    service::JobSpec spec;
+    spec.benchmark = benchmark;
+    spec.compileDatasets = 60;
+    spec.npuTrainSamples = 4000;
+    spec.classifierTuples = 50000;
+    std::string job;
+    if (!server.jobs().submit(spec, job))
+        fatal("micro_service: job queue refused the compile job");
+    service::JobSnapshot snap;
+    for (;;) {
+        MITHRA_ASSERT(server.jobs().snapshot(job, snap),
+                      "job vanished");
+        if (snap.state == service::JobState::Done)
+            break;
+        if (snap.state == service::JobState::Failed)
+            fatal("micro_service: compile failed: ", snap.error);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // In-distribution inputs from deterministically seeded datasets.
+    const auto bench = axbench::makeBenchmark(benchmark);
+    const std::size_t width = bench->npuTopology().front();
+    std::vector<float> rows;
+    std::uint64_t datasetSeed = 0x5eed0;
+    while (rows.size() < batchRows * batchCount * width) {
+        const auto dataset = bench->makeDataset(datasetSeed++);
+        const axbench::InvocationTrace trace = bench->trace(*dataset);
+        const auto flat = trace.inputsFlat();
+        rows.insert(rows.end(), flat.begin(), flat.end());
+    }
+    rows.resize(batchRows * batchCount * width);
+
+    // Pre-serialize every request body so the timed loop measures the
+    // service, not this harness's snprintf.
+    std::vector<std::string> bodies;
+    bodies.reserve(batchCount);
+    for (std::size_t b = 0; b < batchCount; ++b) {
+        std::string body =
+            "{\"model\": \"" + job + "\", \"inputs\": [";
+        for (std::size_t i = 0; i < batchRows; ++i) {
+            body += i ? ",[" : "[";
+            for (std::size_t j = 0; j < width; ++j) {
+                if (j)
+                    body += ',';
+                char cell[32];
+                std::snprintf(
+                    cell, sizeof(cell), "%.9g",
+                    static_cast<double>(
+                        rows[(b * batchRows + i) * width + j]));
+                body += cell;
+            }
+            body += ']';
+        }
+        body += "]}";
+        bodies.push_back(std::move(body));
+    }
+
+    service::HttpClient client(server.port());
+    const std::shared_ptr<service::Model> model =
+        server.models().find(job);
+    MITHRA_ASSERT(model != nullptr, "model not published");
+
+    // Warm both paths once (first-touch allocations, keep-alive).
+    (void)model->invoke(rows.data(), batchRows);
+    (void)client.post("/invoke", bodies[0]);
+
+    // Direct path: the model engine without the HTTP shell.
+    const auto beginDirect = Clock::now();
+    for (std::size_t b = 0; b < batchCount; ++b)
+        (void)model->invoke(rows.data() + b * batchRows * width,
+                            batchRows);
+    const double directSeconds = seconds(beginDirect, Clock::now());
+
+    // End-to-end path: parse, route, decide, certify, serialize.
+    std::size_t accelerated = 0;
+    const auto beginHttp = Clock::now();
+    for (std::size_t b = 0; b < batchCount; ++b) {
+        const service::ClientResult reply =
+            client.post("/invoke", bodies[b]);
+        if (!reply.ok || reply.status != 200)
+            fatal("micro_service: /invoke failed: ",
+                  reply.ok ? std::to_string(reply.status)
+                           : reply.error);
+        // Count decisions without a full JSON parse: certified
+        // decisions are the only 0/1 array in the response.
+        const std::size_t at = reply.body.find("\"decisions\"");
+        for (std::size_t i = reply.body.find('[', at);
+             reply.body[i] != ']'; ++i)
+            accelerated += reply.body[i] == '1';
+    }
+    const double httpSeconds = seconds(beginHttp, Clock::now());
+
+    const double streamed =
+        static_cast<double>(batchRows * batchCount);
+    const double httpPerSec = streamed / httpSeconds;
+    const double directPerSec = streamed / directSeconds;
+    const double overheadPct =
+        100.0 * (httpSeconds - directSeconds) / directSeconds;
+    const double accelFraction =
+        static_cast<double>(accelerated) / streamed;
+
+    server.stop();
+
+    std::printf("micro_service: certified /invoke throughput\n");
+    std::printf("  batch rows             %zu x %zu batches\n",
+                batchRows, batchCount);
+    std::printf("  invocations/sec        %.3e (HTTP end-to-end)\n",
+                httpPerSec);
+    std::printf("  invocations/sec        %.3e (direct engine)\n",
+                directPerSec);
+    std::printf("  HTTP shell overhead    %.1f %%\n", overheadPct);
+    std::printf("  accelerated fraction   %.3f\n", accelFraction);
+
+    bench::writeBenchReport(
+        "micro_service",
+        {{"service.invocations_per_sec", httpPerSec},
+         {"service.direct_invocations_per_sec", directPerSec},
+         {"service.http_overhead_pct", overheadPct},
+         {"service.batch_rows", static_cast<double>(batchRows)},
+         {"service.accel_fraction", accelFraction}});
+    return 0;
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Full MITHRA-as-a-service lifecycle over a real socket, against a
+ * live mithra-serve:
+ *
+ *   1. submit an async compile/train job (POST /jobs),
+ *   2. poll it to completion (GET /jobs/<id>),
+ *   3. stream invocations through the batched certified endpoint
+ *      (POST /invoke), checking every batch's quality certificate,
+ *   4. fetch and validate the telemetry document (GET /metrics).
+ *
+ * The run prints a lifecycle digest: an FNV-1a hash over every batch's
+ * decision sequence and certificate (minus the server-assigned model
+ * id). Decisions and certificates are a pure function of the request
+ * sequence, so two runs — even against servers configured with
+ * different MITHRA_THREADS / MITHRA_SERVE_WORKERS — print the same
+ * digest. CI runs this twice under different settings and diffs.
+ *
+ * Usage: service_client <port> [benchmark] [invocations] [batch]
+ *   port         mithra-serve's port on 127.0.0.1
+ *   benchmark    axbench benchmark to compile (default inversek2j)
+ *   invocations  total streamed through /invoke (default 100000)
+ *   batch        rows per /invoke request (default 4096)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axbench/registry.hh"
+#include "service/client.hh"
+#include "telemetry/json.hh"
+#include "telemetry/run_report.hh"
+
+using namespace mithra;
+using telemetry::Json;
+
+namespace
+{
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+[[noreturn]] void
+die(const std::string &what)
+{
+    std::fprintf(stderr, "service_client: %s\n", what.c_str());
+    std::exit(1);
+}
+
+Json
+parseBody(const service::ClientResult &result,
+          const std::string &context)
+{
+    if (!result.ok)
+        die(context + ": " + result.error);
+    const telemetry::ParseResult parsed =
+        telemetry::parseJson(result.body);
+    if (!parsed.ok)
+        die(context + ": unparseable body: " + parsed.error);
+    return parsed.value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        die("usage: service_client <port> [benchmark] [invocations] "
+            "[batch]");
+    const auto port =
+        static_cast<std::uint16_t>(std::atoi(argv[1]));
+    const std::string benchmark = argc > 2 ? argv[2] : "inversek2j";
+    const std::size_t invocations = argc > 3
+        ? static_cast<std::size_t>(std::atol(argv[3]))
+        : 100000;
+    const std::size_t batch = argc > 4
+        ? static_cast<std::size_t>(std::atol(argv[4]))
+        : 4096;
+
+    service::HttpClient client(port);
+
+    // 0. Liveness.
+    const service::ClientResult health = client.get("/healthz");
+    if (!health.ok || health.status != 200)
+        die("server not healthy on port " + std::to_string(port));
+
+    // 1. Submit a compile/train job. The settings are the smallest
+    //    that certify the headline contract (see quickstart.cpp).
+    const std::string spec = "{\"benchmark\": \"" + benchmark
+        + "\", \"design\": \"table\", \"compileDatasets\": 60, "
+          "\"npuTrainSamples\": 4000, \"classifierTuples\": 50000}";
+    const service::ClientResult submitted =
+        client.post("/jobs", spec);
+    const Json submitBody = parseBody(submitted, "POST /jobs");
+    if (submitted.status != 202)
+        die("POST /jobs: status " + std::to_string(submitted.status)
+            + ": " + submitted.body);
+    const std::string job = submitBody.find("id")->asString();
+    std::printf("submitted %s for %s\n", job.c_str(),
+                benchmark.c_str());
+
+    // 2. Poll until the pipeline publishes the model.
+    for (;;) {
+        const service::ClientResult poll =
+            client.get("/jobs/" + job);
+        const Json body = parseBody(poll, "GET /jobs/" + job);
+        const std::string state = body.find("state")->asString();
+        if (state == "failed")
+            die("job failed: " + body.find("error")->asString());
+        if (state == "done") {
+            const Json *result = body.find("result");
+            std::printf(
+                "model ready: threshold %.5f, success bound %.3f\n",
+                result->find("threshold")->asNumber(),
+                result->find("successLowerBound")->asNumber());
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+
+    // 3. Stream invocations through /invoke in batches, drawing
+    //    in-distribution inputs from deterministically seeded
+    //    datasets of the same benchmark.
+    const auto bench = axbench::makeBenchmark(benchmark);
+    const std::size_t width = bench->npuTopology().front();
+    std::vector<float> rows;
+    std::uint64_t datasetSeed = 0x5eed0;
+    while (rows.size() < invocations * width) {
+        const auto dataset = bench->makeDataset(datasetSeed++);
+        const axbench::InvocationTrace trace =
+            bench->trace(*dataset);
+        const auto flat = trace.inputsFlat();
+        rows.insert(rows.end(), flat.begin(), flat.end());
+    }
+    rows.resize(invocations * width);
+
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    std::size_t sent = 0;
+    std::size_t accelerated = 0;
+    std::string watchdogState = "disabled";
+    while (sent < invocations) {
+        const std::size_t count =
+            std::min(batch, invocations - sent);
+        std::string body = "{\"model\": \"" + job
+            + "\", \"inputs\": [";
+        for (std::size_t i = 0; i < count; ++i) {
+            body += i ? ",[" : "[";
+            for (std::size_t j = 0; j < width; ++j) {
+                if (j)
+                    body += ',';
+                char cell[32];
+                std::snprintf(
+                    cell, sizeof(cell), "%.9g",
+                    static_cast<double>(
+                        rows[(sent + i) * width + j]));
+                body += cell;
+            }
+            body += ']';
+        }
+        body += "]}";
+
+        const service::ClientResult reply =
+            client.post("/invoke", body);
+        Json invoke = parseBody(reply, "POST /invoke");
+        if (reply.status != 200)
+            die("POST /invoke: status "
+                + std::to_string(reply.status) + ": " + reply.body);
+
+        const Json::Array &decisions =
+            invoke.find("decisions")->asArray();
+        if (decisions.size() != count)
+            die("decision count mismatch");
+        for (const Json &decision : decisions) {
+            const auto bit =
+                static_cast<unsigned char>(decision.asInt());
+            accelerated += bit;
+            digest = fnv1a(digest, &bit, 1);
+        }
+        // The certificate minus the server-assigned model id is
+        // run-invariant; fold its exact bytes into the digest.
+        Json certificate = *invoke.find("certificate");
+        certificate.asObject().erase("model");
+        const std::string dumped = certificate.dump();
+        digest = fnv1a(digest, dumped.data(), dumped.size());
+        watchdogState =
+            certificate.find("watchdog")
+                ? certificate.find("watchdog")->find("state")->asString()
+                : "disabled";
+        sent += count;
+    }
+    std::printf("streamed %zu invocations: %.1f%% accelerated, "
+                "watchdog %s\n",
+                sent, 100.0 * static_cast<double>(accelerated)
+                          / static_cast<double>(sent),
+                watchdogState.c_str());
+
+    // 4. Telemetry document, schema-checked client-side.
+    const service::ClientResult metrics = client.get("/metrics");
+    const Json document = parseBody(metrics, "GET /metrics");
+    const std::string problem = telemetry::validateMetrics(document);
+    if (!problem.empty())
+        die("GET /metrics: invalid document: " + problem);
+    std::printf(
+        "metrics valid: %lld service invocations counted\n",
+        static_cast<long long>(document.find("stats")
+                                   ->find("counters")
+                                   ->find("service.invocations")
+                                   ->asInt()));
+
+    std::printf("lifecycle digest: %016llx\n",
+                static_cast<unsigned long long>(digest));
+    return 0;
+}

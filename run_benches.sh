@@ -5,16 +5,21 @@
 #
 # Reports land as BENCH_<binary>.json in the repo root (override with
 # MITHRA_REPORT_DIR). A binary that fails, or exits without writing its
-# report, fails the whole run.
+# report, fails the whole run. A binary that is absent in the current
+# build configuration is skipped with a loud note instead of failing
+# mid-list — its headline-metric gate is skipped with it.
 set -u
 
 report_dir="${MITHRA_REPORT_DIR:-.}"
 failed=0
 
 for b in build/bench/*; do
-    [ -x "$b" ] || continue
     [ -d "$b" ] && continue
     name=$(basename "$b")
+    if [ ! -x "$b" ]; then
+        echo "SKIPPED (not built in this configuration): $name" >&2
+        continue
+    fi
     echo "==> $name"
     if ! "$b"; then
         echo "BENCH FAILED: $name" >&2
@@ -28,33 +33,56 @@ for b in build/bench/*; do
     fi
 done
 
-# Schema-validate every collected report. The drift/watchdog harness
-# must additionally publish its headline detection-latency metric —
-# a fig12 run that never measured a 2-sigma detection is a regression
-# even if the binary exited cleanly.
+# require_metrics <bench-name> <label> [--require <metric>]...
+# Pins a binary's headline metrics, but only when the binary exists in
+# this build configuration — a missing binary was already loudly
+# skipped above; a present binary with a missing report/metric is a
+# real regression.
+require_metrics() {
+    rm_name="$1"
+    rm_label="$2"
+    shift 2
+    if [ ! -x "build/bench/$rm_name" ]; then
+        echo "SKIPPED METRIC GATE (binary not built): $rm_name" >&2
+        return 0
+    fi
+    if ! "$check" "$@" "$report_dir/BENCH_$rm_name.json"; then
+        echo "$rm_label" >&2
+        failed=1
+    fi
+}
+
+# Schema-validate every collected report, then pin each harness's
+# headline metrics: a run that never measured its headline is a
+# regression even if the binary exited cleanly.
 check="build/tools/report-check/report-check"
 if [ -x "$check" ]; then
     if ! "$check" "$report_dir"/BENCH_*.json; then
         echo "REPORT SCHEMA CHECK FAILED" >&2
         failed=1
     fi
-    if ! "$check" --require watchdog.detect_latency_mean_2sigma \
+    # The drift/watchdog harness must publish its detection-latency
+    # headline — fig12 without a 2-sigma detection measurement is
+    # broken.
+    require_metrics fig12_drift_watchdog \
+        "WATCHDOG HEADLINE METRICS MISSING" \
+        --require watchdog.detect_latency_mean_2sigma \
         --require watchdog.control_trips \
-        --require watchdog.two_sigma_misses \
-        "$report_dir/BENCH_fig12_drift_watchdog.json"; then
-        echo "WATCHDOG HEADLINE METRICS MISSING" >&2
-        failed=1
-    fi
+        --require watchdog.two_sigma_misses
     # The sharded decision-loop bench must publish its throughput and
-    # merge-cost headline metrics — a run that never timed the routed
-    # decision stream is a regression even if the binary exited cleanly.
-    if ! "$check" --require runtime.decisions_per_sec \
+    # merge-cost headlines.
+    require_metrics micro_runtime \
+        "RUNTIME THROUGHPUT METRICS MISSING" \
+        --require runtime.decisions_per_sec \
         --require runtime.shard_count \
-        --require runtime.merge_overhead_pct \
-        "$report_dir/BENCH_micro_runtime.json"; then
-        echo "RUNTIME THROUGHPUT METRICS MISSING" >&2
-        failed=1
-    fi
+        --require runtime.merge_overhead_pct
+    # The service bench must publish the certified end-to-end /invoke
+    # throughput the CI service job gates on.
+    require_metrics micro_service \
+        "SERVICE THROUGHPUT METRICS MISSING" \
+        --require service.invocations_per_sec \
+        --require service.direct_invocations_per_sec \
+        --require service.http_overhead_pct
 else
     echo "note: $check not built; skipping report validation" >&2
 fi

@@ -51,7 +51,7 @@ struct VarInfo
  * README table presents them. mithra-analyze checks both directions:
  * tree use -> registry entry, registry entry -> README row.
  */
-inline constexpr std::array<VarInfo, 13> registry{{
+inline constexpr std::array<VarInfo, 18> registry{{
     {"MITHRA_SCALE", "float in (0, 100]", "`1.0`",
      "scales dataset counts/sizes; 1.0 = 250 compile + 250 validation "
      "datasets per benchmark, `0.1` ≈ minutes-long smoke run"},
@@ -88,6 +88,21 @@ inline constexpr std::array<VarInfo, 13> registry{{
      "monitoring epoch"},
     {"MITHRA_WATCHDOG_SEED", "uint64", "`0xd09`",
      "seed of the deterministic audit schedule"},
+    {"MITHRA_SERVE_PORT", "int in [0, 65535]", "`0`",
+     "TCP port `mithra-serve` binds (`DESIGN.md` §14); `0` picks an "
+     "ephemeral port, printed on stdout and via `--port-file`"},
+    {"MITHRA_SERVE_WORKERS", "int in [1, 256]", "`4`",
+     "connection worker threads of the service shell; changing it "
+     "never changes decisions or certificates"},
+    {"MITHRA_SERVE_JOB_QUEUE", "int in [1, 4096]", "`16`",
+     "bounded depth of the async compile/train job queue; `POST /jobs` "
+     "answers 429 when full"},
+    {"MITHRA_SERVE_MAX_BODY", "int in [1024, 2^30]", "`8388608`",
+     "largest accepted HTTP request body in bytes; larger requests "
+     "are refused with 413"},
+    {"MITHRA_SERVE_TIMEOUT_MS", "int in [100, 600000]", "`10000`",
+     "per-connection idle/read timeout of the service shell in "
+     "milliseconds"},
 }};
 
 /** Registry entry for `name`, or nullptr when unregistered. */

@@ -276,6 +276,51 @@ Evaluator::evaluateRandom(const ValidationSet &validation,
     return evaluate(random, validation);
 }
 
+axbench::InvocationTrace
+traceFromInputs(const CompiledWorkload &workload, const float *rows,
+                std::size_t width, std::size_t count)
+{
+    const axbench::Benchmark &bench = *workload.benchmark;
+    const npu::Topology topology = bench.npuTopology();
+    MITHRA_EXPECTS(topology.size() >= 2,
+                   "benchmark topology must have input and output "
+                   "layers");
+    const std::size_t inWidth = topology.front();
+    const std::size_t outWidth = topology.back();
+    MITHRA_EXPECTS(width == inWidth, "input width ", width,
+                   " does not match the accelerator FIFO width ",
+                   inWidth);
+    // Rows are independent, so the precise outputs compute in
+    // parallel into index-disjoint slots; the appends below stay
+    // serial because the trace's flat storage is order-sensitive.
+    std::vector<float> precise(count * outWidth);
+    parallelFor(0, count, 256, [&](std::size_t i) {
+        const Vec input(rows + i * width, rows + (i + 1) * width);
+        const Vec out = bench.targetFunction(input);
+        MITHRA_ASSERT(out.size() == outWidth,
+                      "target function produced ", out.size(),
+                      " outputs, topology promises ", outWidth);
+        std::copy(out.begin(), out.end(),
+                  precise.begin()
+                      + static_cast<std::ptrdiff_t>(i * outWidth));
+    });
+    axbench::InvocationTrace trace(inWidth, outWidth);
+    Vec input(width);
+    Vec out(outWidth);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::copy(rows + i * width, rows + (i + 1) * width,
+                  input.begin());
+        std::copy(precise.begin()
+                      + static_cast<std::ptrdiff_t>(i * outWidth),
+                  precise.begin()
+                      + static_cast<std::ptrdiff_t>((i + 1) * outWidth),
+                  out.begin());
+        trace.append(input, out);
+    }
+    trace.attachApproximations(workload.accel);
+    return trace;
+}
+
 DesignEvaluation
 Evaluator::evaluateFullApprox(const ValidationSet &validation) const
 {

@@ -58,6 +58,21 @@ struct ValidationSet
 ValidationSet makeValidationSet(const CompiledWorkload &workload,
                                 std::size_t count = 0);
 
+/**
+ * Build an invocation trace for externally supplied input rows (the
+ * service's `/invoke` path, DESIGN.md §14): per row the benchmark's
+ * pointwise target function supplies the precise output, then the
+ * workload's trained accelerator attaches its approximate outputs.
+ * `rows` holds `count` row-major rows of `width` floats; `width` must
+ * equal the accelerator FIFO width (the NPU topology's input width).
+ * Deterministic: a pure function of (workload, rows) at any
+ * MITHRA_THREADS.
+ */
+axbench::InvocationTrace traceFromInputs(const CompiledWorkload &workload,
+                                         const float *rows,
+                                         std::size_t width,
+                                         std::size_t count);
+
 /** Evaluation knobs. */
 struct EvaluationOptions
 {

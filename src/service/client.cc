@@ -1,0 +1,170 @@
+#include "service/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mithra::service
+{
+
+HttpClient::HttpClient(std::uint16_t clientPort) : port(clientPort) {}
+
+HttpClient::~HttpClient()
+{
+    disconnect();
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+HttpClient::ensureConnected(std::string &error)
+{
+    if (fd >= 0)
+        return true;
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&address),
+                  sizeof(address))
+        != 0) {
+        error = std::string("connect(127.0.0.1:")
+            + std::to_string(port) + "): " + std::strerror(errno);
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+ClientResult
+HttpClient::get(const std::string &target)
+{
+    return exchange("GET " + target
+                    + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+ClientResult
+HttpClient::post(const std::string &target, const std::string &body)
+{
+    return exchange("POST " + target
+                    + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                      "Content-Type: application/json\r\n"
+                      "Content-Length: "
+                    + std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+ClientResult
+HttpClient::exchange(const std::string &request)
+{
+    bool retryable = false;
+    ClientResult result = attempt(request, retryable);
+    if (!result.ok && retryable) {
+        // The keep-alive connection died between requests (server
+        // timeout, restart); one fresh connection settles it.
+        disconnect();
+        result = attempt(request, retryable);
+    }
+    return result;
+}
+
+ClientResult
+HttpClient::attempt(const std::string &request, bool &retryable)
+{
+    ClientResult result;
+    // A reused keep-alive connection may have been closed by the
+    // server's idle timeout; send() into the dead socket can still
+    // "succeed" into the kernel buffer, so the request stays
+    // retryable until the first response byte proves the server took
+    // it. Fresh connections never retry.
+    retryable = fd >= 0;
+    if (!ensureConnected(result.error))
+        return result;
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t wrote =
+            ::send(fd, request.data() + sent, request.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            result.error =
+                std::string("send(): ") + std::strerror(errno);
+            disconnect();
+            return result;
+        }
+        sent += static_cast<std::size_t>(wrote);
+    }
+
+    // Responses from mithra-serve are always "HTTP/1.1 <status>
+    // <text>", headers, then a Content-Length body — no chunking —
+    // so a by-hand parse is enough here.
+    std::string buffer;
+    char chunk[16384];
+    std::size_t headerEnd = std::string::npos;
+    std::size_t bodyNeeded = 0;
+    for (;;) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            result.error =
+                std::string("recv(): ") + std::strerror(errno);
+            disconnect();
+            return result;
+        }
+        if (got == 0) {
+            result.error = "connection closed mid-response";
+            disconnect();
+            return result;
+        }
+        retryable = false;
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        if (headerEnd == std::string::npos) {
+            headerEnd = buffer.find("\r\n\r\n");
+            if (headerEnd == std::string::npos)
+                continue;
+            const std::string head = buffer.substr(0, headerEnd);
+            if (head.rfind("HTTP/1.", 0) != 0
+                || head.size() < std::strlen("HTTP/1.1 200")) {
+                result.error = "malformed status line";
+                disconnect();
+                return result;
+            }
+            result.status = std::atoi(head.c_str() + 9);
+            const std::size_t lengthAt =
+                head.find("content-length:") != std::string::npos
+                    ? head.find("content-length:")
+                    : head.find("Content-Length:");
+            if (lengthAt != std::string::npos)
+                bodyNeeded = static_cast<std::size_t>(std::atol(
+                    head.c_str() + lengthAt
+                    + std::strlen("Content-Length:")));
+        }
+        if (headerEnd != std::string::npos
+            && buffer.size() >= headerEnd + 4 + bodyNeeded)
+            break;
+    }
+    result.body = buffer.substr(headerEnd + 4, bodyNeeded);
+    result.ok = true;
+    return result;
+}
+
+} // namespace mithra::service

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A minimal blocking HTTP/1.1 client for the MITHRA service, used by
+ * examples/service_client, bench/micro_service and tests. Keep-alive
+ * over one loopback connection, reconnecting once when the server
+ * closed it (timeout, error response). Not general: no TLS, no
+ * redirects, no chunked bodies — exactly the subset mithra-serve
+ * speaks.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mithra::service
+{
+
+/** One HTTP exchange's outcome. */
+struct ClientResult
+{
+    /** False on a transport failure (connect/send/recv); `error`
+     *  says why and `status` is 0. */
+    bool ok = false;
+    int status = 0;
+    std::string body;
+    std::string error;
+};
+
+/** Blocking keep-alive client pinned to 127.0.0.1:<port>. */
+class HttpClient
+{
+  public:
+    explicit HttpClient(std::uint16_t port);
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    ClientResult get(const std::string &target);
+    ClientResult post(const std::string &target,
+                      const std::string &body);
+
+  private:
+    ClientResult exchange(const std::string &request);
+    /** One attempt over the current connection; `retryable` reports
+     *  a dead keep-alive connection worth one reconnect. */
+    ClientResult attempt(const std::string &request, bool &retryable);
+    bool ensureConnected(std::string &error);
+    void disconnect();
+
+    std::uint16_t port;
+    int fd = -1;
+};
+
+} // namespace mithra::service

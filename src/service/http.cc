@@ -1,0 +1,275 @@
+#include "service/http.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mithra::service
+{
+
+namespace
+{
+
+/** RFC 7230 token characters (header names, methods). */
+bool
+isTokenChar(char c)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9'))
+        return true;
+    static const std::string extra = "!#$%&'*+-.^_`|~";
+    return extra.find(c) != std::string::npos;
+}
+
+bool
+isToken(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    return std::all_of(text.begin(), text.end(), isTokenChar);
+}
+
+std::string
+lowered(std::string text)
+{
+    for (char &c : text) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    }
+    return text;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t first = 0;
+    std::size_t last = text.size();
+    while (first < last && (text[first] == ' ' || text[first] == '\t'))
+        ++first;
+    while (last > first
+           && (text[last - 1] == ' ' || text[last - 1] == '\t'))
+        --last;
+    return text.substr(first, last - first);
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    for (const HttpHeader &field : headers) {
+        if (field.name == name)
+            return &field.value;
+    }
+    return nullptr;
+}
+
+RequestParser::RequestParser(const HttpLimits &requestLimits)
+    : limits(requestLimits)
+{
+}
+
+RequestParser::Status
+RequestParser::fail(int status, std::string reason)
+{
+    state = Status::Error;
+    failStatus = status;
+    failReason = std::move(reason);
+    return state;
+}
+
+RequestParser::Status
+RequestParser::feed(const char *data, std::size_t size)
+{
+    if (state == Status::Error)
+        return state;
+    buffer.append(data, size);
+    if (state == Status::Complete)
+        return state; // surplus buffered until next()
+    return parseBuffered();
+}
+
+RequestParser::Status
+RequestParser::next()
+{
+    if (state != Status::Complete)
+        return state;
+    current = HttpRequest{};
+    headersDone = false;
+    bodyStart = 0;
+    contentLength = 0;
+    state = Status::NeedMore;
+    return parseBuffered();
+}
+
+RequestParser::Status
+RequestParser::parseBuffered()
+{
+    if (!headersDone) {
+        const std::size_t blockEnd = buffer.find("\r\n\r\n");
+        if (blockEnd == std::string::npos) {
+            if (buffer.size() > limits.maxHeaderBytes)
+                return fail(431, "header block exceeds "
+                                 + std::to_string(limits.maxHeaderBytes)
+                                 + " bytes");
+            return state;
+        }
+        if (blockEnd + 4 > limits.maxHeaderBytes)
+            return fail(431, "header block exceeds "
+                             + std::to_string(limits.maxHeaderBytes)
+                             + " bytes");
+        const Status parsed = parseHeaderBlock(blockEnd);
+        if (parsed == Status::Error)
+            return parsed;
+        headersDone = true;
+        bodyStart = blockEnd + 4;
+    }
+    if (buffer.size() < bodyStart + contentLength)
+        return state;
+    current.body = buffer.substr(bodyStart, contentLength);
+    buffer.erase(0, bodyStart + contentLength);
+    state = Status::Complete;
+    return state;
+}
+
+RequestParser::Status
+RequestParser::parseHeaderBlock(std::size_t blockEnd)
+{
+    // Split [0, blockEnd) into CRLF-delimited lines. A bare LF leaves
+    // the '\n' inside a name/value and fails token validation below.
+    std::vector<std::string> lines;
+    std::size_t lineStart = 0;
+    while (lineStart <= blockEnd) {
+        std::size_t lineEnd = buffer.find("\r\n", lineStart);
+        if (lineEnd == std::string::npos || lineEnd > blockEnd)
+            lineEnd = blockEnd;
+        lines.push_back(buffer.substr(lineStart, lineEnd - lineStart));
+        lineStart = lineEnd + 2;
+    }
+    if (lines.empty() || lines[0].empty())
+        return fail(400, "empty request line");
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::string &requestLine = lines[0];
+    const std::size_t firstSpace = requestLine.find(' ');
+    const std::size_t lastSpace = requestLine.rfind(' ');
+    if (firstSpace == std::string::npos || lastSpace == firstSpace)
+        return fail(400, "malformed request line `" + requestLine + "'");
+    current.method = requestLine.substr(0, firstSpace);
+    current.target = requestLine.substr(firstSpace + 1,
+                                        lastSpace - firstSpace - 1);
+    const std::string version = requestLine.substr(lastSpace + 1);
+    if (!isToken(current.method))
+        return fail(400, "malformed method token");
+    if (current.target.empty()
+        || current.target.find(' ') != std::string::npos)
+        return fail(400, "malformed request target");
+    if (version == "HTTP/1.1") {
+        current.minorVersion = 1;
+    } else if (version == "HTTP/1.0") {
+        current.minorVersion = 0;
+    } else if (version.rfind("HTTP/", 0) == 0) {
+        return fail(505, "unsupported protocol version `" + version
+                             + "'");
+    } else {
+        return fail(400, "malformed protocol version");
+    }
+
+    if (lines.size() - 1 > limits.maxHeaderCount)
+        return fail(431, "more than "
+                             + std::to_string(limits.maxHeaderCount)
+                             + " header fields");
+
+    bool sawContentLength = false;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return fail(400, "malformed header field `" + line + "'");
+        const std::string name = lowered(line.substr(0, colon));
+        if (!isToken(name))
+            return fail(400, "malformed header name `" + name + "'");
+        const std::string value = trimmed(line.substr(colon + 1));
+        current.headers.push_back({name, value});
+
+        if (name == "transfer-encoding") {
+            // Chunked (or any transfer coding) is out of scope: the
+            // service wants a sized body up front so the 413 limit can
+            // be enforced before buffering.
+            return fail(411, "Transfer-Encoding is not supported; send "
+                             "a Content-Length body");
+        }
+        if (name == "content-length") {
+            if (sawContentLength)
+                return fail(400, "duplicate Content-Length");
+            sawContentLength = true;
+            if (value.empty()
+                || !std::all_of(value.begin(), value.end(),
+                                [](char c) {
+                                    return c >= '0' && c <= '9';
+                                }))
+                return fail(400, "malformed Content-Length `" + value
+                                     + "'");
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(value.c_str(), &end, 10);
+            if (*end != '\0')
+                return fail(400, "malformed Content-Length `" + value
+                                     + "'");
+            if (parsed > limits.maxBodyBytes)
+                return fail(413, "body of " + value
+                                     + " bytes exceeds the "
+                                     + std::to_string(
+                                         limits.maxBodyBytes)
+                                     + "-byte limit");
+            contentLength = static_cast<std::size_t>(parsed);
+        }
+    }
+
+    current.keepAlive = current.minorVersion >= 1;
+    if (const std::string *connection = current.header("connection")) {
+        const std::string token = lowered(trimmed(*connection));
+        if (token == "close")
+            current.keepAlive = false;
+        else if (token == "keep-alive")
+            current.keepAlive = true;
+    }
+    return state;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 409: return "Conflict";
+      case 411: return "Length Required";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 505: return "HTTP Version Not Supported";
+      default:  return "Unknown";
+    }
+}
+
+std::string
+serializeResponse(const HttpResponse &response, bool keepAlive)
+{
+    const bool close = response.closeConnection || !keepAlive;
+    std::string out = "HTTP/1.1 " + std::to_string(response.status)
+        + " " + statusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size())
+        + "\r\n";
+    out += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+} // namespace mithra::service

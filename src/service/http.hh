@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 request parser and response writer for the MITHRA
+ * service shell (DESIGN.md §14).
+ *
+ * The parser is a pure incremental state machine over bytes — it
+ * never touches a socket, which is what makes the edge-case tests in
+ * tests/test_service.cpp possible without any networking. Feed it
+ * chunks as they arrive; it reports NeedMore / Complete / Error and,
+ * after a Complete, next() re-parses any buffered surplus so
+ * pipelined requests on one connection just work.
+ *
+ * Deliberately small surface, strict limits:
+ *
+ *  - request line + headers capped at maxHeaderBytes (431 above),
+ *  - at most maxHeaderCount header fields (431 above),
+ *  - bodies sized by Content-Length only, capped at maxBodyBytes
+ *    (413 above); Transfer-Encoding (chunked) is rejected with 411,
+ *  - only HTTP/1.0 and HTTP/1.1 (505 otherwise),
+ *  - everything else malformed is a 400.
+ *
+ * An Error is terminal for the connection: the server answers with
+ * the parser's suggested status and closes.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mithra::service
+{
+
+/** Hard ceilings the parser enforces while bytes arrive. */
+struct HttpLimits
+{
+    /** Request line + header block, bytes (431 above). */
+    std::size_t maxHeaderBytes = 8192;
+    /** Header field count (431 above). */
+    std::size_t maxHeaderCount = 64;
+    /** Content-Length ceiling, bytes (413 above). */
+    std::size_t maxBodyBytes = 8u << 20;
+};
+
+/** One header field; `name` is stored lowercased. */
+struct HttpHeader
+{
+    std::string name;
+    std::string value;
+};
+
+/** One fully parsed request. */
+struct HttpRequest
+{
+    std::string method; ///< e.g. "GET" (token, case preserved)
+    std::string target; ///< e.g. "/jobs/job-1"
+    int minorVersion = 1; ///< HTTP/1.<minorVersion>
+    std::vector<HttpHeader> headers;
+    std::string body;
+    /** HTTP/1.1 defaults on, HTTP/1.0 off; Connection overrides. */
+    bool keepAlive = true;
+
+    /** Value of the (lowercased) header, or nullptr when absent. */
+    const std::string *header(const std::string &name) const;
+};
+
+/** Incremental request parser; one instance per connection. */
+class RequestParser
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< no complete request buffered yet
+        Complete, ///< request() is valid; call next() when served
+        Error,    ///< protocol error; errorStatus()/errorReason()
+    };
+
+    explicit RequestParser(const HttpLimits &requestLimits = HttpLimits{});
+
+    /** Append arriving bytes and advance the state machine. */
+    Status feed(const char *data, std::size_t size);
+
+    Status status() const { return state; }
+
+    /** The parsed request; valid only while status() == Complete. */
+    const HttpRequest &request() const { return current; }
+
+    /**
+     * Discard the served request and re-parse the buffered surplus:
+     * returns Complete immediately when a full pipelined request was
+     * already buffered behind the previous one.
+     */
+    Status next();
+
+    /** Suggested response status (400/411/413/431/505) after Error. */
+    int errorStatus() const { return failStatus; }
+
+    /** Human-readable reason after Error. */
+    const std::string &errorReason() const { return failReason; }
+
+  private:
+    Status parseBuffered();
+    Status parseHeaderBlock(std::size_t blockEnd);
+    Status fail(int status, std::string reason);
+
+    HttpLimits limits;
+    Status state = Status::NeedMore;
+    std::string buffer;
+    bool headersDone = false;
+    std::size_t bodyStart = 0;
+    std::size_t contentLength = 0;
+    HttpRequest current;
+    int failStatus = 0;
+    std::string failReason;
+};
+
+/** One response about to be serialized. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    /** Force Connection: close regardless of the request. */
+    bool closeConnection = false;
+};
+
+/** Canonical reason phrase ("Not Found", ...) for the codes we emit. */
+const char *statusText(int status);
+
+/** Serialize status line + headers + body, ready for send(). */
+std::string serializeResponse(const HttpResponse &response,
+                              bool keepAlive);
+
+} // namespace mithra::service

@@ -1,0 +1,214 @@
+#include "service/jobs.hh"
+
+#include <exception>
+#include <utility>
+
+#include "common/contracts.hh"
+#include "common/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mithra::service
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:  return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done:    return "done";
+      case JobState::Failed:  return "failed";
+    }
+    panic("unreachable job state");
+}
+
+JobManager::JobManager(ModelRegistry &models, std::size_t queueDepth)
+    : registry(models), depth(queueDepth)
+{
+    MITHRA_EXPECTS(depth >= 1, "job queue depth must be positive");
+}
+
+JobManager::~JobManager()
+{
+    stop();
+}
+
+void
+JobManager::start()
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    if (started)
+        return;
+    started = true;
+    stopping = false;
+    worker = std::thread([this] { workerLoop(); });
+}
+
+void
+JobManager::stop()
+{
+    {
+        std::lock_guard<std::mutex> hold(mutex);
+        if (!started)
+            return;
+        stopping = true;
+    }
+    wake.notify_all();
+    worker.join();
+    std::lock_guard<std::mutex> hold(mutex);
+    started = false;
+}
+
+bool
+JobManager::submit(const JobSpec &spec, std::string &idOut)
+{
+    {
+        std::lock_guard<std::mutex> hold(mutex);
+        if (waiting.size() >= depth) {
+            MITHRA_COUNT("service.jobs_refused", 1);
+            return false;
+        }
+        idOut = "job-" + std::to_string(nextOrdinal++);
+        Job job;
+        job.spec = spec;
+        job.snap.id = idOut;
+        job.snap.state = JobState::Queued;
+        job.snap.benchmark = spec.benchmark;
+        jobs.emplace(idOut, std::move(job));
+        waiting.push_back(idOut);
+        MITHRA_COUNT("service.jobs_submitted", 1);
+    }
+    wake.notify_one();
+    return true;
+}
+
+bool
+JobManager::snapshot(const std::string &id, JobSnapshot &out) const
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    const auto it = jobs.find(id);
+    if (it == jobs.end())
+        return false;
+    out = it->second.snap;
+    return true;
+}
+
+std::vector<JobSnapshot>
+JobManager::list() const
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    std::vector<JobSnapshot> out;
+    out.reserve(jobs.size());
+    for (const auto &entry : jobs)
+        out.push_back(entry.second.snap);
+    return out;
+}
+
+void
+JobManager::workerLoop()
+{
+    for (;;) {
+        std::string id;
+        JobSpec spec;
+        {
+            std::unique_lock<std::mutex> hold(mutex);
+            wake.wait(hold, [this] {
+                return stopping || !waiting.empty();
+            });
+            if (stopping)
+                return;
+            id = waiting.front();
+            waiting.pop_front();
+            Job &job = jobs.at(id);
+            job.snap.state = JobState::Running;
+            spec = job.spec;
+        }
+        runJob(id, spec);
+    }
+}
+
+void
+JobManager::runJob(const std::string &id, const JobSpec &spec)
+{
+    telemetry::Json result;
+    std::string error;
+    try {
+        core::PipelineOptions options;
+        options.compileDatasetCount = spec.compileDatasets;
+        options.npuTrainSamples = spec.npuTrainSamples;
+        options.classifierTuples = spec.classifierTuples;
+        options.seed = spec.seed;
+        const core::Pipeline pipeline(options);
+
+        inform("job ", id, ": compiling ", spec.benchmark);
+        core::CompiledWorkload workload =
+            pipeline.compile(spec.benchmark);
+        const core::ThresholdResult threshold =
+            pipeline.tuneThreshold(workload, spec.model.spec);
+
+        std::unique_ptr<core::Classifier> classifier;
+        if (spec.model.design == "neural") {
+            classifier = pipeline
+                             .tuneNeural(workload, spec.model.spec,
+                                         threshold)
+                             .classifier;
+        } else {
+            classifier = pipeline
+                             .tuneTable(workload, spec.model.spec,
+                                        threshold)
+                             .classifier;
+        }
+
+        telemetry::Json::Object summary;
+        summary.emplace("model", telemetry::Json(id));
+        summary.emplace("benchmark", telemetry::Json(spec.benchmark));
+        summary.emplace("design",
+                        telemetry::Json(spec.model.design));
+        summary.emplace("shards",
+                        telemetry::Json(spec.model.shards));
+        summary.emplace("threshold",
+                        telemetry::Json(threshold.threshold));
+        summary.emplace("successLowerBound",
+                        telemetry::Json(threshold.successLowerBound));
+        summary.emplace("invocationRate",
+                        telemetry::Json(threshold.invocationRate));
+        summary.emplace("npuTrainMse",
+                        telemetry::Json(workload.npuTrainMse));
+        summary.emplace("fullApproxLossMean",
+                        telemetry::Json(workload.fullApproxLossMean));
+        summary.emplace(
+            "inputWidth",
+            telemetry::Json(
+                workload.benchmark->npuTopology().front()));
+        summary.emplace(
+            "approximationEnabled",
+            telemetry::Json(classifier->approximationEnabled()));
+        result = telemetry::Json(std::move(summary));
+
+        auto model = std::make_shared<Model>(
+            id, std::move(workload), std::move(classifier), threshold,
+            spec.model);
+        registry.add(std::move(model));
+        inform("job ", id, ": done (threshold ", threshold.threshold,
+               ")");
+    } catch (const std::exception &e) {
+        error = e.what();
+    } catch (...) {
+        error = "unknown failure";
+    }
+
+    std::lock_guard<std::mutex> hold(mutex);
+    Job &job = jobs.at(id);
+    if (error.empty()) {
+        job.snap.state = JobState::Done;
+        job.snap.result = std::move(result);
+        MITHRA_COUNT("service.jobs_completed", 1);
+    } else {
+        job.snap.state = JobState::Failed;
+        job.snap.error = error;
+        warn("job ", id, " failed: ", error);
+        MITHRA_COUNT("service.jobs_failed", 1);
+    }
+}
+
+} // namespace mithra::service

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Async compile/train jobs of the MITHRA service (DESIGN.md §14).
+ *
+ * `POST /jobs` enqueues a JobSpec; a single worker thread drains the
+ * queue in submission order through the offline pipeline (compile →
+ * tune threshold → calibrate classifier) and publishes the result as
+ * a Model in the shared registry under the job's id. The queue is
+ * bounded: submit() refuses when `queueDepth` jobs are already
+ * waiting, which the router surfaces as 429 backpressure.
+ *
+ * Job state machine (one-way):
+ *
+ *     QUEUED --> RUNNING --> DONE
+ *                       \--> FAILED
+ *
+ * The compile work itself is the deterministic offline pipeline — the
+ * only nondeterminism is *when* a job runs, never what it produces:
+ * two servers given the same job specs publish bitwise-identical
+ * models.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/model.hh"
+#include "telemetry/json.hh"
+
+namespace mithra::service
+{
+
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+};
+
+/** "queued", "running", "done", "failed". */
+const char *jobStateName(JobState state);
+
+/** Everything `POST /jobs` may configure. */
+struct JobSpec
+{
+    /** Registered axbench benchmark name. */
+    std::string benchmark;
+    /** Runtime configuration of the published model. */
+    ModelConfig model{};
+    /** Representative compile datasets; 0 = paper default (scaled). */
+    std::size_t compileDatasets = 0;
+    /** Samples drawn from the traces to train the NPU. */
+    std::size_t npuTrainSamples = 12000;
+    /** Tuples sampled for classifier training. */
+    std::size_t classifierTuples = 250000;
+    /** Pipeline seed (dataset generation, trainers). */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Point-in-time view of one job for `GET /jobs/<id>`. */
+struct JobSnapshot
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    std::string benchmark;
+    /** Failure description; meaningful only when state == Failed. */
+    std::string error;
+    /** Compile summary; meaningful only when state == Done. */
+    telemetry::Json result;
+};
+
+/** Bounded async job queue + its single worker thread. */
+class JobManager
+{
+  public:
+    /**
+     * @param models     registry completed jobs publish into
+     * @param queueDepth max jobs waiting (not counting the running
+     *                   one) before submit() refuses
+     */
+    JobManager(ModelRegistry &models, std::size_t queueDepth);
+    ~JobManager();
+
+    /** Spawn the worker; idempotent. */
+    void start();
+
+    /** Drain-free shutdown: the running job finishes, queued jobs
+     *  stay queued; idempotent. */
+    void stop();
+
+    /**
+     * Enqueue a job. Returns true and sets `idOut` ("job-<n>") on
+     * acceptance; returns false when the queue is full (429).
+     */
+    bool submit(const JobSpec &spec, std::string &idOut);
+
+    /** Snapshot one job; false when the id is unknown. */
+    bool snapshot(const std::string &id, JobSnapshot &out) const;
+
+    /** Snapshots of every job, in id order. */
+    std::vector<JobSnapshot> list() const;
+
+  private:
+    struct Job
+    {
+        JobSpec spec;
+        JobSnapshot snap;
+    };
+
+    void workerLoop();
+    /** Runs outside the manager lock; reports via the lock. */
+    void runJob(const std::string &id, const JobSpec &spec);
+
+    ModelRegistry &registry;
+    std::size_t depth;
+
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<std::string> waiting;
+    std::map<std::string, Job> jobs;
+    std::size_t nextOrdinal = 1;
+    bool stopping = false;
+    bool started = false;
+    std::thread worker;
+};
+
+} // namespace mithra::service

@@ -1,0 +1,257 @@
+#include "service/model.hh"
+
+#include <utility>
+
+#include "common/contracts.hh"
+#include "stats/sequential_bound.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mithra::service
+{
+
+namespace
+{
+
+using core::watchdog::Snapshot;
+
+telemetry::Json
+envelopeJson(const stats::ProportionEnvelope &envelope,
+             double confidence)
+{
+    telemetry::Json::Object out;
+    out.emplace("confidence", telemetry::Json(confidence));
+    out.emplace("lower", telemetry::Json(envelope.lower));
+    out.emplace("upper", telemetry::Json(envelope.upper));
+    return telemetry::Json(std::move(out));
+}
+
+} // namespace
+
+Model::Model(std::string modelId, core::CompiledWorkload compiled,
+             std::unique_ptr<core::Classifier> decider,
+             core::ThresholdResult tunedThreshold,
+             const ModelConfig &modelConfig)
+    : name(std::move(modelId)),
+      workload(std::move(compiled)),
+      classifier(std::move(decider)),
+      threshold(tunedThreshold),
+      configuration(modelConfig)
+{
+    MITHRA_EXPECTS(workload.benchmark != nullptr,
+                   "model needs a compiled benchmark");
+    MITHRA_EXPECTS(classifier != nullptr, "model needs a classifier");
+    MITHRA_EXPECTS(configuration.shards >= 1,
+                   "model shard count must be positive");
+    benchmarkName = workload.benchmark->name();
+    width = workload.benchmark->npuTopology().front();
+    if (configuration.watchdog.enabled) {
+        // Per-shard watchdogs at the split confidence, exactly like
+        // the offline sharded evaluator: the merged envelope then
+        // holds at the configured confidence by the union bound.
+        const double shardConfidence = stats::splitConfidence(
+            configuration.watchdog.confidence, configuration.shards);
+        dogs.reserve(configuration.shards);
+        for (std::size_t k = 0; k < configuration.shards; ++k) {
+            core::watchdog::WatchdogOptions opts =
+                configuration.watchdog;
+            opts.confidence = shardConfidence;
+            opts.seed =
+                core::shardSeed(configuration.watchdog.seed, k);
+            dogs.emplace_back(opts, threshold.threshold);
+        }
+    }
+}
+
+InvokeOutcome
+Model::invoke(const float *rows, std::size_t count)
+{
+    MITHRA_EXPECTS(count > 0, "invoke batch must not be empty");
+    std::lock_guard<std::mutex> hold(mutex);
+
+    const axbench::InvocationTrace trace =
+        core::traceFromInputs(workload, rows, width, count);
+    classifier->beginDataset(trace);
+
+    const core::ShardPlan plan(count, configuration.shards);
+    core::DecisionLoopOptions loop;
+    loop.oracleThreshold = threshold.threshold;
+    loop.onlineSampleRate = 0.0; // decisions stay pure over the batch
+    loop.streamOffset = streamPosition;
+
+    std::vector<Snapshot> before(dogs.size());
+    for (std::size_t k = 0; k < dogs.size(); ++k)
+        before[k] = dogs[k].snapshot();
+
+    InvokeOutcome outcome;
+    outcome.decisions.resize(count);
+    std::vector<core::ShardTally> tallies;
+    core::runShardedDecisions(*classifier, trace, plan, dogs, loop,
+                              outcome.decisions.data(), tallies);
+
+    std::size_t batchAccelerated = 0;
+    std::size_t batchFalsePositives = 0;
+    std::size_t batchFalseNegatives = 0;
+    for (const core::ShardTally &tally : tallies) {
+        batchAccelerated += tally.accelerated;
+        batchFalsePositives += tally.falsePositives;
+        batchFalseNegatives += tally.falseNegatives;
+    }
+    std::size_t batchAudits = 0;
+    std::size_t batchViolations = 0;
+    std::size_t batchForcedPrecise = 0;
+    for (std::size_t k = 0; k < dogs.size(); ++k) {
+        const Snapshot now = dogs[k].snapshot();
+        batchAudits += now.audits - before[k].audits;
+        batchViolations += now.violations - before[k].violations;
+        batchForcedPrecise +=
+            now.forcedPrecise - before[k].forcedPrecise;
+    }
+
+    streamPosition += count;
+    batches += 1;
+    totalInvocations += count;
+    totalAccelerated += batchAccelerated;
+    totalFalsePositives += batchFalsePositives;
+    totalFalseNegatives += batchFalseNegatives;
+
+    MITHRA_COUNT("service.invocations", count);
+    MITHRA_COUNT("service.accelerated", batchAccelerated);
+
+    telemetry::Json::Object certificate;
+    certificate.emplace("model", telemetry::Json(name));
+    certificate.emplace("benchmark", telemetry::Json(benchmarkName));
+    certificate.emplace("design",
+                        telemetry::Json(configuration.design));
+    certificate.emplace("shards",
+                        telemetry::Json(configuration.shards));
+    certificate.emplace("threshold",
+                        telemetry::Json(threshold.threshold));
+    certificate.emplace("watchdogEnabled",
+                        telemetry::Json(!dogs.empty()));
+
+    telemetry::Json::Object batch;
+    batch.emplace("invocations", telemetry::Json(count));
+    batch.emplace("accelerated", telemetry::Json(batchAccelerated));
+    batch.emplace("falsePositives",
+                  telemetry::Json(batchFalsePositives));
+    batch.emplace("falseNegatives",
+                  telemetry::Json(batchFalseNegatives));
+    batch.emplace("audits", telemetry::Json(batchAudits));
+    batch.emplace("violations", telemetry::Json(batchViolations));
+    batch.emplace("forcedPrecise",
+                  telemetry::Json(batchForcedPrecise));
+    certificate.emplace("batch", telemetry::Json(std::move(batch)));
+
+    telemetry::Json::Object total;
+    total.emplace("batches", telemetry::Json(batches));
+    total.emplace("invocations", telemetry::Json(totalInvocations));
+    total.emplace("accelerated", telemetry::Json(totalAccelerated));
+    total.emplace("falsePositives",
+                  telemetry::Json(totalFalsePositives));
+    total.emplace("falseNegatives",
+                  telemetry::Json(totalFalseNegatives));
+    certificate.emplace("total", telemetry::Json(std::move(total)));
+
+    if (!dogs.empty())
+        certificate.emplace("watchdog", watchdogEvidenceLocked());
+
+    outcome.certificate = telemetry::Json(std::move(certificate));
+    return outcome;
+}
+
+telemetry::Json
+Model::watchdogEvidenceLocked() const
+{
+    core::ShardedEvaluation merged;
+    merged.shardCount = configuration.shards;
+    merged.watchdogEnabled = true;
+    merged.shards.resize(dogs.size());
+    core::mergeShardEvidence(dogs, configuration.watchdog.confidence,
+                             merged);
+
+    telemetry::Json::Object evidence;
+    evidence.emplace(
+        "state",
+        telemetry::Json(core::watchdog::stateName(merged.combinedState)));
+    evidence.emplace("envelope",
+                     envelopeJson(merged.violationEnvelope,
+                                  configuration.watchdog.confidence));
+    telemetry::Json::Array perShard;
+    std::size_t audits = 0;
+    std::size_t violations = 0;
+    for (const core::ShardReport &shard : merged.shards) {
+        const Snapshot &snap = shard.watchdog;
+        audits += snap.audits;
+        violations += snap.violations;
+        telemetry::Json::Object one;
+        one.emplace("state", telemetry::Json(
+                                 core::watchdog::stateName(snap.state)));
+        one.emplace("invocations", telemetry::Json(snap.invocations));
+        one.emplace("audits", telemetry::Json(snap.audits));
+        one.emplace("violations", telemetry::Json(snap.violations));
+        one.emplace("lower",
+                    telemetry::Json(snap.violationLowerBound));
+        one.emplace("upper",
+                    telemetry::Json(snap.violationUpperBound));
+        perShard.push_back(telemetry::Json(std::move(one)));
+    }
+    evidence.emplace("audits", telemetry::Json(audits));
+    evidence.emplace("violations", telemetry::Json(violations));
+    evidence.emplace("perShard",
+                     telemetry::Json(std::move(perShard)));
+    return telemetry::Json(std::move(evidence));
+}
+
+telemetry::Json
+Model::describe() const
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    telemetry::Json::Object out;
+    out.emplace("id", telemetry::Json(name));
+    out.emplace("benchmark", telemetry::Json(benchmarkName));
+    out.emplace("design", telemetry::Json(configuration.design));
+    out.emplace("shards", telemetry::Json(configuration.shards));
+    out.emplace("inputWidth", telemetry::Json(width));
+    out.emplace("threshold", telemetry::Json(threshold.threshold));
+    out.emplace("successLowerBound",
+                telemetry::Json(threshold.successLowerBound));
+    out.emplace("approximationEnabled",
+                telemetry::Json(classifier->approximationEnabled()));
+    out.emplace("batches", telemetry::Json(batches));
+    out.emplace("invocations", telemetry::Json(totalInvocations));
+    out.emplace("accelerated", telemetry::Json(totalAccelerated));
+    out.emplace("watchdogEnabled", telemetry::Json(!dogs.empty()));
+    if (!dogs.empty())
+        out.emplace("watchdog", watchdogEvidenceLocked());
+    return telemetry::Json(std::move(out));
+}
+
+void
+ModelRegistry::add(std::shared_ptr<Model> model)
+{
+    MITHRA_EXPECTS(model != nullptr, "cannot register a null model");
+    std::lock_guard<std::mutex> hold(mutex);
+    models[model->id()] = std::move(model);
+    MITHRA_GAUGE_SET("service.models", models.size());
+}
+
+std::shared_ptr<Model>
+ModelRegistry::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    const auto it = models.find(id);
+    return it == models.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Model>>
+ModelRegistry::list() const
+{
+    std::lock_guard<std::mutex> hold(mutex);
+    std::vector<std::shared_ptr<Model>> out;
+    out.reserve(models.size());
+    for (const auto &entry : models)
+        out.push_back(entry.second);
+    return out;
+}
+
+} // namespace mithra::service

@@ -151,4 +151,56 @@ validateReport(const Json &document)
     return "";
 }
 
+Json
+metricsDocument()
+{
+    Json::Object document;
+    document.emplace("schema", Json(metricsSchemaName));
+    document.emplace("schemaVersion", Json(reportSchemaVersion));
+    document.emplace("gitDescribe", Json(gitDescribe()));
+    document.emplace("stats", StatsRegistry::global().toJson(false));
+    return Json(std::move(document));
+}
+
+std::string
+validateMetrics(const Json &document)
+{
+    if (document.kind() != Json::Kind::Object)
+        return "document is not a JSON object";
+
+    const Json *schema = document.find("schema");
+    if (!schema || schema->kind() != Json::Kind::String)
+        return "missing `schema' string";
+    if (schema->asString() != metricsSchemaName) {
+        return "unexpected schema `" + schema->asString() + "' (want `"
+            + metricsSchemaName + "')";
+    }
+
+    const Json *version = document.find("schemaVersion");
+    if (!version || version->kind() != Json::Kind::Int)
+        return "missing `schemaVersion' integer";
+    if (version->asInt() != reportSchemaVersion) {
+        return "schemaVersion " + std::to_string(version->asInt())
+            + " does not match supported version "
+            + std::to_string(reportSchemaVersion);
+    }
+
+    if (const Json *git = document.find("gitDescribe");
+        !git || git->kind() != Json::Kind::String) {
+        return "missing `gitDescribe' string";
+    }
+
+    const Json *stats = document.find("stats");
+    if (!stats || stats->kind() != Json::Kind::Object)
+        return "missing `stats' object";
+    for (const char *section : {"counters", "gauges", "histograms"}) {
+        const Json *value = stats->find(section);
+        if (!value || value->kind() != Json::Kind::Object) {
+            return std::string("missing `stats.") + section
+                + "' object";
+        }
+    }
+    return "";
+}
+
 } // namespace mithra::telemetry

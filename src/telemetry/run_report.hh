@@ -85,4 +85,27 @@ class RunReport
  */
 std::string validateReport(const Json &document);
 
+/** Value of the "schema" field of a `GET /metrics` document. */
+inline const char *const metricsSchemaName = "mithra-metrics";
+
+/**
+ * The service's `GET /metrics` document (DESIGN.md §14): the global
+ * stats registry snapshot under the same discriminated-envelope
+ * convention as run reports:
+ *
+ *     { "schema": "mithra-metrics", "schemaVersion": 1,
+ *       "gitDescribe": "...",
+ *       "stats": { "counters": {...}, "gauges": {...},
+ *                  "histograms": {...} } }
+ *
+ * Deterministic: volatile stats are excluded, keys are sorted.
+ */
+Json metricsDocument();
+
+/**
+ * Validate a parsed `/metrics` document (report-check --metrics).
+ * Returns an empty string when valid, else the first problem.
+ */
+std::string validateMetrics(const Json &document);
+
 } // namespace mithra::telemetry

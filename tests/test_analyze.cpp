@@ -157,6 +157,41 @@ TEST(AnalyzeLayering, AllowedEdgeAndSameLayerAreClean)
     EXPECT_TRUE(checkLayering(spec(), files).empty());
 }
 
+TEST(AnalyzeLayering, ServiceShellSitsAboveCoreNotBeside)
+{
+    // The in-tree spec's shape for the service layer: service may
+    // reach down into core/telemetry/common, but nothing below the
+    // shell may include service headers — the deterministic core
+    // must stay deliverable without the socket code.
+    std::vector<Diagnostic> specDiags;
+    const LayerSpec layered = parseLayerSpec(
+        "layers.txt",
+        "layer common  src/common/\n"
+        "layer core    src/core/\n"
+        "layer service src/service/\n"
+        "allow core    -> common\n"
+        "allow service -> common core\n",
+        specDiags);
+    EXPECT_TRUE(specDiags.empty());
+    const std::vector<SourceFile> clean = {
+        {"src/service/server.hh", "#pragma once\n"
+                                  "#include \"core/runtime.hh\"\n"
+                                  "#include \"common/logging.hh\"\n",
+         ""},
+        {"src/core/runtime.hh", "#pragma once\n", ""},
+        {"src/common/logging.hh", "#pragma once\n", ""},
+    };
+    EXPECT_TRUE(checkLayering(layered, clean).empty());
+
+    const std::vector<SourceFile> inverted = {
+        {"src/core/runtime.hh", "#pragma once\n"
+                                "#include \"service/http.hh\"\n",
+         ""},
+        {"src/service/http.hh", "#pragma once\n", ""},
+    };
+    EXPECT_TRUE(fired(checkLayering(layered, inverted), "layering", 2));
+}
+
 TEST(AnalyzeLayering, TransitivityIsNotImplied)
 {
     // tests -> core and core -> common, but a spec without
@@ -307,6 +342,35 @@ void emit() {
     EXPECT_TRUE(taintAt("src/telemetry/a.cc", source).empty());
     EXPECT_TRUE(taintAt("tests/a.cpp", source).empty());
     EXPECT_TRUE(taintAt("bench/a.cpp", source).empty());
+}
+
+TEST(AnalyzeTaint, SocketReadsAreSourcesOutsideTheServiceShell)
+{
+    // recv() results are external-world values: a payload size must
+    // not feed a deterministic metric from core code...
+    const std::string source = R"cpp(
+void pump(int fd, char *buffer) {
+    long got = recv(fd, buffer, 4096, 0);
+    MITHRA_COUNT("bytes", got);
+}
+)cpp";
+    EXPECT_TRUE(fired(taintAt("src/core/a.cc", source), "taint-flow", 4));
+    // ...while the identical code is sanctioned in the service shell
+    // (the clean twin), exactly like wall-clock in telemetry.
+    EXPECT_TRUE(taintAt("src/service/a.cc", source).empty());
+}
+
+TEST(AnalyzeTaint, AcceptedConnectionsAreSourcesOutsideTheShell)
+{
+    const std::string source = R"cpp(
+int next(int listenFd) {
+    int fd = accept(listenFd, nullptr, nullptr);
+    MITHRA_GAUGE_SET("fd", fd);
+    return fd;
+}
+)cpp";
+    EXPECT_TRUE(fired(taintAt("src/hw/a.cc", source), "taint-flow", 4));
+    EXPECT_TRUE(taintAt("src/service/a.cc", source).empty());
 }
 
 TEST(AnalyzeTaint, AnnotationSuppresses)

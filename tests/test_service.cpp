@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Service layer tests: the strict HTTP/1.1 parser's edge cases
+ * (oversized headers, truncated lines, pipelining, body limits), the
+ * socket-free router's error contract, model reproducibility across
+ * independently compiled jobs, and a live-socket end-to-end lifecycle
+ * with concurrent clients (the tsan-labeled heavy path).
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.hh"
+#include "service/http.hh"
+#include "service/server.hh"
+#include "telemetry/json.hh"
+#include "telemetry/run_report.hh"
+
+using namespace mithra;
+using service::HttpLimits;
+using service::HttpRequest;
+using service::HttpResponse;
+using service::RequestParser;
+using Status = service::RequestParser::Status;
+using telemetry::Json;
+
+namespace
+{
+
+Status
+feedAll(RequestParser &parser, const std::string &text)
+{
+    return parser.feed(text.data(), text.size());
+}
+
+Json
+bodyOf(const HttpResponse &response)
+{
+    const telemetry::ParseResult parsed =
+        telemetry::parseJson(response.body);
+    EXPECT_TRUE(parsed.ok) << parsed.error << "\n" << response.body;
+    return parsed.value;
+}
+
+} // namespace
+
+TEST(HttpParser, ParsesSimpleGet)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+              Status::Complete);
+    const HttpRequest &request = parser.request();
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.target, "/metrics");
+    EXPECT_EQ(request.minorVersion, 1);
+    EXPECT_TRUE(request.keepAlive);
+    ASSERT_NE(request.header("host"), nullptr);
+    EXPECT_EQ(*request.header("host"), "x");
+}
+
+TEST(HttpParser, AccumulatesByteByByte)
+{
+    RequestParser parser;
+    const std::string text =
+        "POST /invoke HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+    for (std::size_t i = 0; i + 1 < text.size(); ++i)
+        ASSERT_EQ(parser.feed(&text[i], 1), Status::NeedMore) << i;
+    ASSERT_EQ(parser.feed(&text[text.size() - 1], 1),
+              Status::Complete);
+    EXPECT_EQ(parser.request().body, "{}");
+}
+
+TEST(HttpParser, TruncatedRequestLineNeedsMore)
+{
+    RequestParser parser;
+    EXPECT_EQ(feedAll(parser, "GET /jo"), Status::NeedMore);
+    EXPECT_EQ(feedAll(parser, "bs HTTP/1.1\r\n\r\n"),
+              Status::Complete);
+    EXPECT_EQ(parser.request().target, "/jobs");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser, "NOT-A-REQUEST\r\n\r\n"), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, WrongHttpVersionIs505)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/2.0\r\n\r\n"),
+              Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 505);
+}
+
+TEST(HttpParser, Http10DefaultsToClose)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/1.0\r\n\r\n"),
+              Status::Complete);
+    EXPECT_FALSE(parser.request().keepAlive);
+}
+
+TEST(HttpParser, ConnectionCloseDisablesKeepAlive)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+              Status::Complete);
+    EXPECT_FALSE(parser.request().keepAlive);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431)
+{
+    HttpLimits limits;
+    limits.maxHeaderBytes = 128;
+    RequestParser parser(limits);
+    const std::string text = "GET / HTTP/1.1\r\nX-Pad: "
+        + std::string(200, 'a') + "\r\n\r\n";
+    ASSERT_EQ(feedAll(parser, text), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParser, TooManyHeadersIs431)
+{
+    HttpLimits limits;
+    limits.maxHeaderCount = 4;
+    RequestParser parser(limits);
+    std::string text = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 6; ++i)
+        text += "X-H" + std::to_string(i) + ": v\r\n";
+    text += "\r\n";
+    ASSERT_EQ(feedAll(parser, text), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParser, ChunkedTransferIs411)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n"),
+              Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 411);
+}
+
+TEST(HttpParser, MalformedContentLengthIs400)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\n"
+                      "Content-Length: twelve\r\n\r\n"),
+              Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, OverLimitBodyIs413)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 1024;
+    RequestParser parser(limits);
+    ASSERT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\n"
+                      "Content-Length: 2048\r\n\r\n"),
+              Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpParser, ZeroLengthBodyCompletes)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "POST /jobs HTTP/1.1\r\n"
+                      "Content-Length: 0\r\n\r\n"),
+              Status::Complete);
+    EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParser, PipelinedRequestsParseInOrder)
+{
+    RequestParser parser;
+    ASSERT_EQ(feedAll(parser,
+                      "GET /first HTTP/1.1\r\n\r\n"
+                      "POST /second HTTP/1.1\r\n"
+                      "Content-Length: 3\r\n\r\nabc"),
+              Status::Complete);
+    EXPECT_EQ(parser.request().target, "/first");
+    ASSERT_EQ(parser.next(), Status::Complete);
+    EXPECT_EQ(parser.request().target, "/second");
+    EXPECT_EQ(parser.request().body, "abc");
+    EXPECT_EQ(parser.next(), Status::NeedMore);
+}
+
+TEST(HttpParser, SerializedResponseRoundTrips)
+{
+    HttpResponse response;
+    response.status = 429;
+    response.body = "{\"error\": \"full\"}";
+    const std::string wire = serializeResponse(response, true);
+    EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 17\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("\r\n\r\n{\"error\": \"full\"}"),
+              std::string::npos);
+}
+
+namespace
+{
+
+HttpRequest
+makeRequest(const std::string &method, const std::string &target,
+            const std::string &body = "")
+{
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.body = body;
+    return request;
+}
+
+} // namespace
+
+TEST(ServiceRouter, HealthzAndUnknownPaths)
+{
+    service::Server server;
+    EXPECT_EQ(server.handle(makeRequest("GET", "/healthz")).status,
+              200);
+    EXPECT_EQ(server.handle(makeRequest("GET", "/bogus")).status,
+              404);
+    EXPECT_EQ(server.handle(makeRequest("DELETE", "/jobs")).status,
+              405);
+    EXPECT_EQ(server.handle(makeRequest("PUT", "/invoke")).status,
+              405);
+    EXPECT_EQ(server.handle(makeRequest("POST", "/metrics")).status,
+              405);
+}
+
+TEST(ServiceRouter, RejectsBadJobSpecs)
+{
+    service::Server server;
+    EXPECT_EQ(server.handle(makeRequest("POST", "/jobs", "{nope"))
+                  .status,
+              400);
+    EXPECT_EQ(server
+                  .handle(makeRequest("POST", "/jobs",
+                                      "{\"benchmark\": \"no-such\"}"))
+                  .status,
+              400);
+    EXPECT_EQ(
+        server
+            .handle(makeRequest(
+                "POST", "/jobs",
+                "{\"benchmark\": \"fft\", \"design\": \"magic\"}"))
+            .status,
+        400);
+    EXPECT_EQ(
+        server
+            .handle(makeRequest(
+                "POST", "/jobs",
+                "{\"benchmark\": \"fft\", \"shards\": 0}"))
+            .status,
+        400);
+    EXPECT_EQ(
+        server
+            .handle(makeRequest(
+                "POST", "/jobs",
+                "{\"benchmark\": \"fft\", \"confidence\": 1.5}"))
+            .status,
+        400);
+}
+
+TEST(ServiceRouter, InvokeErrorsDistinguishMissingFromPending)
+{
+    service::ServerOptions options;
+    options.jobQueueDepth = 8;
+    service::Server server(options); // never started: jobs stay queued
+    EXPECT_EQ(server
+                  .handle(makeRequest("POST", "/invoke",
+                                      "{\"model\": \"ghost\"}"))
+                  .status,
+              404);
+
+    const HttpResponse submitted = server.handle(makeRequest(
+        "POST", "/jobs", "{\"benchmark\": \"fft\"}"));
+    ASSERT_EQ(submitted.status, 202);
+    const std::string id =
+        bodyOf(submitted).find("id")->asString();
+    const HttpResponse pending = server.handle(makeRequest(
+        "POST", "/invoke", "{\"model\": \"" + id + "\"}"));
+    EXPECT_EQ(pending.status, 409);
+    EXPECT_EQ(server.handle(makeRequest("GET", "/jobs/" + id)).status,
+              200);
+    EXPECT_EQ(server.handle(makeRequest("GET", "/jobs/nope")).status,
+              404);
+}
+
+TEST(ServiceRouter, BoundedJobQueueAnswers429)
+{
+    service::ServerOptions options;
+    options.jobQueueDepth = 2;
+    service::Server server(options); // never started: nothing drains
+    const HttpRequest submit = makeRequest(
+        "POST", "/jobs", "{\"benchmark\": \"fft\"}");
+    EXPECT_EQ(server.handle(submit).status, 202);
+    EXPECT_EQ(server.handle(submit).status, 202);
+    EXPECT_EQ(server.handle(submit).status, 429);
+}
+
+TEST(ServiceRouter, MetricsDocumentValidates)
+{
+    service::Server server;
+    const HttpResponse response =
+        server.handle(makeRequest("GET", "/metrics"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(telemetry::validateMetrics(bodyOf(response)), "");
+}
+
+TEST(ServiceRouter, ModelsListStartsEmpty)
+{
+    service::Server server;
+    const HttpResponse response =
+        server.handle(makeRequest("GET", "/models"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_TRUE(bodyOf(response).find("models")->asArray().empty());
+    EXPECT_EQ(server.handle(makeRequest("GET", "/models/none")).status,
+              404);
+}
+
+namespace
+{
+
+/** Tiny certifiable-in-seconds spec for the end-to-end tests. */
+std::string
+tinyJobSpec()
+{
+    return "{\"benchmark\": \"inversek2j\", \"design\": \"table\", "
+           "\"compileDatasets\": 6, \"npuTrainSamples\": 500, "
+           "\"classifierTuples\": 5000}";
+}
+
+std::string
+waitForJob(service::Server &server, const std::string &id)
+{
+    for (;;) {
+        service::JobSnapshot snap;
+        EXPECT_TRUE(server.jobs().snapshot(id, snap));
+        if (snap.state == service::JobState::Done)
+            return "";
+        if (snap.state == service::JobState::Failed)
+            return snap.error.empty() ? "failed" : snap.error;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+/** A 3-row invoke body for the 2-wide inversek2j model. */
+std::string
+invokeBody(const std::string &model)
+{
+    return "{\"model\": \"" + model
+        + "\", \"inputs\": [[0.25,0.5],[0.75,0.1],[0.9,0.9]]}";
+}
+
+} // namespace
+
+TEST(ServiceEndToEnd, LifecycleOverRealSocket)
+{
+    service::ServerOptions options;
+    options.workers = 2;
+    service::Server server(options);
+    server.start();
+    service::HttpClient client(server.port());
+
+    const service::ClientResult submitted =
+        client.post("/jobs", tinyJobSpec());
+    ASSERT_TRUE(submitted.ok) << submitted.error;
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    const telemetry::ParseResult parsed =
+        telemetry::parseJson(submitted.body);
+    ASSERT_TRUE(parsed.ok);
+    const std::string id = parsed.value.find("id")->asString();
+    ASSERT_EQ(waitForJob(server, id), "");
+
+    const service::ClientResult invoked =
+        client.post("/invoke", invokeBody(id));
+    ASSERT_TRUE(invoked.ok) << invoked.error;
+    ASSERT_EQ(invoked.status, 200) << invoked.body;
+    const telemetry::ParseResult reply =
+        telemetry::parseJson(invoked.body);
+    ASSERT_TRUE(reply.ok);
+    EXPECT_EQ(reply.value.find("decisions")->asArray().size(), 3u);
+    const Json *certificate = reply.value.find("certificate");
+    ASSERT_NE(certificate, nullptr);
+    EXPECT_EQ(certificate->find("batch")
+                  ->find("invocations")
+                  ->asInt(),
+              3);
+    EXPECT_NE(certificate->find("watchdog"), nullptr);
+
+    // Wrong row width and malformed JSON answer 400, not a crash.
+    const service::ClientResult badWidth = client.post(
+        "/invoke",
+        "{\"model\": \"" + id + "\", \"inputs\": [[1.0]]}");
+    EXPECT_EQ(badWidth.status, 400);
+    const service::ClientResult badJson =
+        client.post("/invoke", "{\"model\": ");
+    EXPECT_EQ(badJson.status, 400);
+
+    const service::ClientResult metrics = client.get("/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    const telemetry::ParseResult document =
+        telemetry::parseJson(metrics.body);
+    ASSERT_TRUE(document.ok);
+    EXPECT_EQ(telemetry::validateMetrics(document.value), "");
+
+    const service::ClientResult described =
+        client.get("/models/" + id);
+    ASSERT_EQ(described.status, 200);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, IndependentCompilesReproduceBitwise)
+{
+    service::Server server;
+    server.start();
+    service::HttpClient client(server.port());
+
+    std::vector<std::string> ids;
+    for (int i = 0; i < 2; ++i) {
+        const service::ClientResult submitted =
+            client.post("/jobs", tinyJobSpec());
+        ASSERT_EQ(submitted.status, 202);
+        const telemetry::ParseResult parsed =
+            telemetry::parseJson(submitted.body);
+        ASSERT_TRUE(parsed.ok);
+        ids.push_back(parsed.value.find("id")->asString());
+    }
+    for (const std::string &id : ids)
+        ASSERT_EQ(waitForJob(server, id), "");
+
+    // Same spec, same inputs: identical decisions and certificates
+    // modulo the server-assigned model id.
+    std::vector<std::string> stripped;
+    for (const std::string &id : ids) {
+        const service::ClientResult invoked =
+            client.post("/invoke", invokeBody(id));
+        ASSERT_EQ(invoked.status, 200);
+        telemetry::ParseResult reply =
+            telemetry::parseJson(invoked.body);
+        ASSERT_TRUE(reply.ok);
+        reply.value.asObject().erase("model");
+        Json &certificate =
+            reply.value.asObject().at("certificate");
+        certificate.asObject().erase("model");
+        stripped.push_back(reply.value.dump());
+    }
+    EXPECT_EQ(stripped[0], stripped[1]);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ConcurrentClientsSeeConsistentAnswers)
+{
+    service::ServerOptions options;
+    options.workers = 4;
+    service::Server server(options);
+    server.start();
+
+    std::vector<std::thread> clients;
+    std::vector<int> failures(8, 0);
+    for (std::size_t t = 0; t < failures.size(); ++t) {
+        clients.emplace_back([&, t] {
+            service::HttpClient client(server.port());
+            for (int i = 0; i < 25; ++i) {
+                const service::ClientResult health =
+                    client.get("/healthz");
+                if (!health.ok || health.status != 200)
+                    ++failures[t];
+                const service::ClientResult metrics =
+                    client.get("/metrics");
+                if (!metrics.ok || metrics.status != 200)
+                    ++failures[t];
+            }
+        });
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+    for (const int failed : failures)
+        EXPECT_EQ(failed, 0);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ClientSurvivesIdleTimeoutBetweenRequests)
+{
+    // The server reaps idle keep-alive connections; a client request
+    // after the reaping must transparently reconnect (the long-poll
+    // pattern: submit, wait out a compile, invoke).
+    service::ServerOptions options;
+    options.requestTimeoutMs = 150;
+    service::Server server(options);
+    server.start();
+    service::HttpClient client(server.port());
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    const service::ClientResult after = client.get("/healthz");
+    EXPECT_TRUE(after.ok) << after.error;
+    EXPECT_EQ(after.status, 200);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, PartialRequestTimesOutWith408)
+{
+    service::ServerOptions options;
+    options.requestTimeoutMs = 150;
+    service::Server server(options);
+    server.start();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&address),
+                        sizeof(address)),
+              0);
+    const char *partial = "GET /metrics HTT";
+    ASSERT_GT(::send(fd, partial, std::strlen(partial), MSG_NOSIGNAL),
+              0);
+    std::string reply;
+    char chunk[512];
+    for (;;) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            break;
+        reply.append(chunk, static_cast<std::size_t>(got));
+    }
+    EXPECT_NE(reply.find("HTTP/1.1 408 "), std::string::npos)
+        << reply;
+    ::close(fd);
+    server.stop();
+}

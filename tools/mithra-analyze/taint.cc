@@ -11,8 +11,10 @@
  * source become tainted, functions returning taint become tainted
  * TU-wide, and a tainted identifier inside a sink's argument list is
  * an error. src/telemetry/ is the sanctioned quarantine (volatile
- * stats, timing-on-request) and is exempt; so is everything outside
- * src/ (benches and tests time freely by design).
+ * stats, timing-on-request) and is exempt; so is src/service/ (the
+ * serving shell: sockets, wall-clock timeouts and environment live
+ * there by design, DESIGN.md §14) and everything outside src/
+ * (benches and tests time freely by design).
  */
 
 #include "analyze.hh"
@@ -43,6 +45,11 @@ sourceNames()
         "clock_gettime", "gettimeofday",  "timespec_get",
         "wallClockNs",   "cpuClockNs",    "threadOrdinal",
         "steady_clock",  "system_clock",  "high_resolution_clock",
+        // Socket I/O: payload sizes, peer addresses and readiness are
+        // external-world values. Only src/service/ may touch them.
+        "socket",        "accept",        "recv",
+        "send",          "poll",          "connect",
+        "bind",          "listen",        "getsockname",
     };
     return names;
 }
@@ -260,7 +267,8 @@ checkTaint(const SourceFile &file)
 {
     std::vector<Diagnostic> diagnostics;
     if (file.path.rfind("src/", 0) != 0
-        || file.path.rfind("src/telemetry/", 0) == 0)
+        || file.path.rfind("src/telemetry/", 0) == 0
+        || file.path.rfind("src/service/", 0) == 0)
         return diagnostics;
 
     const ScanResult scanned = lex::scan(file.source);

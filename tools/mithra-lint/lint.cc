@@ -350,7 +350,8 @@ policyForPath(const std::string &path)
         || endsWith(p, ".h");
     policy.rngImpl = pathContains(p, "src/common/rng.");
     policy.loggingImpl = pathContains(p, "src/common/logging.");
-    policy.timingImpl = pathContains(p, "src/telemetry/");
+    policy.timingImpl = pathContains(p, "src/telemetry/")
+        || pathContains(p, "src/service/");
     policy.kernelsImpl = pathContains(p, "src/common/kernels/");
     return policy;
 }

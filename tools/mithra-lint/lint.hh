@@ -101,7 +101,7 @@ struct PathPolicy
     bool rngImpl = false;
     /** Sanctioned output implementation (common/logging.*). */
     bool loggingImpl = false;
-    /** Sanctioned timing implementation (src/telemetry/). */
+    /** Sanctioned wall-clock homes (src/telemetry/, src/service/). */
     bool timingImpl = false;
     /** Sanctioned SIMD intrinsics home (src/common/kernels/). */
     bool kernelsImpl = false;

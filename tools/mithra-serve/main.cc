@@ -1,0 +1,103 @@
+/**
+ * @file
+ * mithra-serve: the MITHRA service as a long-running process.
+ *
+ * Usage:
+ *   mithra-serve [--port-file <path>]
+ *
+ * Configuration comes from the MITHRA_SERVE_* environment knobs (see
+ * README.md's environment table). The bound port — useful with
+ * MITHRA_SERVE_PORT=0, which picks an ephemeral one — is printed on
+ * stdout as "listening <port>" and, with --port-file, written to the
+ * given path so scripts can wait for readiness without parsing logs.
+ *
+ * The process runs until SIGINT or SIGTERM, then stops the server
+ * cleanly (in-flight requests finish; the running compile job, if
+ * any, completes). Signals are forwarded through a self-pipe so the
+ * handler itself stays async-signal-safe.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/server.hh"
+
+namespace
+{
+
+int signalPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 1;
+    // Best-effort: a full pipe already means a pending shutdown.
+    [[maybe_unused]] const ssize_t wrote =
+        write(signalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string portFile;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port-file" && i + 1 < argc) {
+            portFile = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: mithra-serve [--port-file <path>]\n"
+                        "knobs: MITHRA_SERVE_{PORT,WORKERS,JOB_QUEUE,"
+                        "MAX_BODY,TIMEOUT_MS}\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "mithra-serve: unknown argument %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (pipe(signalPipe) != 0) {
+        std::fprintf(stderr, "mithra-serve: pipe(): %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = onSignal;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    mithra::service::Server server(
+        mithra::service::ServerOptions::fromEnv());
+    server.start();
+
+    std::printf("listening %u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    if (!portFile.empty()) {
+        std::FILE *out = std::fopen(portFile.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr,
+                         "mithra-serve: cannot write %s: %s\n",
+                         portFile.c_str(), std::strerror(errno));
+            return 1;
+        }
+        std::fprintf(out, "%u\n",
+                     static_cast<unsigned>(server.port()));
+        std::fclose(out);
+    }
+
+    char byte = 0;
+    while (read(signalPipe[0], &byte, 1) < 0 && errno == EINTR)
+        continue;
+    std::printf("shutting down\n");
+    server.stop();
+    return 0;
+}

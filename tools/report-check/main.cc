@@ -1,11 +1,15 @@
 /**
  * @file
- * report-check — validator for MITHRA run reports.
+ * report-check — validator for MITHRA run reports and metrics
+ * documents.
  *
  * `report-check [--require <metric>]... <BENCH_*.json>...` parses each
  * file and checks it against the mithra-run-report schema
  * (telemetry/run_report.hh): schema name and version, required
- * sections, and section kinds. Each repeatable `--require <metric>`
+ * sections, and section kinds. With `--metrics`, files are validated
+ * against the mithra-metrics schema instead — the deterministic
+ * document the service's GET /metrics endpoint serves — and
+ * `--require <key>` demands that counter in "stats"/"counters". Each repeatable `--require <metric>`
  * additionally demands that every checked report carries that key in
  * its "metrics" section — CI uses this to pin headline metrics (e.g.
  * the kernel speedups) so a bench refactor cannot silently drop them.
@@ -31,8 +35,13 @@ main(int argc, char **argv)
 
     std::vector<std::string> required;
     std::vector<std::string> paths;
+    bool metricsMode = false;
     for (int arg = 1; arg < argc; ++arg) {
         const std::string text = argv[arg];
+        if (text == "--metrics") {
+            metricsMode = true;
+            continue;
+        }
         if (text == "--require") {
             if (arg + 1 >= argc) {
                 std::fprintf(stderr,
@@ -48,8 +57,8 @@ main(int argc, char **argv)
 
     if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: report-check [--require <metric>]... "
-                     "<BENCH_*.json>...\n"
+                     "usage: report-check [--metrics] "
+                     "[--require <metric>]... <BENCH_*.json>...\n"
                      "Validates MITHRA run reports against schema "
                      "version %lld; exits 1 on any failure. Each "
                      "--require <metric> (repeatable) demands that key "
@@ -81,7 +90,9 @@ main(int argc, char **argv)
             continue;
         }
 
-        const std::string problem = validateReport(parsed.value);
+        const std::string problem = metricsMode
+            ? validateMetrics(parsed.value)
+            : validateReport(parsed.value);
         if (!problem.empty()) {
             std::fprintf(stderr, "report-check: %s: %s\n", path.c_str(),
                          problem.c_str());
@@ -90,7 +101,9 @@ main(int argc, char **argv)
         }
 
         bool missingMetric = false;
-        const Json *metrics = parsed.value.find("metrics");
+        const Json *metrics = metricsMode
+            ? parsed.value.find("stats")->find("counters")
+            : parsed.value.find("metrics");
         for (const std::string &key : required) {
             if (!metrics || !metrics->find(key)) {
                 std::fprintf(stderr,
@@ -104,9 +117,11 @@ main(int argc, char **argv)
             ++failures;
             continue;
         }
+        const Json *label = metricsMode
+            ? parsed.value.find("schema")
+            : parsed.value.find("name");
         std::fprintf(stderr, "report-check: %s: ok (%s, v%lld)\n",
-                     path.c_str(),
-                     parsed.value.find("name")->asString().c_str(),
+                     path.c_str(), label->asString().c_str(),
                      static_cast<long long>(
                          parsed.value.find("schemaVersion")->asInt()));
     }
