@@ -83,6 +83,13 @@ if [ -x "$check" ]; then
         --require service.invocations_per_sec \
         --require service.direct_invocations_per_sec \
         --require service.http_overhead_pct
+    # The design-space exploration bench must publish the pruning
+    # savings and front-accuracy headlines the CI dse job gates on.
+    require_metrics micro_dse \
+        "DSE HEADLINE METRICS MISSING" \
+        --require dse.exact_evals_saved_pct \
+        --require dse.sweep_speedup \
+        --require dse.front_hypervolume_err
 else
     echo "note: $check not built; skipping report validation" >&2
 fi

@@ -51,7 +51,7 @@ struct VarInfo
  * README table presents them. mithra-analyze checks both directions:
  * tree use -> registry entry, registry entry -> README row.
  */
-inline constexpr std::array<VarInfo, 18> registry{{
+inline constexpr std::array<VarInfo, 22> registry{{
     {"MITHRA_SCALE", "float in (0, 100]", "`1.0`",
      "scales dataset counts/sizes; 1.0 = 250 compile + 250 validation "
      "datasets per benchmark, `0.1` ≈ minutes-long smoke run"},
@@ -88,6 +88,20 @@ inline constexpr std::array<VarInfo, 18> registry{{
      "monitoring epoch"},
     {"MITHRA_WATCHDOG_SEED", "uint64", "`0xd09`",
      "seed of the deterministic audit schedule"},
+    {"MITHRA_DSE_MARGIN", "float in [0, 1)", "`0.02`",
+     "invocation-rate loss the design-space explorer may trade for "
+     "pruning: a pruned candidate's true rate exceeds the best "
+     "cheaper measured rate by at most this much while the surrogate "
+     "residual bound holds (`DESIGN.md` §15)"},
+    {"MITHRA_DSE_QUALITY_MARGIN", "float in [0, 1)", "`0.05`",
+     "quality-met slack the explorer may trade when pruning "
+     "predicted-infeasible candidates"},
+    {"MITHRA_DSE_SEED_EVALS", "int in [1, 4096]", "`12`",
+     "exact evaluations the explorer spends seeding the surrogate fit "
+     "before pruning"},
+    {"MITHRA_DSE_EXHAUSTIVE", "flag", "off",
+     "force the explorer to evaluate every candidate exactly (the "
+     "brute-force reference; no surrogate, no pruning)"},
     {"MITHRA_SERVE_PORT", "int in [0, 65535]", "`0`",
      "TCP port `mithra-serve` binds (`DESIGN.md` §14); `0` picks an "
      "ephemeral port, printed on stdout and via `--port-file`"},

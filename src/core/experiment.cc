@@ -1,5 +1,9 @@
 #include "core/experiment.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -62,15 +66,62 @@ ResultCache::put(const std::string &key, const std::string &value)
     append(key, value);
 }
 
+std::size_t
+ResultCache::refresh()
+{
+    std::ifstream in(filePath);
+    if (!in)
+        return 0;
+    std::size_t adopted = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        // emplace never overwrites: the in-memory value wins.
+        if (entries.emplace(line.substr(0, tab), line.substr(tab + 1))
+                .second)
+            ++adopted;
+    }
+    return adopted;
+}
+
 void
 ResultCache::append(const std::string &key, const std::string &value)
 {
-    std::ofstream out(filePath, std::ios::app);
-    if (!out) {
+    // One whole-line write(2) under an advisory exclusive lock:
+    // concurrent appenders to a shared $MITHRA_CACHE serialize at row
+    // granularity, so readers never see a torn row. O_APPEND makes the
+    // kernel pick the offset after the lock is held.
+    const int fd = ::open(filePath.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
         warn("cannot append to result cache at ", filePath);
         return;
     }
-    out << key << '\t' << value << '\n';
+    std::string row;
+    row.reserve(key.size() + value.size() + 2);
+    row += key;
+    row += '\t';
+    row += value;
+    row += '\n';
+    if (::flock(fd, LOCK_EX) != 0) {
+        warn("cannot lock result cache at ", filePath);
+        ::close(fd);
+        return;
+    }
+    std::size_t written = 0;
+    while (written < row.size()) {
+        const ssize_t n = ::write(fd, row.data() + written,
+                                  row.size() - written);
+        if (n <= 0) {
+            warn("short write to result cache at ", filePath);
+            break;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
 }
 
 bool
@@ -423,6 +474,81 @@ ExperimentRunner::run(const std::string &benchmark,
 
     cache.put(key, serializeRecord(record));
     return record;
+}
+
+bool
+ExperimentRunner::isCached(const std::string &benchmark,
+                           const QualitySpec &spec, Design design,
+                           const RunOptions &options) const
+{
+    return cache.get(cacheKey(benchmark, spec, design, options))
+        .has_value();
+}
+
+std::vector<ExperimentRecord>
+ExperimentRunner::runMany(const std::string &benchmark,
+                          const QualitySpec &spec, Design design,
+                          const std::vector<RunOptions> &optionsList)
+{
+    MITHRA_SPAN("core.experiment.run_many");
+    std::vector<ExperimentRecord> records(optionsList.size());
+
+    // Serve cached cells, and push everything the parallel fan-out
+    // cannot reproduce bit-for-bit through the serial path. That
+    // leaves the skipCalibration Table cells: they share one
+    // training-data build and train/evaluate an independent classifier
+    // per candidate, so they parallelize without touching shared
+    // state.
+    std::vector<std::size_t> fan;
+    for (std::size_t i = 0; i < optionsList.size(); ++i) {
+        const std::string key =
+            cacheKey(benchmark, spec, design, optionsList[i]);
+        if (const auto cached = cache.get(key)) {
+            MITHRA_COUNT("core.experiment.cache_hits", 1);
+            records[i] = parseRecord(*cached);
+        } else if (design == Design::Table
+                   && optionsList[i].skipCalibration) {
+            fan.push_back(i);
+        } else {
+            records[i] = run(benchmark, spec, design, optionsList[i]);
+        }
+    }
+    if (fan.empty())
+        return records;
+    MITHRA_COUNT("core.experiment.cache_misses", fan.size());
+
+    LoadedWorkload &entry = loaded(benchmark);
+    QualityPackage &pkg = package(entry, spec);
+    const TrainingData data = pipeline.makeTrainingData(
+        entry.workload, pkg.threshold.threshold);
+    EvaluationOptions evalOptions;
+    evalOptions.watchdog = watchdog::WatchdogOptions::fromEnv();
+    const Evaluator evaluator(entry.workload, spec,
+                              pkg.threshold.threshold, evalOptions);
+
+    parallelFor(0, fan.size(), 1, [&](std::size_t slot) {
+        const std::size_t at = fan[slot];
+        const RunOptions &options = optionsList[at];
+        TableClassifierOptions tableOpts;
+        tableOpts.geometry = options.geometry;
+        tableOpts.quantizerBits = options.quantizerBits;
+        tableOpts.onlineUpdates = options.onlineUpdates;
+        ExperimentRecord record;
+        record.threshold = pkg.threshold.threshold;
+        auto trained = TableClassifier::train(data, tableOpts);
+        record.compressedBytes =
+            static_cast<double>(trained.compressedSizeBytes());
+        record.eval = evaluator.evaluate(trained, entry.validation);
+        records[at] = std::move(record);
+    });
+
+    // Slot-ordered merge: rows land in candidate order, exactly the
+    // file serial run() calls would have produced.
+    for (const std::size_t at : fan) {
+        cache.put(cacheKey(benchmark, spec, design, optionsList[at]),
+                  serializeRecord(records[at]));
+    }
+    return records;
 }
 
 std::string

@@ -66,7 +66,18 @@ struct WorkloadRecord
     std::size_t invocationsPerDataset = 0;
 };
 
-/** A flat string-keyed TSV store. */
+/**
+ * A flat string-keyed TSV store.
+ *
+ * Concurrent-writer safe at row granularity: every append happens as
+ * one whole-line write under an advisory `flock`, so two processes (or
+ * the parallel exact-evaluation fan-out in two bench binaries) sharing
+ * $MITHRA_CACHE interleave complete rows instead of tearing them.
+ * refresh() merges rows another writer appended since this instance
+ * last read the file; the in-memory value wins on key conflicts
+ * (evaluations are deterministic, so conflicting rows are identical in
+ * practice).
+ */
 class ResultCache
 {
   public:
@@ -74,6 +85,12 @@ class ResultCache
 
     std::optional<std::string> get(const std::string &key) const;
     void put(const std::string &key, const std::string &value);
+
+    /**
+     * Re-read the backing file and adopt rows this instance has not
+     * seen yet. Returns the number of adopted rows.
+     */
+    std::size_t refresh();
 
     const std::string &path() const { return filePath; }
 
@@ -118,6 +135,26 @@ class ExperimentRunner
     ExperimentRecord run(const std::string &benchmark,
                          const QualitySpec &spec, Design design,
                          const RunOptions &options = RunOptions{});
+
+    /** True when the cell is already memoized in the result cache. */
+    bool isCached(const std::string &benchmark, const QualitySpec &spec,
+                  Design design,
+                  const RunOptions &options = RunOptions{}) const;
+
+    /**
+     * Evaluate one (benchmark, contract, design) cell across many run
+     * options at once. Cached cells are served from the result cache;
+     * Table cells with skipCalibration set share one training-data
+     * build and fan their train+evaluate work out across the thread
+     * pool, each candidate into its own slot, with the new cache rows
+     * appended serially in candidate order afterwards. Everything else
+     * falls back to serial run() calls. Records (and the cache file)
+     * are bitwise identical to per-candidate run() calls at any
+     * MITHRA_THREADS.
+     */
+    std::vector<ExperimentRecord>
+    runMany(const std::string &benchmark, const QualitySpec &spec,
+            Design design, const std::vector<RunOptions> &optionsList);
 
     /**
      * Compile and validate the given benchmarks concurrently across

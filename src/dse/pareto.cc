@@ -1,0 +1,74 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+namespace mithra::dse
+{
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b, double margin)
+{
+    const double claimed = b.benefit + margin;
+    if (a.cost > b.cost || a.benefit < claimed)
+        return false;
+    return a.cost < b.cost || a.benefit > claimed;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<ParetoPoint> &points)
+{
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].feasible)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (points[a].cost != points[b].cost)
+                      return points[a].cost < points[b].cost;
+                  if (points[a].benefit != points[b].benefit)
+                      return points[a].benefit > points[b].benefit;
+                  return points[a].index < points[b].index;
+              });
+
+    // Cost-ascending sweep: a point joins the front only with strictly
+    // more benefit than everything at most as expensive. The strict
+    // comparison both rejects dominated points and collapses duplicate
+    // (cost, benefit) pairs onto their first (lowest-index) occurrence.
+    std::vector<std::size_t> front;
+    double best = 0.0;
+    for (const std::size_t i : order) {
+        if (front.empty() || points[i].benefit > best) {
+            front.push_back(i);
+            best = points[i].benefit;
+        }
+    }
+    return front;
+}
+
+double
+hypervolume(const std::vector<ParetoPoint> &front, double refCost,
+            double refBenefit)
+{
+    std::vector<ParetoPoint> clipped;
+    for (const ParetoPoint &p : front) {
+        if (p.feasible && p.cost < refCost && p.benefit > refBenefit)
+            clipped.push_back(p);
+    }
+    const std::vector<std::size_t> keep = paretoFront(clipped);
+
+    // Walk the staircase cost-ascending: each member adds the
+    // rectangle spanning from its cost to the reference corner, and
+    // from the previous (cheaper, lower-benefit) member's benefit up
+    // to its own.
+    double volume = 0.0;
+    double floorBenefit = refBenefit;
+    for (const std::size_t i : keep) {
+        const ParetoPoint &p = clipped[i];
+        volume += (refCost - p.cost) * (p.benefit - floorBenefit);
+        floorBenefit = p.benefit;
+    }
+    return volume;
+}
+
+} // namespace mithra::dse

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Two-objective Pareto arithmetic for the design-space explorer.
+ *
+ * Design points are compared on (cost, benefit) with cost minimized
+ * (total table bytes) and benefit maximized (accelerator invocation
+ * rate). The front is the set of feasible points no other feasible
+ * point dominates; points with identical (cost, benefit) coordinates
+ * collapse to the lowest-index representative so the front is a
+ * geometric object, not an artifact of enumeration order. All
+ * comparisons are exact double comparisons over deterministic
+ * evaluation results, so the front is bitwise reproducible.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mithra::dse
+{
+
+/** One candidate projected onto the two front objectives. */
+struct ParetoPoint
+{
+    /** Lower is better (total table bytes). */
+    double cost = 0.0;
+    /** Higher is better (invocation rate). */
+    double benefit = 0.0;
+    /** Points failing the quality contract never join the front. */
+    bool feasible = true;
+    /** Candidate index this point projects (tie-break identity). */
+    std::size_t index = 0;
+};
+
+/**
+ * True when `a` dominates `b`: no worse on both objectives and
+ * strictly better on at least one. `margin` shifts the benefit axis —
+ * a pruning test with margin m asks whether `a` would dominate `b`
+ * even if b's benefit were m higher than claimed.
+ */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b,
+               double margin = 0.0);
+
+/**
+ * Indices (into `points`) of the non-dominated feasible points,
+ * sorted by ascending cost, then descending benefit. Duplicate
+ * (cost, benefit) pairs keep only the lowest `index` representative.
+ * Infeasible points are ignored entirely. Empty when no point is
+ * feasible.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<ParetoPoint> &points);
+
+/**
+ * Hypervolume dominated by `front` relative to the reference corner
+ * (refCost, refBenefit): the staircase area between the front and the
+ * reference, in (bytes x rate) units. Points outside the reference box
+ * contribute only their clipped part. `front` holds the points
+ * themselves (typically the paretoFront selection); passing dominated
+ * points is harmless — they add no area.
+ */
+double hypervolume(const std::vector<ParetoPoint> &front, double refCost,
+                   double refBenefit = 0.0);
+
+} // namespace mithra::dse

@@ -1,0 +1,144 @@
+#include "dse/surrogate.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hh"
+
+namespace mithra::dse
+{
+
+namespace
+{
+
+/**
+ * Solve the dense symmetric system `a`x = `b` in place via Gaussian
+ * elimination with partial pivoting. Strictly serial: the surrogate's
+ * determinism contract rests on this running the same instruction
+ * stream regardless of the thread pool.
+ */
+std::vector<double>
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = a.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        MITHRA_ASSERT(a[pivot][col] != 0.0,
+                      "singular surrogate system at column ", col);
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t rev = n; rev-- > 0;) {
+        double acc = b[rev];
+        for (std::size_t k = rev + 1; k < n; ++k)
+            acc -= a[rev][k] * x[k];
+        x[rev] = acc / a[rev][rev];
+    }
+    return x;
+}
+
+} // namespace
+
+RidgeSurrogate
+RidgeSurrogate::fit(const std::vector<std::vector<double>> &rows,
+                    const std::vector<double> &targets, double lambda)
+{
+    MITHRA_EXPECTS(!rows.empty(), "surrogate fit needs training rows");
+    MITHRA_EXPECTS(rows.size() == targets.size(),
+                   "surrogate rows/targets mismatch: ", rows.size(),
+                   " vs ", targets.size());
+    MITHRA_EXPECTS(lambda >= 0.0, "negative ridge penalty ", lambda);
+    const std::size_t width = rows.front().size();
+    MITHRA_EXPECTS(width > 0, "surrogate features must be non-empty");
+    for (const auto &row : rows) {
+        MITHRA_EXPECTS(row.size() == width,
+                       "ragged surrogate feature rows: ", row.size(),
+                       " vs ", width);
+    }
+
+    // Normal equations (X^T X + lambda I) w = X^T y, accumulated in
+    // row order.
+    std::vector<std::vector<double>> gram(
+        width, std::vector<double>(width, 0.0));
+    std::vector<double> moment(width, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        for (std::size_t i = 0; i < width; ++i) {
+            for (std::size_t j = 0; j < width; ++j)
+                gram[i][j] += row[i] * row[j];
+            moment[i] += row[i] * targets[r];
+        }
+    }
+    for (std::size_t i = 0; i < width; ++i)
+        gram[i][i] += lambda;
+
+    RidgeSurrogate model;
+    model.gram = gram;
+    model.coef = solveDense(std::move(gram), std::move(moment));
+
+    // Honest uncertainty: sum of squared residuals over the effective
+    // degrees of freedom n - trace(H), where the hat-matrix diagonal
+    // h_r = x_r' (X'X + lambda I)^-1 x_r is each row's leverage. A fit
+    // that (near-)interpolates has trace(H) ~ n and tiny residuals;
+    // the correction makes its standard error reflect that the small
+    // SSE was bought with degrees of freedom, not earned from data.
+    double sse = 0.0, hatTrace = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double err = model.predict(rows[r]) - targets[r];
+        sse += err * err;
+        if (std::fabs(err) > model.worstResidual)
+            model.worstResidual = std::fabs(err);
+        const std::vector<double> solved =
+            solveDense(model.gram, rows[r]);
+        double leverage = 0.0;
+        for (std::size_t i = 0; i < width; ++i)
+            leverage += rows[r][i] * solved[i];
+        hatTrace += leverage;
+    }
+    const double effectiveDof = std::max(
+        1.0, static_cast<double>(rows.size()) - hatTrace);
+    model.stdErr = std::sqrt(sse / effectiveDof);
+    return model;
+}
+
+double
+RidgeSurrogate::leverageScale(const std::vector<double> &features) const
+{
+    MITHRA_EXPECTS(features.size() == coef.size(),
+                   "surrogate feature width ", features.size(),
+                   " does not match fit width ", coef.size());
+    const std::vector<double> solved = solveDense(gram, features);
+    double leverage = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i)
+        leverage += features[i] * solved[i];
+    // The gram matrix is positive definite, so the quadratic form is
+    // non-negative up to rounding; clip before the square root.
+    return std::sqrt(1.0 + std::max(0.0, leverage));
+}
+
+double
+RidgeSurrogate::predict(const std::vector<double> &features) const
+{
+    MITHRA_EXPECTS(features.size() == coef.size(),
+                   "surrogate feature width ", features.size(),
+                   " does not match fit width ", coef.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < coef.size(); ++i)
+        acc += coef[i] * features[i];
+    return acc;
+}
+
+} // namespace mithra::dse

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Closed-form ridge-regression surrogate for the design-space
+ * explorer.
+ *
+ * The explorer needs cheap predictions of expensive evaluation
+ * outcomes (invocation rate, quality-met probability) from design
+ * coordinates. A ridge fit over a handful of hand-picked basis
+ * features is enough for the smooth capacity-vs-benefit landscapes the
+ * table designs trace, and — unlike an iterative trainer — it has a
+ * closed form: the normal equations are assembled and solved serially
+ * in double precision (Gaussian elimination with partial pivoting), so
+ * the fitted weights, every prediction, and therefore the pruning
+ * decisions downstream are bitwise identical at any MITHRA_THREADS.
+ *
+ * Besides point predictions the fit carries honest uncertainty: the
+ * residual standard error corrected for the effective degrees of
+ * freedom (n minus the trace of the hat matrix — a near-interpolating
+ * fit has tiny training residuals precisely because it spent its
+ * degrees of freedom, and the correction keeps it from claiming
+ * certainty it does not have), and the per-query leverage scale
+ * sqrt(1 + x' (X'X + lambda I)^-1 x) that widens intervals away from
+ * the training data. The explorer prunes only when a measured point
+ * wins by more than the resulting prediction interval.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mithra::dse
+{
+
+/** Least-squares fit of targets ~ features with an L2 penalty. */
+class RidgeSurrogate
+{
+  public:
+    RidgeSurrogate() = default;
+
+    /**
+     * Fit on `rows` feature vectors (all the same width, first entry
+     * conventionally the constant 1) against `targets`. `lambda`
+     * regularizes every weight; the default is small enough to leave
+     * well-conditioned fits untouched while keeping near-collinear
+     * feature sets solvable.
+     */
+    static RidgeSurrogate
+    fit(const std::vector<std::vector<double>> &rows,
+        const std::vector<double> &targets, double lambda = 1e-6);
+
+    /** Predicted target for one feature vector. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Largest |prediction - target| over the training rows. */
+    double maxResidual() const { return worstResidual; }
+
+    /**
+     * Residual standard error sqrt(SSE / max(1, n - trace(H))):
+     * training error per honest degree of freedom. Zero only when the
+     * data is genuinely noiseless, not merely interpolated.
+     */
+    double standardError() const { return stdErr; }
+
+    /**
+     * Prediction-interval scale sqrt(1 + x' (X'X + lambda I)^-1 x)
+     * at one query point: ~1 amid the training data, growing as the
+     * query extrapolates. Multiply by standardError() (and a sigma
+     * multiplier) for the interval half-width.
+     */
+    double leverageScale(const std::vector<double> &features) const;
+
+    /** Fitted weights, one per feature column. */
+    const std::vector<double> &weights() const { return coef; }
+
+  private:
+    std::vector<double> coef;
+    /** The regularized gram matrix X'X + lambda I, row-major. */
+    std::vector<std::vector<double>> gram;
+    double worstResidual = 0.0;
+    double stdErr = 0.0;
+};
+
+} // namespace mithra::dse

@@ -138,6 +138,33 @@ JobManager::runJob(const std::string &id, const JobSpec &spec)
         options.npuTrainSamples = spec.npuTrainSamples;
         options.classifierTuples = spec.classifierTuples;
         options.seed = spec.seed;
+
+        if (spec.kind == "dse") {
+            // Design-space exploration: prune the sweep with the
+            // surrogate, exactly evaluate the survivors through the
+            // shared experiment cache, and publish the Pareto-front
+            // document as the job result. No model is registered.
+            inform("job ", id, ": exploring ", spec.benchmark, " (",
+                   spec.axes.candidateCount(), " candidates)");
+            core::ExperimentRunner runner(options);
+            const dse::Explorer explorer;
+            const dse::DseResult front = explorer.explore(
+                runner, spec.benchmark, spec.model.spec, spec.axes);
+            result = front.toJson();
+            MITHRA_COUNT("service.jobs_dse", 1);
+            inform("job ", id, ": done (",
+                   front.exactEvalsSelected, "/",
+                   front.candidates.size(), " exact evals, ",
+                   front.front.size(), " front points)");
+
+            std::lock_guard<std::mutex> hold(mutex);
+            Job &job = jobs.at(id);
+            job.snap.state = JobState::Done;
+            job.snap.result = std::move(result);
+            MITHRA_COUNT("service.jobs_completed", 1);
+            return;
+        }
+
         const core::Pipeline pipeline(options);
 
         inform("job ", id, ": compiling ", spec.benchmark);

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "dse/explorer.hh"
 #include "service/model.hh"
 #include "telemetry/json.hh"
 
@@ -51,8 +52,17 @@ const char *jobStateName(JobState state);
 /** Everything `POST /jobs` may configure. */
 struct JobSpec
 {
+    /**
+     * What the worker does: "compile" (the default) runs the offline
+     * pipeline and publishes a Model; "dse" runs the surrogate-guided
+     * design-space explorer (DESIGN.md §15) and publishes the
+     * mithra-pareto-front document as the job result.
+     */
+    std::string kind = "compile";
     /** Registered axbench benchmark name. */
     std::string benchmark;
+    /** Candidate axes of a "dse" job (defaults: the fig11 grid). */
+    dse::DseAxes axes{};
     /** Runtime configuration of the published model. */
     ModelConfig model{};
     /** Representative compile datasets; 0 = paper default (scaled). */

@@ -84,12 +84,53 @@ readRate(const Json &body, const char *key, double lo, double hi,
     return "";
 }
 
+/**
+ * "" on success; error text otherwise. Absent keys keep `out`.
+ * Elements must be integers in [lo, hi], ascending.
+ */
+std::string
+readSizeArray(const Json &body, const char *key, std::size_t lo,
+              std::size_t hi, std::vector<std::size_t> &out)
+{
+    const Json *value = body.find(key);
+    if (!value)
+        return "";
+    if (value->kind() != Json::Kind::Array || value->asArray().empty())
+        return std::string("`") + key
+            + "' must be a non-empty array of integers";
+    std::vector<std::size_t> parsed;
+    for (const Json &entry : value->asArray()) {
+        if (entry.kind() != Json::Kind::Int || entry.asInt() < 0)
+            return std::string("`") + key
+                + "' must hold non-negative integers";
+        const std::size_t element =
+            static_cast<std::size_t>(entry.asInt());
+        if (element < lo || element > hi)
+            return std::string("`") + key + "' elements must be in ["
+                + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        if (!parsed.empty() && element <= parsed.back())
+            return std::string("`") + key
+                + "' must be strictly ascending";
+        parsed.push_back(element);
+    }
+    out = std::move(parsed);
+    return "";
+}
+
 /** Parse + validate a POST /jobs body; "" on success. */
 std::string
 parseJobSpec(const Json &body, JobSpec &spec)
 {
     if (body.kind() != Json::Kind::Object)
         return "job spec must be a JSON object";
+
+    if (const Json *kind = body.find("kind")) {
+        if (kind->kind() != Json::Kind::String
+            || (kind->asString() != "compile"
+                && kind->asString() != "dse"))
+            return "`kind' must be \"compile\" or \"dse\"";
+        spec.kind = kind->asString();
+    }
 
     const Json *benchmark = body.find("benchmark");
     if (!benchmark || benchmark->kind() != Json::Kind::String)
@@ -160,6 +201,28 @@ parseJobSpec(const Json &body, JobSpec &spec)
                              spec.model.watchdog.maxViolationRate))
              .empty())
         return problem;
+
+    // Candidate axes of a "dse" job; accepted (and checked) even for
+    // compile jobs so a client can flip `kind` without reshaping the
+    // body, but only the explorer reads them.
+    if (!(problem = readSizeArray(body, "tableCounts", 1, 64,
+                                  spec.axes.tableCounts))
+             .empty())
+        return problem;
+    if (!(problem = readSizeArray(body, "tableBytes", 16, 1 << 20,
+                                  spec.axes.tableBytes))
+             .empty())
+        return problem;
+    std::vector<std::size_t> bits;
+    if (!(problem = readSizeArray(body, "quantizerBits", 0, 16, bits))
+             .empty())
+        return problem;
+    if (!bits.empty()) {
+        spec.axes.quantizerBits.clear();
+        for (const std::size_t b : bits)
+            spec.axes.quantizerBits.push_back(
+                static_cast<unsigned>(b));
+    }
     return "";
 }
 

@@ -12,7 +12,11 @@ double
 lnGamma(double x)
 {
     MITHRA_EXPECTS(x > 0.0, "lnGamma defined for positive x, got ", x);
-    return std::lgamma(x);
+    // std::lgamma writes the process-global `signgam`, which races
+    // when evaluations run on the worker pool; the reentrant variant
+    // reports the sign through an out-parameter instead.
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
 }
 
 double

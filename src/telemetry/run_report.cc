@@ -203,4 +203,89 @@ validateMetrics(const Json &document)
     return "";
 }
 
+std::string
+validateParetoFront(const Json &document)
+{
+    if (document.kind() != Json::Kind::Object)
+        return "document is not a JSON object";
+
+    const Json *schema = document.find("schema");
+    if (!schema || schema->kind() != Json::Kind::String)
+        return "missing `schema' string";
+    if (schema->asString() != paretoFrontSchemaName) {
+        return "unexpected schema `" + schema->asString() + "' (want `"
+            + paretoFrontSchemaName + "')";
+    }
+
+    const Json *version = document.find("schemaVersion");
+    if (!version || version->kind() != Json::Kind::Int)
+        return "missing `schemaVersion' integer";
+    if (version->asInt() != paretoFrontSchemaVersion) {
+        return "schemaVersion " + std::to_string(version->asInt())
+            + " does not match supported version "
+            + std::to_string(paretoFrontSchemaVersion);
+    }
+
+    if (const Json *git = document.find("gitDescribe");
+        !git || git->kind() != Json::Kind::String) {
+        return "missing `gitDescribe' string";
+    }
+
+    const Json *benchmark = document.find("benchmark");
+    if (!benchmark || benchmark->kind() != Json::Kind::String
+        || benchmark->asString().empty()) {
+        return "missing `benchmark' string";
+    }
+
+    for (const char *section : {"spec", "axes", "options", "summary"}) {
+        const Json *value = document.find(section);
+        if (!value || value->kind() != Json::Kind::Object)
+            return std::string("missing `") + section + "' object";
+    }
+
+    const Json &summary = *document.find("summary");
+    for (const char *field :
+         {"candidates", "exactEvalsSelected", "exactEvalsExecuted",
+          "savedPct", "sweepSpeedup", "hypervolume"}) {
+        const Json *value = summary.find(field);
+        if (!value
+            || (value->kind() != Json::Kind::Int
+                && value->kind() != Json::Kind::Double)) {
+            return std::string("missing `summary.") + field
+                + "' number";
+        }
+    }
+
+    for (const char *section : {"front", "candidates"}) {
+        const Json *value = document.find(section);
+        if (!value || value->kind() != Json::Kind::Array)
+            return std::string("missing `") + section + "' array";
+    }
+
+    for (const Json &entry : document.find("front")->asArray()) {
+        if (entry.kind() != Json::Kind::Object)
+            return "`front' entries must be objects";
+        for (const char *field : {"numTables", "tableBytes",
+                                  "quantizerBits", "costBytes",
+                                  "invocationRate", "qualityMet"}) {
+            const Json *value = entry.find(field);
+            if (!value
+                || (value->kind() != Json::Kind::Int
+                    && value->kind() != Json::Kind::Double)) {
+                return std::string("front entry missing `") + field
+                    + "' number";
+            }
+        }
+    }
+
+    for (const Json &entry : document.find("candidates")->asArray()) {
+        if (entry.kind() != Json::Kind::Object)
+            return "`candidates' entries must be objects";
+        const Json *state = entry.find("state");
+        if (!state || state->kind() != Json::Kind::String)
+            return "candidate entry missing `state' string";
+    }
+    return "";
+}
+
 } // namespace mithra::telemetry

@@ -108,4 +108,30 @@ Json metricsDocument();
  */
 std::string validateMetrics(const Json &document);
 
+/** Value of the "schema" field of a Pareto-front document. */
+inline const char *const paretoFrontSchemaName = "mithra-pareto-front";
+
+/** Version of the Pareto-front layout; bump on breaking changes. */
+constexpr std::int64_t paretoFrontSchemaVersion = 1;
+
+/**
+ * Validate the design-space explorer's per-benchmark Pareto-front
+ * document (DESIGN.md §15, report-check --front):
+ *
+ *     { "schema": "mithra-pareto-front", "schemaVersion": 1,
+ *       "gitDescribe": "...", "benchmark": "...",
+ *       "spec": {...}, "axes": {...}, "options": {...},
+ *       "summary": { "candidates": N, "exactEvalsSelected": k,
+ *                    "savedPct": ..., "sweepSpeedup": ...,
+ *                    "hypervolume": ..., ... },
+ *       "front": [ { "numTables": ..., "tableBytes": ...,
+ *                    "costBytes": ..., "invocationRate": ... }, ... ],
+ *       "candidates": [ { ..., "state": "seed|survivor|..." }, ... ] }
+ *
+ * The validator lives here (not in src/dse) because tools/ may only
+ * depend on common + telemetry. Returns an empty string when valid,
+ * else the first problem.
+ */
+std::string validateParetoFront(const Json &document);
+
 } // namespace mithra::telemetry

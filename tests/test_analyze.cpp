@@ -192,6 +192,48 @@ TEST(AnalyzeLayering, ServiceShellSitsAboveCoreNotBeside)
     EXPECT_TRUE(fired(checkLayering(layered, inverted), "layering", 2));
 }
 
+TEST(AnalyzeLayering, DseSitsAboveCoreAndCoreCannotReachBack)
+{
+    // The in-tree spec's shape for the design-space explorer: dse may
+    // drive core's experiment runner, but core must never include a
+    // dse header — the runner stays deliverable without the explorer,
+    // and the explorer's determinism contract rests on core's, not
+    // the other way around.
+    std::vector<Diagnostic> specDiags;
+    const LayerSpec layered = parseLayerSpec(
+        "layers.txt",
+        "layer common src/common/\n"
+        "layer core   src/core/\n"
+        "layer dse    src/dse/\n"
+        "allow core -> common\n"
+        "allow dse  -> common core\n",
+        specDiags);
+    EXPECT_TRUE(specDiags.empty());
+
+    const std::vector<SourceFile> clean = {
+        {"src/dse/explorer.hh", "#pragma once\n"
+                                "#include \"core/experiment.hh\"\n",
+         ""},
+        {"src/core/experiment.hh", "#pragma once\n", ""},
+    };
+    EXPECT_TRUE(checkLayering(layered, clean).empty());
+
+    // Seeded violation: core reaching up into the explorer.
+    const std::vector<SourceFile> inverted = {
+        {"src/core/experiment.cc", "#include \"dse/explorer.hh\"\n",
+         ""},
+        {"src/dse/explorer.hh", "#pragma once\n", ""},
+    };
+    const std::vector<Diagnostic> diagnostics =
+        checkLayering(layered, inverted);
+    ASSERT_TRUE(fired(diagnostics, "layering", 1));
+    const auto d = std::find_if(diagnostics.begin(), diagnostics.end(),
+                                [](const Diagnostic &x) {
+                                    return x.rule == "layering";
+                                });
+    EXPECT_NE(d->message.find("dse"), std::string::npos);
+}
+
 TEST(AnalyzeLayering, TransitivityIsNotImplied)
 {
     // tests -> core and core -> common, but a spec without

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Tests for the surrogate-guided design-space exploration engine:
+ * Pareto arithmetic, the ridge surrogate's fit and honest uncertainty,
+ * the explorer's pruning guarantees on synthetic landscapes, and the
+ * runner-backed path's determinism and cache replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/parallel.hh"
+#include "core/experiment.hh"
+#include "dse/explorer.hh"
+#include "dse/pareto.hh"
+#include "dse/surrogate.hh"
+#include "telemetry/run_report.hh"
+
+using namespace mithra;
+using namespace mithra::dse;
+
+// ---------------------------------------------------------------- pareto
+
+TEST(Pareto, DominatesRequiresNoWorseAndStrictlyBetter)
+{
+    const ParetoPoint cheapGood{100.0, 0.5, true, 0};
+    const ParetoPoint dearBad{200.0, 0.4, true, 1};
+    EXPECT_TRUE(dominates(cheapGood, dearBad));
+    EXPECT_FALSE(dominates(dearBad, cheapGood));
+
+    // Equal on both axes: neither dominates (nothing strictly better).
+    const ParetoPoint twin{100.0, 0.5, true, 2};
+    EXPECT_FALSE(dominates(cheapGood, twin));
+    EXPECT_FALSE(dominates(twin, cheapGood));
+
+    // Better on one axis, worse on the other: incomparable.
+    const ParetoPoint dearGood{200.0, 0.6, true, 3};
+    EXPECT_FALSE(dominates(cheapGood, dearGood));
+    EXPECT_FALSE(dominates(dearGood, cheapGood));
+}
+
+TEST(Pareto, DominanceMarginShiftsTheBenefitAxis)
+{
+    const ParetoPoint incumbent{100.0, 0.50, true, 0};
+    const ParetoPoint claimant{150.0, 0.52, true, 1};
+    // At face value the claimant's extra benefit saves it.
+    EXPECT_FALSE(dominates(incumbent, claimant));
+    // A negative margin tolerates that much claimed advantage.
+    EXPECT_TRUE(dominates(incumbent, claimant, -0.05));
+    // A positive margin demands the incumbent win by that much.
+    const ParetoPoint weak{150.0, 0.46, true, 2};
+    EXPECT_TRUE(dominates(incumbent, weak));
+    EXPECT_FALSE(dominates(incumbent, weak, 0.05));
+}
+
+TEST(Pareto, FrontSortsByCostAndDropsDominated)
+{
+    const std::vector<ParetoPoint> points{
+        {400.0, 0.9, true, 0},
+        {100.0, 0.2, true, 1},
+        {200.0, 0.1, true, 2}, // dominated by index 1
+        {200.0, 0.6, true, 3},
+    };
+    const auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 1u);
+    EXPECT_EQ(front[1], 3u);
+    EXPECT_EQ(front[2], 0u);
+}
+
+TEST(Pareto, FrontIgnoresInfeasibleAndDedupsTies)
+{
+    const std::vector<ParetoPoint> points{
+        {100.0, 0.9, false, 0}, // infeasible: never on the front
+        {100.0, 0.5, true, 1},
+        {100.0, 0.5, true, 2}, // duplicate of 1: lowest index kept
+    };
+    const auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 1u);
+
+    EXPECT_TRUE(paretoFront({{100.0, 0.5, false, 0}}).empty());
+}
+
+TEST(Pareto, SinglePointFrontIsDegenerate)
+{
+    const std::vector<ParetoPoint> points{{128.0, 0.3, true, 0}};
+    const auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(Pareto, HypervolumeIsTheStaircaseArea)
+{
+    // Two steps: (100, 0.5) and (300, 0.8) against reference cost 500.
+    const std::vector<ParetoPoint> front{
+        {100.0, 0.5, true, 0},
+        {300.0, 0.8, true, 1},
+    };
+    // (500-100)*0.5 for the first step plus (500-300)*(0.8-0.5).
+    EXPECT_DOUBLE_EQ(hypervolume(front, 500.0), 260.0);
+    // A point at the reference cost contributes nothing.
+    EXPECT_DOUBLE_EQ(hypervolume({{500.0, 1.0, true, 0}}, 500.0), 0.0);
+    EXPECT_DOUBLE_EQ(hypervolume({}, 500.0), 0.0);
+}
+
+// ------------------------------------------------------------- surrogate
+
+TEST(Surrogate, RecoversALinearModelExactly)
+{
+    // y = 2 + 3a - b on well-spread rows: the ridge fit (tiny lambda)
+    // must reproduce targets to numerical precision.
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (double a = 0.0; a < 4.0; a += 1.0) {
+        for (double b = 0.0; b < 3.0; b += 1.0) {
+            rows.push_back({1.0, a, b});
+            targets.push_back(2.0 + 3.0 * a - b);
+        }
+    }
+    const auto fit = RidgeSurrogate::fit(rows, targets);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        EXPECT_NEAR(fit.predict(rows[r]), targets[r], 1e-6);
+    EXPECT_LT(fit.maxResidual(), 1e-6);
+    EXPECT_LT(fit.standardError(), 1e-6);
+}
+
+TEST(Surrogate, StandardErrorSurvivesInterpolation)
+{
+    // Two points, two features: the fit interpolates, so SSE ~ 0 and
+    // trace(H) ~ n. The effective-dof correction must keep the
+    // standard error from collapsing the same way the residual does
+    // when the data is NOT actually linear in the features provided.
+    const std::vector<std::vector<double>> rows{{1.0, 0.0}, {1.0, 1.0}};
+    const std::vector<double> targets{0.0, 1.0};
+    const auto fit = RidgeSurrogate::fit(rows, targets);
+    // Interpolation: residuals vanish...
+    EXPECT_LT(fit.maxResidual(), 1e-6);
+    // ...and the denominator max(1, n - trace(H)) floors at one, so
+    // the standard error equals sqrt(SSE), still ~0 here — but the
+    // floor is what matters: it must never divide by ~0.
+    EXPECT_GE(fit.standardError(), 0.0);
+}
+
+TEST(Surrogate, LeverageGrowsAwayFromTheTrainingData)
+{
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (double a = 0.0; a < 8.0; a += 1.0) {
+        rows.push_back({1.0, a});
+        targets.push_back(0.5 * a);
+    }
+    const auto fit = RidgeSurrogate::fit(rows, targets);
+    const double inside = fit.leverageScale({1.0, 3.5});
+    const double outside = fit.leverageScale({1.0, 30.0});
+    EXPECT_GE(inside, 1.0);
+    EXPECT_GT(outside, inside);
+}
+
+TEST(Surrogate, FitIsDeterministic)
+{
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (double a = 0.0; a < 5.0; a += 1.0) {
+        for (double b = 0.0; b < 5.0; b += 1.0) {
+            rows.push_back({1.0, a, b, a * b});
+            targets.push_back(1.0 + 0.25 * a * b - 0.1 * b);
+        }
+    }
+    const auto one = RidgeSurrogate::fit(rows, targets);
+    const auto two = RidgeSurrogate::fit(rows, targets);
+    ASSERT_EQ(one.weights().size(), two.weights().size());
+    for (std::size_t i = 0; i < one.weights().size(); ++i)
+        EXPECT_EQ(one.weights()[i], two.weights()[i]);
+    EXPECT_EQ(one.standardError(), two.standardError());
+}
+
+// -------------------------------------------------- synthetic explorer
+
+namespace
+{
+
+/**
+ * Deterministic synthetic landscape: invocation rate saturates with
+ * log-capacity and quantizer bits; quality collapses once capacity
+ * crosses a cliff. Mirrors the real benchmarks' shape closely enough
+ * to exercise both pruning rules.
+ */
+class SyntheticBackend : public EvalBackend
+{
+  public:
+    bool isCached(const core::RunOptions &) const override
+    {
+        return false;
+    }
+
+    std::vector<core::ExperimentRecord>
+    evaluate(const std::vector<core::RunOptions> &batch) override
+    {
+        ++batches;
+        std::vector<core::ExperimentRecord> records;
+        for (const core::RunOptions &options : batch) {
+            ++evals;
+            records.push_back(evaluateOne(options));
+        }
+        return records;
+    }
+
+    static core::ExperimentRecord
+    evaluateOne(const core::RunOptions &options)
+    {
+        const double cap = static_cast<double>(
+            options.geometry.numTables * options.geometry.tableBytes);
+        const double lc = std::log2(cap);
+        const double bits = static_cast<double>(options.quantizerBits);
+        core::ExperimentRecord record;
+        record.eval.invocationRate =
+            std::min(0.95, 0.05 * (bits / 8.0) * lc);
+        record.eval.trials = 12;
+        record.eval.successes = cap > 4096.0 && bits >= 8.0 ? 6 : 12;
+        return record;
+    }
+
+    std::size_t evals = 0;
+    std::size_t batches = 0;
+};
+
+DseAxes
+syntheticAxes()
+{
+    DseAxes axes;
+    axes.tableCounts = {1, 2, 4, 8};
+    axes.tableBytes = {128, 512, 2048, 8192};
+    axes.quantizerBits = {2, 4, 8};
+    return axes;
+}
+
+core::QualitySpec
+syntheticSpec()
+{
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = 0.9;
+    return spec;
+}
+
+} // namespace
+
+TEST(Explorer, ExhaustiveEvaluatesEveryCandidate)
+{
+    SyntheticBackend backend;
+    DseOptions options;
+    options.exhaustive = true;
+    const auto result = Explorer(options).exploreWith(
+        backend, "synthetic", syntheticSpec(), syntheticAxes());
+    EXPECT_EQ(result.candidates.size(), 48u);
+    EXPECT_EQ(backend.evals, 48u);
+    EXPECT_EQ(result.exactEvalsSelected, 48u);
+    EXPECT_DOUBLE_EQ(result.savedPct, 0.0);
+    EXPECT_DOUBLE_EQ(result.sweepSpeedup, 1.0);
+}
+
+TEST(Explorer, PrunedFrontMatchesExhaustiveOnTheSyntheticLandscape)
+{
+    SyntheticBackend prunedBackend, bruteBackend;
+    DseOptions bruteOptions;
+    bruteOptions.exhaustive = true;
+    const auto brute = Explorer(bruteOptions).exploreWith(
+        bruteBackend, "synthetic", syntheticSpec(), syntheticAxes());
+    const auto pruned = Explorer(DseOptions{}).exploreWith(
+        prunedBackend, "synthetic", syntheticSpec(), syntheticAxes());
+
+    // The pruned sweep must spend strictly fewer exact evaluations...
+    EXPECT_LT(pruned.exactEvalsSelected, brute.exactEvalsSelected);
+    EXPECT_GT(pruned.savedPct, 0.0);
+
+    // ...and still find the identical front, point for point.
+    ASSERT_EQ(pruned.front.size(), brute.front.size());
+    for (std::size_t i = 0; i < pruned.front.size(); ++i) {
+        const auto &p = pruned.candidates[pruned.front[i]].options;
+        const auto &b = brute.candidates[brute.front[i]].options;
+        EXPECT_EQ(p.geometry.numTables, b.geometry.numTables);
+        EXPECT_EQ(p.geometry.tableBytes, b.geometry.tableBytes);
+        EXPECT_EQ(p.quantizerBits, b.quantizerBits);
+    }
+    EXPECT_DOUBLE_EQ(pruned.hypervolume, brute.hypervolume);
+}
+
+TEST(Explorer, ResultIsDeterministicAcrossRepeatedRuns)
+{
+    const auto runOnce = [] {
+        SyntheticBackend backend;
+        return Explorer(DseOptions{}).exploreWith(
+            backend, "synthetic", syntheticSpec(), syntheticAxes());
+    };
+    const auto one = runOnce();
+    const auto two = runOnce();
+    ASSERT_EQ(one.candidates.size(), two.candidates.size());
+    for (std::size_t i = 0; i < one.candidates.size(); ++i) {
+        EXPECT_EQ(one.candidates[i].state, two.candidates[i].state);
+        EXPECT_EQ(one.candidates[i].predictedRate,
+                  two.candidates[i].predictedRate);
+    }
+    EXPECT_EQ(one.front, two.front);
+    EXPECT_EQ(one.rounds, two.rounds);
+    EXPECT_EQ(one.hypervolume, two.hypervolume);
+}
+
+TEST(Explorer, FrontDocumentValidates)
+{
+    SyntheticBackend backend;
+    const auto result = Explorer(DseOptions{}).exploreWith(
+        backend, "synthetic", syntheticSpec(), syntheticAxes());
+    const auto document = result.toJson();
+    EXPECT_EQ(telemetry::validateParetoFront(document), "");
+    ASSERT_NE(document.find("schema"), nullptr);
+    EXPECT_EQ(document.find("schema")->asString(),
+              "mithra-pareto-front");
+    ASSERT_NE(document.find("benchmark"), nullptr);
+    EXPECT_EQ(document.find("benchmark")->asString(), "synthetic");
+    ASSERT_NE(document.find("candidates"), nullptr);
+    EXPECT_EQ(document.find("candidates")->asArray().size(),
+              result.candidates.size());
+    ASSERT_NE(document.find("front"), nullptr);
+    EXPECT_EQ(document.find("front")->asArray().size(),
+              result.front.size());
+}
+
+// --------------------------------------------------- runner-backed path
+
+namespace
+{
+
+core::PipelineOptions
+fastPipeline()
+{
+    core::PipelineOptions options;
+    options.compileDatasetCount = 16;
+    options.npuTrainSamples = 3000;
+    options.classifierTuples = 20000;
+    options.maxCalibrationRounds = 2;
+    return options;
+}
+
+core::QualitySpec
+fastSpec()
+{
+    core::QualitySpec spec;
+    spec.maxQualityLossPct = 5.0;
+    spec.confidence = 0.95;
+    spec.successRate = 0.75;
+    return spec;
+}
+
+DseAxes
+tinyAxes()
+{
+    DseAxes axes;
+    axes.tableCounts = {1, 2};
+    axes.tableBytes = {128, 512};
+    axes.quantizerBits = {0};
+    return axes;
+}
+
+} // namespace
+
+TEST(ExplorerRunner, WarmCacheReplaySelectsWithoutExecuting)
+{
+    const std::string cachePath = "/tmp/mithra-dse-test-cache.tsv";
+    std::remove(cachePath.c_str());
+    setenv("MITHRA_CACHE", cachePath.c_str(), 1);
+
+    DseOptions options;
+    options.seedEvals = 2;
+    const Explorer explorer(options);
+
+    core::ExperimentRunner cold(fastPipeline());
+    const auto first = explorer.explore(cold, "inversek2j", fastSpec(),
+                                        tinyAxes());
+    EXPECT_EQ(first.exactEvalsExecuted, first.exactEvalsSelected);
+    EXPECT_GT(first.exactEvalsSelected, 0u);
+
+    // A fresh runner over the same cache replays every selection.
+    core::ExperimentRunner warm(fastPipeline());
+    const auto replay = explorer.explore(warm, "inversek2j", fastSpec(),
+                                         tinyAxes());
+    EXPECT_EQ(replay.exactEvalsExecuted, 0u);
+    EXPECT_EQ(replay.exactEvalsSelected, first.exactEvalsSelected);
+    ASSERT_EQ(replay.front.size(), first.front.size());
+    for (std::size_t i = 0; i < replay.front.size(); ++i)
+        EXPECT_EQ(replay.front[i], first.front[i]);
+    EXPECT_EQ(replay.hypervolume, first.hypervolume);
+
+    unsetenv("MITHRA_CACHE");
+    std::remove(cachePath.c_str());
+}
+
+// tsan-labeled: the exact-evaluation fan-out runs across the thread
+// pool; the explorer's selection, front and hypervolume must come out
+// bitwise identical at any width.
+TEST(ExplorerRunner, ResultIdenticalAcrossThreadWidths)
+{
+    const std::size_t before = mithra::parallelThreadCount();
+    const std::string cacheBase = "/tmp/mithra-dse-test-threads";
+    setenv("MITHRA_CACHE", (cacheBase + "-1.tsv").c_str(), 1);
+    std::remove((cacheBase + "-1.tsv").c_str());
+
+    DseOptions options;
+    options.seedEvals = 2;
+    const Explorer explorer(options);
+
+    mithra::setParallelThreadCount(1);
+    core::ExperimentRunner reference(fastPipeline());
+    const auto one = explorer.explore(reference, "inversek2j",
+                                      fastSpec(), tinyAxes());
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const std::string cachePath =
+            cacheBase + "-" + std::to_string(threads) + ".tsv";
+        std::remove(cachePath.c_str());
+        setenv("MITHRA_CACHE", cachePath.c_str(), 1);
+        mithra::setParallelThreadCount(threads);
+        core::ExperimentRunner runner(fastPipeline());
+        const auto wide = explorer.explore(runner, "inversek2j",
+                                           fastSpec(), tinyAxes());
+
+        ASSERT_EQ(wide.candidates.size(), one.candidates.size());
+        for (std::size_t i = 0; i < wide.candidates.size(); ++i) {
+            EXPECT_EQ(wide.candidates[i].state, one.candidates[i].state)
+                << "threads " << threads << " candidate " << i;
+            EXPECT_EQ(wide.candidates[i].record.eval.invocationRate,
+                      one.candidates[i].record.eval.invocationRate)
+                << "threads " << threads << " candidate " << i;
+        }
+        EXPECT_EQ(wide.front, one.front);
+        EXPECT_EQ(wide.hypervolume, one.hypervolume);
+        EXPECT_EQ(wide.toJson().dump(2), one.toJson().dump(2));
+        std::remove(cachePath.c_str());
+    }
+
+    mithra::setParallelThreadCount(before);
+    unsetenv("MITHRA_CACHE");
+    std::remove((cacheBase + "-1.tsv").c_str());
+}

@@ -90,6 +90,56 @@ TEST(ResultCache, IgnoresMalformedLines)
     std::remove(tempCachePath().c_str());
 }
 
+TEST(ResultCache, RefreshAdoptsRowsFromAnotherWriter)
+{
+    std::remove(tempCachePath().c_str());
+    ResultCache mine(tempCachePath());
+    ResultCache theirs(tempCachePath());
+
+    mine.put("shared", "mine");
+    theirs.put("shared", "theirs");
+    theirs.put("fresh", "from-the-other-writer");
+
+    // refresh() adopts rows this instance has not seen; on a key
+    // conflict the in-memory value wins (evaluations are
+    // deterministic, so real conflicts carry identical values).
+    EXPECT_EQ(mine.refresh(), 1u);
+    EXPECT_EQ(*mine.get("shared"), "mine");
+    EXPECT_EQ(*mine.get("fresh"), "from-the-other-writer");
+
+    // A second refresh with nothing new adopts nothing.
+    EXPECT_EQ(mine.refresh(), 0u);
+    std::remove(tempCachePath().c_str());
+}
+
+TEST(ResultCache, TwoWritersInterleaveWholeRows)
+{
+    std::remove(tempCachePath().c_str());
+    // Two instances of the same file, interleaving appends the way
+    // two bench binaries sharing $MITHRA_CACHE do. Every append is a
+    // whole line under flock, so a fresh reader must see every row
+    // untorn regardless of the interleaving.
+    ResultCache alpha(tempCachePath());
+    ResultCache beta(tempCachePath());
+    for (int i = 0; i < 50; ++i) {
+        alpha.put("alpha-" + std::to_string(i),
+                  "payload with spaces " + std::to_string(i));
+        beta.put("beta-" + std::to_string(i),
+                 "another payload " + std::to_string(i));
+    }
+
+    ResultCache reader(tempCachePath());
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(reader.get("alpha-" + std::to_string(i)).has_value())
+            << "row alpha-" << i << " lost or torn";
+        ASSERT_TRUE(reader.get("beta-" + std::to_string(i)).has_value())
+            << "row beta-" << i << " lost or torn";
+        EXPECT_EQ(*reader.get("beta-" + std::to_string(i)),
+                  "another payload " + std::to_string(i));
+    }
+    std::remove(tempCachePath().c_str());
+}
+
 TEST(RunOptions, DefaultDetection)
 {
     RunOptions options;

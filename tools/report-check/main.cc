@@ -1,25 +1,31 @@
 /**
  * @file
- * report-check — validator for MITHRA run reports and metrics
- * documents.
+ * report-check — validator for MITHRA run reports, metrics documents
+ * and Pareto-front documents.
  *
- * `report-check [--require <metric>]... <BENCH_*.json>...` parses each
+ * `report-check [--require <spec>]... <BENCH_*.json>...` parses each
  * file and checks it against the mithra-run-report schema
  * (telemetry/run_report.hh): schema name and version, required
  * sections, and section kinds. With `--metrics`, files are validated
  * against the mithra-metrics schema instead — the deterministic
  * document the service's GET /metrics endpoint serves — and
- * `--require <key>` demands that counter in "stats"/"counters". Each repeatable `--require <metric>`
- * additionally demands that every checked report carries that key in
- * its "metrics" section — CI uses this to pin headline metrics (e.g.
- * the kernel speedups) so a bench refactor cannot silently drop them.
- * CI runs it over every report the bench binaries emit, so a
- * schema-breaking change fails before the artifacts are uploaded.
- * Exits 1 on the first class of failure found (all files are still
- * checked and reported).
+ * `--require` looks keys up in "stats"/"counters". With `--front`,
+ * files are validated against the mithra-pareto-front schema the
+ * design-space explorer emits, and `--require` looks keys up in the
+ * document's "summary" section.
+ *
+ * Each repeatable `--require <spec>` demands a key in every checked
+ * document. A bare name checks presence; `name>=X` and `name==X`
+ * additionally gate the numeric value, which is how CI pins headline
+ * results (e.g. `dse.exact_evals_saved_pct>=80`) so a bench refactor
+ * cannot silently regress them. CI runs report-check over every report
+ * the bench binaries emit, so a schema-breaking change fails before
+ * the artifacts are uploaded. Exits 1 on the first class of failure
+ * found (all files are still checked and reported).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -28,18 +34,95 @@
 #include "telemetry/json.hh"
 #include "telemetry/run_report.hh"
 
+namespace
+{
+
+using mithra::telemetry::Json;
+
+/** One `--require` argument: a key plus an optional value gate. */
+struct Requirement
+{
+    enum class Op
+    {
+        Present,
+        AtLeast,
+        Equal,
+    };
+
+    std::string key;
+    Op op = Op::Present;
+    double bound = 0.0;
+
+    /** "name", "name>=X" or "name==X"; false on a malformed spec. */
+    static bool parse(const std::string &text, Requirement &out)
+    {
+        std::string::size_type at;
+        if ((at = text.find(">=")) != std::string::npos)
+            out.op = Op::AtLeast;
+        else if ((at = text.find("==")) != std::string::npos)
+            out.op = Op::Equal;
+        else {
+            out.key = text;
+            return !out.key.empty();
+        }
+        out.key = text.substr(0, at);
+        const std::string number = text.substr(at + 2);
+        char *end = nullptr;
+        out.bound = std::strtod(number.c_str(), &end);
+        return !out.key.empty() && end && *end == '\0'
+               && end != number.c_str();
+    }
+
+    /** Empty when satisfied, else the failure description. */
+    std::string check(const Json *section) const
+    {
+        const Json *value = section ? section->find(key) : nullptr;
+        if (!value)
+            return "required metric `" + key + "' is missing";
+        if (op == Op::Present)
+            return "";
+        if (value->kind() != Json::Kind::Int
+            && value->kind() != Json::Kind::Double)
+            return "required metric `" + key + "' is not a number";
+        const double have = value->asNumber();
+        if (op == Op::AtLeast && !(have >= bound)) {
+            return "metric `" + key + "' = " + std::to_string(have)
+                + " is below the required " + std::to_string(bound);
+        }
+        if (op == Op::Equal && have != bound) {
+            return "metric `" + key + "' = " + std::to_string(have)
+                + " does not equal the required "
+                + std::to_string(bound);
+        }
+        return "";
+    }
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace mithra::telemetry;
 
-    std::vector<std::string> required;
+    enum class Mode
+    {
+        Report,
+        Metrics,
+        Front,
+    };
+
+    std::vector<Requirement> required;
     std::vector<std::string> paths;
-    bool metricsMode = false;
+    Mode mode = Mode::Report;
     for (int arg = 1; arg < argc; ++arg) {
         const std::string text = argv[arg];
         if (text == "--metrics") {
-            metricsMode = true;
+            mode = Mode::Metrics;
+            continue;
+        }
+        if (text == "--front") {
+            mode = Mode::Front;
             continue;
         }
         if (text == "--require") {
@@ -49,7 +132,15 @@ main(int argc, char **argv)
                              "name\n");
                 return 2;
             }
-            required.emplace_back(argv[++arg]);
+            Requirement req;
+            if (!Requirement::parse(argv[++arg], req)) {
+                std::fprintf(stderr,
+                             "report-check: malformed --require spec "
+                             "`%s' (want name, name>=X or name==X)\n",
+                             argv[arg]);
+                return 2;
+            }
+            required.push_back(std::move(req));
             continue;
         }
         paths.push_back(text);
@@ -57,12 +148,14 @@ main(int argc, char **argv)
 
     if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: report-check [--metrics] "
-                     "[--require <metric>]... <BENCH_*.json>...\n"
+                     "usage: report-check [--metrics|--front] "
+                     "[--require <spec>]... <BENCH_*.json>...\n"
                      "Validates MITHRA run reports against schema "
                      "version %lld; exits 1 on any failure. Each "
-                     "--require <metric> (repeatable) demands that key "
-                     "in every report's \"metrics\" section.\n",
+                     "--require <spec> (repeatable) demands a key in "
+                     "every report's \"metrics\" section (--metrics: "
+                     "\"stats\"/\"counters\"; --front: \"summary\"); "
+                     "`name>=X' and `name==X' also gate the value.\n",
                      static_cast<long long>(reportSchemaVersion));
         return 2;
     }
@@ -90,9 +183,18 @@ main(int argc, char **argv)
             continue;
         }
 
-        const std::string problem = metricsMode
-            ? validateMetrics(parsed.value)
-            : validateReport(parsed.value);
+        std::string problem;
+        switch (mode) {
+          case Mode::Report:
+            problem = validateReport(parsed.value);
+            break;
+          case Mode::Metrics:
+            problem = validateMetrics(parsed.value);
+            break;
+          case Mode::Front:
+            problem = validateParetoFront(parsed.value);
+            break;
+        }
         if (!problem.empty()) {
             std::fprintf(stderr, "report-check: %s: %s\n", path.c_str(),
                          problem.c_str());
@@ -100,26 +202,34 @@ main(int argc, char **argv)
             continue;
         }
 
-        bool missingMetric = false;
-        const Json *metrics = metricsMode
-            ? parsed.value.find("stats")->find("counters")
-            : parsed.value.find("metrics");
-        for (const std::string &key : required) {
-            if (!metrics || !metrics->find(key)) {
-                std::fprintf(stderr,
-                             "report-check: %s: required metric `%s' "
-                             "is missing\n",
-                             path.c_str(), key.c_str());
-                missingMetric = true;
+        const Json *metrics = nullptr;
+        switch (mode) {
+          case Mode::Report:
+            metrics = parsed.value.find("metrics");
+            break;
+          case Mode::Metrics:
+            metrics = parsed.value.find("stats")->find("counters");
+            break;
+          case Mode::Front:
+            metrics = parsed.value.find("summary");
+            break;
+        }
+        bool unmet = false;
+        for (const Requirement &req : required) {
+            const std::string failure = req.check(metrics);
+            if (!failure.empty()) {
+                std::fprintf(stderr, "report-check: %s: %s\n",
+                             path.c_str(), failure.c_str());
+                unmet = true;
             }
         }
-        if (missingMetric) {
+        if (unmet) {
             ++failures;
             continue;
         }
-        const Json *label = metricsMode
-            ? parsed.value.find("schema")
-            : parsed.value.find("name");
+        const Json *label = mode == Mode::Report
+            ? parsed.value.find("name")
+            : parsed.value.find("schema");
         std::fprintf(stderr, "report-check: %s: ok (%s, v%lld)\n",
                      path.c_str(), label->asString().c_str(),
                      static_cast<long long>(
