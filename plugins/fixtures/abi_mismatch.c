@@ -1,0 +1,19 @@
+/*
+ * Fixture: claims a future ABI version. The loader must reject it
+ * with a "rebuild against this tree's include/mithra_plugin.h" error
+ * before ever calling mithra_plugin_register.
+ */
+#include "mithra_plugin.h"
+
+uint32_t
+mithra_plugin_abi_version(void)
+{
+    return 99u;
+}
+
+int
+mithra_plugin_register(const mithra_host_v1 *host)
+{
+    (void)host;
+    return 0; /* must be unreachable */
+}

@@ -1,0 +1,199 @@
+/*
+ * Fixture: exercises the backend half of the ABI. Registers an
+ * accelerator backend ("mean1", a constant predictor that memorizes
+ * the mean training output) plus a tiny workload ("toyline") that
+ * declares `backend = "mean1"`. The test drives
+ * makeAccelerator()/trainToMimic()/invoke() directly and checks the
+ * cost numbers round-trip.
+ */
+#include <stdlib.h>
+
+#include "mithra_plugin.h"
+
+/* ------------------------- backend: mean1 ------------------------ */
+
+typedef struct mean1_state {
+    float mean[4];
+    size_t width;
+} mean1_state;
+
+static void *
+mean1_create(void *ctx)
+{
+    mean1_state *st = (mean1_state *)malloc(sizeof(mean1_state));
+    size_t i;
+    (void)ctx;
+    if (!st)
+        return NULL;
+    for (i = 0; i < 4; ++i)
+        st->mean[i] = 0.0f;
+    st->width = 0;
+    return st;
+}
+
+static void
+mean1_destroy(void *ctx, void *instance)
+{
+    (void)ctx;
+    free(instance);
+}
+
+static double
+mean1_train(void *ctx, void *instance, const float *inputs,
+            const float *outputs, size_t count, size_t input_width,
+            size_t output_width, uint64_t seed)
+{
+    mean1_state *st = (mean1_state *)instance;
+    double sse = 0.0;
+    size_t i, j;
+
+    (void)ctx;
+    (void)inputs;
+    (void)input_width;
+    (void)seed;
+    if (output_width > 4 || count == 0)
+        return -1.0;
+    st->width = output_width;
+    for (j = 0; j < output_width; ++j) {
+        double sum = 0.0;
+        for (i = 0; i < count; ++i)
+            sum += (double)outputs[i * output_width + j];
+        st->mean[j] = (float)(sum / (double)count);
+    }
+    for (i = 0; i < count; ++i)
+        for (j = 0; j < output_width; ++j) {
+            const double diff = (double)outputs[i * output_width + j]
+                - (double)st->mean[j];
+            sse += diff * diff;
+        }
+    return sse / (double)(count * output_width);
+}
+
+static void
+mean1_invoke(void *ctx, const void *instance, const float *input,
+             float *output)
+{
+    const mean1_state *st = (const mean1_state *)instance;
+    size_t j;
+    (void)ctx;
+    (void)input;
+    for (j = 0; j < st->width; ++j)
+        output[j] = st->mean[j];
+}
+
+static void
+mean1_cost(void *ctx, const void *instance, uint64_t *cycles,
+           double *pico_joules)
+{
+    (void)ctx;
+    (void)instance;
+    *cycles = 12;
+    *pico_joules = 4.5;
+}
+
+/* ------------------------ workload: toyline ---------------------- */
+
+static const size_t toyline_topology[] = {2, 4, 1};
+
+static void *
+toyline_dataset_create(void *ctx, uint64_t seed)
+{
+    uint64_t *box = (uint64_t *)malloc(sizeof(uint64_t));
+    (void)ctx;
+    if (box)
+        *box = seed;
+    return box;
+}
+
+static void
+toyline_dataset_destroy(void *ctx, void *dataset)
+{
+    (void)ctx;
+    free(dataset);
+}
+
+static size_t
+toyline_dataset_invocations(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return 64;
+}
+
+static void
+toyline_dataset_input(void *ctx, const void *dataset, size_t index,
+                      float *input)
+{
+    const uint64_t *seed = (const uint64_t *)dataset;
+    (void)ctx;
+    input[0] = (float)((*seed + 3u * index) % 101u) / 101.0f;
+    input[1] = (float)((*seed + 7u * index) % 103u) / 103.0f;
+}
+
+static void
+toyline_target(void *ctx, const float *input, float *output)
+{
+    (void)ctx;
+    output[0] = 0.4f * input[0] + 0.3f * input[1] + 0.1f;
+}
+
+static size_t
+toyline_final_size(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return 64;
+}
+
+/* --------------------------- registration ------------------------ */
+
+uint32_t
+mithra_plugin_abi_version(void)
+{
+    return MITHRA_PLUGIN_ABI_VERSION;
+}
+
+int
+mithra_plugin_register(const mithra_host_v1 *host)
+{
+    mithra_backend_v1 backend;
+    mithra_workload_v1 workload;
+    size_t i;
+    unsigned char *bytes;
+    int rc;
+
+    bytes = (unsigned char *)&backend;
+    for (i = 0; i < sizeof(backend); ++i)
+        bytes[i] = 0;
+    backend.struct_size = sizeof(backend);
+    backend.name = "mean1";
+    backend.create = mean1_create;
+    backend.destroy = mean1_destroy;
+    backend.train = mean1_train;
+    backend.invoke = mean1_invoke;
+    backend.invocation_cost = mean1_cost;
+    rc = host->register_backend(host->host_ctx, &backend);
+    if (rc != 0)
+        return rc;
+
+    bytes = (unsigned char *)&workload;
+    for (i = 0; i < sizeof(workload); ++i)
+        bytes[i] = 0;
+    workload.struct_size = sizeof(workload);
+    workload.name = "toyline";
+    workload.domain = "Fixture";
+    workload.metric = MITHRA_METRIC_AVG_RELATIVE_ERROR;
+    workload.input_width = 2;
+    workload.output_width = 1;
+    workload.topology = toyline_topology;
+    workload.topology_len = 3;
+    workload.dataset_create = toyline_dataset_create;
+    workload.dataset_destroy = toyline_dataset_destroy;
+    workload.dataset_invocations = toyline_dataset_invocations;
+    workload.dataset_input = toyline_dataset_input;
+    workload.target_function = toyline_target;
+    workload.final_size = toyline_final_size;
+    workload.backend = "mean1";
+
+    return host->register_workload(host->host_ctx, &workload);
+}

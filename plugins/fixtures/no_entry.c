@@ -1,0 +1,6 @@
+/*
+ * Fixture: a shared object that is not a MITHRA plugin at all — it
+ * exports neither mithra_plugin_abi_version nor
+ * mithra_plugin_register. The loader must say so by name.
+ */
+int fixture_no_entry_marker = 42;

@@ -1,0 +1,93 @@
+/*
+ * Fixture: a perfectly valid plugin whose workload name collides with
+ * the built-in "sobel". Registration must die with an error naming
+ * both origins — plugins cannot shadow built-ins (or each other).
+ */
+#include <stdlib.h>
+
+#include "mithra_plugin.h"
+
+static const size_t shadow_topology[] = {1, 2, 1};
+
+static void *
+shadow_dataset_create(void *ctx, uint64_t seed)
+{
+    uint64_t *box = (uint64_t *)malloc(sizeof(uint64_t));
+    (void)ctx;
+    if (box)
+        *box = seed;
+    return box;
+}
+
+static void
+shadow_dataset_destroy(void *ctx, void *dataset)
+{
+    (void)ctx;
+    free(dataset);
+}
+
+static size_t
+shadow_dataset_invocations(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return 8;
+}
+
+static void
+shadow_dataset_input(void *ctx, const void *dataset, size_t index,
+                     float *input)
+{
+    const uint64_t *seed = (const uint64_t *)dataset;
+    (void)ctx;
+    input[0] = (float)((*seed + index) % 97u) / 97.0f;
+}
+
+static void
+shadow_target(void *ctx, const float *input, float *output)
+{
+    (void)ctx;
+    output[0] = input[0];
+}
+
+static size_t
+shadow_final_size(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return 8;
+}
+
+uint32_t
+mithra_plugin_abi_version(void)
+{
+    return MITHRA_PLUGIN_ABI_VERSION;
+}
+
+int
+mithra_plugin_register(const mithra_host_v1 *host)
+{
+    mithra_workload_v1 workload;
+    size_t i;
+    unsigned char *bytes = (unsigned char *)&workload;
+
+    for (i = 0; i < sizeof(workload); ++i)
+        bytes[i] = 0;
+
+    workload.struct_size = sizeof(workload);
+    workload.name = "sobel"; /* collides with the built-in */
+    workload.domain = "Fixture";
+    workload.metric = MITHRA_METRIC_AVG_RELATIVE_ERROR;
+    workload.input_width = 1;
+    workload.output_width = 1;
+    workload.topology = shadow_topology;
+    workload.topology_len = 3;
+    workload.dataset_create = shadow_dataset_create;
+    workload.dataset_destroy = shadow_dataset_destroy;
+    workload.dataset_invocations = shadow_dataset_invocations;
+    workload.dataset_input = shadow_dataset_input;
+    workload.target_function = shadow_target;
+    workload.final_size = shadow_final_size;
+
+    return host->register_workload(host->host_ctx, &workload);
+}

@@ -1,0 +1,253 @@
+/*
+ * kmeans — the in-tree example MITHRA plugin (docs/PLUGINS.md walks
+ * through building this file from scratch).
+ *
+ * The workload is the distance kernel of one Lloyd-iteration k-means
+ * step, the classic approximate-computing target: for every (point,
+ * candidate centroid) pair the safe-to-approximate function computes
+ * the Euclidean distance, and the application then assigns each point
+ * to its nearest centroid. The NPU approximates the distance; the
+ * quality metric is the fraction of points whose *assignment* flips
+ * ("Cluster Miss Rate") — a custom metric the built-in enum cannot
+ * express, computed by the quality_loss hook below.
+ *
+ * One dataset = KM_POINTS points drawn around KM_K true cluster
+ * centers, plus KM_K candidate centroids (the current Lloyd
+ * estimate). Invocation order is point-major: invocation i queries
+ * point i / KM_K against centroid i % KM_K. The final output is one
+ * element per point: the index of its nearest centroid.
+ *
+ * Determinism: everything derives from the dataset seed through
+ * splitmix64. No wall clock, no rand(), no global mutable state.
+ */
+
+#include <math.h>
+#include <stdlib.h>
+
+#include "mithra_plugin.h"
+
+#define KM_K 4      /* centroids */
+#define KM_DIM 3    /* spatial dimensions */
+#define KM_POINTS 256
+#define KM_INPUT_WIDTH (2 * KM_DIM) /* point xyz + centroid xyz */
+
+enum { KM_INVOCATIONS = KM_POINTS * KM_K };
+
+typedef struct kmeans_dataset {
+    float points[KM_POINTS][KM_DIM];
+    float centroids[KM_K][KM_DIM];
+} kmeans_dataset;
+
+/* ---------------------------------------------------------------- */
+/* Seeded generation (splitmix64 -> uniform floats).                 */
+/* ---------------------------------------------------------------- */
+
+static uint64_t
+splitmix64(uint64_t *state)
+{
+    uint64_t z;
+    *state += 0x9e3779b97f4a7c15ULL;
+    z = *state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/* Uniform in [lo, hi), from the high 24 bits. */
+static float
+uniform(uint64_t *state, float lo, float hi)
+{
+    const float unit =
+        (float)(splitmix64(state) >> 40) / 16777216.0f;
+    return lo + (hi - lo) * unit;
+}
+
+/* ---------------------------------------------------------------- */
+/* Workload hooks.                                                   */
+/* ---------------------------------------------------------------- */
+
+static void *
+kmeans_dataset_create(void *ctx, uint64_t seed)
+{
+    kmeans_dataset *ds;
+    float truth[KM_K][KM_DIM];
+    uint64_t rng = seed ^ 0x6b6d65616e73ULL; /* "kmeans" */
+    int k, d, p;
+
+    (void)ctx;
+    ds = (kmeans_dataset *)malloc(sizeof(kmeans_dataset));
+    if (!ds)
+        return NULL;
+
+    /* True cluster centers, well inside the unit cube. */
+    for (k = 0; k < KM_K; ++k)
+        for (d = 0; d < KM_DIM; ++d)
+            truth[k][d] = uniform(&rng, 0.15f, 0.85f);
+
+    /* Points scatter around their center, round-robin membership. */
+    for (p = 0; p < KM_POINTS; ++p)
+        for (d = 0; d < KM_DIM; ++d)
+            ds->points[p][d] = truth[p % KM_K][d]
+                + uniform(&rng, -0.08f, 0.08f);
+
+    /* Candidate centroids: the current Lloyd estimate, slightly off
+     * the truth. */
+    for (k = 0; k < KM_K; ++k)
+        for (d = 0; d < KM_DIM; ++d)
+            ds->centroids[k][d] = truth[k][d]
+                + uniform(&rng, -0.05f, 0.05f);
+    return ds;
+}
+
+static void
+kmeans_dataset_destroy(void *ctx, void *dataset)
+{
+    (void)ctx;
+    free(dataset);
+}
+
+static size_t
+kmeans_dataset_invocations(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return KM_INVOCATIONS;
+}
+
+static void
+kmeans_dataset_input(void *ctx, const void *dataset, size_t index,
+                     float *input)
+{
+    const kmeans_dataset *ds = (const kmeans_dataset *)dataset;
+    const size_t p = index / KM_K;
+    const size_t k = index % KM_K;
+    int d;
+
+    (void)ctx;
+    for (d = 0; d < KM_DIM; ++d) {
+        input[d] = ds->points[p][d];
+        input[KM_DIM + d] = ds->centroids[k][d];
+    }
+}
+
+/* The safe-to-approximate function: Euclidean point-centroid
+ * distance. Pure — the host also calls it on inputs of its own. */
+static void
+kmeans_target(void *ctx, const float *input, float *output)
+{
+    float sum = 0.0f;
+    int d;
+
+    (void)ctx;
+    for (d = 0; d < KM_DIM; ++d) {
+        const float diff = input[d] - input[KM_DIM + d];
+        sum += diff * diff;
+    }
+    output[0] = sqrtf(sum);
+}
+
+static size_t
+kmeans_final_size(void *ctx, const void *dataset)
+{
+    (void)ctx;
+    (void)dataset;
+    return KM_POINTS;
+}
+
+/* Assign every point to the centroid with the smallest (possibly
+ * approximated) distance. Ties break toward the lower index, so the
+ * result is a pure function of the distance stream. */
+static void
+kmeans_recompose(void *ctx, const void *dataset, const float *outputs,
+                 size_t count, float *final_out)
+{
+    size_t p;
+
+    (void)ctx;
+    (void)dataset;
+    (void)count;
+    for (p = 0; p < KM_POINTS; ++p) {
+        const float *row = outputs + p * KM_K;
+        int best = 0;
+        int k;
+        for (k = 1; k < KM_K; ++k) {
+            if (row[k] < row[best])
+                best = k;
+        }
+        final_out[p] = (float)best;
+    }
+}
+
+/* Cluster Miss Rate: percent of points whose assignment flipped. */
+static double
+kmeans_quality_loss(void *ctx, const float *reference,
+                    const float *candidate, size_t count)
+{
+    size_t misses = 0;
+    size_t p;
+
+    (void)ctx;
+    if (count == 0)
+        return 0.0;
+    for (p = 0; p < count; ++p) {
+        if ((int)reference[p] != (int)candidate[p])
+            ++misses;
+    }
+    return 100.0 * (double)misses / (double)count;
+}
+
+/* ---------------------------------------------------------------- */
+/* Registration.                                                     */
+/* ---------------------------------------------------------------- */
+
+static const size_t kmeans_topology[] = {KM_INPUT_WIDTH, 8, 1};
+
+uint32_t
+mithra_plugin_abi_version(void)
+{
+    return MITHRA_PLUGIN_ABI_VERSION;
+}
+
+int
+mithra_plugin_register(const mithra_host_v1 *host)
+{
+    mithra_workload_v1 workload;
+    size_t i;
+    unsigned char *bytes = (unsigned char *)&workload;
+
+    for (i = 0; i < sizeof(workload); ++i)
+        bytes[i] = 0;
+
+    workload.struct_size = sizeof(workload);
+    workload.name = "kmeans";
+    workload.domain = "Machine Learning";
+    workload.metric = MITHRA_METRIC_CUSTOM;
+    workload.metric_name = "Cluster Miss Rate";
+    workload.quality_loss = kmeans_quality_loss;
+    workload.input_width = KM_INPUT_WIDTH;
+    workload.output_width = 1;
+    workload.topology = kmeans_topology;
+    workload.topology_len =
+        sizeof(kmeans_topology) / sizeof(kmeans_topology[0]);
+    workload.table_quantizer_bits = 0; /* host width policy */
+    workload.dataset_create = kmeans_dataset_create;
+    workload.dataset_destroy = kmeans_dataset_destroy;
+    workload.dataset_invocations = kmeans_dataset_invocations;
+    workload.dataset_input = kmeans_dataset_input;
+    workload.target_function = kmeans_target;
+    workload.final_size = kmeans_final_size;
+    workload.recompose = kmeans_recompose;
+
+    /* One distance: 3 subs + 2 adds + 3 muls + 1 sqrt, 6 loads. */
+    workload.target_ops.add_sub = 5;
+    workload.target_ops.mul = 3;
+    workload.target_ops.sqrt_op = 1;
+    workload.target_ops.memory = 6;
+    /* Argmin bookkeeping per distance: 1 compare, 1 store. */
+    workload.other_ops_per_invocation.compare = 1;
+    workload.other_ops_per_invocation.memory = 1;
+
+    workload.backend = NULL; /* host NPU */
+
+    return host->register_workload(host->host_ctx, &workload);
+}

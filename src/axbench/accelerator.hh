@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The accelerator seam: what the compile pipeline and the runtime
+ * need from *any* approximate accelerator.
+ *
+ * The paper's accelerator is the NPU (src/npu), and the built-in
+ * benchmarks keep using it directly through the concrete
+ * npu::Approximator member of CompiledWorkload. Plugin workloads
+ * (include/mithra_plugin.h) may instead name a custom backend; the
+ * host adapts its C function table behind this interface, and the
+ * pipeline/runtime drive it through the same offline workflow:
+ * train once on sampled (input, output) pairs of the precise
+ * function, then invoke per accelerated invocation.
+ *
+ * Implementations must be deterministic (training randomness derives
+ * from the seed argument only) and invoke() must be safe to call
+ * concurrently once trained — trace attachment runs under
+ * parallelFor.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/vec.hh"
+
+namespace mithra::axbench
+{
+
+/** Modeled hardware cost of one accelerator invocation. */
+struct AcceleratorCost
+{
+    std::uint64_t cycles = 0;
+    double picoJoules = 0.0;
+};
+
+/** Abstract approximate accelerator (the narrow virtual seam the C
+ *  backend tables are adapted into). */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Short label for logs and reports, e.g. "npu", "lut16". */
+    virtual std::string kind() const = 0;
+
+    /**
+     * Train to mimic the precise function on row-aligned sample
+     * pairs; all randomness must derive from `seed`. Returns the
+     * final training MSE in normalized units.
+     */
+    virtual double trainToMimic(const VecBatch &inputs,
+                                const VecBatch &outputs,
+                                std::uint64_t seed) = 0;
+
+    /** True once trainToMimic() has run. */
+    virtual bool trained() const = 0;
+
+    /** One accelerated invocation (pure; thread-safe once trained). */
+    virtual Vec invoke(const Vec &input) const = 0;
+
+    /** Modeled per-invocation hardware cost. */
+    virtual AcceleratorCost invocationCost() const = 0;
+};
+
+} // namespace mithra::axbench

@@ -41,15 +41,16 @@ InvocationTrace::append(const Vec &input, const Vec &preciseOut)
     ++numInvocations;
 }
 
+template <typename Invoke>
 void
-InvocationTrace::attachApproximations(const npu::Approximator &accel)
+InvocationTrace::attachWith(Invoke &&invoke)
 {
     approxOuts.resize(preciseOuts.size());
     Vec input(inWidth);
     for (std::size_t i = 0; i < numInvocations; ++i) {
         const auto in = this->input(i);
         std::copy(in.begin(), in.end(), input.begin());
-        const Vec out = accel.invoke(input);
+        const Vec out = invoke(input);
         MITHRA_ASSERT(out.size() == outWidth,
                       "accelerator output width mismatch");
         std::copy(out.begin(), out.end(),
@@ -60,6 +61,18 @@ InvocationTrace::attachApproximations(const npu::Approximator &accel)
     localErrors.resize(numInvocations);
     for (std::size_t i = 0; i < numInvocations; ++i)
         localErrors[i] = computeError(i);
+}
+
+void
+InvocationTrace::attachApproximations(const npu::Approximator &accel)
+{
+    attachWith([&](const Vec &input) { return accel.invoke(input); });
+}
+
+void
+InvocationTrace::attachApproximations(const Accelerator &accel)
+{
+    attachWith([&](const Vec &input) { return accel.invoke(input); });
 }
 
 void
@@ -136,6 +149,26 @@ npu::TrainerOptions
 Benchmark::npuTrainerOptions() const
 {
     return npu::TrainerOptions{};
+}
+
+double
+Benchmark::qualityLoss(const FinalOutput &reference,
+                       const FinalOutput &candidate) const
+{
+    // Custom metrics must override; the free function rejects them.
+    return axbench::qualityLoss(metric(), reference, candidate);
+}
+
+std::string
+Benchmark::metricLabel() const
+{
+    return metricName(metric());
+}
+
+std::unique_ptr<Accelerator>
+Benchmark::makeAccelerator() const
+{
+    return nullptr; // built-in NPU
 }
 
 FinalOutput

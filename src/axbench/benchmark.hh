@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 
+#include "axbench/accelerator.hh"
 #include "axbench/quality.hh"
 #include "common/vec.hh"
 #include "npu/approximator.hh"
@@ -58,6 +59,9 @@ class InvocationTrace
     /** Fill approximate outputs by invoking the accelerator. */
     void attachApproximations(const npu::Approximator &accel);
 
+    /** Same, for a custom accelerator backend (plugin workloads). */
+    void attachApproximations(const Accelerator &accel);
+
     /**
      * Append one invocation with a known approximate output (tools and
      * tests that construct traces without an accelerator).
@@ -95,6 +99,9 @@ class InvocationTrace
   private:
     float computeError(std::size_t i) const;
 
+    template <typename Invoke>
+    void attachWith(Invoke &&invoke);
+
     std::size_t inWidth;
     std::size_t outWidth;
     std::uint64_t uniqueId;
@@ -130,6 +137,25 @@ class Benchmark
 
     /** Quality metric used for final outputs. */
     virtual QualityMetric metric() const = 0;
+
+    /**
+     * Final quality loss of `candidate` against `reference`, percent
+     * (larger is worse, 0 = identical). The default delegates to the
+     * free qualityLoss() over metric(); benchmarks with
+     * QualityMetric::Custom must override (plugin workloads route
+     * this to their C quality_loss hook). Every consumer of final
+     * quality — threshold optimizer, calibration, runtime evaluator —
+     * scores through this seam.
+     */
+    virtual double qualityLoss(const FinalOutput &reference,
+                               const FinalOutput &candidate) const;
+
+    /**
+     * Human-readable metric label for tables and reports. Defaults to
+     * metricName(metric()); custom-metric benchmarks override it with
+     * their own label.
+     */
+    virtual std::string metricLabel() const;
 
     /** NPU topology from Table I, e.g. {6, 8, 3, 1}. */
     virtual npu::Topology npuTopology() const = 0;
@@ -192,6 +218,14 @@ class Benchmark
      * kernels (sim::Counted) over a representative dataset.
      */
     virtual BenchmarkCosts measureCosts() const = 0;
+
+    /**
+     * Custom accelerator backend, or nullptr for the built-in NPU
+     * (the default). When non-null the pipeline trains and costs the
+     * returned accelerator instead of the NPU, and the runtime
+     * invokes it for every accelerated invocation.
+     */
+    virtual std::unique_ptr<Accelerator> makeAccelerator() const;
 };
 
 /** Seed layout: compile datasets and validation datasets never overlap. */

@@ -14,6 +14,7 @@ metricName(QualityMetric metric)
       case QualityMetric::AvgRelativeError: return "Avg. Relative Error";
       case QualityMetric::MissRate: return "Miss Rate";
       case QualityMetric::ImageDiff: return "Image Diff";
+      case QualityMetric::Custom: return "Custom";
     }
     panic("unknown quality metric");
 }
@@ -48,6 +49,9 @@ elementErrors(QualityMetric metric, const FinalOutput &reference,
                    "output element count mismatch: ",
                    reference.elements.size(), " vs ",
                    candidate.elements.size());
+    MITHRA_EXPECTS(metric != QualityMetric::Custom,
+                   "custom metrics have no element-error decomposition; "
+                   "evaluate through Benchmark::qualityLoss()");
     const std::size_t n = reference.elements.size();
     std::vector<double> errors(n);
 
@@ -82,6 +86,8 @@ elementErrors(QualityMetric metric, const FinalOutput &reference,
         }
         break;
       }
+      case QualityMetric::Custom:
+        break; // unreachable: rejected by the contract above
     }
     return errors;
 }

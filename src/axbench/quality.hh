@@ -33,6 +33,14 @@ enum class QualityMetric
     AvgRelativeError,
     MissRate,
     ImageDiff,
+    /**
+     * Benchmark-defined metric: the loss is computed by the
+     * benchmark's qualityLoss() override (plugin workloads route it
+     * to their C quality_loss hook). The free functions below reject
+     * it — code holding only the enum cannot evaluate a custom
+     * metric.
+     */
+    Custom,
 };
 
 /** Metric name as printed in Table I. */

@@ -1,5 +1,8 @@
 #include "axbench/registry.hh"
 
+#include <sstream>
+#include <utility>
+
 #include "axbench/blackscholes.hh"
 #include "axbench/fft.hh"
 #include "axbench/inversek2j.hh"
@@ -11,29 +14,149 @@
 namespace mithra::axbench
 {
 
+WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static WorkloadRegistry *shared = [] {
+        auto *registry = new WorkloadRegistry;
+        // The six paper benchmarks, Table I order.
+        registry->add("blackscholes", {}, [] {
+            return std::make_unique<Blackscholes>();
+        });
+        registry->add("fft", {}, [] { return std::make_unique<Fft>(); });
+        registry->add("inversek2j", {},
+                      [] { return std::make_unique<InverseK2J>(); });
+        registry->add("jmeint", {},
+                      [] { return std::make_unique<Jmeint>(); });
+        registry->add("jpeg", {}, [] { return std::make_unique<Jpeg>(); });
+        registry->add("sobel", {},
+                      [] { return std::make_unique<Sobel>(); });
+        return registry;
+    }();
+    return *shared;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, Provenance provenance,
+                      Factory factory)
+{
+    MITHRA_EXPECTS(!name.empty(), "workload name must be nonempty");
+    MITHRA_EXPECTS(factory != nullptr, "workload factory must be set");
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    if (const Entry *existing = lookup(name)) {
+        fatal("duplicate workload name `", name, "': already registered "
+              "by ", existing->provenance.origin, ", now offered by ",
+              provenance.origin,
+              " — every workload name must be process-unique");
+    }
+    entries.push_back({name, std::move(provenance), std::move(factory)});
+}
+
+void
+WorkloadRegistry::setDiscovery(std::function<void()> hook)
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    MITHRA_EXPECTS(!discovered,
+                   "plugin discovery installed after workload names "
+                   "were already resolved — install it at startup, "
+                   "before the first registry lookup");
+    discovery = std::move(hook);
+}
+
+void
+WorkloadRegistry::ensureDiscovered()
+{
+    // Caller holds the mutex. Mark before running: the hook registers
+    // through add(), which must not re-trigger discovery.
+    if (discovered)
+        return;
+    discovered = true;
+    if (discovery)
+        discovery();
+}
+
+const WorkloadRegistry::Entry *
+WorkloadRegistry::lookup(const std::string &name) const
+{
+    for (const Entry &entry : entries) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names()
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ensureDiscovered();
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const Entry &entry : entries)
+        out.push_back(entry.name);
+    return out;
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name)
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ensureDiscovered();
+    return lookup(name) != nullptr;
+}
+
+std::unique_ptr<Benchmark>
+WorkloadRegistry::make(const std::string &name)
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ensureDiscovered();
+    const Entry *entry = lookup(name);
+    if (!entry) {
+        std::ostringstream known;
+        for (const Entry &e : entries)
+            known << (known.tellp() > 0 ? ", " : "") << e.name;
+        fatal("unknown benchmark `", name, "' (registered: ",
+              known.str(),
+              ") — plugin workloads load from MITHRA_PLUGINS");
+    }
+    auto benchmark = entry->factory();
+    MITHRA_ENSURES(benchmark != nullptr, "workload factory for `", name,
+                   "' returned nothing");
+    return benchmark;
+}
+
+WorkloadRegistry::Provenance
+WorkloadRegistry::provenance(const std::string &name)
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ensureDiscovered();
+    const Entry *entry = lookup(name);
+    if (!entry)
+        fatal("unknown benchmark `", name, "'");
+    return entry->provenance;
+}
+
+std::string
+WorkloadRegistry::cacheTag(const std::string &name)
+{
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ensureDiscovered();
+    const Entry *entry = lookup(name);
+    if (!entry || entry->provenance.abiVersion == 0)
+        return {};
+    return name + "@v" + std::to_string(entry->provenance.abiVersion);
+}
+
 std::vector<std::string>
 benchmarkNames()
 {
-    return {"blackscholes", "fft", "inversek2j", "jmeint", "jpeg",
-            "sobel"};
+    return WorkloadRegistry::global().names();
 }
 
 std::unique_ptr<Benchmark>
 makeBenchmark(const std::string &name)
 {
-    if (name == "blackscholes")
-        return std::make_unique<Blackscholes>();
-    if (name == "fft")
-        return std::make_unique<Fft>();
-    if (name == "inversek2j")
-        return std::make_unique<InverseK2J>();
-    if (name == "jmeint")
-        return std::make_unique<Jmeint>();
-    if (name == "jpeg")
-        return std::make_unique<Jpeg>();
-    if (name == "sobel")
-        return std::make_unique<Sobel>();
-    fatal("unknown benchmark `", name, "'");
+    return WorkloadRegistry::global().make(name);
 }
 
 std::vector<std::unique_ptr<Benchmark>>

@@ -1,11 +1,27 @@
 /**
  * @file
- * Benchmark registry: name -> factory for the six paper benchmarks.
+ * The workload registry: one resolution point for built-in benchmarks
+ * and runtime-loaded plugin workloads.
+ *
+ * Built-ins (the six paper benchmarks) register at construction in
+ * Table I order. Plugin workloads (include/mithra_plugin.h) register
+ * through the same add() path in MITHRA_PLUGINS load order, either
+ * eagerly (mithra-serve loads at startup) or lazily through the
+ * discovery hook a binary installs with setDiscovery() — the hook
+ * runs once, before the first name resolution, so bench harnesses and
+ * the ExperimentRunner see plugin workloads without the core layer
+ * ever depending on the loader (src/plugin sits *above* axbench in
+ * the layering DAG; the hook is injected downward).
+ *
+ * The free functions keep the historical API: every existing call
+ * site resolves through the one registry.
  */
 
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,14 +30,88 @@
 namespace mithra::axbench
 {
 
-/** Names of all registered benchmarks, in Table I order. */
+/** Name -> factory registry with deterministic registration order. */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Benchmark>()>;
+
+    /** Where a workload came from (report labels, cache keys). */
+    struct Provenance
+    {
+        /** "builtin", or the plugin path that registered the name. */
+        std::string origin = "builtin";
+        /** Plugin ABI version; 0 for built-ins. */
+        unsigned abiVersion = 0;
+    };
+
+    /** The process-wide registry (built-ins pre-registered). */
+    static WorkloadRegistry &global();
+
+    /**
+     * Register a workload. Names are unique across built-ins and all
+     * plugins: a duplicate is fatal() — two workloads answering to
+     * one name would silently split cache keys and reports.
+     */
+    void add(const std::string &name, Provenance provenance,
+             Factory factory);
+
+    /**
+     * Install the lazy plugin-discovery hook (plugin::enableAuto-
+     * Discovery()). Runs at most once, before the first resolution.
+     * Installing a hook after discovery already ran is fatal: names
+     * resolved so far would disagree with names resolved later.
+     */
+    void setDiscovery(std::function<void()> hook);
+
+    /** All names in registration order (built-ins first, then plugin
+     *  workloads in MITHRA_PLUGINS load order). */
+    std::vector<std::string> names();
+
+    /** Whether `name` resolves (after discovery). */
+    bool contains(const std::string &name);
+
+    /** Instantiate by name; fatal() on unknown names. */
+    std::unique_ptr<Benchmark> make(const std::string &name);
+
+    /** Provenance of a registered name; fatal() on unknown names. */
+    Provenance provenance(const std::string &name);
+
+    /**
+     * Experiment cache-key suffix for `name`: empty for built-ins,
+     * "name@v<abi>" for plugin workloads — a plugin workload's
+     * records must never share a cache line with a future built-in
+     * (or differently versioned plugin) of the same name.
+     */
+    std::string cacheTag(const std::string &name);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Provenance provenance;
+        Factory factory;
+    };
+
+    void ensureDiscovered();
+    const Entry *lookup(const std::string &name) const;
+
+    // Recursive: the discovery hook loads plugins, which re-enter
+    // through add().
+    std::recursive_mutex mutex;
+    std::vector<Entry> entries;
+    std::function<void()> discovery;
+    bool discovered = false;
+};
+
+/** Names of all registered benchmarks (built-ins in Table I order,
+ *  then plugin workloads in load order). */
 std::vector<std::string> benchmarkNames();
 
 /** Instantiate a benchmark by name; fatal() on unknown names. */
 std::unique_ptr<Benchmark> makeBenchmark(const std::string &name);
 
-/** Instantiate every benchmark, in Table I order. */
+/** Instantiate every registered benchmark, in registry order. */
 std::vector<std::unique_ptr<Benchmark>> makeAllBenchmarks();
 
 } // namespace mithra::axbench
-

@@ -51,7 +51,7 @@ struct VarInfo
  * README table presents them. mithra-analyze checks both directions:
  * tree use -> registry entry, registry entry -> README row.
  */
-inline constexpr std::array<VarInfo, 22> registry{{
+inline constexpr std::array<VarInfo, 23> registry{{
     {"MITHRA_SCALE", "float in (0, 100]", "`1.0`",
      "scales dataset counts/sizes; 1.0 = 250 compile + 250 validation "
      "datasets per benchmark, `0.1` ≈ minutes-long smoke run"},
@@ -68,6 +68,10 @@ inline constexpr std::array<VarInfo, 22> registry{{
      "configuration with it on"},
     {"MITHRA_CACHE", "path", "`.mithra-cache.tsv`",
      "shared experiment result cache; delete to recompute"},
+    {"MITHRA_PLUGINS", "colon-separated paths", "none",
+     "plugin `.so` files to load (workloads and accelerator backends, "
+     "`docs/PLUGINS.md`), in order; each must speak plugin ABI v1 "
+     "(`include/mithra_plugin.h`)"},
     {"MITHRA_REPORT_DIR", "dir", "`.`",
      "where bench binaries write `BENCH_<name>.json` run reports"},
     {"MITHRA_REPORT_TIMING", "flag", "off",

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "axbench/registry.hh"
 #include "common/contracts.hh"
 #include "common/env_registry.hh"
 #include "common/parallel.hh"
@@ -251,7 +252,16 @@ ExperimentRunner::cacheKey(const std::string &benchmark,
     // v6: the sharded decision loop moved online observations to
     // dataset boundaries, so evaluations are not bit-comparable with
     // v5 records even at one shard.
-    os << "v6:" << benchmark << ':' << specKey(spec) << ':'
+    os << "v6:" << benchmark;
+    // Plugin workloads fold their origin and ABI version into the key:
+    // a rebuilt plugin (or a future ABI) must never share cached
+    // results with an older binary of the same name. Built-ins add
+    // nothing, so their keys are unchanged from v6.
+    const std::string pluginTag =
+        axbench::WorkloadRegistry::global().cacheTag(benchmark);
+    if (!pluginTag.empty())
+        os << ":plugin=" << pluginTag;
+    os << ':' << specKey(spec) << ':'
        << designName(design) << ':' << options.geometry.numTables << 'x'
        << options.geometry.tableBytes << ':' << options.quantizerBits
        << ':' << (options.onlineUpdates ? 1 : 0)
@@ -555,7 +565,12 @@ std::string
 ExperimentRunner::factsKey(const std::string &benchmark) const
 {
     std::ostringstream keyStream;
-    keyStream << "meta:v5:" << benchmark << ":s" << experimentScale()
+    keyStream << "meta:v5:" << benchmark;
+    const std::string pluginTag =
+        axbench::WorkloadRegistry::global().cacheTag(benchmark);
+    if (!pluginTag.empty())
+        keyStream << ":plugin=" << pluginTag;
+    keyStream << ":s" << experimentScale()
               << ":d" << pipeline.options().compileDatasetCount << ":x"
               << pipeline.options().seed;
     return keyStream.str();
@@ -571,8 +586,7 @@ ExperimentRunner::workloadFacts(const std::string &benchmark)
     LoadedWorkload &entry = loaded(benchmark);
     WorkloadRecord record;
     record.domain = entry.workload.benchmark->domain();
-    record.metricName =
-        axbench::metricName(entry.workload.benchmark->metric());
+    record.metricName = entry.workload.benchmark->metricLabel();
     record.npuTopology =
         npu::topologyName(entry.workload.benchmark->npuTopology());
     record.fullApproxLossMean = entry.workload.fullApproxLossMean;

@@ -74,6 +74,7 @@ Pipeline::compile(const std::string &benchmarkName) const
     CompiledWorkload workload;
     workload.benchmark = axbench::makeBenchmark(benchmarkName);
     const auto &bench = *workload.benchmark;
+    workload.backend = bench.makeAccelerator();
 
     const std::size_t datasetCount = pipelineOptions.compileDatasetCount
         ? pipelineOptions.compileDatasetCount
@@ -109,10 +110,17 @@ Pipeline::compile(const std::string &benchmarkName) const
     sampleNpuTraining(workload.compileTraces,
                       pipelineOptions.npuTrainSamples,
                       pipelineOptions.seed, trainIn, trainOut);
-    inform("compile[", benchmarkName, "]: training NPU ",
-           npu::topologyName(bench.npuTopology()), " on ",
-           trainIn.size(), " samples");
-    {
+    if (workload.backend) {
+        inform("compile[", benchmarkName, "]: training ",
+               workload.backend->kind(), " backend on ", trainIn.size(),
+               " samples");
+        MITHRA_SPAN("core.pipeline.npu_train");
+        workload.npuTrainMse = workload.backend->trainToMimic(
+            trainIn, trainOut, pipelineOptions.seed);
+    } else {
+        inform("compile[", benchmarkName, "]: training NPU ",
+               npu::topologyName(bench.npuTopology()), " on ",
+               trainIn.size(), " samples");
         MITHRA_SPAN("core.pipeline.npu_train");
         workload.npuTrainMse = workload.accel.trainToMimic(
             bench.npuTopology(), trainIn, trainOut,
@@ -140,14 +148,13 @@ Pipeline::compile(const std::string &benchmarkName) const
             0, workload.compileTraces.size(), 1, 0.0,
             [&](std::size_t d) {
                 auto &trace = *workload.compileTraces[d];
-                trace.attachApproximations(workload.accel);
+                workload.attachApproximations(trace);
                 workload.problem.entries[d] = ThresholdProblem::makeEntry(
                     bench, *workload.compileDatasets[d], trace);
 
                 const auto approxFinal = bench.approxOutput(
                     *workload.compileDatasets[d], trace);
-                return axbench::qualityLoss(
-                    bench.metric(),
+                return bench.qualityLoss(
                     workload.problem.entries[d].preciseFinal, approxFinal);
             },
             [](double a, double b) { return a + b; });
@@ -167,10 +174,16 @@ Pipeline::compile(const std::string &benchmarkName) const
         core.cycles(workload.costs.targetOpsPerInvocation)
         + pipelineOptions.coreParams.regionOverheadCycles;
     profile.preciseEnergyPj = core.energyPj(profile.preciseCycles);
-    const auto accelCost = npuCost.invocationCost(
-        workload.accel.network());
-    profile.accelCycles = static_cast<double>(accelCost.cycles);
-    profile.accelEnergyPj = accelCost.picoJoules;
+    if (workload.backend) {
+        const auto accelCost = workload.backend->invocationCost();
+        profile.accelCycles = static_cast<double>(accelCost.cycles);
+        profile.accelEnergyPj = accelCost.picoJoules;
+    } else {
+        const auto accelCost = npuCost.invocationCost(
+            workload.accel.network());
+        profile.accelCycles = static_cast<double>(accelCost.cycles);
+        profile.accelEnergyPj = accelCost.picoJoules;
+    }
     profile.invocationsPerDataset =
         workload.compileTraces.front()->count();
     profile.otherCyclesPerDataset =
@@ -265,8 +278,8 @@ calibrationMeasure(const CompiledWorkload &workload,
             one.total = trace.count();
             const auto recomposed = workload.benchmark->recompose(
                 *entry.dataset, trace, decisions);
-            const double loss = axbench::qualityLoss(
-                workload.benchmark->metric(), entry.preciseFinal, recomposed);
+            const double loss = workload.benchmark->qualityLoss(
+                entry.preciseFinal, recomposed);
             one.successes = loss <= spec.maxQualityLossPct ? 1 : 0;
             one.trials = 1;
             return one;

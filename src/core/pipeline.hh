@@ -34,8 +34,23 @@ namespace mithra::core
 struct CompiledWorkload
 {
     std::unique_ptr<axbench::Benchmark> benchmark;
-    /** The trained approximate accelerator. */
+    /** The trained approximate accelerator (host NPU path). */
     npu::Approximator accel;
+    /**
+     * Non-null when the benchmark brings its own accelerator (plugin
+     * backends, `axbench::Benchmark::makeAccelerator()`); it then
+     * replaces the NPU for training, invocation, and cost modeling.
+     */
+    std::unique_ptr<axbench::Accelerator> backend;
+
+    /** Attach whichever accelerator this workload trained. */
+    void attachApproximations(axbench::InvocationTrace &trace) const
+    {
+        if (backend)
+            trace.attachApproximations(*backend);
+        else
+            trace.attachApproximations(accel);
+    }
     /** Representative compile datasets and their traces. */
     std::vector<std::unique_ptr<axbench::Dataset>> compileDatasets;
     std::vector<std::unique_ptr<axbench::InvocationTrace>> compileTraces;

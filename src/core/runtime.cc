@@ -41,7 +41,7 @@ makeValidationSet(const CompiledWorkload &workload, std::size_t count)
             axbench::validationSeed(bench.name(), d));
         entry.trace = std::make_unique<axbench::InvocationTrace>(
             bench.trace(*entry.dataset));
-        entry.trace->attachApproximations(workload.accel);
+        workload.attachApproximations(*entry.trace);
         entry.preciseFinal = bench.preciseOutput(*entry.dataset,
                                                  *entry.trace);
     });
@@ -176,8 +176,8 @@ Evaluator::evaluate(Classifier &classifier,
 
         const auto recomposed = bench.recompose(*entry.dataset, trace,
                                                 decisions);
-        const double loss = axbench::qualityLoss(
-            bench.metric(), entry.preciseFinal, recomposed);
+        const double loss = bench.qualityLoss(entry.preciseFinal,
+                                              recomposed);
         losses.push_back(loss);
         if (loss <= spec.maxQualityLossPct)
             ++eval.successes;
@@ -317,7 +317,7 @@ traceFromInputs(const CompiledWorkload &workload, const float *rows,
                   out.begin());
         trace.append(input, out);
     }
-    trace.attachApproximations(workload.accel);
+    workload.attachApproximations(trace);
     return trace;
 }
 

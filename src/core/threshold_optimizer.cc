@@ -73,8 +73,8 @@ ThresholdOptimizer::evaluate(const ThresholdProblem &problem,
 
             const auto recomposed = problem.benchmark->recompose(
                 *entry.dataset, *entry.trace, decisions);
-            const double loss = axbench::qualityLoss(
-                problem.benchmark->metric(), entry.preciseFinal, recomposed);
+            const double loss = problem.benchmark->qualityLoss(
+                entry.preciseFinal, recomposed);
             one.successes = loss <= qualitySpec.maxQualityLossPct ? 1 : 0;
             return one;
         },

@@ -1,0 +1,647 @@
+#include "plugin/host.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "axbench/accelerator.hh"
+#include "axbench/benchmark.hh"
+#include "axbench/registry.hh"
+#include "common/contracts.hh"
+#include "common/logging.hh"
+
+namespace mithra::plugin
+{
+
+namespace
+{
+
+/** Deep copy of a mithra_backend_v1 (strings owned, hooks verbatim). */
+struct BackendTable
+{
+    std::string name;
+    std::string provenance;
+    void *ctx = nullptr;
+    void *(*create)(void *) = nullptr;
+    void (*destroy)(void *, void *) = nullptr;
+    double (*train)(void *, void *, const float *, const float *,
+                    std::size_t, std::size_t, std::size_t,
+                    std::uint64_t) = nullptr;
+    void (*invoke)(void *, const void *, const float *,
+                   float *) = nullptr;
+    void (*invocationCost)(void *, const void *, std::uint64_t *,
+                           double *) = nullptr;
+};
+
+/** Deep copy of a mithra_workload_v1. */
+struct WorkloadTable
+{
+    std::string name;
+    std::string domain;
+    std::string metricName;
+    std::string backend; ///< empty = built-in NPU
+    std::string provenance;
+    int metric = 0;
+    void *ctx = nullptr;
+    double (*qualityLoss)(void *, const float *, const float *,
+                          std::size_t) = nullptr;
+    std::size_t inputWidth = 0;
+    std::size_t outputWidth = 0;
+    npu::Topology topology;
+    std::size_t trainEpochs = 0;
+    double trainLearningRate = 0.0;
+    std::uint64_t trainSeed = 0;
+    unsigned tableQuantizerBits = 0;
+    void *(*datasetCreate)(void *, std::uint64_t) = nullptr;
+    void (*datasetDestroy)(void *, void *) = nullptr;
+    std::size_t (*datasetInvocations)(void *, const void *) = nullptr;
+    void (*datasetInput)(void *, const void *, std::size_t,
+                         float *) = nullptr;
+    void (*targetFunction)(void *, const float *, float *) = nullptr;
+    std::size_t (*finalSize)(void *, const void *) = nullptr;
+    void (*recomposeFn)(void *, const void *, const float *, std::size_t,
+                        float *) = nullptr;
+    sim::OpCounts targetOps;
+    sim::OpCounts otherOpsPerInvocation;
+};
+
+/**
+ * Registered tables. Pointed into by registry factories and live
+ * benchmark objects, so the storage must never move: unique_ptr
+ * elements keep the tables themselves stable.
+ */
+std::vector<std::unique_ptr<BackendTable>> &
+backendTables()
+{
+    static std::vector<std::unique_ptr<BackendTable>> tables;
+    return tables;
+}
+
+std::vector<std::unique_ptr<WorkloadTable>> &
+workloadTables()
+{
+    static std::vector<std::unique_ptr<WorkloadTable>> tables;
+    return tables;
+}
+
+const BackendTable *
+findBackend(const std::string &name)
+{
+    for (const auto &table : backendTables()) {
+        if (table->name == name)
+            return table.get();
+    }
+    return nullptr;
+}
+
+sim::OpCounts
+opCountsFrom(const mithra_op_counts_v1 &ops)
+{
+    sim::OpCounts out;
+    out.addSub = ops.add_sub;
+    out.mul = ops.mul;
+    out.div = ops.div_op;
+    out.sqrtOp = ops.sqrt_op;
+    out.transcendental = ops.transcendental;
+    out.compare = ops.compare;
+    out.memory = ops.memory;
+    return out;
+}
+
+// ------------------------------------------------------------ backend
+
+/** axbench::Accelerator over a plugin backend table. */
+class PluginAccelerator final : public axbench::Accelerator
+{
+  public:
+    explicit PluginAccelerator(const BackendTable &tableIn)
+        : table(tableIn), instance(table.create(table.ctx))
+    {
+        if (!instance) {
+            fatal("backend `", table.name, "' (", table.provenance,
+                  "): create() returned NULL");
+        }
+    }
+
+    ~PluginAccelerator() override
+    {
+        table.destroy(table.ctx, instance);
+    }
+
+    PluginAccelerator(const PluginAccelerator &) = delete;
+    PluginAccelerator &operator=(const PluginAccelerator &) = delete;
+
+    std::string kind() const override { return table.name; }
+
+    double trainToMimic(const VecBatch &inputs, const VecBatch &outputs,
+                        std::uint64_t seed) override
+    {
+        MITHRA_EXPECTS(!inputs.empty() && inputs.size() == outputs.size(),
+                       "backend training needs aligned sample batches");
+        inWidth = inputs.front().size();
+        outWidth = outputs.front().size();
+        std::vector<float> flatIn, flatOut;
+        flatIn.reserve(inputs.size() * inWidth);
+        flatOut.reserve(outputs.size() * outWidth);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            MITHRA_EXPECTS(inputs[i].size() == inWidth
+                               && outputs[i].size() == outWidth,
+                           "ragged backend training batch");
+            flatIn.insert(flatIn.end(), inputs[i].begin(),
+                          inputs[i].end());
+            flatOut.insert(flatOut.end(), outputs[i].begin(),
+                           outputs[i].end());
+        }
+        const double mse = table.train(table.ctx, instance,
+                                       flatIn.data(), flatOut.data(),
+                                       inputs.size(), inWidth, outWidth,
+                                       seed);
+        if (mse < 0.0) {
+            fatal("backend `", table.name, "' (", table.provenance,
+                  "): train() failed (returned ", mse, ")");
+        }
+        isTrained = true;
+        return mse;
+    }
+
+    bool trained() const override { return isTrained; }
+
+    Vec invoke(const Vec &input) const override
+    {
+        MITHRA_EXPECTS(isTrained, "backend `", table.name,
+                       "' invoked before training");
+        MITHRA_EXPECTS(input.size() == inWidth,
+                       "backend input width mismatch");
+        Vec out(outWidth);
+        table.invoke(table.ctx, instance, input.data(), out.data());
+        return out;
+    }
+
+    axbench::AcceleratorCost invocationCost() const override
+    {
+        axbench::AcceleratorCost cost;
+        table.invocationCost(table.ctx, instance, &cost.cycles,
+                             &cost.picoJoules);
+        return cost;
+    }
+
+  private:
+    const BackendTable &table;
+    void *instance;
+    bool isTrained = false;
+    std::size_t inWidth = 0;
+    std::size_t outWidth = 0;
+};
+
+// ----------------------------------------------------------- workload
+
+/** Opaque plugin dataset handle with plugin-owned destruction. */
+class PluginDataset final : public axbench::Dataset
+{
+  public:
+    PluginDataset(const WorkloadTable &tableIn, void *handleIn)
+        : table(tableIn), datasetHandle(handleIn)
+    {
+    }
+
+    ~PluginDataset() override
+    {
+        table.datasetDestroy(table.ctx, datasetHandle);
+    }
+
+    PluginDataset(const PluginDataset &) = delete;
+    PluginDataset &operator=(const PluginDataset &) = delete;
+
+    void *handle() const { return datasetHandle; }
+
+  private:
+    const WorkloadTable &table;
+    void *datasetHandle;
+};
+
+/** axbench::Benchmark over a plugin workload table. */
+class PluginWorkload final : public axbench::Benchmark
+{
+  public:
+    explicit PluginWorkload(const WorkloadTable &tableIn)
+        : table(tableIn)
+    {
+    }
+
+    std::string name() const override { return table.name; }
+    std::string domain() const override { return table.domain; }
+
+    axbench::QualityMetric metric() const override
+    {
+        switch (table.metric) {
+          case MITHRA_METRIC_AVG_RELATIVE_ERROR:
+            return axbench::QualityMetric::AvgRelativeError;
+          case MITHRA_METRIC_MISS_RATE:
+            return axbench::QualityMetric::MissRate;
+          case MITHRA_METRIC_IMAGE_DIFF:
+            return axbench::QualityMetric::ImageDiff;
+          default:
+            return axbench::QualityMetric::Custom;
+        }
+    }
+
+    double qualityLoss(const axbench::FinalOutput &reference,
+                       const axbench::FinalOutput &candidate)
+        const override
+    {
+        if (!table.qualityLoss)
+            return Benchmark::qualityLoss(reference, candidate);
+        MITHRA_EXPECTS(reference.elements.size()
+                           == candidate.elements.size(),
+                       "output element count mismatch: ",
+                       reference.elements.size(), " vs ",
+                       candidate.elements.size());
+        const double loss = table.qualityLoss(
+            table.ctx, reference.elements.data(),
+            candidate.elements.data(), reference.elements.size());
+        MITHRA_ENSURES(loss >= 0.0, "workload `", table.name,
+                       "': quality_loss() returned ", loss,
+                       " — losses are percentages >= 0");
+        return loss;
+    }
+
+    std::string metricLabel() const override
+    {
+        return table.metricName.empty()
+            ? axbench::metricName(metric())
+            : table.metricName;
+    }
+
+    npu::Topology npuTopology() const override { return table.topology; }
+
+    npu::TrainerOptions npuTrainerOptions() const override
+    {
+        npu::TrainerOptions options;
+        if (table.trainEpochs)
+            options.epochs = table.trainEpochs;
+        if (table.trainLearningRate > 0.0)
+            options.learningRate =
+                static_cast<float>(table.trainLearningRate);
+        if (table.trainSeed)
+            options.seed = table.trainSeed;
+        return options;
+    }
+
+    unsigned tableQuantizerBits() const override
+    {
+        return table.tableQuantizerBits;
+    }
+
+    std::unique_ptr<axbench::Dataset> makeDataset(
+        std::uint64_t seed) const override
+    {
+        void *handle = table.datasetCreate(table.ctx, seed);
+        if (!handle) {
+            fatal("workload `", table.name, "' (", table.provenance,
+                  "): dataset_create(", seed, ") returned NULL");
+        }
+        return std::make_unique<PluginDataset>(table, handle);
+    }
+
+    axbench::InvocationTrace trace(
+        const axbench::Dataset &dataset) const override
+    {
+        void *handle = pluginHandle(dataset);
+        const std::size_t count =
+            table.datasetInvocations(table.ctx, handle);
+        MITHRA_EXPECTS(count > 0, "workload `", table.name,
+                       "': dataset reports zero invocations");
+        axbench::InvocationTrace trace(table.inputWidth,
+                                       table.outputWidth);
+        Vec input(table.inputWidth);
+        Vec output(table.outputWidth);
+        for (std::size_t i = 0; i < count; ++i) {
+            table.datasetInput(table.ctx, handle, i, input.data());
+            table.targetFunction(table.ctx, input.data(),
+                                 output.data());
+            trace.append(input, output);
+        }
+        return trace;
+    }
+
+    axbench::FinalOutput recompose(
+        const axbench::Dataset &dataset,
+        const axbench::InvocationTrace &trace,
+        const std::vector<std::uint8_t> &useAccel) const override
+    {
+        MITHRA_EXPECTS(useAccel.size() == trace.count(),
+                       "decision vector length mismatch");
+        void *handle = pluginHandle(dataset);
+        // The chosen per-invocation output stream, row-major.
+        std::vector<float> chosen(trace.count() * table.outputWidth);
+        for (std::size_t i = 0; i < trace.count(); ++i) {
+            const auto out = useAccel[i] ? trace.approxOutput(i)
+                                         : trace.preciseOutput(i);
+            std::copy(out.begin(), out.end(),
+                      chosen.begin()
+                          + static_cast<std::ptrdiff_t>(
+                              i * table.outputWidth));
+        }
+        const std::size_t finalCount =
+            table.finalSize(table.ctx, handle);
+        axbench::FinalOutput finalOut;
+        if (!table.recomposeFn) {
+            MITHRA_EXPECTS(finalCount == chosen.size(),
+                           "workload `", table.name,
+                           "': identity recompose requires final_size "
+                           "== invocations * output_width (",
+                           finalCount, " vs ", chosen.size(), ")");
+            finalOut.elements = std::move(chosen);
+            return finalOut;
+        }
+        finalOut.elements.assign(finalCount, 0.0f);
+        table.recomposeFn(table.ctx, handle, chosen.data(),
+                          trace.count(), finalOut.elements.data());
+        return finalOut;
+    }
+
+    Vec targetFunction(const Vec &input) const override
+    {
+        MITHRA_EXPECTS(input.size() == table.inputWidth,
+                       "workload `", table.name,
+                       "': target input width mismatch");
+        Vec out(table.outputWidth);
+        table.targetFunction(table.ctx, input.data(), out.data());
+        return out;
+    }
+
+    axbench::BenchmarkCosts measureCosts() const override
+    {
+        // Plugin kernels are not Counted<T>-instrumented; the table
+        // declares per-invocation op counts instead, and a probe
+        // dataset scales the non-target region to per-dataset units.
+        const auto probe = makeDataset(axbench::compileSeed(table.name,
+                                                            0));
+        const auto &dataset =
+            static_cast<const PluginDataset &>(*probe);
+        const std::size_t invocations =
+            table.datasetInvocations(table.ctx, dataset.handle());
+        axbench::BenchmarkCosts costs;
+        costs.targetOpsPerInvocation = table.targetOps;
+        costs.otherOpsPerDataset = table.otherOpsPerInvocation.scaled(
+            static_cast<double>(invocations));
+        return costs;
+    }
+
+    std::unique_ptr<axbench::Accelerator> makeAccelerator()
+        const override
+    {
+        if (table.backend.empty())
+            return nullptr;
+        const BackendTable *backend = findBackend(table.backend);
+        if (!backend) {
+            fatal("workload `", table.name, "' (", table.provenance,
+                  ") names accelerator backend `", table.backend,
+                  "', which no loaded plugin registered — check "
+                  "MITHRA_PLUGINS order (backends must load with or "
+                  "before their workloads)");
+        }
+        return std::make_unique<PluginAccelerator>(*backend);
+    }
+
+  private:
+    void *pluginHandle(const axbench::Dataset &dataset) const
+    {
+        const auto *plugin =
+            dynamic_cast<const PluginDataset *>(&dataset);
+        MITHRA_EXPECTS(plugin != nullptr, "workload `", table.name,
+                       "' received a foreign dataset");
+        return plugin->handle();
+    }
+
+    const WorkloadTable &table;
+};
+
+// -------------------------------------------------------- validation
+
+/**
+ * Copy the caller's table prefix into a zero-filled host-side view:
+ * older v1 plugins (smaller struct_size) read as zeros/NULLs in the
+ * tail, newer ones (larger struct_size) have their unknown tail
+ * ignored. struct_size below the v1 baseline is rejected.
+ */
+template <typename TableType>
+TableType
+copyPrefix(const TableType *table, const char *what,
+           const std::string &provenance)
+{
+    TableType view;
+    std::memset(&view, 0, sizeof(view));
+    if (table == nullptr) {
+        fatal("plugin ", provenance, ": register_", what,
+              "(NULL) — pass a table");
+    }
+    if (table->struct_size < sizeof(TableType)) {
+        fatal("plugin ", provenance, ": ", what, " struct_size ",
+              table->struct_size, " is below the ABI v1 baseline ",
+              sizeof(TableType),
+              " — rebuild against include/mithra_plugin.h");
+    }
+    std::memcpy(&view, table,
+                std::min(static_cast<std::size_t>(table->struct_size),
+                         sizeof(TableType)));
+    return view;
+}
+
+void
+requireField(bool ok, const std::string &provenance, const char *what,
+             const char *field)
+{
+    if (!ok) {
+        fatal("plugin ", provenance, ": ", what, " table field `",
+              field, "' is missing or invalid (see "
+              "include/mithra_plugin.h)");
+    }
+}
+
+} // namespace
+
+void
+registerBackendTable(const mithra_backend_v1 *table,
+                     const std::string &provenance)
+{
+    const mithra_backend_v1 view =
+        copyPrefix(table, "backend", provenance);
+    requireField(view.name && *view.name, provenance, "backend", "name");
+    requireField(view.create != nullptr, provenance, "backend",
+                 "create");
+    requireField(view.destroy != nullptr, provenance, "backend",
+                 "destroy");
+    requireField(view.train != nullptr, provenance, "backend", "train");
+    requireField(view.invoke != nullptr, provenance, "backend",
+                 "invoke");
+    requireField(view.invocation_cost != nullptr, provenance, "backend",
+                 "invocation_cost");
+
+    if (const BackendTable *existing = findBackend(view.name)) {
+        fatal("duplicate accelerator backend `", view.name,
+              "': already registered by ", existing->provenance,
+              ", now offered by ", provenance);
+    }
+
+    auto copy = std::make_unique<BackendTable>();
+    copy->name = view.name;
+    copy->provenance = provenance;
+    copy->ctx = view.ctx;
+    copy->create = view.create;
+    copy->destroy = view.destroy;
+    copy->train = view.train;
+    copy->invoke = view.invoke;
+    copy->invocationCost = view.invocation_cost;
+    backendTables().push_back(std::move(copy));
+}
+
+void
+registerWorkloadTable(const mithra_workload_v1 *table,
+                      const std::string &provenance)
+{
+    const mithra_workload_v1 view =
+        copyPrefix(table, "workload", provenance);
+    requireField(view.name && *view.name, provenance, "workload",
+                 "name");
+    requireField(view.domain && *view.domain, provenance, "workload",
+                 "domain");
+    requireField(view.metric >= MITHRA_METRIC_AVG_RELATIVE_ERROR
+                     && view.metric <= MITHRA_METRIC_CUSTOM,
+                 provenance, "workload", "metric");
+    if (view.metric == MITHRA_METRIC_CUSTOM) {
+        requireField(view.quality_loss != nullptr, provenance,
+                     "workload", "quality_loss");
+        requireField(view.metric_name && *view.metric_name, provenance,
+                     "workload", "metric_name");
+    }
+    requireField(view.input_width > 0, provenance, "workload",
+                 "input_width");
+    requireField(view.output_width > 0, provenance, "workload",
+                 "output_width");
+    requireField(view.topology != nullptr && view.topology_len >= 2,
+                 provenance, "workload", "topology");
+    requireField(view.topology[0] == view.input_width
+                     && view.topology[view.topology_len - 1]
+                         == view.output_width,
+                 provenance, "workload",
+                 "topology (must start with input_width and end with "
+                 "output_width)");
+    requireField(view.dataset_create != nullptr, provenance, "workload",
+                 "dataset_create");
+    requireField(view.dataset_destroy != nullptr, provenance,
+                 "workload", "dataset_destroy");
+    requireField(view.dataset_invocations != nullptr, provenance,
+                 "workload", "dataset_invocations");
+    requireField(view.dataset_input != nullptr, provenance, "workload",
+                 "dataset_input");
+    requireField(view.target_function != nullptr, provenance,
+                 "workload", "target_function");
+    requireField(view.final_size != nullptr, provenance, "workload",
+                 "final_size");
+
+    auto copy = std::make_unique<WorkloadTable>();
+    copy->name = view.name;
+    copy->domain = view.domain;
+    copy->metricName = view.metric_name ? view.metric_name : "";
+    copy->backend = view.backend ? view.backend : "";
+    copy->provenance = provenance;
+    copy->metric = view.metric;
+    copy->ctx = view.ctx;
+    copy->qualityLoss = view.quality_loss;
+    copy->inputWidth = view.input_width;
+    copy->outputWidth = view.output_width;
+    copy->topology.assign(view.topology,
+                          view.topology + view.topology_len);
+    copy->trainEpochs = view.train_epochs;
+    copy->trainLearningRate = view.train_learning_rate;
+    copy->trainSeed = view.train_seed;
+    copy->tableQuantizerBits = view.table_quantizer_bits;
+    copy->datasetCreate = view.dataset_create;
+    copy->datasetDestroy = view.dataset_destroy;
+    copy->datasetInvocations = view.dataset_invocations;
+    copy->datasetInput = view.dataset_input;
+    copy->targetFunction = view.target_function;
+    copy->finalSize = view.final_size;
+    copy->recomposeFn = view.recompose;
+    copy->targetOps = opCountsFrom(view.target_ops);
+    copy->otherOpsPerInvocation =
+        opCountsFrom(view.other_ops_per_invocation);
+
+    const WorkloadTable *stable = copy.get();
+    workloadTables().push_back(std::move(copy));
+    // Duplicate names (against built-ins and other plugins) die in
+    // the registry with both provenances named.
+    axbench::WorkloadRegistry::global().add(
+        stable->name, {provenance, MITHRA_PLUGIN_ABI_VERSION},
+        [stable] { return std::make_unique<PluginWorkload>(*stable); });
+}
+
+std::vector<std::string>
+backendNames()
+{
+    std::vector<std::string> names;
+    for (const auto &table : backendTables())
+        names.push_back(table->name);
+    return names;
+}
+
+namespace
+{
+
+/** Registration-callback state for the plugin currently loading. */
+struct HostState
+{
+    std::string provenance;
+    RegistrationLog *log = nullptr;
+};
+
+HostState &
+currentHost()
+{
+    static HostState state;
+    return state;
+}
+
+extern "C" int
+mithraHostRegisterWorkload(void *hostCtx, const mithra_workload_v1 *w)
+{
+    auto *state = static_cast<HostState *>(hostCtx);
+    registerWorkloadTable(w, state->provenance);
+    if (state->log && w && w->name)
+        state->log->workloads.emplace_back(w->name);
+    return 0;
+}
+
+extern "C" int
+mithraHostRegisterBackend(void *hostCtx, const mithra_backend_v1 *b)
+{
+    auto *state = static_cast<HostState *>(hostCtx);
+    registerBackendTable(b, state->provenance);
+    if (state->log && b && b->name)
+        state->log->backends.emplace_back(b->name);
+    return 0;
+}
+
+} // namespace
+
+const mithra_host_v1 &
+hostTable(const std::string &provenance, RegistrationLog &log)
+{
+    HostState &state = currentHost();
+    state.provenance = provenance;
+    state.log = &log;
+    static mithra_host_v1 table = [] {
+        mithra_host_v1 t{};
+        t.abi_version = MITHRA_PLUGIN_ABI_VERSION;
+        t.struct_size = sizeof(mithra_host_v1);
+        t.host_ctx = &currentHost();
+        t.register_workload = &mithraHostRegisterWorkload;
+        t.register_backend = &mithraHostRegisterBackend;
+        return t;
+    }();
+    return table;
+}
+
+} // namespace mithra::plugin

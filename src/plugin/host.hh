@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host-side adapters for the C plugin ABI (include/mithra_plugin.h).
+ *
+ * The loader (loader.cc) hands each plugin the mithra_host_v1 table
+ * built here. Registration callbacks validate the C tables field by
+ * field — a plugin author's mistake must die with a message naming
+ * the plugin and the field, not as a crash three subsystems later —
+ * then adapt them behind the narrow C++ seams the rest of the tree
+ * already speaks: a workload table becomes an axbench::Benchmark in
+ * the WorkloadRegistry, a backend table becomes an
+ * axbench::Accelerator factory the workload's makeAccelerator()
+ * resolves by name.
+ *
+ * Copies, not references: every string and table is deep-copied at
+ * registration, so plugins may build their tables on the stack. The
+ * function-table ctx pointers are kept verbatim (plugins are never
+ * unloaded).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mithra_plugin.h"
+
+namespace mithra::plugin
+{
+
+/** What one registration callback batch recorded (loader reporting). */
+struct RegistrationLog
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> backends;
+};
+
+/**
+ * The host table handed to mithra_plugin_register(). `provenance`
+ * labels fatal diagnostics and registry entries (the plugin path);
+ * registrations are recorded into `log`. Single-threaded: one plugin
+ * registers at a time (the loader serializes).
+ */
+const mithra_host_v1 &hostTable(const std::string &provenance,
+                                RegistrationLog &log);
+
+/**
+ * Validate + adopt one workload table (also the static-linking path:
+ * tests register a plugin's table directly to compare against the
+ * dlopen route). Fatal on invalid tables or duplicate names.
+ */
+void registerWorkloadTable(const mithra_workload_v1 *table,
+                           const std::string &provenance);
+
+/** Validate + adopt one backend table. Fatal on invalid tables or
+ *  duplicate backend names. */
+void registerBackendTable(const mithra_backend_v1 *table,
+                          const std::string &provenance);
+
+/** Names of all registered accelerator backends, in load order. */
+std::vector<std::string> backendNames();
+
+} // namespace mithra::plugin

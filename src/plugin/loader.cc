@@ -1,0 +1,151 @@
+#include "plugin/loader.hh"
+
+#include <dlfcn.h>
+
+#include <deque>
+
+#include "axbench/registry.hh"
+#include "common/env_registry.hh"
+#include "common/logging.hh"
+#include "mithra_plugin.h"
+#include "plugin/host.hh"
+
+namespace mithra::plugin
+{
+
+namespace
+{
+
+/** Load-order record; deque keeps LoadedPlugin references stable. */
+std::deque<LoadedPlugin> &
+registryOfLoaded()
+{
+    static std::deque<LoadedPlugin> loaded;
+    return loaded;
+}
+
+const LoadedPlugin *
+findLoaded(const std::string &path)
+{
+    for (const LoadedPlugin &plugin : registryOfLoaded()) {
+        if (plugin.path == path)
+            return &plugin;
+    }
+    return nullptr;
+}
+
+/** dlsym with the function-pointer cast in one audited place. */
+template <typename FnType>
+FnType
+resolve(void *handle, const char *symbol)
+{
+    // POSIX guarantees object/function pointer interconvertibility
+    // for dlsym; the reinterpret_cast is the sanctioned idiom.
+    return reinterpret_cast<FnType>(dlsym(handle, symbol));
+}
+
+} // namespace
+
+const LoadedPlugin &
+loadPlugin(const std::string &path)
+{
+    if (const LoadedPlugin *already = findLoaded(path))
+        return *already;
+
+    // RTLD_NOW: undefined symbols surface here, with the path named,
+    // not at first call. RTLD_LOCAL: plugin internals must not leak
+    // into (or collide with) the host's symbol table.
+    void *handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle) {
+        const char *why = dlerror();
+        fatal("cannot load plugin `", path, "': ",
+              why ? why : "dlopen failed",
+              " — check the path in MITHRA_PLUGINS");
+    }
+
+    const auto versionFn =
+        resolve<uint32_t (*)(void)>(handle, "mithra_plugin_abi_version");
+    if (!versionFn) {
+        fatal("`", path, "' is not a MITHRA plugin: it does not export "
+              "mithra_plugin_abi_version() (see include/mithra_plugin.h "
+              "and docs/PLUGINS.md)");
+    }
+    const uint32_t version = versionFn();
+    if (version != MITHRA_PLUGIN_ABI_VERSION) {
+        fatal("plugin `", path, "' speaks ABI v", version,
+              " but this host speaks v", MITHRA_PLUGIN_ABI_VERSION,
+              " — rebuild the plugin against this tree's "
+              "include/mithra_plugin.h");
+    }
+
+    const auto registerFn = resolve<int (*)(const mithra_host_v1 *)>(
+        handle, "mithra_plugin_register");
+    if (!registerFn) {
+        fatal("`", path, "' is not a MITHRA plugin: it exports "
+              "mithra_plugin_abi_version() but not "
+              "mithra_plugin_register()");
+    }
+
+    RegistrationLog log;
+    const int rc = registerFn(&hostTable(path, log));
+    if (rc != 0) {
+        fatal("plugin `", path, "': mithra_plugin_register() returned ",
+              rc, " — the plugin refused to initialize");
+    }
+    if (log.workloads.empty() && log.backends.empty()) {
+        warn("plugin `", path,
+             "' registered nothing (no workloads, no backends)");
+    }
+
+    LoadedPlugin plugin;
+    plugin.path = path;
+    plugin.abiVersion = version;
+    plugin.workloads = log.workloads;
+    plugin.backends = log.backends;
+    registryOfLoaded().push_back(std::move(plugin));
+    const LoadedPlugin &stored = registryOfLoaded().back();
+    inform("plugin[", path, "]: ABI v", version, ", ",
+           stored.workloads.size(), " workload(s), ",
+           stored.backends.size(), " backend(s)");
+    return stored;
+}
+
+std::size_t
+loadFromEnv()
+{
+    const char *value = env::text("MITHRA_PLUGINS");
+    if (!value)
+        return 0;
+    std::size_t loaded = 0;
+    const std::string paths(value);
+    std::size_t begin = 0;
+    while (begin <= paths.size()) {
+        const std::size_t end = paths.find(':', begin);
+        const std::string path = paths.substr(
+            begin, end == std::string::npos ? std::string::npos
+                                            : end - begin);
+        if (!path.empty() && !findLoaded(path)) {
+            loadPlugin(path);
+            ++loaded;
+        }
+        if (end == std::string::npos)
+            break;
+        begin = end + 1;
+    }
+    return loaded;
+}
+
+std::vector<LoadedPlugin>
+loadedPlugins()
+{
+    return {registryOfLoaded().begin(), registryOfLoaded().end()};
+}
+
+void
+enableAutoDiscovery()
+{
+    axbench::WorkloadRegistry::global().setDiscovery(
+        [] { loadFromEnv(); });
+}
+
+} // namespace mithra::plugin

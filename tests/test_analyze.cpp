@@ -234,6 +234,64 @@ TEST(AnalyzeLayering, DseSitsAboveCoreAndCoreCannotReachBack)
     EXPECT_NE(d->message.find("dse"), std::string::npos);
 }
 
+TEST(AnalyzeLayering, PluginHostSitsAboveAxbenchOutsideTheCore)
+{
+    // The in-tree spec's shape for the plugin host: plugin adapts C
+    // tables into the axbench registry, so it may reach down into
+    // axbench/common — but core must never include plugin (discovery
+    // is injected through WorkloadRegistry::setDiscovery), and the
+    // loader must not grow tendrils into the service shell.
+    std::vector<Diagnostic> specDiags;
+    const LayerSpec layered = parseLayerSpec(
+        "layers.txt",
+        "layer common  src/common/\n"
+        "layer axbench src/axbench/\n"
+        "layer core    src/core/\n"
+        "layer service src/service/\n"
+        "layer plugin  src/plugin/\n"
+        "allow axbench -> common\n"
+        "allow core    -> common axbench\n"
+        "allow service -> common core\n"
+        "allow plugin  -> common axbench\n",
+        specDiags);
+    EXPECT_TRUE(specDiags.empty());
+
+    const std::vector<SourceFile> clean = {
+        {"src/plugin/host.cc", "#include \"axbench/registry.hh\"\n"
+                               "#include \"common/logging.hh\"\n",
+         ""},
+        {"src/axbench/registry.hh", "#pragma once\n", ""},
+        {"src/common/logging.hh", "#pragma once\n", ""},
+    };
+    EXPECT_TRUE(checkLayering(layered, clean).empty());
+
+    // Seeded violation 1: the loader reaching sideways-up into the
+    // service shell.
+    const std::vector<SourceFile> intoService = {
+        {"src/plugin/loader.cc", "#include \"service/server.hh\"\n",
+         ""},
+        {"src/service/server.hh", "#pragma once\n", ""},
+    };
+    const std::vector<Diagnostic> diagnostics =
+        checkLayering(layered, intoService);
+    ASSERT_TRUE(fired(diagnostics, "layering", 1));
+    const auto d = std::find_if(diagnostics.begin(), diagnostics.end(),
+                                [](const Diagnostic &x) {
+                                    return x.rule == "layering";
+                                });
+    EXPECT_NE(d->message.find("service"), std::string::npos);
+
+    // Seeded violation 2: core depending on the loader (the discovery
+    // hook exists precisely so this edge never appears).
+    const std::vector<SourceFile> coreIntoPlugin = {
+        {"src/core/experiment.cc", "#include \"plugin/loader.hh\"\n",
+         ""},
+        {"src/plugin/loader.hh", "#pragma once\n", ""},
+    };
+    EXPECT_TRUE(
+        fired(checkLayering(layered, coreIntoPlugin), "layering", 1));
+}
+
 TEST(AnalyzeLayering, TransitivityIsNotImplied)
 {
     // tests -> core and core -> common, but a spec without

@@ -504,6 +504,136 @@ int roll() { return rand(); }
     EXPECT_NE(rendered.find("[no-rand]"), std::string::npos);
 }
 
+TEST(Lint, DlopenOutsidePluginLoaderFires)
+{
+    const auto diagnostics = lintAt("src/core/sneaky.cc", R"cpp(
+namespace mithra
+{
+void *load(const char *path) { return dlopen(path, 2); }
+void *find(void *h, const char *s) { return dlsym(h, s); }
+} // namespace mithra
+)cpp");
+    EXPECT_TRUE(fired(diagnostics, "no-dlopen", 4));
+    EXPECT_TRUE(fired(diagnostics, "no-dlopen", 5));
+}
+
+TEST(Lint, DlopenAllowedInPluginLoader)
+{
+    const auto diagnostics = lintAt("src/plugin/loader.cc", R"cpp(
+namespace mithra
+{
+void *load(const char *path) { return dlopen(path, 2); }
+} // namespace mithra
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-dlopen"));
+}
+
+TEST(Lint, DlopenIsLibraryOnly)
+{
+    // Tests may poke at loaders freely; only src/ is confined.
+    const auto diagnostics = lintAt("tests/test_plugin.cpp", R"cpp(
+void *load(const char *path) { return dlopen(path, 2); }
+)cpp");
+    EXPECT_FALSE(firedRule(diagnostics, "no-dlopen"));
+}
+
+/** A minimal well-formed C ABI header. */
+const char *cleanAbiHeader = R"c(/* doc */
+#ifndef MITHRA_X_H
+#define MITHRA_X_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+struct mithra_x { unsigned v; };
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MITHRA_X_H */
+)c";
+
+TEST(Lint, CleanCAbiHeaderPasses)
+{
+    EXPECT_TRUE(lintAt("include/mithra_x.h", cleanAbiHeader).empty());
+}
+
+TEST(Lint, CAbiHeaderRejectsPragmaOnce)
+{
+    const auto diagnostics = lintAt("include/mithra_x.h", R"c(
+#pragma once
+struct mithra_x { unsigned v; };
+)c");
+    EXPECT_TRUE(firedRule(diagnostics, "c-abi-header"));
+    // And the C++ header rule stays quiet — include/ is not its turf.
+    EXPECT_FALSE(firedRule(diagnostics, "pragma-once"));
+    EXPECT_FALSE(firedRule(diagnostics, "namespace-mithra"));
+}
+
+TEST(Lint, CAbiHeaderRejectsCppKeywordsOutsideGuard)
+{
+    const auto diagnostics = lintAt("include/mithra_x.h", R"c(
+#ifndef MITHRA_X_H
+#define MITHRA_X_H
+class mithra_x;
+template <typename T> struct y;
+#endif
+)c");
+    EXPECT_TRUE(fired(diagnostics, "c-abi-header", 4));
+    EXPECT_TRUE(fired(diagnostics, "c-abi-header", 5));
+}
+
+TEST(Lint, CAbiHeaderAllowsCppInsideCplusplusGuard)
+{
+    const auto diagnostics = lintAt("include/mithra_x.h", R"c(
+#ifndef MITHRA_X_H
+#define MITHRA_X_H
+#ifdef __cplusplus
+extern "C" {
+class gated;
+}
+#endif
+#endif
+)c");
+    EXPECT_FALSE(firedRule(diagnostics, "c-abi-header"));
+}
+
+TEST(Lint, CAbiHeaderRejectsLineComments)
+{
+    const auto diagnostics = lintAt("include/mithra_x.h", R"c(
+#ifndef MITHRA_X_H
+#define MITHRA_X_H
+struct mithra_x { unsigned v; }; // not C89
+#endif
+)c");
+    EXPECT_TRUE(fired(diagnostics, "c-abi-header", 4));
+}
+
+TEST(Lint, CAbiHeaderIgnoresSlashesInStringsAndBlockComments)
+{
+    const auto diagnostics = lintAt("include/mithra_x.h", R"c(
+#ifndef MITHRA_X_H
+#define MITHRA_X_H
+/* a // inside a block comment is fine */
+static const char *mithra_x_url = "http://example.com";
+#endif
+)c");
+    EXPECT_FALSE(firedRule(diagnostics, "c-abi-header"));
+}
+
+TEST(Lint, RealPluginHeaderIsClean)
+{
+    // The shipped ABI header must satisfy its own rule (the C89
+    // compile test in CMake is the ground truth; this keeps the lint
+    // rule honest against the real file).
+    const auto diagnostics =
+        mithra::lint::lintFile(std::string(MITHRA_SOURCE_DIR)
+                               + "/include/mithra_plugin.h");
+    EXPECT_TRUE(diagnostics.empty());
+}
+
 TEST(Lint, PolicySelection)
 {
     EXPECT_TRUE(policyForPath("src/stats/summary.cc").doubleOnly);
@@ -520,6 +650,12 @@ TEST(Lint, PolicySelection)
     EXPECT_TRUE(policyForPath("src/common/kernels/kernels_sse42.cc")
                     .kernelsImpl);
     EXPECT_FALSE(policyForPath("src/common/parallel.hh").kernelsImpl);
+    EXPECT_TRUE(policyForPath("src/plugin/loader.cc").pluginImpl);
+    EXPECT_FALSE(policyForPath("src/core/pipeline.cc").pluginImpl);
+    EXPECT_TRUE(policyForPath("include/mithra_plugin.h").cAbiHeader);
+    EXPECT_FALSE(policyForPath("include/mithra_plugin.h")
+                     .headerHygiene);
+    EXPECT_FALSE(policyForPath("src/axbench/registry.hh").cAbiHeader);
 }
 
 } // namespace

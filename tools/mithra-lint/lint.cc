@@ -165,6 +165,150 @@ isSpecifierPosition(const std::vector<Token> &tokens, std::size_t i)
     return false;
 }
 
+/**
+ * Lines carrying a `//` comment in real code — not inside a string,
+ * character constant, or block comment. The token scanner strips
+ * comments, so this is the one check that re-reads the raw source.
+ */
+std::vector<std::size_t>
+lineCommentLines(const std::string &source)
+{
+    std::vector<std::size_t> lines;
+    enum class State
+    {
+        Code,
+        Block,
+        Str,
+        Chr,
+    };
+    State state = State::Code;
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+        const char c = source[i];
+        const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+        if (c == '\n') {
+            ++line;
+            if (state == State::Str || state == State::Chr)
+                state = State::Code; // unterminated literal; resync
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                lines.push_back(line);
+                while (i + 1 < source.size() && source[i + 1] != '\n')
+                    ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::Block;
+                ++i;
+            } else if (c == '"') {
+                state = State::Str;
+            } else if (c == '\'') {
+                state = State::Chr;
+            }
+            break;
+          case State::Block:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            }
+            break;
+          case State::Str:
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                state = State::Code;
+            break;
+          case State::Chr:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                state = State::Code;
+            break;
+        }
+    }
+    return lines;
+}
+
+/**
+ * The public C ABI header: classic include guard, no `//` comments,
+ * no C++-only keywords. The `__cplusplus`-guarded extern "C" block is
+ * expected — `extern` and the "C" string literal pass untouched.
+ */
+void
+checkCAbiHeader(Linter &lint, const std::string &source)
+{
+    const auto &tokens = lint.scanned.tokens;
+
+    // #ifndef GUARD / #define GUARD, before any other content.
+    const Token *t0 = tokenAt(tokens, 0);
+    const Token *t1 = tokenAt(tokens, 1);
+    const Token *t2 = tokenAt(tokens, 2);
+    const Token *t3 = tokenAt(tokens, 3);
+    const Token *t4 = tokenAt(tokens, 4);
+    const Token *t5 = tokenAt(tokens, 5);
+    const bool guarded = t0 && t0->text == "#" && t1
+        && t1->text == "ifndef" && t2
+        && t2->kind == TokenKind::Identifier && t3 && t3->text == "#"
+        && t4 && t4->text == "define" && t5 && t5->text == t2->text;
+    if (!guarded) {
+        lint.report(t0 ? t0->line : 1, "c-abi-header",
+                    "C ABI headers open with a classic include guard "
+                    "(#ifndef X / #define X) — `#pragma once` is not "
+                    "C89");
+    }
+
+    static const std::set<std::string> cppOnly = {
+        "class",        "template",         "typename",
+        "namespace",    "virtual",          "constexpr",
+        "mutable",      "operator",         "new",
+        "delete",       "bool",             "nullptr",
+        "using",        "decltype",         "static_cast",
+        "reinterpret_cast", "dynamic_cast", "const_cast",
+        "noexcept",     "private",          "public",
+        "protected",    "friend",           "throw",
+        "try",          "catch",
+    };
+    // Tokens inside `#ifdef __cplusplus` ... `#endif` are exempt:
+    // that region is invisible to C compilers by construction.
+    std::size_t cppDepth = 0;
+    std::size_t condDepth = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+        if (t.text == "#" && i + 1 < tokens.size()) {
+            const std::string &directive = tokens[i + 1].text;
+            if (directive == "ifdef" || directive == "ifndef"
+                || directive == "if") {
+                ++condDepth;
+                if (cppDepth == 0 && directive == "ifdef"
+                    && i + 2 < tokens.size()
+                    && tokens[i + 2].text == "__cplusplus")
+                    cppDepth = condDepth;
+            } else if (directive == "endif") {
+                if (cppDepth == condDepth)
+                    cppDepth = 0;
+                if (condDepth > 0)
+                    --condDepth;
+            }
+        }
+        if (cppDepth != 0)
+            continue;
+        if (t.kind == TokenKind::Identifier && cppOnly.count(t.text)) {
+            lint.report(t.line, "c-abi-header",
+                        "`" + t.text
+                            + "' is not C89; the plugin ABI header is "
+                              "compiled by plain C plugins (gate C++ "
+                              "constructs behind __cplusplus)");
+        }
+    }
+
+    for (const std::size_t line : lineCommentLines(source)) {
+        lint.report(line, "c-abi-header",
+                    "`//' comments are not C89; use /* ... */ in the "
+                    "plugin ABI header");
+    }
+}
+
 void
 checkHeaderHygiene(Linter &lint)
 {
@@ -273,6 +417,20 @@ checkTokens(Linter &lint)
                             "library code reports through "
                             "common/logging.hh, not `" + t.text + "'");
             }
+            if (!lint.policy.pluginImpl) {
+                static const std::set<std::string> bannedDl = {
+                    "dlopen", "dlsym",  "dlvsym", "dlclose",
+                    "dlerror", "dladdr", "dlfcn",
+                };
+                if (bannedDl.count(t.text)) {
+                    lint.report(t.line, "no-dlopen",
+                                "`" + t.text
+                                    + "': runtime code loading is "
+                                      "confined to src/plugin/ (the "
+                                      "sanctioned loader); go through "
+                                      "the WorkloadRegistry instead");
+                }
+            }
             if (t.text == "cassert") {
                 lint.report(t.line, "no-naked-assert",
                             "<cassert> is banned; use the contract "
@@ -353,6 +511,13 @@ policyForPath(const std::string &path)
     policy.timingImpl = pathContains(p, "src/telemetry/")
         || pathContains(p, "src/service/");
     policy.kernelsImpl = pathContains(p, "src/common/kernels/");
+    policy.pluginImpl = pathContains(p, "src/plugin/");
+    // include/*.h is the public C plugin ABI: the C89 rules replace
+    // the C++ header hygiene (no pragma-once, no namespace).
+    policy.cAbiHeader = pathContains(p, "include/") && !inSrc
+        && endsWith(p, ".h");
+    if (policy.cAbiHeader)
+        policy.headerHygiene = false;
     return policy;
 }
 
@@ -365,6 +530,8 @@ lintSource(const std::string &path, const std::string &source)
 
     if (policy.headerHygiene)
         checkHeaderHygiene(lint);
+    if (policy.cAbiHeader)
+        checkCAbiHeader(lint, source);
     if (policy.libraryHygiene)
         checkNamespace(lint);
     checkTokens(lint);

@@ -53,16 +53,31 @@
  *                    refactorings. Virt-specifier and class-head
  *                    positions (`void f() override', `class X final')
  *                    are of course allowed.
+ *  no-dlopen         dlopen / dlsym / dlclose / dlerror and <dlfcn.h>:
+ *                    runtime code loading is confined to src/plugin/
+ *                    (the sanctioned loader), so the rest of the
+ *                    library stays statically analyzable and the
+ *                    plugin trust boundary stays in one place.
+ *  c-abi-header      include/ headers are the public C plugin ABI and
+ *                    must stay C89-clean: classic include guards (not
+ *                    `#pragma once`), block comments (no `//`), and
+ *                    no C++-only keywords outside the `__cplusplus`
+ *                    guard. `plugin_header_c89` (ctest) is the ground
+ *                    truth; this rule catches violations at lint speed
+ *                    with better messages.
  *
  * Which rules apply depends on the path (see policyForPath): the
  * determinism rules cover src/, bench/ and tests/; the library-hygiene
- * rules (including no-keyword-identifier) cover src/ only; the float
- * ban covers src/stats only; the raw
+ * rules (including no-keyword-identifier and no-dlopen) cover src/
+ * only; the float ban covers src/stats only; the raw
  * timing ban covers src/ only (bench/ and tests/ may time freely); the
- * intrinsics ban covers src/, bench/ and tests/. common/rng.* is
+ * intrinsics ban covers src/, bench/ and tests/; the c-abi-header
+ * rules cover include/*.h (where pragma-once and namespace-mithra do
+ * NOT apply — the ABI header is shared with plain C). common/rng.* is
  * exempt from no-random-device, common/logging.* from no-iostream,
- * src/telemetry/ from no-raw-timing, and src/common/kernels/ from
- * no-intrinsics — they are the sanctioned implementations.
+ * src/telemetry/ from no-raw-timing, src/common/kernels/ from
+ * no-intrinsics, and src/plugin/ from no-dlopen — they are the
+ * sanctioned implementations.
  *
  * A `// mithra-lint: allow(<rule>)` comment suppresses that rule on
  * its own line and the following line.
@@ -105,6 +120,10 @@ struct PathPolicy
     bool timingImpl = false;
     /** Sanctioned SIMD intrinsics home (src/common/kernels/). */
     bool kernelsImpl = false;
+    /** Sanctioned dlopen/dlsym home (src/plugin/). */
+    bool pluginImpl = false;
+    /** C89 plugin-ABI header rules (include/*.h). */
+    bool cAbiHeader = false;
 };
 
 /** Derive the rule policy from a (relative or absolute) path. */

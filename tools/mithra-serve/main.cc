@@ -25,6 +25,7 @@
 
 #include <unistd.h>
 
+#include "plugin/loader.hh"
 #include "service/server.hh"
 
 namespace
@@ -73,6 +74,10 @@ main(int argc, char **argv)
     sigaction(SIGINT, &action, nullptr);
     sigaction(SIGTERM, &action, nullptr);
     signal(SIGPIPE, SIG_IGN);
+
+    // Plugins load eagerly, before the port binds: a bad MITHRA_PLUGINS
+    // value should kill the process at startup, not the first /invoke.
+    mithra::plugin::loadFromEnv();
 
     mithra::service::Server server(
         mithra::service::ServerOptions::fromEnv());
